@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+it, so `pytest benchmarks/ --benchmark-only -s` reproduces the evaluation
+section.  Table-generation functions are slow (they compile and simulate
+whole workloads), so every benchmark runs pedantic single-shot.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the measured callable exactly once and report its wall time."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,16 @@
+"""Benchmark F7: regenerate Figure 7 (the i860 dual-operation schedule)."""
+
+from repro.eval.figure7 import dual_operation_count, figure7
+
+
+def test_figure7(once):
+    text = once(figure7)
+    print("\n" + text)
+    # the reproduced shape: multiply and adder sub-operations sharing
+    # cycles (dual-operation long instructions), both pipes explicitly
+    # advanced, result caught by FWB sub-operations
+    assert "M1" in text and "M2" in text and "FWBM" in text
+    assert "A1" in text and "FWBA" in text
+    packed_lines = [line for line in text.splitlines() if "|" in line]
+    assert len(packed_lines) >= 2
+    assert dual_operation_count() >= 2

@@ -1,0 +1,17 @@
+"""Benchmark T1: regenerate Table 1 (Maril description statistics)."""
+
+from repro.eval.table1 import description_stats, table1
+
+
+def test_table1(once):
+    text = once(table1)
+    print("\n" + text)
+    stats = {name: description_stats(name) for name in ("m88000", "r2000", "i860")}
+    # paper shape: only the i860 needs clocks, elements, classes; it has the
+    # most funcs and by far the most func escape code
+    assert stats["i860"].clocks >= 2
+    assert stats["i860"].elements > 0
+    assert stats["m88000"].clocks == stats["r2000"].clocks == 0
+    assert stats["i860"].func_python_lines == max(
+        s.func_python_lines for s in stats.values()
+    )

@@ -1,0 +1,19 @@
+"""Benchmark T2: regenerate Table 2 (system source size by phase)."""
+
+from repro.eval.table2 import phase_sizes, table2
+
+
+def test_table2(once):
+    text = once(table2)
+    print("\n" + text)
+    sizes = phase_sizes()
+    # paper shape: TSI is the largest component; the i860 is the largest
+    # target description; RASE > IPS > Postpass among strategies
+    assert sizes["Target- and strategy-independent (TSI)"] == max(sizes.values())
+    td = {k: v for k, v in sizes.items() if "(TD)" in k}
+    assert max(td, key=td.get).endswith("i860")
+    assert (
+        sizes["Strategy-dependent (SD), RASE"]
+        > sizes["Strategy-dependent (SD), IPS"]
+        > sizes["Strategy-dependent (SD), Postpass"]
+    )

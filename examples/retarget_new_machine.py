@@ -1,0 +1,158 @@
+"""Retargeting: bring up a brand-new machine from a Maril description.
+
+This is the paper's core thesis — a code generator with a good instruction
+scheduler built *from a description*.  We define "RISC-X", a fictional
+dual-issue machine (separate integer and memory pipes), entirely in Maril,
+build a back end for it with ``build_target``, and immediately compile and
+simulate real C code, comparing against a single-issue variant of the same
+description to show the scheduler exploiting the second pipe.
+
+Run:  python examples/retarget_new_machine.py
+"""
+
+import repro
+from repro.cgg import build_target
+
+# A complete machine description for a new target.  Deviating from RISC-X
+# to your own design means editing this string — nothing else.
+RISCX_MARIL = r"""
+declare {
+    %reg r[0:15] (int);
+    %reg d[0:7] (double);
+    %equiv d[0] r[0];
+    %resource ALU;                  /* integer pipe */
+    %resource MEMPORT;              /* separate load/store pipe: dual issue */
+    %resource FP1, FP2, FP3;
+    %def c16 [-32768:32767];
+    %def c32 [-2147483648:2147483647] +abs;
+    %label rlab [-32768:32767] +relative;
+    %label flab [-8388608:8388607] +abs;
+    %memory m[0:268435455];
+}
+
+cwvm {
+    %general (int) r;
+    %general (double) d;
+    %allocable r[1:11], d[1:3];
+    %calleesave r[8:11];
+    %sp r[15] +down;
+    %fp r[14] +down;
+    %retaddr r[13];
+    %hard r[0] 0;
+    %arg (int) r[2] 1;
+    %arg (int) r[3] 2;
+    %arg (double) d[1] 1;
+    %result r[2] (int);
+    %result d[1] (double);
+}
+
+instr {
+    %instr li r, r[0], #c16 (int) {$1 = $3;} [ALU] (1,1,0);
+    %instr la r, #c32 (int) {$1 = $2;} [ALU] (1,1,0);
+    %instr addi r, r, #c16 (int) {$1 = $2 + $3;} [ALU] (1,1,0);
+    %instr add r, r, r (int) {$1 = $2 + $3;} [ALU] (1,1,0);
+    %instr sub r, r, r (int) {$1 = $2 - $3;} [ALU] (1,1,0);
+    %instr mul r, r, r (int) {$1 = $2 * $3;} [ALU; ALU; ALU] (1,3,0);
+    %instr div r, r, r (int) {$1 = $2 / $3;}
+        [ALU; ALU; ALU; ALU; ALU; ALU; ALU; ALU] (1,8,0);
+    %instr rem r, r, r (int) {$1 = $2 % $3;}
+        [ALU; ALU; ALU; ALU; ALU; ALU; ALU; ALU] (1,8,0);
+    %instr sll r, r, #c16 (int) {$1 = $2 << $3;} [ALU] (1,1,0);
+    %instr sra r, r, #c16 (int) {$1 = $2 >> $3;} [ALU] (1,1,0);
+    %instr and r, r, r (int) {$1 = $2 & $3;} [ALU] (1,1,0);
+    %instr or r, r, r (int) {$1 = $2 | $3;} [ALU] (1,1,0);
+    %instr xor r, r, r (int) {$1 = $2 ^ $3;} [ALU] (1,1,0);
+    %instr cmpi r, r, #c16 (int) {$1 = $2 :: $3;} [ALU] (1,1,0);
+    %instr cmp r, r, r (int) {$1 = $2 :: $3;} [ALU] (1,1,0);
+    %instr fcmp r, d, d {$1 = $2 :: $3;} [FP1; FP2] (1,2,0);
+
+    /* the second pipe: loads and stores issue alongside ALU work */
+    %instr ld r, r, #c16 (int) {$1 = m[$2 + $3];} [MEMPORT; MEMPORT] (1,2,0);
+    %instr st r, r, #c16 (int) {m[$2 + $3] = $1;} [MEMPORT; MEMPORT] (1,1,0);
+    %instr ld.d d, r, #c16 (double) {$1 = m[$2 + $3];}
+        [MEMPORT; MEMPORT] (1,2,0);
+    %instr st.d d, r, #c16 (double) {m[$2 + $3] = $1;}
+        [MEMPORT; MEMPORT] (1,1,0);
+
+    %instr fadd d, d, d {$1 = $2 + $3;} [FP1; FP2; FP3] (1,3,0);
+    %instr fsub d, d, d {$1 = $2 - $3;} [FP1; FP2; FP3] (1,3,0);
+    %instr fmul d, d, d {$1 = $2 * $3;} [FP1; FP2; FP2; FP3] (1,4,0);
+    %instr fdiv d, d, d {$1 = $2 / $3;}
+        [FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1] (1,10,0);
+    %instr cvt.d d, r {$1 = double($2);} [FP1; FP2] (1,2,0);
+    %instr cvt.w r, d (int) {$1 = int($2);} [FP1; FP2] (1,2,0);
+
+    %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [ALU] (1,2,1);
+    %instr bne0 r, #rlab {if ($1 != 0) goto $2;} [ALU] (1,2,1);
+    %instr blt0 r, #rlab {if ($1 < 0) goto $2;} [ALU] (1,2,1);
+    %instr ble0 r, #rlab {if ($1 <= 0) goto $2;} [ALU] (1,2,1);
+    %instr bgt0 r, #rlab {if ($1 > 0) goto $2;} [ALU] (1,2,1);
+    %instr bge0 r, #rlab {if ($1 >= 0) goto $2;} [ALU] (1,2,1);
+    %instr jmp #rlab {goto $1;} [ALU] (1,2,1);
+    %instr call #flab {call $1;} [ALU; ALU] (1,2,0);
+    %instr ret {ret;} [ALU] (1,2,1);
+    %instr nop {;} [ALU] (1,1,0);
+
+    %move [x.movs] or r, r, r[0] {$1 = $2;} [ALU] (1,1,0);
+    %move fmov d, d {$1 = $2;} [FP1] (1,1,0);
+
+    %glue r, r, #rlab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+    %glue r, r, #rlab {if ($1 != $2) goto $3 ==> if (($1 :: $2) != 0) goto $3;};
+    %glue r, r, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue r, r, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue r, r, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue r, r, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+    %glue d, d, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue d, d, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue d, d, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue d, d, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+    %glue d, d, #rlab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+    %glue d, d, #rlab {if ($1 != $2) goto $3 ==> if (($1 :: $2) != 0) goto $3;};
+}
+"""
+
+SOURCE = """
+double a[128], b[128];
+
+double saxpy(int n) {
+    int i;
+    double s = 0.0;
+    for (i = 0; i < n; i++) {
+        a[i] = (double)i * 0.5;
+        b[i] = (double)(n - i) * 0.25;
+    }
+    for (i = 0; i < n; i++) {
+        s = s + a[i] * 2.0 + b[i];
+    }
+    return s;
+}
+"""
+
+
+def main() -> None:
+    # build the dual-issue machine straight from the description text
+    riscx = build_target(RISCX_MARIL, name="risc-x")
+
+    # ... and a single-issue variant: the memory pipe shares the ALU
+    single = build_target(
+        RISCX_MARIL.replace("[MEMPORT; MEMPORT]", "[ALU,MEMPORT; MEMPORT]"),
+        name="risc-x-single",
+    )
+
+    print(f"{'machine':16s} {'cycles':>8s} {'instructions':>13s}  result")
+    for target in (riscx, single):
+        executable = repro.compile_c(SOURCE, target, strategy="ips")
+        result = repro.simulate(executable, "saxpy", args=(96,))
+        print(
+            f"{target.name:16s} {result.cycles:8d} {result.instructions:13d}"
+            f"  {result.return_value['double']:.4f}"
+        )
+    print(
+        "\nThe same description with a shared issue slot is measurably "
+        "slower: the scheduler was already overlapping loads with ALU work "
+        "on the dual-issue variant."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Compare the three code generation strategies (paper section 2, [BEH91b]).
+
+Marion separates the *strategy* — when scheduling and register allocation
+run and what they tell each other — from the rest of the code generator.
+This example compiles the same computation-intensive code under Postpass,
+IPS and RASE on two register files (the MIPS R2000's 24 allocable integer
+registers, and the deliberately tiny 8-register TOYP), showing the paper's
+trade-off:
+
+* with plenty of registers, scheduling before allocation (IPS/RASE) wins:
+  the schedule is not constrained by reused registers;
+* with very few registers, prepass scheduling stretches live ranges and
+  causes spills the postpass ordering avoids.
+
+Run:  python examples/strategy_comparison.py
+"""
+
+import repro
+from repro.eval.claims import UNROLLED_HYDRO
+
+
+def measure(target_name: str) -> None:
+    print(f"--- {target_name} ---")
+    print(f"{'strategy':10s} {'cycles':>8s} {'code size':>10s} {'spills':>7s}")
+    for strategy in ("postpass", "ips", "rase"):
+        executable = repro.compile_c(
+            UNROLLED_HYDRO, target_name, strategy=strategy
+        )
+        stats = executable.machine_program.stats["kernel"]
+        result = repro.simulate(executable, "bench", args=(1, 256))
+        print(
+            f"{strategy:10s} {result.cycles:8d} "
+            f"{executable.instruction_count():10d} "
+            f"{stats.spilled_pseudos:7d}"
+        )
+    print()
+
+
+def main() -> None:
+    print("unrolled hydro fragment (large basic block, double precision)\n")
+    measure("r2000")
+    measure("toyp")
+    print(
+        "On the R2000 the prepass strategies win: the scheduler fills the\n"
+        "floating point latencies before the allocator pins values to\n"
+        "registers.  On the 8-register TOYP the same reordering stretches\n"
+        "live ranges into spills, and Postpass pulls ahead — the\n"
+        "interaction the RASE work [BEH91b] set out to balance."
+    )
+
+
+if __name__ == "__main__":
+    main()

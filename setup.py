@@ -1,0 +1,9 @@
+"""Setup shim: lets `pip install -e .` work without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables legacy
+editable installs on environments lacking PEP 660 wheel support.
+"""
+
+from setuptools import setup
+
+setup()

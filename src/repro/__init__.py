@@ -1,0 +1,100 @@
+"""Marion — a retargetable instruction scheduling code generator system.
+
+A from-scratch reproduction of Bradlee, Henry & Eggers, *"The Marion System
+for Retargetable Instruction Scheduling"*, PLDI 1991.
+
+Quickstart::
+
+    import repro
+
+    target = repro.load_target("r2000")
+    exe = repro.compile_c(SOURCE, target, strategy="rase")
+    result = repro.simulate(exe, "main", args=(10,))
+    print(result.return_value, result.cycles)
+
+The public surface:
+
+* :func:`load_target` — build one of the four bundled targets (TOYP,
+  R2000, M88000, i860) from its Maril description;
+* :func:`repro.maril.parse_maril` + :func:`repro.cgg.build_target` — build
+  a target from your own Maril description (retargeting);
+* :func:`compile_c` — C subset -> linked executable, via a chosen code
+  generation strategy (``postpass``, ``ips``, ``rase``);
+* :func:`simulate` — run a function under the cycle-level pipeline model;
+* :mod:`repro.eval` — the harness that regenerates the paper's tables.
+"""
+
+from repro.backend.codegen import CodeGenerator, MachineProgram
+from repro.cgg import build_target
+from repro.errors import MarionError
+from repro.frontend import compile_to_il
+from repro.machine.target import TargetMachine
+from repro.maril import parse_maril
+from repro.program import Executable, link
+from repro.sim import DirectMappedCache, SimResult, Simulator, run_program
+from repro.targets import TARGET_NAMES, load_target
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CodeGenerator",
+    "DirectMappedCache",
+    "Executable",
+    "MachineProgram",
+    "MarionError",
+    "SimResult",
+    "Simulator",
+    "TARGET_NAMES",
+    "TargetMachine",
+    "build_target",
+    "compile_c",
+    "compile_to_il",
+    "link",
+    "load_target",
+    "parse_maril",
+    "run_program",
+    "simulate",
+    "__version__",
+]
+
+
+def compile_c(
+    source: str,
+    target: TargetMachine | str,
+    strategy: str = "postpass",
+    heuristic: str = "maxdist",
+    schedule: bool = True,
+    fill_delay_slots: bool = False,
+    memory_size: int = 1 << 20,
+) -> Executable:
+    """Compile C-subset source text to a linked executable."""
+    if isinstance(target, str):
+        target = load_target(target)
+    il_program = compile_to_il(source)
+    generator = CodeGenerator(
+        target,
+        strategy=strategy,
+        heuristic=heuristic,
+        schedule=schedule,
+        fill_delay_slots=fill_delay_slots,
+    )
+    machine_program = generator.compile_il(il_program)
+    executable = link(machine_program, memory_size=memory_size)
+    executable.machine_program = machine_program  # keep stats reachable
+    return executable
+
+
+def simulate(
+    executable: Executable,
+    function: str,
+    args: tuple = (),
+    arg_types: tuple | None = None,
+    cache: DirectMappedCache | None = None,
+    model_timing: bool = True,
+    max_instructions: int = 50_000_000,
+) -> SimResult:
+    """Run one function of a linked executable under the pipeline model."""
+    simulator = Simulator(executable, cache=cache, model_timing=model_timing)
+    return simulator.run(
+        function, args, arg_types=arg_types, max_instructions=max_instructions
+    )

@@ -1,0 +1,12 @@
+"""The Marion back end.
+
+Target- and strategy-independent parts (paper section 2): the glue
+transformer, instruction selector, code-DAG builder, list scheduler with
+structural-hazard/packing/temporal support, and the Chaitin/Briggs register
+allocator.  The three code generation strategies live in
+:mod:`repro.backend.strategies`.
+"""
+
+from repro.backend.insts import Imm, Lab, MachineInstr, Reg
+
+__all__ = ["MachineInstr", "Imm", "Lab", "Reg"]

@@ -1,0 +1,37 @@
+"""Textual assembly output (for examples, docs and debugging)."""
+
+from __future__ import annotations
+
+from repro.backend.codegen import MachineProgram
+from repro.backend.mfunc import MFunction
+
+
+def format_instr(instr) -> str:
+    """One instruction as text, with its comment in a fixed column."""
+    text = str(instr)
+    if instr.comment:
+        return f"{text:<40} ; {instr.comment}"
+    return text
+
+
+def format_mfunction(fn: MFunction) -> str:
+    """A function's labelled blocks as an assembly listing."""
+    lines = [f"# function {fn.name} (frame {fn.frame_size} bytes)"]
+    for block in fn.blocks:
+        lines.append(f"{block.label}:")
+        lines.extend(f"        {format_instr(i)}" for i in block.instrs)
+    return "\n".join(lines)
+
+
+def format_program(program: MachineProgram) -> str:
+    """A whole compiled program: data directory plus every function."""
+    header = [f"# target: {program.target.name}"]
+    if program.globals:
+        header.append("# data:")
+        header.extend(
+            f"#   {name}: {var.type}[{var.count}] ({var.size} bytes)"
+            for name, var in program.globals.items()
+        )
+    parts = ["\n".join(header)]
+    parts.extend(format_mfunction(fn) for fn in program.functions)
+    return "\n\n".join(parts)

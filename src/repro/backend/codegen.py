@@ -1,0 +1,71 @@
+"""The code generation driver: IL program -> machine program.
+
+Mirrors the paper's back end structure: glue/lowering, instruction
+selection, then hand-off to the chosen code generation strategy (which
+orders register allocation and scheduling as it sees fit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.delayfill import fill_delay_slots
+from repro.backend.layout import remove_fallthrough_jumps
+from repro.backend.lower import lower_function
+from repro.backend.mfunc import MFunction
+from repro.backend.selector import Selector
+from repro.backend.strategies import get_strategy
+from repro.backend.strategies.base import StrategyStats
+from repro.il.function import GlobalVar, ILProgram
+from repro.machine.target import TargetMachine
+
+
+@dataclass
+class MachineProgram:
+    """A compiled program: machine functions plus global data."""
+
+    target: TargetMachine
+    functions: list[MFunction] = field(default_factory=list)
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+    stats: dict[str, StrategyStats] = field(default_factory=dict)
+
+    def function(self, name: str) -> MFunction:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    def instruction_count(self) -> int:
+        return sum(fn.instruction_count() for fn in self.functions)
+
+
+class CodeGenerator:
+    """Compile IL programs for one target with one strategy."""
+
+    def __init__(
+        self,
+        target: TargetMachine,
+        strategy: str = "postpass",
+        heuristic: str = "maxdist",
+        schedule: bool = True,
+        fill_delay_slots: bool = False,
+    ):
+        self.target = target
+        self.strategy_name = strategy
+        self.strategy = get_strategy(strategy, heuristic=heuristic, schedule=schedule)
+        self.fill_delay_slots = fill_delay_slots
+        self.selector = Selector(target)
+
+    def compile_il(self, program: ILProgram) -> MachineProgram:
+        """Lower, select and run the strategy over every function."""
+        out = MachineProgram(target=self.target, globals=dict(program.globals))
+        for il_fn in program.functions:
+            lower_function(il_fn, self.target, program.globals)
+            mfn = self.selector.select_function(il_fn)
+            stats = self.strategy.run(mfn, self.target)
+            if self.fill_delay_slots:
+                fill_delay_slots(mfn, self.target)
+            remove_fallthrough_jumps(mfn)
+            out.functions.append(mfn)
+            out.stats[mfn.name] = stats
+        return out

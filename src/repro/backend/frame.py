@@ -1,0 +1,186 @@
+"""Frame layout, prologue/epilogue insertion, and move expansion.
+
+Runs after register allocation and before final scheduling, so the
+prologue/epilogue instructions are themselves scheduled and their delay
+behaviour is handled by the ordinary machinery.
+
+Frame shape (CWVM model, stack grows down):
+
+    fp  ->  +-----------------------+   fp == caller's sp
+            | locals / spill slots  |   negative offsets from fp
+            | saved callee-saves    |
+            | saved retaddr         |
+            | saved caller fp       |
+    sp  ->  +-----------------------+   sp == fp - frame_size
+"""
+
+from __future__ import annotations
+
+from repro.backend.insts import Imm, MachineInstr, Reg, make_instr
+from repro.backend.memaccess import TargetMemoryAccess
+from repro.backend.mfunc import MFunction
+from repro.backend.values import FRAME_OFFSET_REACH, SlotOffset
+from repro.errors import MarionError
+from repro.machine.instruction import InstrKind
+from repro.machine.registers import PhysReg
+from repro.machine.target import TargetMachine
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+def finish_function(
+    fn: MFunction, target: TargetMachine, used_callee_save: list[PhysReg]
+) -> None:
+    """Expand func-moves, lay out the frame and insert prologue/epilogue."""
+    expand_func_moves(fn, target)
+    remove_identity_moves(fn, target)
+    layout_frame(fn, target, used_callee_save)
+    insert_prologue_epilogue(fn, target, used_callee_save)
+    resolve_slot_offsets(fn)
+
+
+def expand_func_moves(fn: MFunction, target: TargetMachine) -> None:
+    """Replace ``*func`` move instructions (e.g. TOYP ``*movd``) with the
+    sequences their escape functions generate, now that operands are
+    physical registers."""
+    from repro.backend.selector import FuncContext
+
+    for block in fn.blocks:
+        out: list[MachineInstr] = []
+        for instr in block.instrs:
+            if instr.desc.func is None:
+                out.append(instr)
+                continue
+            fn_escape = target.funcs.get(instr.desc.func)
+            if fn_escape is None:
+                raise MarionError(
+                    f"no escape function registered for *{instr.desc.func}"
+                )
+            context = FuncContext(target, out.append, instr.operands)
+            fn_escape(context)
+        block.instrs = out
+
+
+def remove_identity_moves(fn: MFunction, target: TargetMachine) -> None:
+    """Drop moves whose source and destination were colored identically."""
+    for block in fn.blocks:
+        kept: list[MachineInstr] = []
+        for instr in block.instrs:
+            if (
+                instr.desc.is_move
+                and len(instr.desc.def_operands) == 1
+                and len(instr.desc.use_operands) == 1
+            ):
+                dst = instr.operands[instr.desc.def_operands[0]]
+                src = instr.operands[instr.desc.use_operands[0]]
+                if (
+                    isinstance(dst, Reg)
+                    and isinstance(src, Reg)
+                    and dst.reg == src.reg
+                ):
+                    continue
+            kept.append(instr)
+        block.instrs = kept
+
+
+def layout_frame(
+    fn: MFunction, target: TargetMachine, used_callee_save: list[PhysReg]
+) -> None:
+    """Assign fp-relative offsets to every frame slot."""
+    cwvm = target.cwvm
+    # save areas become ordinary slots so one layout covers everything
+    fn._save_slots = {}
+    registers_to_save: list[PhysReg] = []
+    if used_callee_save:
+        registers_to_save.extend(used_callee_save)
+    if fn.has_calls and cwvm.retaddr is not None:
+        registers_to_save.append(cwvm.retaddr)
+    need_frame = bool(fn.frame_slots) or bool(registers_to_save) or fn.has_calls
+    if need_frame:
+        registers_to_save.append(cwvm.fp)
+    for reg in registers_to_save:
+        size = 4 * len(target.registers.units_of(reg))
+        slot = fn.new_slot(size, size, name=f"save.{reg}")
+        fn._save_slots[reg] = slot
+
+    running = 0
+    for slot in fn.frame_slots:
+        alignment = max(slot.align, 4)
+        running = -_align(-running + slot.size, alignment)
+        slot.offset = running
+    fn.frame_size = _align(-running, 8)
+    fn.saved_registers = registers_to_save
+    if fn.frame_size > FRAME_OFFSET_REACH:
+        raise MarionError(
+            f"{fn.name}: frame size {fn.frame_size} exceeds the assumed "
+            f"immediate reach {FRAME_OFFSET_REACH}"
+        )
+
+
+def insert_prologue_epilogue(
+    fn: MFunction, target: TargetMachine, used_callee_save: list[PhysReg]
+) -> None:
+    if fn.frame_size == 0:
+        return
+    cwvm = target.cwvm
+    memory = TargetMemoryAccess(target)
+    sp, fp = cwvm.sp, cwvm.fp
+    size = fn.frame_size
+
+    def save_type(reg: PhysReg) -> str:
+        rset = target.registers.set(reg.set_name)
+        return "double" if rset.units_per_reg == 2 else "int"
+
+    prologue: list[MachineInstr] = []
+    prologue.append(memory.add_imm(sp, sp, -size))
+    for reg, slot in fn._save_slots.items():
+        # store relative to the *new* sp: sp_offset = fp_offset + size
+        prologue.append(
+            memory.store(save_type(reg), reg, sp, slot.offset + size)
+        )
+    prologue.append(memory.add_imm(fp, sp, size))
+    for instr in prologue:
+        instr.comment = instr.comment or "prologue"
+    fn.entry.instrs[:0] = prologue
+
+    for block in fn.blocks:
+        out: list[MachineInstr] = []
+        for instr in block.instrs:
+            if instr.desc.kind is InstrKind.RET:
+                epilogue: list[MachineInstr] = []
+                for reg, slot in fn._save_slots.items():
+                    epilogue.append(
+                        memory.load(save_type(reg), reg, sp, slot.offset + size)
+                    )
+                epilogue.append(memory.add_imm(sp, sp, size))
+                for restore in epilogue:
+                    restore.comment = restore.comment or "epilogue"
+                # the return depends on everything the epilogue restores
+                instr.implicit_uses = list(instr.implicit_uses) + [
+                    reg
+                    for reg in fn._save_slots
+                    if reg not in instr.implicit_uses
+                ] + ([sp] if sp not in instr.implicit_uses else [])
+                out.extend(epilogue)
+            out.append(instr)
+        block.instrs = out
+
+
+def resolve_slot_offsets(fn: MFunction) -> None:
+    """Replace symbolic SlotOffset immediates with their laid-out values."""
+    for block in fn.blocks:
+        for instr in block.instrs:
+            for position, operand in enumerate(instr.operands):
+                if isinstance(operand, Imm) and isinstance(
+                    operand.value, SlotOffset
+                ):
+                    slot_offset = operand.value
+                    if slot_offset.slot.offset is None:
+                        raise MarionError(
+                            f"slot {slot_offset.slot} was never laid out"
+                        )
+                    instr.operands[position] = Imm(
+                        slot_offset.slot.offset + slot_offset.addend
+                    )

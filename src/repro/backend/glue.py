@@ -1,0 +1,236 @@
+"""Glue transformations (paper section 3.4).
+
+A glue rule is a tree-to-tree rewrite over the IL.  Marion applies glue to
+complete the IL-to-target mapping; we apply rules as a *fallback* during
+selection — when no instruction pattern matches a node, the selector asks
+the glue transformer for a rewrite and retries.  This preserves the paper's
+"applied prior to code selection" semantics (the rewritten tree is what
+selection consumes) while letting directly-matchable shapes, such as a
+compare against zero, keep their best patterns.
+
+Rule metavariables ``$n`` are sorted by the rule's operand list: a register
+sort matches any expression whose type that register set can hold; an
+immediate sort matches constants that fit the class.  Replacements may call
+the builtins ``high``/``low``/``eval``; with constant arguments they fold
+immediately, with symbolic arguments (global addresses) they produce
+relocation halves resolved at layout time.
+"""
+
+from __future__ import annotations
+
+from repro.backend.values import HighHalf, LowHalf, SymbolRef, immediate_fits
+from repro.errors import MarionError
+from repro.il.node import Node
+from repro.il.ops import ILOp
+from repro.machine.instruction import OperandDesc, OperandMode
+from repro.machine.target import TargetMachine
+from repro.maril import ast
+
+_BINARY_OPS = {
+    "+": ILOp.ADD,
+    "-": ILOp.SUB,
+    "*": ILOp.MUL,
+    "/": ILOp.DIV,
+    "%": ILOp.MOD,
+    "&": ILOp.BAND,
+    "|": ILOp.BOR,
+    "^": ILOp.BXOR,
+    "<<": ILOp.LSH,
+    ">>": ILOp.RSH,
+    "==": ILOp.EQ,
+    "!=": ILOp.NE,
+    "<": ILOp.LT,
+    "<=": ILOp.LE,
+    ">": ILOp.GT,
+    ">=": ILOp.GE,
+    "::": ILOp.CMP,
+}
+
+_UNARY_OPS = {"-": ILOp.NEG, "~": ILOp.BNOT}
+
+#: Operators that produce int regardless of operand type.
+_INT_RESULT_OPS = frozenset(
+    {ILOp.EQ, ILOp.NE, ILOp.LT, ILOp.LE, ILOp.GT, ILOp.GE, ILOp.CMP}
+)
+
+
+class GlueTransformer:
+    """Applies a target's glue rules to IL nodes."""
+
+    def __init__(self, target: TargetMachine):
+        self.target = target
+        self.rules = target.glue_rules
+
+    # -- entry points -------------------------------------------------------
+
+    def rewrite_branch(self, node: Node) -> Node | None:
+        """Try statement-level rules against a CJUMP; None if no rule fits."""
+        for rule in self.rules:
+            if not isinstance(rule.pattern, ast.CondGotoStmt):
+                continue
+            bindings = self._match_stmt(rule, rule.pattern, node)
+            if bindings is not None:
+                return self._build_stmt(rule, rule.replacement, bindings, node)
+        return None
+
+    def rewrite_value(self, node: Node) -> Node | None:
+        """Try expression-level rules against a value node."""
+        for rule in self.rules:
+            if isinstance(rule.pattern, ast.Stmt):
+                continue
+            bindings = self._match_expr(rule, rule.pattern, node)
+            if bindings is not None:
+                return self._build_expr(rule, rule.replacement, bindings, node.type)
+        return None
+
+    # -- matching ----------------------------------------------------------
+
+    def _match_stmt(self, rule, pattern: ast.CondGotoStmt, node: Node):
+        if node.op is not ILOp.CJUMP:
+            return None
+        bindings: dict[int, object] = {}
+        if not self._match(rule, pattern.condition, node.kids[0], bindings):
+            return None
+        if isinstance(pattern.target, ast.OperandRef):
+            bindings[pattern.target.index] = ("label", node.value)
+        return bindings
+
+    def _match_expr(self, rule, pattern: ast.Expr, node: Node):
+        bindings: dict[int, object] = {}
+        if self._match(rule, pattern, node, bindings):
+            return bindings
+        return None
+
+    def _match(self, rule, pattern: ast.Expr, node: Node, bindings) -> bool:
+        if isinstance(pattern, ast.OperandRef):
+            spec = self._operand_spec(rule, pattern.index)
+            if not self._sort_matches(spec, node):
+                return False
+            existing = bindings.get(pattern.index)
+            if existing is not None and existing[1] is not node:
+                return False
+            bindings[pattern.index] = ("node", node)
+            return True
+        if isinstance(pattern, ast.IntLit):
+            return (
+                node.op is ILOp.CNST
+                and isinstance(node.value, int)
+                and node.value == pattern.value
+            )
+        if isinstance(pattern, ast.Binary):
+            il_op = _BINARY_OPS.get(pattern.op)
+            if il_op is None or node.op is not il_op or len(node.kids) != 2:
+                return False
+            return self._match(rule, pattern.left, node.kids[0], bindings) and (
+                self._match(rule, pattern.right, node.kids[1], bindings)
+            )
+        if isinstance(pattern, ast.Unary):
+            il_op = _UNARY_OPS.get(pattern.op)
+            if il_op is None or node.op is not il_op:
+                return False
+            return self._match(rule, pattern.operand, node.kids[0], bindings)
+        if isinstance(pattern, ast.BuiltinCall):
+            if pattern.name in ("int", "float", "double"):
+                if node.op is not ILOp.CVT or node.type != pattern.name:
+                    return False
+                return self._match(rule, pattern.args[0], node.kids[0], bindings)
+            return False
+        if isinstance(pattern, ast.MemRef):
+            if node.op is not ILOp.INDIR:
+                return False
+            return self._match(rule, pattern.address, node.kids[0], bindings)
+        return False
+
+    def _operand_spec(self, rule, index: int) -> ast.OperandSpec:
+        try:
+            return rule.operands[index - 1]
+        except IndexError:
+            raise MarionError(
+                f"glue rule references ${index} but lists only "
+                f"{len(rule.operands)} operands"
+            ) from None
+
+    def _sort_matches(self, spec: ast.OperandSpec, node: Node) -> bool:
+        if isinstance(spec, ast.RegOperand):
+            rset = self.target.registers.set(spec.set_name)
+            return node.type in rset.types
+        # immediate sort: constants that fit the class
+        assert isinstance(spec, ast.ImmOperand)
+        desc = self._imm_desc(spec.def_name)
+        return node.op is ILOp.CNST and immediate_fits(node.value, desc)
+
+    def _imm_desc(self, def_name: str) -> OperandDesc:
+        for decl in self.target.description.declarations(ast.DefDecl):
+            if decl.name == def_name:
+                return OperandDesc(
+                    OperandMode.IMM,
+                    def_name=decl.name,
+                    lo=decl.lo,
+                    hi=decl.hi,
+                    absolute="abs" in decl.flags,
+                )
+        raise MarionError(f"glue rule names unknown immediate class #{def_name}")
+
+    # -- replacement construction ---------------------------------------------
+
+    def _build_stmt(self, rule, replacement: ast.Stmt, bindings, original: Node) -> Node:
+        if not isinstance(replacement, ast.CondGotoStmt):
+            raise MarionError("statement glue replacement must be a branch")
+        condition = self._build_expr(rule, replacement.condition, bindings, "int")
+        if isinstance(replacement.target, ast.OperandRef):
+            bound = bindings.get(replacement.target.index)
+            label = bound[1] if bound else original.value
+        else:
+            label = original.value
+        return Node(ILOp.CJUMP, None, (condition,), label)
+
+    def _build_expr(self, rule, expr: ast.Expr, bindings, context_type: str | None) -> Node:
+        if isinstance(expr, ast.OperandRef):
+            bound = bindings.get(expr.index)
+            if bound is None or bound[0] != "node":
+                raise MarionError(f"glue replacement uses unbound ${expr.index}")
+            return bound[1]
+        if isinstance(expr, ast.IntLit):
+            return Node(ILOp.CNST, "int", (), expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return Node(ILOp.CNST, "double", (), expr.value)
+        if isinstance(expr, ast.Binary):
+            left = self._build_expr(rule, expr.left, bindings, context_type)
+            right = self._build_expr(rule, expr.right, bindings, context_type)
+            il_op = _BINARY_OPS[expr.op]
+            if il_op in _INT_RESULT_OPS:
+                node_type = "int"
+            else:
+                node_type = left.type or right.type or context_type
+            return Node(il_op, node_type, (left, right))
+        if isinstance(expr, ast.Unary):
+            kid = self._build_expr(rule, expr.operand, bindings, context_type)
+            return Node(_UNARY_OPS[expr.op], kid.type, (kid,))
+        if isinstance(expr, ast.BuiltinCall):
+            return self._build_builtin(rule, expr, bindings, context_type)
+        if isinstance(expr, ast.MemRef):
+            address = self._build_expr(rule, expr.address, bindings, "int")
+            return Node(ILOp.INDIR, context_type, (address,))
+        raise MarionError(f"unsupported glue replacement expression {expr}")
+
+    def _build_builtin(self, rule, expr: ast.BuiltinCall, bindings, context_type):
+        name = expr.name
+        arg = self._build_expr(rule, expr.args[0], bindings, context_type)
+        if name in ("int", "float", "double"):
+            return Node(ILOp.CVT, name, (arg,))
+        if name == "eval":
+            if arg.op is not ILOp.CNST:
+                raise MarionError("eval() in glue requires a constant argument")
+            return arg
+        if name in ("high", "low"):
+            if arg.op is not ILOp.CNST:
+                raise MarionError(f"{name}() in glue requires a constant argument")
+            value = arg.value
+            if isinstance(value, int):
+                folded = (value >> 16) & 0xFFFF if name == "high" else value & 0xFFFF
+                return Node(ILOp.CNST, "int", (), folded)
+            if isinstance(value, SymbolRef):
+                half = HighHalf(value) if name == "high" else LowHalf(value)
+                return Node(ILOp.CNST, "int", (), half)
+            raise MarionError(f"{name}() cannot take {value!r}")
+        raise MarionError(f"unsupported builtin {name} in glue replacement")

@@ -1,0 +1,36 @@
+"""Block layout cleanup: remove jumps to the lexically next block.
+
+IL generation makes every control transfer explicit (each conditional block
+ends with a CJUMP and an unconditional JUMP), which keeps correctness
+independent of block order.  After final scheduling, a JUMP whose target is
+the next block in layout order — together with its delay-slot nops — is
+dead weight; this pass removes it and adjusts the block's schedule cost.
+"""
+
+from __future__ import annotations
+
+from repro.backend.mfunc import MFunction
+from repro.machine.instruction import InstrKind
+
+
+def remove_fallthrough_jumps(fn: MFunction) -> int:
+    """Drop trailing jumps to the next block; returns how many were cut."""
+    removed = 0
+    for block, successor in zip(fn.blocks, fn.blocks[1:]):
+        instrs = block.instrs
+        # find the trailing run of nops
+        end = len(instrs)
+        while end > 0 and instrs[end - 1].is_nop:
+            end -= 1
+        if end == 0:
+            continue
+        last = instrs[end - 1]
+        if last.desc.kind is not InstrKind.JUMP:
+            continue
+        if last.branch_target() != successor.label:
+            continue
+        cut = 1 + (len(instrs) - end)  # the jump and its delay-slot nops
+        del instrs[end - 1 :]
+        block.schedule_cost = max(0, block.schedule_cost - cut)
+        removed += 1
+    return removed

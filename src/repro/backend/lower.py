@@ -1,0 +1,191 @@
+"""IL lowering and normalisation, run once before glue/selection.
+
+* ``ADDRL`` becomes ``fp + SlotOffset`` so frame accesses match the
+  ``m[$base + $offset]`` load/store patterns;
+* ``ADDRG`` becomes a constant holding a :class:`SymbolRef`, matched by
+  ``+abs`` immediate operands (``la``-style instructions) or split by glue
+  into ``high``/``low`` halves;
+* constants move to the right of commutative operators so immediate-form
+  patterns (``addi``) match;
+* integer-constant subtrees fold; multiplication by a power of two becomes
+  a shift;
+* CJUMP conditions are normalised to relational form.
+"""
+
+from __future__ import annotations
+
+from repro.backend.values import GpOffset, SlotOffset, SymbolRef
+from repro.il.function import ILFunction
+from repro.il.node import Node
+from repro.il.ops import COMMUTATIVE_OPS, ILOp, RELATIONAL_OPS
+from repro.machine.target import TargetMachine
+
+_INT_MIN, _INT_MAX = -(2**31), 2**31 - 1
+
+
+def _wrap32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value > _INT_MAX else value
+
+
+_FOLDERS = {
+    ILOp.ADD: lambda a, b: a + b,
+    ILOp.SUB: lambda a, b: a - b,
+    ILOp.MUL: lambda a, b: a * b,
+    ILOp.BAND: lambda a, b: a & b,
+    ILOp.BOR: lambda a, b: a | b,
+    ILOp.BXOR: lambda a, b: a ^ b,
+    ILOp.LSH: lambda a, b: a << (b & 31),
+}
+
+
+#: Globals at most this big are addressed gp-relative (MIPS -G style);
+#: larger objects keep absolute addressing so the 64 KB gp window is never
+#: exhausted by a handful of big arrays.
+GP_SMALL_DATA_THRESHOLD = 512
+
+
+def lower_function(fn: ILFunction, target: TargetMachine, globals_map=None) -> None:
+    """Lower ``fn`` in place for ``target``.
+
+    ``globals_map`` (name -> GlobalVar) lets the lowering decide which
+    globals qualify for gp-relative addressing."""
+    lowerer = _Lowerer(target, globals_map or {})
+    for block in fn.blocks:
+        block.statements = [lowerer.stmt(stmt) for stmt in block.statements]
+
+
+class _Lowerer:
+    def __init__(self, target: TargetMachine, globals_map=None):
+        self.target = target
+        self.fp = target.cwvm.fp
+        self.gp = target.cwvm.gp
+        self.globals_map = globals_map or {}
+        # rewriting must preserve sharing (CSE nodes keep one identity)
+        self.rewritten: dict[int, Node] = {}
+
+    def _gp_addressable(self, name: str) -> bool:
+        if self.gp is None:
+            return False
+        var = self.globals_map.get(name)
+        return var is not None and var.size <= GP_SMALL_DATA_THRESHOLD
+
+    def stmt(self, node: Node) -> Node:
+        if node.op is ILOp.CJUMP:
+            condition = self.expr(node.kids[0])
+            if condition.op not in RELATIONAL_OPS:
+                condition = Node(
+                    ILOp.NE,
+                    "int",
+                    (condition, Node(ILOp.CNST, condition.type or "int", (), 0)),
+                )
+            return Node(ILOp.CJUMP, None, (condition,), node.value)
+        return self.expr(node)
+
+    def expr(self, node: Node) -> Node:
+        if id(node) in self.rewritten:
+            return self.rewritten[id(node)]
+        out = self._rewrite(node)
+        self.rewritten[id(node)] = out
+        return out
+
+    def _rewrite(self, node: Node) -> Node:
+        if node.op is ILOp.ADDRL:
+            fp_reg = Node(ILOp.REG, "int", (), self.fp)
+            offset = Node(ILOp.CNST, "int", (), SlotOffset(node.value))
+            return Node(ILOp.ADD, "int", (fp_reg, offset))
+        if node.op is ILOp.ADDRG:
+            if self._gp_addressable(node.value):
+                gp_reg = Node(ILOp.REG, "int", (), self.gp)
+                offset = Node(ILOp.CNST, "int", (), GpOffset(node.value))
+                return Node(ILOp.ADD, "int", (gp_reg, offset))
+            return Node(ILOp.CNST, "int", (), SymbolRef(node.value))
+
+        kids = tuple(self.expr(kid) for kid in node.kids)
+        node = Node(node.op, node.type, kids, node.value)
+
+        # constants to the right of commutative operators
+        if (
+            node.op in COMMUTATIVE_OPS
+            and len(kids) == 2
+            and kids[0].op is ILOp.CNST
+            and kids[1].op is not ILOp.CNST
+        ):
+            node = Node(node.op, node.type, (kids[1], kids[0]), node.value)
+            kids = node.kids
+
+        node = self._fold(node)
+        node = self._strength_reduce(node)
+        return node
+
+    def _fold(self, node: Node) -> Node:
+        if len(node.kids) != 2 or node.type != "int":
+            return node
+        left, right = node.kids
+        if (
+            node.op in _FOLDERS
+            and left.op is ILOp.CNST
+            and right.op is ILOp.CNST
+            and isinstance(left.value, int)
+            and isinstance(right.value, int)
+        ):
+            return Node(
+                ILOp.CNST, "int", (), _wrap32(_FOLDERS[node.op](left.value, right.value))
+            )
+        # x + 0, x - 0, x * 1 identities
+        if (
+            right.op is ILOp.CNST
+            and isinstance(right.value, int)
+            and (
+                (node.op in (ILOp.ADD, ILOp.SUB, ILOp.LSH, ILOp.RSH) and right.value == 0)
+                or (node.op in (ILOp.MUL, ILOp.DIV) and right.value == 1)
+            )
+        ):
+            return left
+        # fold offset into SlotOffset / SymbolRef addends (addressing)
+        if (
+            node.op is ILOp.ADD
+            and right.op is ILOp.CNST
+            and isinstance(right.value, int)
+            and left.op is ILOp.ADD
+            and left.kids[1].op is ILOp.CNST
+        ):
+            base_const = left.kids[1].value
+            if isinstance(base_const, SlotOffset):
+                merged = SlotOffset(base_const.slot, base_const.addend + right.value)
+                return Node(
+                    ILOp.ADD,
+                    "int",
+                    (left.kids[0], Node(ILOp.CNST, "int", (), merged)),
+                )
+            if isinstance(base_const, GpOffset):
+                merged_gp = GpOffset(base_const.name, base_const.addend + right.value)
+                return Node(
+                    ILOp.ADD,
+                    "int",
+                    (left.kids[0], Node(ILOp.CNST, "int", (), merged_gp)),
+                )
+            if isinstance(base_const, int):
+                merged_const = _wrap32(base_const + right.value)
+                return Node(
+                    ILOp.ADD,
+                    "int",
+                    (left.kids[0], Node(ILOp.CNST, "int", (), merged_const)),
+                )
+        return node
+
+    def _strength_reduce(self, node: Node) -> Node:
+        if node.op is not ILOp.MUL or node.type != "int":
+            return node
+        left, right = node.kids
+        if (
+            right.op is ILOp.CNST
+            and isinstance(right.value, int)
+            and right.value > 0
+            and (right.value & (right.value - 1)) == 0
+        ):
+            shift = right.value.bit_length() - 1
+            return Node(
+                ILOp.LSH, "int", (left, Node(ILOp.CNST, "int", (), shift))
+            )
+        return node

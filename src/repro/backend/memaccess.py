@@ -1,0 +1,185 @@
+"""Target-independent access to target load/store/add-immediate shapes.
+
+Spill code, prologue/epilogue generation and ``*func`` expansion all need
+"the instruction that loads/stores a value of type T at base+offset" and
+"the instruction that adds an immediate to a register".  This helper
+derives them once from the target's selection patterns, keeping those
+phases free of per-target knowledge (the paper's TSI/TD separation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.insts import Imm, MachineInstr, Reg, make_instr
+from repro.cgg.patterns import PatOp, PatOperand, PatternKind
+from repro.errors import MarionError
+from repro.il.ops import ILOp
+from repro.machine.instruction import OperandMode
+from repro.machine.target import TargetMachine
+
+
+@dataclass
+class _LoadShape:
+    desc: object
+    def_position: int
+    base_position: int
+    off_position: int
+
+
+@dataclass
+class _StoreShape:
+    desc: object
+    value_position: int
+    base_position: int
+    off_position: int
+
+
+@dataclass
+class _AddImmShape:
+    desc: object
+    def_position: int
+    src_position: int
+    imm_position: int
+
+
+class TargetMemoryAccess:
+    """Lazily-derived load/store/add-immediate emitters for one target."""
+
+    def __init__(self, target: TargetMachine):
+        self.target = target
+        self._loads: dict[str, _LoadShape] = {}
+        self._stores: dict[str, _StoreShape] = {}
+        self._add_imm: _AddImmShape | None = None
+
+    # -- shape discovery --------------------------------------------------------
+
+    def load_shape(self, type_name: str) -> _LoadShape:
+        shape = self._loads.get(type_name)
+        if shape is None:
+            shape = self._find_load(type_name)
+            self._loads[type_name] = shape
+        return shape
+
+    def store_shape(self, type_name: str) -> _StoreShape:
+        shape = self._stores.get(type_name)
+        if shape is None:
+            shape = self._find_store(type_name)
+            self._stores[type_name] = shape
+        return shape
+
+    def add_imm_shape(self) -> _AddImmShape:
+        if self._add_imm is None:
+            self._add_imm = self._find_add_imm()
+        return self._add_imm
+
+    def _find_load(self, type_name: str) -> _LoadShape:
+        for pattern in self.target.pattern_order:
+            if pattern.kind is not PatternKind.VALUE:
+                continue
+            root = pattern.root
+            if not (isinstance(root, PatOp) and root.op is ILOp.INDIR):
+                continue
+            if not self._result_type_matches(pattern, type_name):
+                continue
+            shape = self._base_offset(root.kids[0])
+            if shape is not None:
+                return _LoadShape(pattern.desc, pattern.def_position, *shape)
+        raise MarionError(
+            f"target {self.target.name} has no base+offset load for {type_name}"
+        )
+
+    def _find_store(self, type_name: str) -> _StoreShape:
+        for pattern in self.target.pattern_order:
+            if pattern.kind is not PatternKind.STORE:
+                continue
+            address, value = pattern.root.kids
+            if not (
+                isinstance(value, PatOperand)
+                and value.spec.mode is OperandMode.REG
+            ):
+                continue
+            if value.spec.set_name != self.target.cwvm.general.get(type_name):
+                continue
+            shape = self._base_offset(address)
+            if shape is not None:
+                return _StoreShape(pattern.desc, value.position, *shape)
+        raise MarionError(
+            f"target {self.target.name} has no base+offset store for {type_name}"
+        )
+
+    def _find_add_imm(self) -> _AddImmShape:
+        for pattern in self.target.pattern_order:
+            if pattern.kind is not PatternKind.VALUE:
+                continue
+            root = pattern.root
+            if not (
+                isinstance(root, PatOp)
+                and root.op is ILOp.ADD
+                and len(root.kids) == 2
+            ):
+                continue
+            base, imm = root.kids
+            if not (
+                isinstance(base, PatOperand)
+                and base.spec.mode is OperandMode.REG
+                and isinstance(imm, PatOperand)
+                and imm.spec.mode is OperandMode.IMM
+                and imm.spec.lo < 0 <= imm.spec.hi
+            ):
+                continue
+            return _AddImmShape(
+                pattern.desc, pattern.def_position, base.position, imm.position
+            )
+        raise MarionError(
+            f"target {self.target.name} has no add-immediate instruction"
+        )
+
+    def _result_type_matches(self, pattern, type_name: str) -> bool:
+        desc = pattern.desc
+        if desc.type is not None:
+            return desc.type == type_name
+        spec = desc.operands[pattern.def_position]
+        if spec.mode not in (OperandMode.REG, OperandMode.FIXED_REG):
+            return False
+        if spec.set_name != self.target.cwvm.general.get(type_name):
+            return False
+        return type_name in self.target.registers.set(spec.set_name).types
+
+    def _base_offset(self, address):
+        if not (isinstance(address, PatOp) and address.op is ILOp.ADD):
+            return None
+        base, offset = address.kids
+        if (
+            isinstance(base, PatOperand)
+            and base.spec.mode is OperandMode.REG
+            and isinstance(offset, PatOperand)
+            and offset.spec.mode is OperandMode.IMM
+        ):
+            return base.position, offset.position
+        return None
+
+    # -- emitters --------------------------------------------------------------
+
+    def load(self, type_name: str, dest, base, offset) -> MachineInstr:
+        shape = self.load_shape(type_name)
+        operands: list[object] = [None] * len(shape.desc.operands)
+        operands[shape.def_position] = Reg(dest)
+        operands[shape.base_position] = Reg(base)
+        operands[shape.off_position] = Imm(offset)
+        return make_instr(shape.desc, operands)
+
+    def store(self, type_name: str, value, base, offset) -> MachineInstr:
+        shape = self.store_shape(type_name)
+        operands: list[object] = [None] * len(shape.desc.operands)
+        operands[shape.value_position] = Reg(value)
+        operands[shape.base_position] = Reg(base)
+        operands[shape.off_position] = Imm(offset)
+        return make_instr(shape.desc, operands)
+
+    def add_imm(self, dest, src, value: int) -> MachineInstr:
+        shape = self.add_imm_shape()
+        operands: list[object] = [None] * len(shape.desc.operands)
+        operands[shape.def_position] = Reg(dest)
+        operands[shape.src_position] = Reg(src)
+        operands[shape.imm_position] = Imm(value)
+        return make_instr(shape.desc, operands)

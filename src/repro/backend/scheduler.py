@@ -1,0 +1,355 @@
+"""List scheduling (paper sections 4.2-4.6).
+
+The scheduler keeps a ready list of DAG nodes whose predecessors have been
+scheduled; each cycle it issues, in priority order (maximum distance to a
+leaf), every ready instruction that
+
+* has satisfied its dependence-edge delays,
+* causes no structural hazard against the composite resource vector of all
+  currently executing instructions (section 4.3),
+* can be *packed* with the sub-operations already issued this cycle: the
+  intersection of packing classes must stay non-empty (section 4.5), and
+* respects Rule 1 for explicitly advanced pipelines: while the scheduler is
+  scheduling across a temporal edge based on clock k, an instruction that
+  affects k may not issue before the pending destination, but may be packed
+  with it on the same cycle (section 4.6).
+
+The block's control instruction issues last and its delay slots are filled
+with nops (section 4.4).  An optional register-use limit implements the
+IPS strategy's pressure-bounded first pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.codedag import CodeDag, DagNode, build_code_dag
+from repro.backend.insts import MachineInstr, make_instr
+from repro.machine.resources import commit, conflicts
+from repro.errors import SchedulingError
+from repro.il.node import PseudoReg
+from repro.machine.target import TargetMachine
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one basic block."""
+
+    instrs: list[MachineInstr]  # final order, including delay-slot nops
+    cost: int  # estimated block execution cycles
+    issue_cycle: dict[int, int] = field(default_factory=dict)  # instr.id -> cycle
+
+    def cycle_of(self, instr: MachineInstr) -> int:
+        return self.issue_cycle[instr.id]
+
+
+class ListScheduler:
+    """A target-parameterised list scheduler."""
+
+    def __init__(
+        self,
+        target: TargetMachine,
+        heuristic: str = "maxdist",
+        register_limit: int | None = None,
+        include_anti: bool = True,
+        fill_delay_slots_with_nops: bool = True,
+    ):
+        if heuristic not in ("maxdist", "fifo"):
+            raise ValueError(f"unknown scheduling heuristic {heuristic!r}")
+        self.target = target
+        self.heuristic = heuristic
+        self.register_limit = register_limit
+        self.include_anti = include_anti
+        self.fill_nops = fill_delay_slots_with_nops
+
+    # -- public API -----------------------------------------------------------
+
+    def schedule_block(self, instrs: list[MachineInstr]) -> ScheduleResult:
+        """List-schedule one basic block's instructions."""
+        if not instrs:
+            return ScheduleResult([], 0)
+        dag = build_code_dag(instrs, self.target, include_anti=self.include_anti)
+        return _BlockScheduler(self, dag).run()
+
+
+class _BlockScheduler:
+    def __init__(self, config: ListScheduler, dag: CodeDag):
+        self.config = config
+        self.target = config.target
+        self.dag = dag
+        self.nodes = dag.nodes
+        # a block normally has one control instruction; conditional blocks
+        # carry a CJUMP followed by the explicit false-path JUMP, which must
+        # issue last, in thread order
+        self.controls = [n for n in self.nodes if n.instr.is_branch_or_jump]
+        self.unscheduled = len(self.nodes)
+        self.issue_cycle: dict[DagNode, int] = {}
+        self.earliest: dict[DagNode, int] = {}
+        self.pred_count = {n: len(n.preds) for n in self.nodes}
+        self.ready: list[DagNode] = [
+            n for n in self.nodes if self.pred_count[n] == 0
+        ]
+        for node in self.ready:
+            self.earliest[node] = 0
+        self.resource_use: dict[int, int] = {}  # cycle -> mask
+        self.cycle_classes: frozenset | None = None  # intersection this cycle
+        self.pending_temporal: dict[str, set[DagNode]] = {}
+        self.order: list[DagNode] = []
+        self._setup_pressure()
+
+    # -- register-pressure bookkeeping (IPS limit) ------------------------------
+
+    def _setup_pressure(self) -> None:
+        self.remaining_uses: dict[int, int] = {}
+        self.live: set[int] = set()
+        if self.config.register_limit is None:
+            return
+        for node in self.nodes:
+            for reg in node.instr.uses():
+                if isinstance(reg, PseudoReg) and not reg.is_global:
+                    self.remaining_uses[reg.id] = (
+                        self.remaining_uses.get(reg.id, 0) + 1
+                    )
+
+    def _pressure_delta(self, node: DagNode) -> int:
+        delta = 0
+        freed: set[int] = set()
+        for reg in node.instr.uses():
+            if isinstance(reg, PseudoReg) and not reg.is_global:
+                if (
+                    reg.id in self.live
+                    and self.remaining_uses.get(reg.id, 0) <= 1
+                    and reg.id not in freed
+                ):
+                    delta -= 1
+                    freed.add(reg.id)
+        for reg in node.instr.defs():
+            if isinstance(reg, PseudoReg) and not reg.is_global:
+                if reg.id not in self.live or reg.id in freed:
+                    delta += 1
+        return delta
+
+    def _apply_pressure(self, node: DagNode) -> None:
+        if self.config.register_limit is None:
+            return
+        for reg in node.instr.uses():
+            if isinstance(reg, PseudoReg) and not reg.is_global:
+                count = self.remaining_uses.get(reg.id, 0) - 1
+                self.remaining_uses[reg.id] = count
+                if count <= 0:
+                    self.live.discard(reg.id)
+        for reg in node.instr.defs():
+            if isinstance(reg, PseudoReg) and not reg.is_global:
+                if self.remaining_uses.get(reg.id, 0) > 0:
+                    self.live.add(reg.id)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> ScheduleResult:
+        cycle = 0
+        guard = 0
+        limit = 64 + sum(
+            n.instr.desc.latency + len(n.instr.desc.resource_vector)
+            for n in self.nodes
+        ) + 4 * len(self.nodes)
+        while self.unscheduled > 0:
+            self.cycle_classes = None
+            self._issue_all_possible(cycle)
+            cycle += 1
+            guard += 1
+            if guard > limit:
+                raise SchedulingError(
+                    "scheduler made no progress (possible temporal deadlock); "
+                    f"{self.unscheduled} instructions remain"
+                )
+        return self._finish()
+
+    def _issue_all_possible(self, cycle: int) -> None:
+        issued_something = True
+        while issued_something:
+            issued_something = False
+            if self._try_issue_temporal_groups(cycle):
+                issued_something = True
+                continue
+            candidates = self._candidates(cycle)
+            for node in candidates:
+                if self._can_issue(node, cycle):
+                    self._issue(node, cycle)
+                    issued_something = True
+                    break  # re-evaluate candidates after each issue
+
+    def _try_issue_temporal_groups(self, cycle: int) -> bool:
+        """Issue a whole temporal group atomically (section 4.6).
+
+        All pending destinations of temporal edges on one clock form a
+        temporal group and are "pre-packed": they must advance together,
+        because each affects the clock the others are waiting on.  When
+        more than one destination is pending, individual issue is blocked
+        by Rule 1, so the group is placed as a single unit here.
+        """
+        for clock, pending in self.pending_temporal.items():
+            group = [n for n in pending if n not in self.issue_cycle]
+            if len(group) < 2:
+                continue  # single destinations issue through the normal path
+            if any(self.pred_count[n] != 0 or self.earliest.get(n, 0) > cycle
+                   for n in group):
+                continue
+            if not self._group_fits(group, cycle):
+                continue
+            for node in sorted(group, key=lambda n: n.index):
+                self._issue(node, cycle)
+            return True
+        return False
+
+    def _group_fits(self, group: list[DagNode], cycle: int) -> bool:
+        usage = dict(self.resource_use)
+        classes = self.cycle_classes
+        for node in group:
+            for offset, need in enumerate(node.instr.desc.resource_vector):
+                if conflicts(usage.get(cycle + offset, 0), need):
+                    return False
+                usage[cycle + offset] = commit(usage.get(cycle + offset, 0), need)
+            node_classes = node.instr.desc.classes
+            if node_classes:
+                classes = node_classes if classes is None else classes & node_classes
+                if not classes:
+                    return False
+        return True
+
+    def _candidates(self, cycle: int) -> list[DagNode]:
+        ready = [n for n in self.ready if self.earliest[n] <= cycle]
+        pending_controls = [
+            n for n in self.controls if n not in self.issue_cycle
+        ]
+        if pending_controls:
+            # control instructions end the block: hold them back until only
+            # control remains, then release them one at a time in thread
+            # order
+            if self.unscheduled > len(pending_controls):
+                ready = [n for n in ready if not n.instr.is_branch_or_jump]
+            else:
+                first = pending_controls[0]
+                ready = [n for n in ready if n is first]
+        if self.config.heuristic == "maxdist":
+            ready.sort(key=lambda n: (-n.priority, n.index))
+        else:
+            ready.sort(key=lambda n: n.index)
+        limit = self.config.register_limit
+        if limit is not None and len(self.live) >= limit:
+            relaxed = [n for n in ready if self._pressure_delta(n) <= 0]
+            if relaxed:
+                ready = relaxed
+        return ready
+
+    def _can_issue(self, node: DagNode, cycle: int) -> bool:
+        vector = node.instr.desc.resource_vector
+        for offset, need in enumerate(vector):
+            if conflicts(self.resource_use.get(cycle + offset, 0), need):
+                return False
+        classes = node.instr.desc.classes
+        if classes and self.cycle_classes is not None:
+            if not (classes & self.cycle_classes):
+                return False
+        # Rule 1: an instruction affecting clock k may not be scheduled
+        # before a pending temporal destination on k (but may pack with it,
+        # i.e. the destination has already issued this very cycle).
+        clock = node.instr.desc.affects_clock
+        if clock is not None:
+            pending = self.pending_temporal.get(clock, set())
+            if pending - {node}:
+                return False
+        return True
+
+    def _issue(self, node: DagNode, cycle: int) -> None:
+        self.issue_cycle[node] = cycle
+        self.unscheduled -= 1
+        self.ready.remove(node)
+        self.order.append(node)
+        vector = node.instr.desc.resource_vector
+        for offset, need in enumerate(vector):
+            self.resource_use[cycle + offset] = commit(
+                self.resource_use.get(cycle + offset, 0), need
+            )
+        classes = node.instr.desc.classes
+        if classes:
+            self.cycle_classes = (
+                classes
+                if self.cycle_classes is None
+                else self.cycle_classes & classes
+            )
+        self._apply_pressure(node)
+        # release successors
+        for edge in node.succs:
+            dst = edge.dst
+            self.pred_count[dst] -= 1
+            when = cycle + edge.latency
+            if dst in self.earliest:
+                self.earliest[dst] = max(self.earliest[dst], when)
+            else:
+                self.earliest[dst] = when
+            if self.pred_count[dst] == 0:
+                self.ready.append(dst)
+            if edge.is_temporal and dst not in self.issue_cycle:
+                self.pending_temporal.setdefault(edge.clock, set()).add(dst)
+        # this node is no longer pending anywhere
+        for pending in self.pending_temporal.values():
+            pending.discard(node)
+
+    def _ordered_for_emission(self) -> list[DagNode]:
+        """Emission order: by cycle, and *within* a cycle in dependence
+        order.  Packed sub-operations of an explicitly advanced pipeline
+        carry 0-latency anti edges (a stage must read its input latch before
+        the co-issued earlier stage advances it); sequential execution of
+        the packed long instruction is only faithful if those edges are
+        respected in the emitted order."""
+        by_cycle: dict[int, list[DagNode]] = {}
+        for node in self.order:
+            by_cycle.setdefault(self.issue_cycle[node], []).append(node)
+        out: list[DagNode] = []
+        for cycle in sorted(by_cycle):
+            group = by_cycle[cycle]
+            if len(group) == 1:
+                out.extend(group)
+                continue
+            members = set(group)
+            pending = {
+                n: sum(1 for e in n.preds if e.src in members) for n in group
+            }
+            emitted: list[DagNode] = []
+            ready = [n for n in group if pending[n] == 0]
+            while ready:
+                ready.sort(key=lambda n: n.index)
+                node = ready.pop(0)
+                emitted.append(node)
+                for edge in node.succs:
+                    if edge.dst in members:
+                        pending[edge.dst] -= 1
+                        if pending[edge.dst] == 0:
+                            ready.append(edge.dst)
+            if len(emitted) != len(group):  # cycle among packed ops: keep input order
+                emitted = sorted(group, key=lambda n: n.index)
+            out.extend(emitted)
+        return out
+
+    def _finish(self) -> ScheduleResult:
+        instrs: list[MachineInstr] = []
+        issue_map: dict[int, int] = {}
+        last_cycle = 0
+        for node in self._ordered_for_emission():
+            instrs.append(node.instr)
+            cycle = self.issue_cycle[node]
+            issue_map[node.instr.id] = cycle
+            last_cycle = max(last_cycle, cycle)
+        cost = last_cycle + 1
+        for control in self.controls:
+            branch_cycle = self.issue_cycle[control]
+            slots = abs(control.instr.desc.slots)
+            if self.config.fill_nops:
+                position = instrs.index(control.instr) + 1
+                for slot in range(slots):
+                    nop = make_instr(self.target.nop, [])
+                    nop.comment = "delay slot"
+                    instrs.insert(position + slot, nop)
+                    issue_map[nop.id] = branch_cycle + 1 + slot
+            cost = max(cost, branch_cycle + 1 + slots)
+        return ScheduleResult(instrs, cost, issue_map)

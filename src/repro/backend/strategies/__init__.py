@@ -1,0 +1,25 @@
+"""Code generation strategies (paper section 2).
+
+A strategy directs the invocation of, and level of communication between,
+instruction scheduling and global register allocation:
+
+* **Postpass** [GM86] — allocate registers first, then schedule;
+* **IPS** [GH88] — schedule with a limit on local register use, allocate,
+  then schedule again;
+* **RASE** [BEH91b] — run the scheduler to gather schedule cost estimates,
+  allocate with those costs, then do final scheduling.
+"""
+
+from repro.backend.strategies.base import Strategy, get_strategy, STRATEGY_NAMES
+from repro.backend.strategies.postpass import PostpassStrategy
+from repro.backend.strategies.ips import IPSStrategy
+from repro.backend.strategies.rase import RASEStrategy
+
+__all__ = [
+    "Strategy",
+    "get_strategy",
+    "STRATEGY_NAMES",
+    "PostpassStrategy",
+    "IPSStrategy",
+    "RASEStrategy",
+]

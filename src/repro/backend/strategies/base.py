@@ -1,0 +1,145 @@
+"""Strategy interface and shared phase helpers.
+
+Strategies see a freshly selected :class:`MFunction` and are responsible
+for ordering register allocation and scheduling.  The scheduling support,
+allocator and frame machinery are strategy- and target-independent; the
+strategy only decides when to call them and with what parameters (the
+paper's separation, section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.frame import finish_function
+from repro.backend.mfunc import MFunction
+from repro.backend.regalloc import GraphColoringAllocator
+from repro.backend.scheduler import ListScheduler
+from repro.errors import MarionError
+from repro.machine.target import TargetMachine
+
+STRATEGY_NAMES = ("postpass", "ips", "rase")
+
+
+@dataclass
+class StrategyStats:
+    """Bookkeeping a strategy reports back (feeds Tables 3 and 4)."""
+
+    schedule_passes: int = 0
+    spilled_pseudos: int = 0
+    allocation_iterations: int = 0
+    block_costs: dict[str, int] = field(default_factory=dict)
+
+
+class Strategy:
+    """Base class: subclasses implement :meth:`run`."""
+
+    name = "abstract"
+
+    def __init__(self, heuristic: str = "maxdist", schedule: bool = True):
+        self.heuristic = heuristic
+        self.schedule_enabled = schedule
+
+    def run(self, fn: MFunction, target: TargetMachine) -> StrategyStats:
+        raise NotImplementedError
+
+    # -- shared phases ----------------------------------------------------------
+
+    def allocate(
+        self,
+        fn: MFunction,
+        target: TargetMachine,
+        stats: StrategyStats,
+        cost_overrides=None,
+    ) -> None:
+        allocator = GraphColoringAllocator(target, cost_overrides=cost_overrides)
+        result = allocator.allocate(fn)
+        stats.spilled_pseudos += result.spilled_pseudos
+        stats.allocation_iterations += result.iterations
+        finish_function(fn, target, result.used_callee_save)
+
+    def schedule(
+        self,
+        fn: MFunction,
+        target: TargetMachine,
+        stats: StrategyStats,
+        register_limit: int | None = None,
+        record_costs: bool = True,
+        rewrite: bool = True,
+    ) -> dict[str, int]:
+        """Schedule every block; optionally adopt the new order."""
+        scheduler = ListScheduler(
+            target,
+            heuristic=self.heuristic,
+            register_limit=register_limit,
+        )
+        costs: dict[str, int] = {}
+        for block in fn.blocks:
+            if self.schedule_enabled:
+                result = scheduler.schedule_block(block.instrs)
+                if rewrite:
+                    block.instrs = result.instrs
+                costs[block.label] = result.cost
+            else:
+                # no-scheduler baseline: keep program order but still fill
+                # branch delay slots with nops (every MIPS-era assembler did)
+                if rewrite:
+                    self._fill_delay_slots(block, target)
+                costs[block.label] = self._unscheduled_cost(block, target)
+        stats.schedule_passes += 1
+        if record_costs:
+            for label, cost in costs.items():
+                fn.block(label).schedule_cost = cost
+            stats.block_costs.update(costs)
+        return costs
+
+    def _fill_delay_slots(self, block, target: TargetMachine) -> None:
+        from repro.backend.insts import make_instr
+
+        out = []
+        for instr in block.instrs:
+            out.append(instr)
+            if instr.is_branch_or_jump and instr.desc.slots:
+                for _ in range(abs(instr.desc.slots)):
+                    nop = make_instr(target.nop, [])
+                    nop.comment = "delay slot"
+                    out.append(nop)
+        block.instrs = out
+
+    def _unscheduled_cost(self, block, target: TargetMachine) -> int:
+        """Cost estimate for the no-scheduling baseline: issue in program
+        order, stalling for every unmet latency (nop insertion model)."""
+        from repro.backend.codedag import build_code_dag
+
+        dag = build_code_dag(block.instrs, target, include_anti=True)
+        cycle = 0
+        issue: dict[int, int] = {}
+        for node in dag.nodes:
+            earliest = cycle
+            for edge in node.preds:
+                earliest = max(earliest, issue[edge.src.index] + edge.latency)
+            issue[node.index] = earliest
+            cycle = earliest + 1
+        cost = cycle
+        if dag.nodes and dag.nodes[-1].instr.is_branch_or_jump:
+            cost += abs(dag.nodes[-1].instr.desc.slots)
+        return cost
+
+
+def get_strategy(name: str, heuristic: str = "maxdist", schedule: bool = True) -> Strategy:
+    from repro.backend.strategies.ips import IPSStrategy
+    from repro.backend.strategies.postpass import PostpassStrategy
+    from repro.backend.strategies.rase import RASEStrategy
+
+    table = {
+        "postpass": PostpassStrategy,
+        "ips": IPSStrategy,
+        "rase": RASEStrategy,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise MarionError(
+            f"unknown strategy {name!r}; known: {', '.join(STRATEGY_NAMES)}"
+        ) from None
+    return cls(heuristic=heuristic, schedule=schedule)

@@ -1,0 +1,39 @@
+"""Integrated Prepass Scheduling [Goodman & Hsu 88].
+
+Schedule first on pseudo-registers with a limit on local register use (so
+the schedule does not force spills), then allocate registers on the
+scheduled order, then schedule again to account for the allocator's
+register reuse and spill code.
+"""
+
+from __future__ import annotations
+
+from repro.backend.mfunc import MFunction
+from repro.backend.strategies.base import Strategy, StrategyStats
+from repro.machine.target import TargetMachine
+
+
+class IPSStrategy(Strategy):
+    name = "ips"
+
+    #: how many allocable registers the prepass leaves in reserve
+    RESERVE = 2
+
+    def register_limit(self, target: TargetMachine) -> int:
+        cwvm = target.cwvm
+        int_set = cwvm.general.get("int")
+        count = len([r for r in cwvm.allocable if r.set_name == int_set])
+        return max(2, count - self.RESERVE)
+
+    def run(self, fn: MFunction, target: TargetMachine) -> StrategyStats:
+        stats = StrategyStats()
+        self.schedule(
+            fn,
+            target,
+            stats,
+            register_limit=self.register_limit(target),
+            record_costs=False,
+        )
+        self.allocate(fn, target, stats)
+        self.schedule(fn, target, stats)
+        return stats

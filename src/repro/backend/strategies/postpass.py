@@ -1,0 +1,24 @@
+"""Postpass strategy [Gibbons & Muchnick 86]: allocate, then schedule.
+
+Register allocation runs on the selected instruction order; the scheduler
+then works on physical registers, so type 3 anti-dependence edges constrain
+it wherever the allocator reused a register.  This is the simplest strategy
+(151 lines of C in the original system, Table 2) and the baseline the
+paper's comparisons are made against.
+"""
+
+from __future__ import annotations
+
+from repro.backend.mfunc import MFunction
+from repro.backend.strategies.base import Strategy, StrategyStats
+from repro.machine.target import TargetMachine
+
+
+class PostpassStrategy(Strategy):
+    name = "postpass"
+
+    def run(self, fn: MFunction, target: TargetMachine) -> StrategyStats:
+        stats = StrategyStats()
+        self.allocate(fn, target, stats)
+        self.schedule(fn, target, stats)
+        return stats

@@ -1,0 +1,112 @@
+"""Symbolic immediate values.
+
+Frame offsets are unknown until frame layout (spill slots are added by the
+register allocator) and global addresses are unknown until the program is
+laid out, so immediate operands may carry these placeholder values.  The
+assembler/linker resolves them to integers; range assumptions are verified
+then (see :mod:`repro.program`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.il.node import FrameSlot
+
+#: A symbolic frame offset is assumed to fit specs at least this wide.
+FRAME_OFFSET_REACH = 8191
+
+
+@dataclass(frozen=True)
+class SlotOffset:
+    """fp-relative offset of a frame slot; resolved at frame layout."""
+
+    slot: FrameSlot
+    addend: int = 0
+
+    def __str__(self) -> str:
+        extra = f"+{self.addend}" if self.addend else ""
+        return f"{self.slot}{extra}"
+
+
+@dataclass(frozen=True)
+class SymbolRef:
+    """Address of a global symbol; resolved at program layout."""
+
+    name: str
+    addend: int = 0
+
+    def __str__(self) -> str:
+        extra = f"+{self.addend}" if self.addend else ""
+        return f"{self.name}{extra}"
+
+
+@dataclass(frozen=True)
+class GpOffset:
+    """gp-relative displacement of a global symbol; resolved at layout.
+
+    When the CWVM declares a global data pointer (``%gp``), globals are
+    addressed as ``gp + offset`` in one instruction instead of a
+    high/low-half pair — the classic MIPS small-data optimisation."""
+
+    name: str
+    addend: int = 0
+
+    def __str__(self) -> str:
+        extra = f"+{self.addend}" if self.addend else ""
+        return f"%gprel({self.name}{extra})"
+
+
+@dataclass(frozen=True)
+class HighHalf:
+    """``high(x)`` of a yet-unresolved value (upper 16 bits)."""
+
+    base: object  # SymbolRef or int
+
+    def __str__(self) -> str:
+        return f"%hi({self.base})"
+
+
+@dataclass(frozen=True)
+class LowHalf:
+    """``low(x)`` of a yet-unresolved value (lower 16 bits, unsigned)."""
+
+    base: object
+
+    def __str__(self) -> str:
+        return f"%lo({self.base})"
+
+
+def immediate_fits(value: object, spec) -> bool:
+    """Can ``value`` be carried by immediate operand ``spec``?
+
+    ``spec`` is an :class:`~repro.machine.instruction.OperandDesc` of mode
+    IMM.  Integers are range-checked; symbolic values use conservative
+    assumptions that the assembler re-verifies.
+    """
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, int):
+        return spec.accepts_int(value)
+    if isinstance(value, SlotOffset):
+        return spec.lo <= -FRAME_OFFSET_REACH and spec.hi >= FRAME_OFFSET_REACH
+    if isinstance(value, GpOffset):
+        # the linker verifies the resolved displacement; the data segment
+        # is kept within the 64 KB window around gp
+        return spec.lo <= -32768 and spec.hi >= 32767
+    if isinstance(value, SymbolRef):
+        return spec.absolute
+    if isinstance(value, (HighHalf, LowHalf)):
+        if isinstance(value.base, int):
+            return True  # folded to a 16-bit value at emission
+        return spec.absolute or (spec.lo <= 0 and spec.hi >= 65535)
+    return False
+
+
+def fold_halves(value: object) -> object:
+    """Fold ``HighHalf``/``LowHalf`` of integer bases into plain ints."""
+    if isinstance(value, HighHalf) and isinstance(value.base, int):
+        return (value.base >> 16) & 0xFFFF
+    if isinstance(value, LowHalf) and isinstance(value.base, int):
+        return value.base & 0xFFFF
+    return value

@@ -1,0 +1,12 @@
+"""The code generator generator (paper section 2).
+
+:func:`build_target` compiles a Maril description into a
+:class:`~repro.machine.target.TargetMachine`: the register/resource model,
+instruction descriptors with analysed semantics, and the ordered selection
+pattern list derived from each instruction's semantic expression.
+"""
+
+from repro.cgg.generator import build_target
+from repro.cgg.patterns import Pattern, PatternKind, compile_pattern
+
+__all__ = ["build_target", "Pattern", "PatternKind", "compile_pattern"]

@@ -1,0 +1,150 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE.c`` — compile to assembly text (choose target/strategy);
+* ``run FILE.c --entry FN [--args ...]`` — compile, link, simulate;
+* ``targets`` — list the bundled targets with description statistics;
+* ``report`` — regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+from repro.backend.asmprinter import format_program
+from repro.sim import DirectMappedCache
+from repro.targets import TARGET_NAMES
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target", default="r2000", choices=TARGET_NAMES, help="machine to compile for"
+    )
+    parser.add_argument(
+        "--strategy",
+        default="postpass",
+        choices=("postpass", "ips", "rase"),
+        help="code generation strategy",
+    )
+    parser.add_argument(
+        "--heuristic",
+        default="maxdist",
+        choices=("maxdist", "fifo"),
+        help="list scheduling priority heuristic",
+    )
+    parser.add_argument(
+        "--no-schedule",
+        action="store_true",
+        help="disable instruction scheduling (nop-filled baseline)",
+    )
+    parser.add_argument(
+        "--fill-delay-slots",
+        action="store_true",
+        help="fill branch delay slots with useful work (GH82 extension)",
+    )
+
+
+def _compile(arguments) -> repro.Executable:
+    with open(arguments.file) as handle:
+        source = handle.read()
+    return repro.compile_c(
+        source,
+        arguments.target,
+        strategy=arguments.strategy,
+        heuristic=arguments.heuristic,
+        schedule=not arguments.no_schedule,
+        fill_delay_slots=arguments.fill_delay_slots,
+    )
+
+
+def cmd_compile(arguments) -> int:
+    executable = _compile(arguments)
+    text = format_program(executable.machine_program)
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_run(arguments) -> int:
+    executable = _compile(arguments)
+    args = tuple(
+        float(a) if "." in a else int(a) for a in (arguments.args or [])
+    )
+    cache = DirectMappedCache() if arguments.cache else None
+    result = repro.simulate(
+        executable, arguments.entry, args=args, cache=cache
+    )
+    print(f"result:       {result.return_value}")
+    print(f"cycles:       {result.cycles}")
+    print(f"instructions: {result.instructions}")
+    print(f"loads/stores: {result.loads}/{result.stores}")
+    if cache is not None:
+        print(f"cache:        {result.cache_hits} hits, {result.cache_misses} misses")
+    return 0
+
+
+def cmd_targets(arguments) -> int:
+    from repro.eval.table1 import description_stats
+
+    for name in TARGET_NAMES:
+        stats = description_stats(name)
+        print(
+            f"{name:8s} {stats.instructions:3d} instructions, "
+            f"{stats.clocks} clocks, {stats.elements} class elements, "
+            f"{stats.glue_transformations} glue rules, {stats.funcs} funcs"
+        )
+    return 0
+
+
+def cmd_report(arguments) -> int:
+    from repro.eval.report import generate_report
+
+    print(generate_report(scale=arguments.scale))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Marion retargetable code generator"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = commands.add_parser("compile", help="compile C to assembly")
+    compile_parser.add_argument("file")
+    compile_parser.add_argument("-o", "--output", help="write assembly here")
+    _add_common(compile_parser)
+    compile_parser.set_defaults(handler=cmd_compile)
+
+    run_parser = commands.add_parser("run", help="compile and simulate")
+    run_parser.add_argument("file")
+    run_parser.add_argument("--entry", required=True, help="function to run")
+    run_parser.add_argument(
+        "--args", nargs="*", help="arguments (ints, or floats with a '.')"
+    )
+    run_parser.add_argument(
+        "--cache", action="store_true", help="enable the data cache model"
+    )
+    _add_common(run_parser)
+    run_parser.set_defaults(handler=cmd_run)
+
+    targets_parser = commands.add_parser("targets", help="list bundled targets")
+    targets_parser.set_defaults(handler=cmd_targets)
+
+    report_parser = commands.add_parser(
+        "report", help="regenerate the paper's tables and figures"
+    )
+    report_parser.add_argument("--scale", type=float, default=0.3)
+    report_parser.set_defaults(handler=cmd_report)
+
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the Marion reproduction.
+
+Every user-facing failure raised by this package derives from
+:class:`MarionError` so that callers can catch one type.  Errors that point
+at a location in source text (Maril descriptions or C-subset programs)
+derive from :class:`SourceError` and render ``file:line:col`` prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in an input text, for diagnostics."""
+
+    filename: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class MarionError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SourceError(MarionError):
+    """An error tied to a location in some source text."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        self.message = message
+        prefix = f"{location}: " if location is not None else ""
+        super().__init__(prefix + message)
+
+
+class MarilSyntaxError(SourceError):
+    """Lexical or grammatical error in a Maril machine description."""
+
+
+class MarilSemanticError(SourceError):
+    """A Maril description that parses but is inconsistent."""
+
+
+class CSyntaxError(SourceError):
+    """Lexical or grammatical error in a C-subset source program."""
+
+
+class CSemanticError(SourceError):
+    """Type or scope error in a C-subset source program."""
+
+
+class SelectionError(MarionError):
+    """No instruction pattern matched an IL tree."""
+
+
+class SchedulingError(MarionError):
+    """The scheduler could not produce a legal schedule."""
+
+
+class AllocationError(MarionError):
+    """The register allocator could not color the interference graph."""
+
+
+class SimulationError(MarionError):
+    """The simulator encountered an illegal state at run time."""

@@ -1,0 +1,67 @@
+"""Shared helpers for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import repro
+from repro.sim import DirectMappedCache, SimResult
+
+STRATEGIES = ("postpass", "ips", "rase")
+
+
+@dataclass
+class KernelRun:
+    """One (kernel, strategy) measurement for Table 4."""
+
+    kernel_id: int
+    strategy: str
+    actual_cycles: int
+    estimated_cycles: int
+    instructions: int
+    code_size: int
+    checksum: float
+
+    @property
+    def ratio(self) -> float:
+        return self.actual_cycles / max(1, self.estimated_cycles)
+
+
+def estimated_cycles(executable, profile: SimResult) -> int:
+    """The paper's estimate: per-block scheduler cost x execution frequency
+    ("combining basic block execution costs computed by each scheduler with
+    execution frequencies computed by a separate profiling tool", so cache
+    misses and cross-block stalls are not considered)."""
+    machine_program = executable.machine_program
+    cost_of: dict[str, int] = {}
+    for fn in machine_program.functions:
+        for block in fn.blocks:
+            cost_of[block.label] = block.schedule_cost
+    total = 0
+    for label, count in profile.block_counts.items():
+        total += cost_of.get(label, 0) * count
+    return total
+
+
+def run_kernel(
+    spec,
+    target: str,
+    strategy: str,
+    scale: float = 1.0,
+    cache: bool = True,
+) -> KernelRun:
+    """Compile and simulate one Livermore kernel under one strategy."""
+    executable = repro.compile_c(spec.source, target, strategy=strategy)
+    loop, n = spec.args
+    n = max(4, int(n * scale))
+    data_cache = DirectMappedCache() if cache else None
+    result = repro.simulate(executable, "bench", args=(loop, n), cache=data_cache)
+    return KernelRun(
+        kernel_id=spec.id,
+        strategy=strategy,
+        actual_cycles=result.cycles,
+        estimated_cycles=estimated_cycles(executable, result),
+        instructions=result.instructions,
+        code_size=executable.instruction_count(),
+        checksum=result.return_value["double"],
+    )

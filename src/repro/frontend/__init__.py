@@ -1,0 +1,17 @@
+"""An ANSI-C-subset front end, standing in for the paper's Lcc front end.
+
+The subset covers what the workloads (Livermore Loops, the compile-time
+program suite) need: ``int``/``float``/``double`` scalars, one- and
+two-dimensional arrays (global and local), ``if``/``else``, ``while``,
+``for``, ``break``/``continue``, ``return``, function calls, the usual
+operators with usual arithmetic conversions, and short-circuit ``&&``/
+``||``/``!``.
+
+:func:`compile_to_il` parses, checks and lowers a translation unit to the
+IL of :mod:`repro.il`.
+"""
+
+from repro.frontend.ilgen import compile_to_il
+from repro.frontend.cparser import parse_c
+
+__all__ = ["compile_to_il", "parse_c"]

@@ -1,0 +1,191 @@
+"""Lexer for the C subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CSyntaxError, SourceLocation
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "double",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+
+class CTok(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Multi-character punctuators, longest first.
+_PUNCTUATORS = [
+    "<<=",
+    ">>=",
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ";",
+    ",",
+    "?",
+    ":",
+]
+
+
+@dataclass(frozen=True)
+class CToken:
+    kind: CTok
+    value: object
+    location: SourceLocation
+
+    def __repr__(self) -> str:
+        return f"CToken({self.kind.name}, {self.value!r})"
+
+
+def tokenize_c(text: str, filename: str = "<c>") -> list[CToken]:
+    tokens: list[CToken] = []
+    pos = 0
+    line = 1
+    column = 1
+    length = len(text)
+
+    def location() -> SourceLocation:
+        return SourceLocation(filename, line, column)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, column
+        for _ in range(count):
+            if text[pos] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            pos += 1
+
+    while pos < length:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("//", pos):
+            while pos < length and text[pos] != "\n":
+                advance(1)
+            continue
+        if text.startswith("/*", pos):
+            start = location()
+            advance(2)
+            while not text.startswith("*/", pos):
+                if pos >= length:
+                    raise CSyntaxError("unterminated comment", start)
+                advance(1)
+            advance(2)
+            continue
+        if ch.isalpha() or ch == "_":
+            loc = location()
+            start = pos
+            while pos < length and (text[pos].isalnum() or text[pos] == "_"):
+                advance(1)
+            word = text[start:pos]
+            kind = CTok.KEYWORD if word in KEYWORDS else CTok.IDENT
+            tokens.append(CToken(kind, word, loc))
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length and text[pos + 1].isdigit()):
+            tokens.append(_lex_number(text, pos, location(), advance))
+            continue
+        for punct in _PUNCTUATORS:
+            if text.startswith(punct, pos):
+                tokens.append(CToken(CTok.PUNCT, punct, location()))
+                advance(len(punct))
+                break
+        else:
+            raise CSyntaxError(f"unexpected character {ch!r}", location())
+    tokens.append(CToken(CTok.EOF, None, location()))
+    return tokens
+
+
+def _lex_number(text: str, pos: int, loc: SourceLocation, advance) -> CToken:
+    start = pos
+    length = len(text)
+    is_float = False
+    if text.startswith("0x", pos) or text.startswith("0X", pos):
+        advance(2)
+        pos += 2
+        digits = pos
+        while pos < length and text[pos] in "0123456789abcdefABCDEF":
+            advance(1)
+            pos += 1
+        if pos == digits:
+            raise CSyntaxError("malformed hex literal", loc)
+        return CToken(CTok.INT, int(text[start:pos], 16), loc)
+    while pos < length and text[pos].isdigit():
+        advance(1)
+        pos += 1
+    if pos < length and text[pos] == ".":
+        is_float = True
+        advance(1)
+        pos += 1
+        while pos < length and text[pos].isdigit():
+            advance(1)
+            pos += 1
+    if pos < length and text[pos] in "eE":
+        probe = pos + 1
+        if probe < length and text[probe] in "+-":
+            probe += 1
+        if probe < length and text[probe].isdigit():
+            is_float = True
+            count = probe - pos
+            advance(count)
+            pos = probe
+            while pos < length and text[pos].isdigit():
+                advance(1)
+                pos += 1
+    literal = text[start:pos]
+    if is_float:
+        return CToken(CTok.FLOAT, float(literal), loc)
+    return CToken(CTok.INT, int(literal), loc)

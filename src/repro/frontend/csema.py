@@ -1,0 +1,320 @@
+"""Type checking for the C subset.
+
+Annotates every expression with its scalar type, inserts explicit
+:class:`~repro.frontend.cast.Cast` nodes for the usual arithmetic
+conversions, and validates scopes, arity and l-values.  The IL generator
+can then lower without re-deriving types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CSemanticError
+from repro.frontend import cast as C
+
+_INT_ONLY_OPS = frozenset({"%", "<<", ">>", "&", "|", "^"})
+_RELATIONAL_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+
+
+@dataclass
+class Symbol:
+    kind: str  # 'global' | 'local' | 'param'
+    type: C.CType
+    name: str
+
+
+@dataclass
+class FunctionSig:
+    name: str
+    return_type: str  # scalar type name or 'void'
+    param_types: list[str]
+
+
+class CheckedUnit:
+    """The annotated translation unit plus its symbol information."""
+
+    def __init__(self, unit: C.TranslationUnit):
+        self.unit = unit
+        self.globals: dict[str, Symbol] = {}
+        self.functions: dict[str, FunctionSig] = {}
+        self.locals: dict[str, dict[str, Symbol]] = {}  # fn name -> scope
+
+
+def check_unit(unit: C.TranslationUnit) -> CheckedUnit:
+    return _Checker(unit).run()
+
+
+class _Checker:
+    def __init__(self, unit: C.TranslationUnit):
+        self.checked = CheckedUnit(unit)
+        self.scopes: list[dict[str, Symbol]] = []
+        self.current_fn: C.FunctionDef | None = None
+        self.loop_depth = 0
+
+    def fail(self, message: str, node=None):
+        raise CSemanticError(message, getattr(node, "location", None))
+
+    def run(self) -> CheckedUnit:
+        unit = self.checked.unit
+        for decl in unit.globals:
+            if decl.name in self.checked.globals:
+                self.fail(f"duplicate global {decl.name!r}", decl)
+            if decl.type.base == "void":
+                self.fail(f"global {decl.name!r} cannot be void", decl)
+            self.checked.globals[decl.name] = Symbol("global", decl.type, decl.name)
+        for fn in unit.functions:
+            if fn.name in self.checked.functions:
+                self.fail(f"duplicate function {fn.name!r}", fn)
+            for param in fn.params:
+                if param.type.is_array:
+                    self.fail(
+                        f"{fn.name}: array parameters are not supported "
+                        "(use globals)",
+                        fn,
+                    )
+                if param.type.base == "void":
+                    self.fail(f"{fn.name}: void parameter", fn)
+            self.checked.functions[fn.name] = FunctionSig(
+                fn.name,
+                fn.return_type.base,
+                [p.type.base for p in fn.params],
+            )
+        for fn in unit.functions:
+            self._check_function(fn)
+        return self.checked
+
+    # -- functions ---------------------------------------------------------------
+
+    def _check_function(self, fn: C.FunctionDef) -> None:
+        self.current_fn = fn
+        scope: dict[str, Symbol] = {}
+        for param in fn.params:
+            if param.name in scope:
+                self.fail(f"duplicate parameter {param.name!r}", fn)
+            scope[param.name] = Symbol("param", param.type, param.name)
+        self.scopes = [scope]
+        self.flat_locals: dict[str, Symbol] = dict(scope)
+        self._check_block(fn.body)
+        self.checked.locals[fn.name] = self.flat_locals
+        self.scopes = []
+        self.current_fn = None
+
+    def _lookup(self, name: str, node) -> Symbol:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        symbol = self.checked.globals.get(name)
+        if symbol is None:
+            self.fail(f"undeclared identifier {name!r}", node)
+        return symbol
+
+    # -- statements ---------------------------------------------------------------
+
+    def _check_block(self, block: C.Block) -> None:
+        if block.scoped:
+            self.scopes.append({})
+        for statement in block.statements:
+            self._check_statement(statement)
+        if block.scoped:
+            self.scopes.pop()
+
+    def _check_statement(self, statement: C.CStmt) -> None:
+        if isinstance(statement, C.Block):
+            self._check_block(statement)
+        elif isinstance(statement, C.DeclStmt):
+            self._check_decl(statement)
+        elif isinstance(statement, C.ExprStmt):
+            self._check_expr(statement.expr)
+        elif isinstance(statement, C.IfStmt):
+            self._check_condition(statement.condition)
+            self._check_block(statement.then_body)
+            if statement.else_body is not None:
+                self._check_block(statement.else_body)
+        elif isinstance(statement, C.WhileStmt):
+            self._check_condition(statement.condition)
+            self.loop_depth += 1
+            self._check_block(statement.body)
+            self.loop_depth -= 1
+        elif isinstance(statement, C.ForStmt):
+            self.scopes.append({})
+            if statement.init is not None:
+                self._check_statement(statement.init)
+            if statement.condition is not None:
+                self._check_condition(statement.condition)
+            if statement.step is not None:
+                self._check_expr(statement.step)
+            self.loop_depth += 1
+            self._check_block(statement.body)
+            self.loop_depth -= 1
+            self.scopes.pop()
+        elif isinstance(statement, C.ReturnStmt):
+            self._check_return(statement)
+        elif isinstance(statement, (C.BreakStmt, C.ContinueStmt)):
+            if self.loop_depth == 0:
+                which = "break" if isinstance(statement, C.BreakStmt) else "continue"
+                self.fail(f"{which} outside of a loop", statement)
+        else:
+            self.fail(f"unknown statement {statement!r}", statement)
+
+    def _check_decl(self, decl: C.DeclStmt) -> None:
+        scope = self.scopes[-1]
+        if decl.name in scope:
+            self.fail(f"duplicate declaration of {decl.name!r}", decl)
+        if decl.type.base == "void":
+            self.fail(f"variable {decl.name!r} cannot be void", decl)
+        symbol = Symbol("local", decl.type, self._unique_local_name(decl))
+        scope[decl.name] = symbol
+        self.flat_locals[symbol.name] = symbol
+        if decl.init is not None:
+            if decl.type.is_array:
+                self.fail("array locals cannot have initializers", decl)
+            self._check_expr(decl.init)
+            decl.init = self._convert(decl.init, decl.type.base)
+        decl.name = symbol.name  # rename to the unique flat name
+
+    def _unique_local_name(self, decl: C.DeclStmt) -> str:
+        name = decl.name
+        if name not in self.flat_locals:
+            return name
+        suffix = 2
+        while f"{name}.{suffix}" in self.flat_locals:
+            suffix += 1
+        return f"{name}.{suffix}"
+
+    def _check_return(self, statement: C.ReturnStmt) -> None:
+        expected = self.current_fn.return_type.base
+        if statement.value is None:
+            if expected != "void":
+                self.fail(
+                    f"{self.current_fn.name}: return without a value", statement
+                )
+            return
+        if expected == "void":
+            self.fail(
+                f"{self.current_fn.name}: void function returns a value", statement
+            )
+        self._check_expr(statement.value)
+        statement.value = self._convert(statement.value, expected)
+
+    def _check_condition(self, condition: C.CExpr) -> None:
+        self._check_expr(condition)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _check_expr(self, expr: C.CExpr) -> None:
+        if isinstance(expr, C.IntLit):
+            expr.ctype = "int"
+        elif isinstance(expr, C.FloatLit):
+            expr.ctype = "double"
+        elif isinstance(expr, C.VarRef):
+            symbol = self._lookup(expr.name, expr)
+            if symbol.type.is_array:
+                self.fail(
+                    f"array {expr.name!r} used without an index", expr
+                )
+            expr.name = symbol.name
+            expr.ctype = symbol.type.base
+        elif isinstance(expr, C.Index):
+            self._check_index(expr)
+        elif isinstance(expr, C.Unary):
+            self._check_unary(expr)
+        elif isinstance(expr, C.Binary):
+            self._check_binary(expr)
+        elif isinstance(expr, C.Logical):
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+            expr.ctype = "int"
+        elif isinstance(expr, C.Assign):
+            self._check_assign(expr)
+        elif isinstance(expr, C.IncDec):
+            self._check_expr(expr.target)
+            expr.ctype = expr.target.ctype
+        elif isinstance(expr, C.Call):
+            self._check_call(expr)
+        elif isinstance(expr, C.Cast):
+            self._check_expr(expr.operand)
+            expr.ctype = expr.to
+        else:
+            self.fail(f"unknown expression {expr!r}", expr)
+
+    def _check_index(self, expr: C.Index) -> None:
+        symbol = self._lookup(expr.base.name, expr)
+        if not symbol.type.is_array:
+            self.fail(f"{expr.base.name!r} is not an array", expr)
+        if len(expr.indices) != len(symbol.type.dims):
+            self.fail(
+                f"{expr.base.name!r} needs {len(symbol.type.dims)} indices, "
+                f"got {len(expr.indices)}",
+                expr,
+            )
+        expr.base.name = symbol.name
+        for position, index in enumerate(expr.indices):
+            self._check_expr(index)
+            if index.ctype != "int":
+                self.fail("array indices must be int", expr)
+        expr.ctype = symbol.type.base
+
+    def _check_unary(self, expr: C.Unary) -> None:
+        self._check_expr(expr.operand)
+        if expr.op in ("~", "!"):
+            if expr.op == "~" and expr.operand.ctype != "int":
+                self.fail("~ requires an int operand", expr)
+            expr.ctype = "int"
+        else:  # '-'
+            expr.ctype = expr.operand.ctype
+
+    def _check_binary(self, expr: C.Binary) -> None:
+        self._check_expr(expr.left)
+        self._check_expr(expr.right)
+        if expr.op in _INT_ONLY_OPS:
+            if expr.left.ctype != "int" or expr.right.ctype != "int":
+                self.fail(f"operator {expr.op} requires int operands", expr)
+            expr.ctype = "int"
+            return
+        common = C.usual_conversion(expr.left.ctype, expr.right.ctype)
+        expr.left = self._convert(expr.left, common)
+        expr.right = self._convert(expr.right, common)
+        expr.ctype = "int" if expr.op in _RELATIONAL_OPS else common
+
+    def _check_assign(self, expr: C.Assign) -> None:
+        self._check_expr(expr.target)
+        self._check_expr(expr.value)
+        if expr.op != "=":
+            base_op = expr.op[:-1]
+            if base_op in _INT_ONLY_OPS and expr.target.ctype != "int":
+                self.fail(f"operator {expr.op} requires int operands", expr)
+        expr.value = self._convert(expr.value, expr.target.ctype)
+        expr.ctype = expr.target.ctype
+
+    def _check_call(self, expr: C.Call) -> None:
+        signature = self.checked.functions.get(expr.name)
+        if signature is None:
+            self.fail(f"call to undeclared function {expr.name!r}", expr)
+        if len(expr.args) != len(signature.param_types):
+            self.fail(
+                f"{expr.name} expects {len(signature.param_types)} arguments, "
+                f"got {len(expr.args)}",
+                expr,
+            )
+        for position, (arg, expected) in enumerate(
+            zip(expr.args, signature.param_types)
+        ):
+            self._check_expr(arg)
+            expr.args[position] = self._convert(arg, expected)
+        if signature.return_type == "void":
+            expr.ctype = None
+        else:
+            expr.ctype = signature.return_type
+
+    def _convert(self, expr: C.CExpr, to: str) -> C.CExpr:
+        if expr.ctype == to:
+            return expr
+        # fold literal conversions immediately
+        if isinstance(expr, C.IntLit) and to in ("float", "double"):
+            lit = C.FloatLit(float(expr.value), location=expr.location)
+            lit.ctype = to
+            return lit
+        converted = C.Cast(to=to, operand=expr, location=expr.location)
+        converted.ctype = to
+        return converted

@@ -1,0 +1,29 @@
+"""Typed low-level intermediate language (the Lcc-style IL of section 2).
+
+The front end produces, per function, a control-flow graph of basic blocks;
+each block holds a list of *statement* trees (assignments, stores, branches,
+calls, returns) built from typed operator nodes.  Local common
+subexpressions share nodes, giving DAGs; the selector forces multi-parent
+nodes into pseudo-registers exactly as the paper describes (section 2.1).
+"""
+
+from repro.il.ops import ILOp, RELATIONAL_OPS, COMMUTATIVE_OPS
+from repro.il.node import Node, FrameSlot, PseudoReg
+from repro.il.block import BasicBlock
+from repro.il.function import ILFunction, ILProgram, GlobalVar
+from repro.il.printer import format_function, format_node
+
+__all__ = [
+    "ILOp",
+    "RELATIONAL_OPS",
+    "COMMUTATIVE_OPS",
+    "Node",
+    "FrameSlot",
+    "PseudoReg",
+    "BasicBlock",
+    "ILFunction",
+    "ILProgram",
+    "GlobalVar",
+    "format_function",
+    "format_node",
+]

@@ -1,0 +1,49 @@
+"""Basic blocks and the control-flow graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.il.node import Node
+from repro.il.ops import ILOp
+
+
+@dataclass(eq=False)
+class BasicBlock:
+    """A basic block: a label, statement trees, and CFG edges.
+
+    Control transfers only through the final statements: an optional CJUMP
+    (whose fall-through is ``successors[-1]``) or JUMP/RET.  The scheduler
+    operates within one block at a time (paper section 4).
+    """
+
+    label: str
+    statements: list[Node] = field(default_factory=list)
+    successors: list["BasicBlock"] = field(default_factory=list)
+    predecessors: list["BasicBlock"] = field(default_factory=list)
+    loop_depth: int = 0  # static nesting depth, for spill costs
+
+    def __str__(self) -> str:
+        return f"<block {self.label}>"
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.label!r}, {len(self.statements)} stmts)"
+
+    def append(self, stmt: Node) -> None:
+        self.statements.append(stmt)
+
+    @property
+    def terminator(self) -> Node | None:
+        if self.statements and self.statements[-1].op in (
+            ILOp.JUMP,
+            ILOp.CJUMP,
+            ILOp.RET,
+        ):
+            return self.statements[-1]
+        return None
+
+    def link_to(self, successor: "BasicBlock") -> None:
+        if successor not in self.successors:
+            self.successors.append(successor)
+        if self not in successor.predecessors:
+            successor.predecessors.append(self)

@@ -1,0 +1,90 @@
+"""IL operator vocabulary."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ILOp(enum.Enum):
+    # leaves
+    CNST = "CNST"  # value: int or float constant
+    ADDRG = "ADDRG"  # value: global symbol name (relocatable address)
+    ADDRL = "ADDRL"  # value: FrameSlot (local, fp-relative)
+    REG = "REG"  # value: PseudoReg (read)
+
+    # memory
+    INDIR = "INDIR"  # load: kids[0] = address
+    ASGN = "ASGN"  # store statement: kids = (address, value)
+
+    # register assignment statement
+    SETREG = "SETREG"  # value: PseudoReg, kids[0] = value
+
+    # arithmetic / logical
+    ADD = "ADD"
+    SUB = "SUB"
+    MUL = "MUL"
+    DIV = "DIV"
+    MOD = "MOD"
+    NEG = "NEG"
+    BAND = "BAND"
+    BOR = "BOR"
+    BXOR = "BXOR"
+    BNOT = "BNOT"
+    LSH = "LSH"
+    RSH = "RSH"
+
+    # relational (CJUMP conditions, or values reintroduced by glue)
+    EQ = "EQ"
+    NE = "NE"
+    LT = "LT"
+    LE = "LE"
+    GT = "GT"
+    GE = "GE"
+    CMP = "CMP"  # the generic compare '::' (sign of left - right)
+
+    # conversions
+    CVT = "CVT"  # type = destination type; kids[0] typed with source type
+
+    # control
+    JUMP = "JUMP"  # value: target label
+    CJUMP = "CJUMP"  # kids[0] = condition; value: target label (taken)
+    CALL = "CALL"  # value: callee symbol; kids = arguments
+    RET = "RET"  # kids: () or (value,)
+
+
+RELATIONAL_OPS = frozenset(
+    {ILOp.EQ, ILOp.NE, ILOp.LT, ILOp.LE, ILOp.GT, ILOp.GE}
+)
+
+COMMUTATIVE_OPS = frozenset(
+    {ILOp.ADD, ILOp.MUL, ILOp.BAND, ILOp.BOR, ILOp.BXOR, ILOp.EQ, ILOp.NE}
+)
+
+#: Operators with no side effects, eligible for local CSE.
+PURE_OPS = frozenset(
+    {
+        ILOp.CNST,
+        ILOp.ADDRG,
+        ILOp.ADDRL,
+        ILOp.REG,
+        ILOp.ADD,
+        ILOp.SUB,
+        ILOp.MUL,
+        ILOp.DIV,
+        ILOp.MOD,
+        ILOp.NEG,
+        ILOp.BAND,
+        ILOp.BOR,
+        ILOp.BXOR,
+        ILOp.BNOT,
+        ILOp.LSH,
+        ILOp.RSH,
+        ILOp.CVT,
+        ILOp.CMP,
+    }
+)
+
+#: Statement-root operators.
+STATEMENT_OPS = frozenset(
+    {ILOp.ASGN, ILOp.SETREG, ILOp.JUMP, ILOp.CJUMP, ILOp.CALL, ILOp.RET}
+)

@@ -1,0 +1,77 @@
+"""Readable rendering of IL trees, blocks and functions (for tests/docs)."""
+
+from __future__ import annotations
+
+from repro.il.node import Node
+from repro.il.ops import ILOp
+
+
+def format_node(node: Node) -> str:
+    op = node.op
+    if op is ILOp.CNST:
+        return str(node.value)
+    if op is ILOp.ADDRG:
+        return f"&{node.value}"
+    if op is ILOp.ADDRL:
+        return f"&{node.value}"
+    if op is ILOp.REG:
+        return str(node.value)
+    if op is ILOp.INDIR:
+        return f"*({format_node(node.kids[0])})"
+    if op is ILOp.ASGN:
+        return f"*({format_node(node.kids[0])}) = {format_node(node.kids[1])}"
+    if op is ILOp.SETREG:
+        return f"{node.value} = {format_node(node.kids[0])}"
+    if op is ILOp.CVT:
+        return f"({node.type})({format_node(node.kids[0])})"
+    if op is ILOp.NEG:
+        return f"-({format_node(node.kids[0])})"
+    if op is ILOp.BNOT:
+        return f"~({format_node(node.kids[0])})"
+    if op is ILOp.JUMP:
+        return f"goto {node.value}"
+    if op is ILOp.CJUMP:
+        return f"if {format_node(node.kids[0])} goto {node.value}"
+    if op is ILOp.CALL:
+        args = ", ".join(format_node(k) for k in node.kids)
+        return f"{node.value}({args})"
+    if op is ILOp.RET:
+        if node.kids:
+            return f"ret {format_node(node.kids[0])}"
+        return "ret"
+
+    symbols = {
+        ILOp.ADD: "+",
+        ILOp.SUB: "-",
+        ILOp.MUL: "*",
+        ILOp.DIV: "/",
+        ILOp.MOD: "%",
+        ILOp.BAND: "&",
+        ILOp.BOR: "|",
+        ILOp.BXOR: "^",
+        ILOp.LSH: "<<",
+        ILOp.RSH: ">>",
+        ILOp.EQ: "==",
+        ILOp.NE: "!=",
+        ILOp.LT: "<",
+        ILOp.LE: "<=",
+        ILOp.GT: ">",
+        ILOp.GE: ">=",
+        ILOp.CMP: "::",
+    }
+    if op in symbols and len(node.kids) == 2:
+        left, right = node.kids
+        return f"({format_node(left)} {symbols[op]} {format_node(right)})"
+    return f"{op.value}({', '.join(format_node(k) for k in node.kids)})"
+
+
+def format_block(block) -> str:
+    lines = [f"{block.label}:"]
+    lines.extend(f"    {format_node(stmt)}" for stmt in block.statements)
+    return "\n".join(lines)
+
+
+def format_function(fn) -> str:
+    params = ", ".join(f"{p.type} {p}" for p in fn.params)
+    header = f"function {fn.name}({params}) -> {fn.return_type or 'void'}"
+    return "\n".join([header] + [format_block(b) for b in fn.blocks])

@@ -1,0 +1,25 @@
+"""Compiled machine model — the output side of the code generator generator.
+
+A :class:`~repro.machine.target.TargetMachine` is the CGG's compilation of a
+Maril description: register model with aliasing units, resource vectors,
+instruction descriptors with executable semantics, packing classes, clocks,
+and the calling convention.
+"""
+
+from repro.machine.registers import PhysReg, RegisterModel, RegisterSet
+from repro.machine.resources import ResourceTable, ResourceVector
+from repro.machine.instruction import InstrDesc, OperandDesc, OperandMode
+from repro.machine.target import CallingConvention, TargetMachine
+
+__all__ = [
+    "PhysReg",
+    "RegisterModel",
+    "RegisterSet",
+    "ResourceTable",
+    "ResourceVector",
+    "InstrDesc",
+    "OperandDesc",
+    "OperandMode",
+    "CallingConvention",
+    "TargetMachine",
+]

@@ -1,0 +1,190 @@
+"""Instruction descriptors — the compiled form of ``%instr`` directives.
+
+The CGG analyses each directive's semantics once, recording which operand
+positions are written and read, whether the instruction touches memory,
+branches, calls or returns, and which temporal registers it reads/writes.
+Every later phase (selection, code-DAG construction, scheduling, register
+allocation, simulation) consumes this metadata instead of re-walking the
+semantic trees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.maril import ast
+from repro.machine.resources import ResourceVector
+
+
+class OperandMode(enum.Enum):
+    REG = "reg"  # any register of a set, e.g. `r`
+    FIXED_REG = "fixed"  # one specific register, e.g. `r[0]`
+    IMM = "imm"  # immediate in a %def range, e.g. `#const16`
+    LABEL = "label"  # branch/call target in a %label range, e.g. `#rlab`
+
+
+@dataclass(frozen=True)
+class OperandDesc:
+    """One operand position of an instruction."""
+
+    mode: OperandMode
+    set_name: str | None = None  # for REG / FIXED_REG
+    reg_index: int | None = None  # for FIXED_REG
+    def_name: str | None = None  # for IMM / LABEL
+    lo: int = 0  # immediate range (IMM / LABEL)
+    hi: int = 0
+    absolute: bool = False  # +abs flag: may hold relocatable addresses
+
+    def __str__(self) -> str:
+        if self.mode is OperandMode.REG:
+            return self.set_name
+        if self.mode is OperandMode.FIXED_REG:
+            return f"{self.set_name}[{self.reg_index}]"
+        return f"#{self.def_name}"
+
+    def accepts_int(self, value: int) -> bool:
+        """For IMM operands: is ``value`` representable?"""
+        return self.lo <= value <= self.hi
+
+
+class InstrKind(enum.Enum):
+    NORMAL = "normal"
+    BRANCH = "branch"  # conditional branch
+    JUMP = "jump"  # unconditional goto
+    CALL = "call"
+    RET = "ret"
+    NOP = "nop"
+
+
+@dataclass
+class InstrDesc:
+    """A machine instruction as compiled from its Maril directive."""
+
+    mnemonic: str
+    operands: tuple[OperandDesc, ...]
+    semantics: tuple[ast.Stmt, ...]
+    resource_vector: ResourceVector
+    cost: int
+    latency: int
+    slots: int
+    type: str | None = None
+    clock: str | None = None  # clock this instruction *affects* (EAPs)
+    classes: frozenset = frozenset()  # packing-class elements
+    label: str | None = None  # the [s.movs] handle
+    func: str | None = None  # escape function name for *func directives
+    is_move: bool = False
+
+    # semantics-derived metadata (filled by the CGG)
+    kind: InstrKind = InstrKind.NORMAL
+    def_operands: tuple[int, ...] = ()  # 0-based operand positions written
+    use_operands: tuple[int, ...] = ()  # 0-based operand positions read
+    label_operands: tuple[int, ...] = ()  # positions holding branch targets
+    reads_memory: bool = False
+    writes_memory: bool = False
+    temporal_reads: tuple[str, ...] = ()  # temporal registers read
+    temporal_writes: tuple[str, ...] = ()  # temporal registers written
+
+    # selection patterns compiled from the semantics (set by the CGG)
+    patterns: list = field(default_factory=list)
+
+    def __str__(self) -> str:
+        ops = ", ".join(str(op) for op in self.operands)
+        return f"{self.mnemonic} {ops}".rstrip()
+
+    def __repr__(self) -> str:
+        return f"InstrDesc({self.mnemonic!r})"
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind in (
+            InstrKind.BRANCH,
+            InstrKind.JUMP,
+            InstrKind.CALL,
+            InstrKind.RET,
+        )
+
+    @property
+    def affects_clock(self) -> str | None:
+        return self.clock
+
+
+def analyze_semantics(desc: InstrDesc, temporal_names: frozenset) -> None:
+    """Fill in the semantics-derived metadata of ``desc`` in place."""
+    defs: list[int] = []
+    uses: list[int] = []
+    labels: list[int] = []
+    temporal_reads: list[str] = []
+    temporal_writes: list[str] = []
+    kind = InstrKind.NORMAL
+    reads_memory = writes_memory = False
+
+    def walk_expr(expr: ast.Expr) -> None:
+        nonlocal reads_memory
+        if isinstance(expr, ast.OperandRef):
+            position = expr.index - 1
+            if position not in uses:
+                uses.append(position)
+        elif isinstance(expr, ast.NameRef):
+            if expr.name in temporal_names and expr.name not in temporal_reads:
+                temporal_reads.append(expr.name)
+        elif isinstance(expr, ast.MemRef):
+            reads_memory = True
+            walk_expr(expr.address)
+        elif isinstance(expr, ast.Unary):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, ast.BuiltinCall):
+            for arg in expr.args:
+                walk_expr(arg)
+
+    for stmt in desc.semantics:
+        if isinstance(stmt, ast.AssignStmt):
+            target = stmt.target
+            walk_expr(stmt.value)
+            if isinstance(target, ast.OperandRef):
+                position = target.index - 1
+                if position not in defs:
+                    defs.append(position)
+            elif isinstance(target, ast.NameRef):
+                if target.name in temporal_names and target.name not in temporal_writes:
+                    temporal_writes.append(target.name)
+            elif isinstance(target, ast.MemRef):
+                writes_memory = True
+                walk_expr(target.address)
+        elif isinstance(stmt, ast.CondGotoStmt):
+            kind = InstrKind.BRANCH
+            walk_expr(stmt.condition)
+            if isinstance(stmt.target, ast.OperandRef):
+                labels.append(stmt.target.index - 1)
+        elif isinstance(stmt, ast.GotoStmt):
+            kind = InstrKind.JUMP
+            if isinstance(stmt.target, ast.OperandRef):
+                labels.append(stmt.target.index - 1)
+            else:
+                walk_expr(stmt.target)
+        elif isinstance(stmt, ast.CallStmt):
+            kind = InstrKind.CALL
+            if isinstance(stmt.target, ast.OperandRef):
+                labels.append(stmt.target.index - 1)
+        elif isinstance(stmt, ast.RetStmt):
+            kind = InstrKind.RET
+
+    if not desc.semantics or all(
+        isinstance(s, ast.EmptyStmt) for s in desc.semantics
+    ):
+        kind = InstrKind.NOP
+
+    # a label operand is not a register use
+    uses = [u for u in uses if u not in labels]
+
+    desc.kind = kind
+    desc.def_operands = tuple(defs)
+    desc.use_operands = tuple(uses)
+    desc.label_operands = tuple(labels)
+    desc.reads_memory = reads_memory
+    desc.writes_memory = writes_memory
+    desc.temporal_reads = tuple(temporal_reads)
+    desc.temporal_writes = tuple(temporal_writes)

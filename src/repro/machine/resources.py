@@ -1,0 +1,159 @@
+"""Resources and resource vectors (paper sections 3.3 and 4.3).
+
+A resource is a pipeline stage, bus or instruction-word field declared with
+``%resource``.  Each instruction carries a *resource vector*: element *i*
+describes what the instruction needs on cycle *i* after issue.
+
+Scalar (capacity-1) resources are the common case and stay a single
+bitmask, so the hazard check is one ``&`` per cycle.  ``%resource ALU[2];``
+declares an *array of identical units* — the extension the paper's section
+5 calls out as natural ("introducing arrays of resources would be a
+natural extension") for superscalars with multiple identical functional
+units.  A pooled resource occupies ``capacity`` consecutive bits of the
+same usage word; a request for *k* units succeeds when at least *k* of
+those bits are free, and commits by claiming the lowest free ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, NamedTuple, Sequence
+
+from repro.errors import MarionError
+
+
+class Need(NamedTuple):
+    """One cycle's resource requirement."""
+
+    mask: int  # scalar (capacity-1) resources, one bit each
+    pools: tuple = ()  # ((first_bit, capacity, count), ...)
+
+    def __bool__(self) -> bool:
+        return bool(self.mask or self.pools)
+
+
+#: A resource vector: element i is the Need on cycle i after issue.
+ResourceVector = tuple[Need, ...]
+
+_EMPTY = Need(0, ())
+
+
+def conflicts(usage: int, need: Need) -> bool:
+    """Does ``need`` collide with the committed ``usage`` word?"""
+    if usage & need.mask:
+        return True
+    for first_bit, capacity, count in need.pools:
+        busy = (usage >> first_bit) & ((1 << capacity) - 1)
+        if bin(busy).count("1") + count > capacity:
+            return True
+    return False
+
+
+def commit(usage: int, need: Need) -> int:
+    """Claim ``need`` in ``usage`` (call :func:`conflicts` first)."""
+    usage |= need.mask
+    for first_bit, capacity, count in need.pools:
+        remaining = count
+        for bit in range(capacity):
+            if remaining == 0:
+                break
+            unit = 1 << (first_bit + bit)
+            if not usage & unit:
+                usage |= unit
+                remaining -= 1
+        if remaining:
+            raise MarionError("resource pool overcommitted (missing conflict check)")
+    return usage
+
+
+@dataclass
+class ResourceTable:
+    """Maps resource names to bit positions and builds vectors."""
+
+    names: list[str] = field(default_factory=list)
+    bits: dict[str, int] = field(default_factory=dict)  # name -> first bit
+    capacities: dict[str, int] = field(default_factory=dict)
+    _next_bit: int = 0
+
+    def declare(self, name: str, capacity: int = 1) -> int:
+        if name in self.bits:
+            raise MarionError(f"resource {name!r} declared twice")
+        if capacity < 1:
+            raise MarionError(f"resource {name!r} needs capacity >= 1")
+        self.bits[name] = self._next_bit
+        self.capacities[name] = capacity
+        self.names.append(name)
+        self._next_bit += capacity
+        return self.bits[name]
+
+    def need(self, resources: Iterable[str]) -> Need:
+        """Build one cycle's Need; repeated pooled names request several
+        units of the pool."""
+        mask = 0
+        pool_counts: dict[str, int] = {}
+        for name in resources:
+            if name not in self.bits:
+                raise MarionError(f"unknown resource {name!r}")
+            if self.capacities[name] == 1:
+                mask |= 1 << self.bits[name]
+            else:
+                pool_counts[name] = pool_counts.get(name, 0) + 1
+        pools = tuple(
+            (self.bits[name], self.capacities[name], count)
+            for name, count in pool_counts.items()
+        )
+        for name, count in pool_counts.items():
+            if count > self.capacities[name]:
+                raise MarionError(
+                    f"cycle requests {count} units of {name!r} "
+                    f"(capacity {self.capacities[name]})"
+                )
+        return Need(mask, pools)
+
+    # kept for compatibility with scalar-only callers/tests
+    def mask(self, resources: Iterable[str]) -> int:
+        need = self.need(resources)
+        if need.pools:
+            raise MarionError("mask() cannot express pooled resources")
+        return need.mask
+
+    def vector(self, cycles: Sequence[Sequence[str]]) -> ResourceVector:
+        return tuple(self.need(cycle) for cycle in cycles)
+
+    def unmask(self, mask: int) -> list[str]:
+        out = []
+        for name in self.names:
+            first_bit = self.bits[name]
+            width = self.capacities[name]
+            if (mask >> first_bit) & ((1 << width) - 1):
+                out.append(name)
+        return out
+
+
+def vectors_conflict(a: ResourceVector, b: ResourceVector, offset: int = 0) -> bool:
+    """True iff vector ``b`` issued ``offset`` cycles after ``a`` collides.
+
+    ``offset`` = 0 means the two instructions issue on the same cycle.
+    """
+    for i, need_b in enumerate(b):
+        j = i + offset
+        if 0 <= j < len(a):
+            usage = commit(0, a[j])
+            if conflicts(usage, need_b):
+                return True
+    return False
+
+
+def merge_vectors(a: ResourceVector, b: ResourceVector, offset: int = 0):
+    """Committed usage words of ``a`` with ``b`` shifted ``offset`` later."""
+    length = max(len(a), offset + len(b))
+    out = []
+    for j in range(length):
+        usage = 0
+        if j < len(a):
+            usage = commit(usage, a[j])
+        i = j - offset
+        if 0 <= i < len(b):
+            usage = commit(usage, b[i])
+        out.append(usage)
+    return tuple(out)

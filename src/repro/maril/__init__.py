@@ -1,0 +1,19 @@
+"""Maril — the Marion machine description language (paper section 3).
+
+A description has three sections:
+
+* ``declare`` — registers, resources, immediate ranges, memories, clocks;
+* ``cwvm`` — the Compiler Writer's Virtual Machine (runtime model);
+* ``instr`` — instructions with selection patterns and scheduling
+  properties, plus ``%move``, ``%aux``, ``%glue`` and ``%element``
+  directives.
+
+The public entry point is :func:`parse_maril`, which returns a checked
+:class:`repro.maril.ast.Description`.
+"""
+
+from repro.maril.parser import parse_maril
+from repro.maril.lexer import tokenize
+from repro.maril import ast
+
+__all__ = ["parse_maril", "tokenize", "ast"]

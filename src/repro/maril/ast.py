@@ -1,0 +1,489 @@
+"""Abstract syntax for Maril machine descriptions.
+
+The node classes mirror the three description sections from paper section 3:
+``declare`` (registers, resources, immediates, memories, clocks), ``cwvm``
+(runtime model) and ``instr`` (instructions, moves, auxiliary latencies,
+glue transformations, packing-class elements).
+
+Expressions and statements are shared between instruction semantics
+(``{$1 = $2 + $3;}``) and glue transformations; both are ordinary trees the
+CGG later compiles into selection patterns and executable semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SourceLocation
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for semantic expressions."""
+
+
+@dataclass(frozen=True)
+class OperandRef(Expr):
+    """``$n`` — reference to the n-th instruction operand (1-based)."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"${self.index}"
+
+
+@dataclass(frozen=True)
+class NameRef(Expr):
+    """A bare identifier: a temporal register or a hard register name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FloatLit(Expr):
+    value: float
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class MemRef(Expr):
+    """``m[addr]`` — a reference into a declared memory bank."""
+
+    memory: str
+    address: Expr
+
+    def __str__(self) -> str:
+        return f"{self.memory}[{self.address}]"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-', '~', '!'
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # arithmetic / logical / relational / '::'
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BuiltinCall(Expr):
+    """``high(e)``, ``low(e)``, ``eval(e)`` or a type-conversion builtin
+    (``int(e)``, ``float(e)``, ``double(e)``)."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+BUILTIN_NAMES = frozenset({"high", "low", "eval", "int", "float", "double"})
+
+# --------------------------------------------------------------------------
+# Statements (instruction semantics)
+# --------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for semantic statements."""
+
+
+@dataclass(frozen=True)
+class AssignStmt(Stmt):
+    target: Expr  # OperandRef | NameRef | MemRef
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value};"
+
+
+@dataclass(frozen=True)
+class CondGotoStmt(Stmt):
+    condition: Expr
+    target: Expr  # OperandRef (a label operand)
+
+    def __str__(self) -> str:
+        return f"if ({self.condition}) goto {self.target};"
+
+
+@dataclass(frozen=True)
+class GotoStmt(Stmt):
+    target: Expr
+
+    def __str__(self) -> str:
+        return f"goto {self.target};"
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """``call $n;`` — procedure call through a label operand."""
+
+    target: Expr
+
+    def __str__(self) -> str:
+        return f"call {self.target};"
+
+
+@dataclass(frozen=True)
+class RetStmt(Stmt):
+    """``ret;`` — return through the CWVM return-address register."""
+
+    def __str__(self) -> str:
+        return "ret;"
+
+
+@dataclass(frozen=True)
+class EmptyStmt(Stmt):
+    """``;`` — no effect (e.g. the semantics of a nop)."""
+
+    def __str__(self) -> str:
+        return ";"
+
+
+# --------------------------------------------------------------------------
+# Declare section
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegRef:
+    """``r[3]`` — one element of a register set."""
+
+    set_name: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.set_name}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class RegRange:
+    """``r[1:5]`` (or ``r[3]`` with lo == hi, or bare ``r`` = whole set)."""
+
+    set_name: str
+    lo: int | None
+    hi: int | None
+
+    def __str__(self) -> str:
+        if self.lo is None:
+            return self.set_name
+        return f"{self.set_name}[{self.lo}:{self.hi}]"
+
+
+@dataclass(frozen=True)
+class RegDecl:
+    """``%reg r[0:7] (int);`` — a register array.
+
+    Scalar temporal registers (``%reg m1 (double; clk_m) +temporal;``) have
+    ``lo == hi == 0`` and the ``temporal`` flag, and name their clock.
+    """
+
+    name: str
+    lo: int
+    hi: int
+    types: tuple[str, ...]
+    clock: str | None
+    flags: tuple[str, ...]
+    location: SourceLocation | None = None
+
+    @property
+    def is_temporal(self) -> bool:
+        return "temporal" in self.flags
+
+
+@dataclass(frozen=True)
+class EquivDecl:
+    """``%equiv d[0] r[0];`` — the wide register overlays narrow ones
+    starting at the given element (paper: d regs overlap r regs)."""
+
+    wide: RegRef
+    narrow: RegRef
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class ResourceDecl:
+    """``%resource IF, ID, ALU[2];`` — pipeline stages, buses, fields; a
+    ``[N]`` suffix declares an array of N identical units (section 5's
+    multiple-functional-unit extension)."""
+
+    names: tuple[str, ...]
+    location: SourceLocation | None = None
+    capacities: tuple[int, ...] = ()
+
+    def capacity_of(self, index: int) -> int:
+        if index < len(self.capacities):
+            return self.capacities[index]
+        return 1
+
+
+@dataclass(frozen=True)
+class DefDecl:
+    """``%def const16 [-32768:32767];`` — an immediate-operand range."""
+
+    name: str
+    lo: int
+    hi: int
+    flags: tuple[str, ...]
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class LabelDecl:
+    """``%label rlab [-32768:32767] +relative;`` — a branch-offset range."""
+
+    name: str
+    lo: int
+    hi: int
+    flags: tuple[str, ...]
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class MemoryDecl:
+    """``%memory m[0:2147483647];``"""
+
+    name: str
+    lo: int
+    hi: int
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class ClockDecl:
+    """``%clock clk_m;`` — a clock for an explicitly advanced pipeline."""
+
+    name: str
+    location: SourceLocation | None = None
+
+
+# --------------------------------------------------------------------------
+# Cwvm section
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeneralDecl:
+    """``%general (int) r;`` — r is the general-purpose set for ints."""
+
+    type: str
+    set_name: str
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class AllocableDecl:
+    """``%allocable r[1:5];`` — registers owned by the global allocator."""
+
+    ranges: tuple[RegRange, ...]
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class CalleeSaveDecl:
+    """``%calleesave r[4:7];``"""
+
+    ranges: tuple[RegRange, ...]
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class PointerDecl:
+    """``%sp r[7] +down;`` / ``%fp r[6] +down;`` / ``%gp r[5];``"""
+
+    which: str  # 'sp' | 'fp' | 'gp'
+    ref: RegRef
+    flags: tuple[str, ...]
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class RetAddrDecl:
+    """``%retaddr r[1];``"""
+
+    ref: RegRef
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class HardDecl:
+    """``%hard r[0] 0;`` — a register hard-wired to a constant."""
+
+    ref: RegRef
+    value: int
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class ArgDecl:
+    """``%arg (int) r[2] 1;`` — 1st int argument is passed in r[2]."""
+
+    type: str
+    ref: RegRef
+    index: int
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class ResultDecl:
+    """``%result r[2] (int);``"""
+
+    ref: RegRef
+    type: str
+    location: SourceLocation | None = None
+
+
+# --------------------------------------------------------------------------
+# Instr section
+# --------------------------------------------------------------------------
+
+
+class OperandSpec:
+    """Base class for an operand position in an instruction directive."""
+
+
+@dataclass(frozen=True)
+class RegOperand(OperandSpec):
+    """``r`` (any register of set r) or ``r[0]`` (that specific register)."""
+
+    set_name: str
+    index: int | None = None
+
+    def __str__(self) -> str:
+        return self.set_name if self.index is None else f"{self.set_name}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class ImmOperand(OperandSpec):
+    """``#const16`` or ``#rlab`` — immediate or label operand."""
+
+    def_name: str
+
+    def __str__(self) -> str:
+        return f"#{self.def_name}"
+
+
+@dataclass(frozen=True)
+class InstrDecl:
+    """One ``%instr`` or ``%move`` directive (paper section 3.3).
+
+    * ``label`` — optional ``[s.movs]`` handle for ``*func`` escapes;
+    * ``func`` — for ``*name`` escape directives, the escape function name;
+    * ``type`` — optional type constraint used during selection;
+    * ``clock`` — the clock this instruction *affects* (EAP support);
+    * ``resources`` — per-cycle resource lists (the resource vector);
+    * ``classes`` — long-instruction-word elements this sub-operation may
+      appear in (packing classes, paper section 4.5).
+    """
+
+    mnemonic: str
+    operands: tuple[OperandSpec, ...]
+    semantics: tuple[Stmt, ...]
+    resources: tuple[tuple[str, ...], ...]
+    cost: int
+    latency: int
+    slots: int
+    type: str | None = None
+    clock: str | None = None
+    label: str | None = None
+    func: str | None = None
+    classes: tuple[str, ...] = ()
+    is_move: bool = False
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class AuxDecl:
+    """``%aux fadd.d : st.d (1.$1 == 2.$1) (7);`` — override the latency of
+    the first instruction when followed by the second and the named operands
+    refer to the same value."""
+
+    first: str
+    second: str
+    first_operand: int
+    second_operand: int
+    latency: int
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class GlueDecl:
+    """A tree-to-tree IL rewrite applied before selection.
+
+    ``pattern`` and ``replacement`` are either both expressions or both
+    statements (statement-level glue rewrites branch shapes).  The operand
+    list gives the sort (register set / immediate class) of each ``$n``
+    metavariable.
+    """
+
+    operands: tuple[OperandSpec, ...]
+    pattern: object  # Expr | Stmt
+    replacement: object  # Expr | Stmt
+    location: SourceLocation | None = None
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """``%element pfmul, pfadd;`` — long-instruction-word class elements."""
+
+    names: tuple[str, ...]
+    location: SourceLocation | None = None
+
+
+# --------------------------------------------------------------------------
+# Whole description
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Description:
+    """A parsed (and, after sema, validated) machine description."""
+
+    declare: list[object] = field(default_factory=list)
+    cwvm: list[object] = field(default_factory=list)
+    instrs: list[object] = field(default_factory=list)
+    filename: str = "<maril>"
+
+    def declarations(self, cls: type) -> list:
+        return [d for d in self.declare if isinstance(d, cls)]
+
+    def cwvm_declarations(self, cls: type) -> list:
+        return [d for d in self.cwvm if isinstance(d, cls)]
+
+    def instr_decls(self) -> list[InstrDecl]:
+        return [d for d in self.instrs if isinstance(d, InstrDecl)]
+
+    def aux_decls(self) -> list[AuxDecl]:
+        return [d for d in self.instrs if isinstance(d, AuxDecl)]
+
+    def glue_decls(self) -> list[GlueDecl]:
+        return [d for d in self.instrs if isinstance(d, GlueDecl)]
+
+    def element_decls(self) -> list[ElementDecl]:
+        return [d for d in self.instrs if isinstance(d, ElementDecl)]

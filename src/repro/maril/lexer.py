@@ -1,0 +1,212 @@
+"""Hand-written lexer for Maril descriptions.
+
+Lexical notes (deviations from the paper's informal figures are listed in
+DESIGN.md):
+
+* identifiers may contain dots after the first character, so instruction
+  mnemonics like ``fadd.d`` and labels like ``s.movs`` are single tokens;
+* ``%`` immediately followed by a letter introduces a directive keyword and
+  is validated against :data:`~repro.maril.tokens.DIRECTIVE_NAMES`;
+  elsewhere ``%`` is the modulo operator;
+* ``$3`` lexes as a single DOLLAR token carrying the operand index;
+* comments are ``/* ... */`` and ``// ...``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MarilSyntaxError, SourceLocation
+from repro.maril.tokens import DIRECTIVE_NAMES, Token, TokenKind
+
+_SIMPLE = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "~": TokenKind.TILDE,
+    "#": TokenKind.HASH,
+}
+
+
+class _Cursor:
+    def __init__(self, text: str, filename: str):
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def location(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+
+def tokenize(text: str, filename: str = "<maril>") -> list[Token]:
+    """Tokenize a Maril description; raises :class:`MarilSyntaxError`."""
+    cursor = _Cursor(text, filename)
+    tokens: list[Token] = []
+    while True:
+        _skip_trivia(cursor)
+        if cursor.at_end():
+            tokens.append(Token(TokenKind.EOF, None, cursor.location()))
+            return tokens
+        tokens.append(_next_token(cursor))
+
+
+def _skip_trivia(cursor: _Cursor) -> None:
+    while not cursor.at_end():
+        ch = cursor.peek()
+        if ch in " \t\r\n":
+            cursor.advance()
+        elif ch == "/" and cursor.peek(1) == "/":
+            while not cursor.at_end() and cursor.peek() != "\n":
+                cursor.advance()
+        elif ch == "/" and cursor.peek(1) == "*":
+            start = cursor.location()
+            cursor.advance()
+            cursor.advance()
+            while not (cursor.peek() == "*" and cursor.peek(1) == "/"):
+                if cursor.at_end():
+                    raise MarilSyntaxError("unterminated /* comment", start)
+                cursor.advance()
+            cursor.advance()
+            cursor.advance()
+        else:
+            return
+
+
+def _next_token(cursor: _Cursor) -> Token:
+    loc = cursor.location()
+    ch = cursor.peek()
+
+    if ch == "%" and (cursor.peek(1).isalpha() or cursor.peek(1) == "_"):
+        cursor.advance()
+        name = _lex_name(cursor, allow_dots=False)
+        if name not in DIRECTIVE_NAMES:
+            raise MarilSyntaxError(f"unknown directive %{name}", loc)
+        return Token(TokenKind.DIRECTIVE, name, loc)
+    if ch == "%":
+        cursor.advance()
+        return Token(TokenKind.PERCENT, "%", loc)
+
+    if ch == "$":
+        cursor.advance()
+        if not cursor.peek().isdigit():
+            raise MarilSyntaxError("expected operand index after '$'", loc)
+        digits = []
+        while cursor.peek().isdigit():
+            digits.append(cursor.advance())
+        return Token(TokenKind.DOLLAR, int("".join(digits)), loc)
+
+    if ch.isalpha() or ch == "_":
+        name = _lex_name(cursor, allow_dots=True)
+        return Token(TokenKind.IDENT, name, loc)
+
+    if ch.isdigit():
+        return _lex_number(cursor, loc)
+
+    if ch == "=":
+        cursor.advance()
+        if cursor.peek() == "=" and cursor.peek(1) == ">":
+            cursor.advance()
+            cursor.advance()
+            return Token(TokenKind.ARROW, "==>", loc)
+        if cursor.peek() == "=":
+            cursor.advance()
+            return Token(TokenKind.EQ, "==", loc)
+        return Token(TokenKind.ASSIGN, "=", loc)
+    if ch == "!":
+        cursor.advance()
+        if cursor.peek() == "=":
+            cursor.advance()
+            return Token(TokenKind.NE, "!=", loc)
+        return Token(TokenKind.BANG, "!", loc)
+    if ch == "<":
+        cursor.advance()
+        if cursor.peek() == "<":
+            cursor.advance()
+            return Token(TokenKind.LSHIFT, "<<", loc)
+        if cursor.peek() == "=":
+            cursor.advance()
+            return Token(TokenKind.LE, "<=", loc)
+        return Token(TokenKind.LANGLE, "<", loc)
+    if ch == ">":
+        cursor.advance()
+        if cursor.peek() == ">":
+            cursor.advance()
+            return Token(TokenKind.RSHIFT, ">>", loc)
+        if cursor.peek() == "=":
+            cursor.advance()
+            return Token(TokenKind.GE, ">=", loc)
+        return Token(TokenKind.RANGLE, ">", loc)
+    if ch == ":":
+        cursor.advance()
+        if cursor.peek() == ":":
+            cursor.advance()
+            return Token(TokenKind.COLONCOLON, "::", loc)
+        return Token(TokenKind.COLON, ":", loc)
+
+    if ch in _SIMPLE:
+        cursor.advance()
+        return Token(_SIMPLE[ch], ch, loc)
+
+    raise MarilSyntaxError(f"unexpected character {ch!r}", loc)
+
+
+def _lex_name(cursor: _Cursor, allow_dots: bool) -> str:
+    chars = [cursor.advance()]
+    while True:
+        ch = cursor.peek()
+        if ch.isalnum() or ch == "_":
+            chars.append(cursor.advance())
+        elif allow_dots and ch == "." and (cursor.peek(1).isalnum() or cursor.peek(1) == "_"):
+            chars.append(cursor.advance())
+        else:
+            return "".join(chars)
+
+
+def _lex_number(cursor: _Cursor, loc: SourceLocation) -> Token:
+    digits = []
+    while cursor.peek().isdigit():
+        digits.append(cursor.advance())
+    if cursor.peek() == "." and cursor.peek(1).isdigit():
+        digits.append(cursor.advance())
+        while cursor.peek().isdigit():
+            digits.append(cursor.advance())
+        return Token(TokenKind.FLOAT, float("".join(digits)), loc)
+    if cursor.peek() == "x" and digits == ["0"]:
+        cursor.advance()
+        hex_digits = []
+        while cursor.peek() and cursor.peek() in "0123456789abcdefABCDEF":
+            hex_digits.append(cursor.advance())
+        if not hex_digits:
+            raise MarilSyntaxError("malformed hex literal", loc)
+        return Token(TokenKind.INT, int("".join(hex_digits), 16), loc)
+    return Token(TokenKind.INT, int("".join(digits)), loc)

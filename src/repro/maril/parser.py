@@ -1,0 +1,580 @@
+"""Recursive-descent parser for Maril machine descriptions.
+
+The grammar follows paper figures 1-3 and 5; machine-checkable deviations
+(comma-separated ``%resource`` lists, an explicit ``%element`` directive and
+``<...>`` class clauses) are documented in DESIGN.md.
+
+:func:`parse_maril` lexes, parses and semantically checks a description,
+returning a validated :class:`~repro.maril.ast.Description`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MarilSyntaxError
+from repro.maril import ast
+from repro.maril.lexer import tokenize
+from repro.maril.tokens import Token, TokenKind
+
+
+def parse_maril(text: str, filename: str = "<maril>") -> ast.Description:
+    """Parse and validate a Maril description."""
+    from repro.maril.sema import check_description
+
+    parser = _Parser(tokenize(text, filename), filename)
+    description = parser.parse_description()
+    check_description(description)
+    return description
+
+
+def parse_maril_unchecked(text: str, filename: str = "<maril>") -> ast.Description:
+    """Parse without semantic validation (used by sema's own tests)."""
+    return _Parser(tokenize(text, filename), filename).parse_description()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], filename: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.filename = filename
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, kind: TokenKind, value: object = None) -> bool:
+        token = self.peek()
+        if token.kind is not kind:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, kind: TokenKind, value: object = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, value: object = None) -> Token:
+        token = self.peek()
+        if not self.check(kind, value):
+            wanted = value if value is not None else kind.value
+            raise MarilSyntaxError(
+                f"expected {wanted!r}, found {token.value!r}", token.location
+            )
+        return self.advance()
+
+    def error(self, message: str) -> MarilSyntaxError:
+        return MarilSyntaxError(message, self.peek().location)
+
+    # -- description / sections --------------------------------------------
+
+    def parse_description(self) -> ast.Description:
+        description = ast.Description(filename=self.filename)
+        while not self.check(TokenKind.EOF):
+            section = self.expect(TokenKind.IDENT)
+            if section.value == "declare":
+                self._parse_block(description.declare, self._parse_declare_item)
+            elif section.value == "cwvm":
+                self._parse_block(description.cwvm, self._parse_cwvm_item)
+            elif section.value == "instr":
+                self._parse_block(description.instrs, self._parse_instr_item)
+            else:
+                raise MarilSyntaxError(
+                    f"expected a section name (declare/cwvm/instr), found "
+                    f"{section.value!r}",
+                    section.location,
+                )
+        return description
+
+    def _parse_block(self, into: list, item_parser) -> None:
+        self.expect(TokenKind.LBRACE)
+        while not self.accept(TokenKind.RBRACE):
+            into.append(item_parser())
+
+    # -- declare section ----------------------------------------------------
+
+    def _parse_declare_item(self):
+        token = self.expect(TokenKind.DIRECTIVE)
+        name = token.value
+        if name == "reg":
+            return self._parse_reg(token)
+        if name == "equiv":
+            return self._parse_equiv(token)
+        if name == "resource":
+            entries = [self._parse_resource_entry()]
+            while self.accept(TokenKind.COMMA):
+                entries.append(self._parse_resource_entry())
+            self.expect(TokenKind.SEMI)
+            return ast.ResourceDecl(
+                tuple(n for n, _ in entries),
+                token.location,
+                capacities=tuple(c for _, c in entries),
+            )
+        if name in ("def", "label"):
+            return self._parse_def_or_label(token)
+        if name == "memory":
+            ref = self.expect(TokenKind.IDENT).value
+            self.expect(TokenKind.LBRACKET)
+            lo = self._parse_int()
+            self.expect(TokenKind.COLON)
+            hi = self._parse_int()
+            self.expect(TokenKind.RBRACKET)
+            self.expect(TokenKind.SEMI)
+            return ast.MemoryDecl(ref, lo, hi, token.location)
+        if name == "clock":
+            clock = self.expect(TokenKind.IDENT).value
+            self.expect(TokenKind.SEMI)
+            return ast.ClockDecl(clock, token.location)
+        raise MarilSyntaxError(
+            f"%{name} is not valid in the declare section", token.location
+        )
+
+    def _parse_reg(self, token: Token) -> ast.RegDecl:
+        reg_name = self.expect(TokenKind.IDENT).value
+        lo = hi = 0
+        if self.accept(TokenKind.LBRACKET):
+            lo = self._parse_int()
+            self.expect(TokenKind.COLON)
+            hi = self._parse_int()
+            self.expect(TokenKind.RBRACKET)
+        types: list[str] = []
+        clock = None
+        if self.accept(TokenKind.LPAREN):
+            types.append(self.expect(TokenKind.IDENT).value)
+            while self.accept(TokenKind.COMMA):
+                types.append(self.expect(TokenKind.IDENT).value)
+            if self.accept(TokenKind.SEMI):
+                clock = self.expect(TokenKind.IDENT).value
+            self.expect(TokenKind.RPAREN)
+        flags = self._parse_flags()
+        self.expect(TokenKind.SEMI)
+        return ast.RegDecl(reg_name, lo, hi, tuple(types), clock, flags, token.location)
+
+    def _parse_equiv(self, token: Token) -> ast.EquivDecl:
+        first = self._parse_regref()
+        second = self._parse_regref()
+        self.expect(TokenKind.SEMI)
+        # Which ref is the wide one is resolved in sema using register sizes.
+        return ast.EquivDecl(first, second, token.location)
+
+    def _parse_resource_entry(self) -> tuple[str, int]:
+        name = self.expect(TokenKind.IDENT).value
+        capacity = 1
+        if self.accept(TokenKind.LBRACKET):
+            capacity = self._parse_int()
+            self.expect(TokenKind.RBRACKET)
+        return name, capacity
+
+    def _parse_def_or_label(self, token: Token):
+        def_name = self.expect(TokenKind.IDENT).value
+        self.expect(TokenKind.LBRACKET)
+        lo = self._parse_int()
+        self.expect(TokenKind.COLON)
+        hi = self._parse_int()
+        self.expect(TokenKind.RBRACKET)
+        flags = self._parse_flags()
+        self.expect(TokenKind.SEMI)
+        cls = ast.DefDecl if token.value == "def" else ast.LabelDecl
+        return cls(def_name, lo, hi, flags, token.location)
+
+    # -- cwvm section ---------------------------------------------------------
+
+    def _parse_cwvm_item(self):
+        token = self.expect(TokenKind.DIRECTIVE)
+        name = token.value
+        if name == "general":
+            self.expect(TokenKind.LPAREN)
+            type_name = self.expect(TokenKind.IDENT).value
+            self.expect(TokenKind.RPAREN)
+            set_name = self.expect(TokenKind.IDENT).value
+            self.expect(TokenKind.SEMI)
+            return ast.GeneralDecl(type_name, set_name, token.location)
+        if name in ("allocable", "calleesave"):
+            ranges = [self._parse_regrange()]
+            while self.accept(TokenKind.COMMA):
+                ranges.append(self._parse_regrange())
+            self.expect(TokenKind.SEMI)
+            cls = ast.AllocableDecl if name == "allocable" else ast.CalleeSaveDecl
+            return cls(tuple(ranges), token.location)
+        if name in ("sp", "fp", "gp"):
+            ref = self._parse_regref()
+            flags = self._parse_flags()
+            self.expect(TokenKind.SEMI)
+            return ast.PointerDecl(name, ref, flags, token.location)
+        if name == "retaddr":
+            ref = self._parse_regref()
+            self.expect(TokenKind.SEMI)
+            return ast.RetAddrDecl(ref, token.location)
+        if name == "hard":
+            ref = self._parse_regref()
+            value = self._parse_int()
+            self.expect(TokenKind.SEMI)
+            return ast.HardDecl(ref, value, token.location)
+        if name == "arg":
+            self.expect(TokenKind.LPAREN)
+            type_name = self.expect(TokenKind.IDENT).value
+            self.expect(TokenKind.RPAREN)
+            ref = self._parse_regref()
+            index = self._parse_int()
+            self.expect(TokenKind.SEMI)
+            return ast.ArgDecl(type_name, ref, index, token.location)
+        if name == "result":
+            ref = self._parse_regref()
+            self.expect(TokenKind.LPAREN)
+            type_name = self.expect(TokenKind.IDENT).value
+            self.expect(TokenKind.RPAREN)
+            self.expect(TokenKind.SEMI)
+            return ast.ResultDecl(ref, type_name, token.location)
+        raise MarilSyntaxError(f"%{name} is not valid in the cwvm section", token.location)
+
+    # -- instr section ----------------------------------------------------
+
+    def _parse_instr_item(self):
+        token = self.expect(TokenKind.DIRECTIVE)
+        name = token.value
+        if name in ("instr", "move"):
+            return self._parse_instruction(token, is_move=(name == "move"))
+        if name == "aux":
+            return self._parse_aux(token)
+        if name == "glue":
+            return self._parse_glue(token)
+        if name == "element":
+            names = self._parse_ident_list()
+            self.expect(TokenKind.SEMI)
+            return ast.ElementDecl(tuple(names), token.location)
+        raise MarilSyntaxError(
+            f"%{name} is not valid in the instr section", token.location
+        )
+
+    def _parse_instruction(self, token: Token, is_move: bool) -> ast.InstrDecl:
+        label = None
+        func = None
+        if self.check(TokenKind.LBRACKET):
+            # optional [s.movs] label for *func references
+            self.advance()
+            label = self.expect(TokenKind.IDENT).value
+            self.expect(TokenKind.RBRACKET)
+        if self.accept(TokenKind.STAR):
+            func = self.expect(TokenKind.IDENT).value
+            mnemonic = "*" + func
+        else:
+            mnemonic = self.expect(TokenKind.IDENT).value
+
+        operands = self._parse_operand_list()
+        type_name, clock = self._parse_type_clause()
+        semantics = self._parse_semantics()
+        resources = self._parse_resources()
+        cost, latency, slots = self._parse_triple()
+        classes: tuple[str, ...] = ()
+        if self.accept(TokenKind.LANGLE):
+            classes = tuple(self._parse_ident_list())
+            self.expect(TokenKind.RANGLE)
+        self.expect(TokenKind.SEMI)
+        return ast.InstrDecl(
+            mnemonic=mnemonic,
+            operands=tuple(operands),
+            semantics=tuple(semantics),
+            resources=tuple(resources),
+            cost=cost,
+            latency=latency,
+            slots=slots,
+            type=type_name,
+            clock=clock,
+            label=label,
+            func=func,
+            classes=classes,
+            is_move=is_move,
+            location=token.location,
+        )
+
+    def _parse_operand_list(self) -> list[ast.OperandSpec]:
+        operands: list[ast.OperandSpec] = []
+        if not (self.check(TokenKind.IDENT) or self.check(TokenKind.HASH)):
+            return operands
+        operands.append(self._parse_operand())
+        while self.accept(TokenKind.COMMA):
+            operands.append(self._parse_operand())
+        return operands
+
+    def _parse_operand(self) -> ast.OperandSpec:
+        if self.accept(TokenKind.HASH):
+            return ast.ImmOperand(self.expect(TokenKind.IDENT).value)
+        set_name = self.expect(TokenKind.IDENT).value
+        index = None
+        if self.accept(TokenKind.LBRACKET):
+            index = self._parse_int()
+            self.expect(TokenKind.RBRACKET)
+        return ast.RegOperand(set_name, index)
+
+    def _parse_type_clause(self) -> tuple[str | None, str | None]:
+        """``(int)`` or ``(double; clk_m)`` or ``(; clk_m)`` or absent."""
+        if not self.check(TokenKind.LPAREN):
+            return None, None
+        # Disambiguate from the (cost,latency,slots) triple: a triple starts
+        # with an integer or '-'.
+        after = self.peek(1)
+        if after.kind in (TokenKind.INT, TokenKind.MINUS):
+            return None, None
+        self.advance()
+        type_name = None
+        clock = None
+        if self.check(TokenKind.IDENT):
+            type_name = self.advance().value
+        if self.accept(TokenKind.SEMI):
+            clock = self.expect(TokenKind.IDENT).value
+        self.expect(TokenKind.RPAREN)
+        return type_name, clock
+
+    def _parse_semantics(self) -> list[ast.Stmt]:
+        self.expect(TokenKind.LBRACE)
+        stmts: list[ast.Stmt] = []
+        while not self.accept(TokenKind.RBRACE):
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> ast.Stmt:
+        if self.accept(TokenKind.SEMI):
+            return ast.EmptyStmt()
+        if self.check(TokenKind.IDENT, "if"):
+            self.advance()
+            self.expect(TokenKind.LPAREN)
+            condition = self._parse_expr()
+            self.expect(TokenKind.RPAREN)
+            self.expect(TokenKind.IDENT, "goto")
+            target = self._parse_primary()
+            self.expect(TokenKind.SEMI)
+            return ast.CondGotoStmt(condition, target)
+        if self.check(TokenKind.IDENT, "goto"):
+            self.advance()
+            target = self._parse_primary()
+            self.expect(TokenKind.SEMI)
+            return ast.GotoStmt(target)
+        if self.check(TokenKind.IDENT, "call"):
+            self.advance()
+            target = self._parse_primary()
+            self.expect(TokenKind.SEMI)
+            return ast.CallStmt(target)
+        if self.check(TokenKind.IDENT, "ret"):
+            self.advance()
+            self.expect(TokenKind.SEMI)
+            return ast.RetStmt()
+        target = self._parse_lvalue()
+        self.expect(TokenKind.ASSIGN)
+        value = self._parse_expr()
+        self.expect(TokenKind.SEMI)
+        return ast.AssignStmt(target, value)
+
+    def _parse_lvalue(self) -> ast.Expr:
+        if self.check(TokenKind.DOLLAR):
+            return ast.OperandRef(self.advance().value)
+        name = self.expect(TokenKind.IDENT).value
+        if self.accept(TokenKind.LBRACKET):
+            address = self._parse_expr()
+            self.expect(TokenKind.RBRACKET)
+            return ast.MemRef(name, address)
+        return ast.NameRef(name)
+
+    def _parse_resources(self) -> list[tuple[str, ...]]:
+        self.expect(TokenKind.LBRACKET)
+        cycles: list[tuple[str, ...]] = []
+        while not self.check(TokenKind.RBRACKET):
+            cycle = [self.expect(TokenKind.IDENT).value]
+            while self.accept(TokenKind.COMMA):
+                cycle.append(self.expect(TokenKind.IDENT).value)
+            cycles.append(tuple(cycle))
+            if not self.accept(TokenKind.SEMI):
+                break
+        self.expect(TokenKind.RBRACKET)
+        return cycles
+
+    def _parse_triple(self) -> tuple[int, int, int]:
+        self.expect(TokenKind.LPAREN)
+        cost = self._parse_int()
+        self.expect(TokenKind.COMMA)
+        latency = self._parse_int()
+        self.expect(TokenKind.COMMA)
+        slots = self._parse_int()
+        self.expect(TokenKind.RPAREN)
+        return cost, latency, slots
+
+    def _parse_aux(self, token: Token) -> ast.AuxDecl:
+        first = self.expect(TokenKind.IDENT).value
+        self.expect(TokenKind.COLON)
+        second = self.expect(TokenKind.IDENT).value
+        self.expect(TokenKind.LPAREN)
+        first_instr = self._parse_int()
+        self.expect(TokenKind.DOT)
+        first_op = self.expect(TokenKind.DOLLAR).value
+        self.expect(TokenKind.EQ)
+        second_instr = self._parse_int()
+        self.expect(TokenKind.DOT)
+        second_op = self.expect(TokenKind.DOLLAR).value
+        self.expect(TokenKind.RPAREN)
+        if (first_instr, second_instr) != (1, 2):
+            raise MarilSyntaxError(
+                "aux condition must compare operand of instruction 1 with "
+                "operand of instruction 2 (e.g. 1.$1 == 2.$1)",
+                token.location,
+            )
+        self.expect(TokenKind.LPAREN)
+        latency = self._parse_int()
+        self.expect(TokenKind.RPAREN)
+        self.expect(TokenKind.SEMI)
+        return ast.AuxDecl(first, second, first_op, second_op, latency, token.location)
+
+    def _parse_glue(self, token: Token) -> ast.GlueDecl:
+        operands = self._parse_operand_list()
+        self.expect(TokenKind.LBRACE)
+        pattern = self._parse_glue_item()
+        self.expect(TokenKind.ARROW)
+        replacement = self._parse_glue_item()
+        self.accept(TokenKind.SEMI)
+        self.expect(TokenKind.RBRACE)
+        self.accept(TokenKind.SEMI)
+        if isinstance(pattern, ast.Stmt) != isinstance(replacement, ast.Stmt):
+            raise MarilSyntaxError(
+                "glue pattern and replacement must both be statements or "
+                "both be expressions",
+                token.location,
+            )
+        return ast.GlueDecl(tuple(operands), pattern, replacement, token.location)
+
+    def _parse_glue_item(self):
+        """A statement (without trailing ';') or an expression."""
+        if self.check(TokenKind.IDENT, "if"):
+            self.advance()
+            self.expect(TokenKind.LPAREN)
+            condition = self._parse_expr()
+            self.expect(TokenKind.RPAREN)
+            self.expect(TokenKind.IDENT, "goto")
+            target = self._parse_primary()
+            return ast.CondGotoStmt(condition, target)
+        if self.check(TokenKind.IDENT, "goto"):
+            self.advance()
+            return ast.GotoStmt(self._parse_primary())
+        return self._parse_expr()
+
+    # -- expressions ------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    _PRECEDENCE: list[list[tuple[TokenKind, str]]] = [
+        [(TokenKind.PIPE, "|")],
+        [(TokenKind.CARET, "^")],
+        [(TokenKind.AMP, "&")],
+        [(TokenKind.EQ, "=="), (TokenKind.NE, "!=")],
+        [
+            (TokenKind.LANGLE, "<"),
+            (TokenKind.LE, "<="),
+            (TokenKind.RANGLE, ">"),
+            (TokenKind.GE, ">="),
+        ],
+        [(TokenKind.COLONCOLON, "::")],
+        [(TokenKind.LSHIFT, "<<"), (TokenKind.RSHIFT, ">>")],
+        [(TokenKind.PLUS, "+"), (TokenKind.MINUS, "-")],
+        [(TokenKind.STAR, "*"), (TokenKind.SLASH, "/"), (TokenKind.PERCENT, "%")],
+    ]
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        while True:
+            for kind, op in self._PRECEDENCE[level]:
+                if self.check(kind):
+                    self.advance()
+                    right = self._parse_binary(level + 1)
+                    left = ast.Binary(op, left, right)
+                    break
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        for kind, op in ((TokenKind.MINUS, "-"), (TokenKind.TILDE, "~"), (TokenKind.BANG, "!")):
+            if self.check(kind):
+                self.advance()
+                return ast.Unary(op, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.DOLLAR:
+            self.advance()
+            return ast.OperandRef(token.value)
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLit(token.value)
+        if token.kind is TokenKind.FLOAT:
+            self.advance()
+            return ast.FloatLit(token.value)
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            expr = self._parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            name = token.value
+            if self.accept(TokenKind.LPAREN):
+                args = []
+                if not self.check(TokenKind.RPAREN):
+                    args.append(self._parse_expr())
+                    while self.accept(TokenKind.COMMA):
+                        args.append(self._parse_expr())
+                self.expect(TokenKind.RPAREN)
+                if name not in ast.BUILTIN_NAMES:
+                    raise MarilSyntaxError(f"unknown builtin {name!r}", token.location)
+                return ast.BuiltinCall(name, tuple(args))
+            if self.accept(TokenKind.LBRACKET):
+                address = self._parse_expr()
+                self.expect(TokenKind.RBRACKET)
+                return ast.MemRef(name, address)
+            return ast.NameRef(name)
+        raise MarilSyntaxError(
+            f"expected an expression, found {token.value!r}", token.location
+        )
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _parse_int(self) -> int:
+        negative = bool(self.accept(TokenKind.MINUS))
+        value = self.expect(TokenKind.INT).value
+        return -value if negative else value
+
+    def _parse_regref(self) -> ast.RegRef:
+        set_name = self.expect(TokenKind.IDENT).value
+        self.expect(TokenKind.LBRACKET)
+        index = self._parse_int()
+        self.expect(TokenKind.RBRACKET)
+        return ast.RegRef(set_name, index)
+
+    def _parse_regrange(self) -> ast.RegRange:
+        set_name = self.expect(TokenKind.IDENT).value
+        if not self.accept(TokenKind.LBRACKET):
+            return ast.RegRange(set_name, None, None)
+        lo = self._parse_int()
+        hi = lo
+        if self.accept(TokenKind.COLON):
+            hi = self._parse_int()
+        self.expect(TokenKind.RBRACKET)
+        return ast.RegRange(set_name, lo, hi)
+
+    def _parse_flags(self) -> tuple[str, ...]:
+        flags: list[str] = []
+        while self.check(TokenKind.PLUS) and self.peek(1).kind is TokenKind.IDENT:
+            self.advance()
+            flags.append(self.advance().value)
+        return tuple(flags)
+
+    def _parse_ident_list(self) -> list[str]:
+        names = [self.expect(TokenKind.IDENT).value]
+        while self.accept(TokenKind.COMMA):
+            names.append(self.expect(TokenKind.IDENT).value)
+        return names

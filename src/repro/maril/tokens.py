@@ -1,0 +1,92 @@
+"""Token definitions for the Maril lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    DIRECTIVE = "directive"  # %reg, %instr, ...  value excludes the '%'
+    IDENT = "ident"  # names; dots allowed inside (fadd.d, s.movs)
+    INT = "int"  # integer literal (no sign; '-' is an operator)
+    FLOAT = "float"  # floating literal
+    DOLLAR = "dollar"  # $n operand reference; value is the index int
+    HASH = "hash"  # '#' (immediate operand marker)
+    STAR = "star"  # '*'
+    LBRACE = "lbrace"
+    RBRACE = "rbrace"
+    LBRACKET = "lbracket"
+    RBRACKET = "rbracket"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    LANGLE = "langle"  # '<'
+    RANGLE = "rangle"  # '>'
+    SEMI = "semi"
+    COMMA = "comma"
+    COLON = "colon"
+    COLONCOLON = "coloncolon"  # '::' generic compare
+    DOT = "dot"
+    ASSIGN = "assign"  # '='
+    ARROW = "arrow"  # '==>' glue rewrite
+    PLUS = "plus"
+    MINUS = "minus"
+    SLASH = "slash"
+    PERCENT = "percent"  # '%' as modulo inside expressions
+    AMP = "amp"
+    PIPE = "pipe"
+    CARET = "caret"
+    TILDE = "tilde"
+    BANG = "bang"
+    LSHIFT = "lshift"
+    RSHIFT = "rshift"
+    EQ = "eq"  # '=='
+    NE = "ne"
+    LE = "le"
+    GE = "ge"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: object
+    location: SourceLocation
+
+    def __repr__(self) -> str:  # compact for test failure messages
+        return f"Token({self.kind.name}, {self.value!r})"
+
+
+# Directive spellings accepted after '%'.  The lexer validates against this
+# set so that a typo like %registr fails at lex time with a clear message.
+DIRECTIVE_NAMES = frozenset(
+    {
+        # declare section
+        "reg",
+        "equiv",
+        "resource",
+        "def",
+        "label",
+        "memory",
+        "clock",
+        # cwvm section
+        "general",
+        "allocable",
+        "calleesave",
+        "sp",
+        "fp",
+        "gp",
+        "retaddr",
+        "hard",
+        "arg",
+        "result",
+        # instr section
+        "instr",
+        "move",
+        "aux",
+        "glue",
+        "element",
+    }
+)

@@ -1,0 +1,163 @@
+"""Linking: machine programs -> executable images for the simulator.
+
+Lays out the data segment, resolves symbolic immediates (global addresses,
+``high``/``low`` relocation halves), flattens functions into one instruction
+array with a label map, and re-verifies that every resolved immediate fits
+the operand range its instruction declared (the assumptions made for
+symbolic values during selection are checked here).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.backend.codegen import MachineProgram
+from repro.backend.insts import Imm, Lab, MachineInstr
+from repro.backend.values import GpOffset, HighHalf, LowHalf, SlotOffset, SymbolRef
+from repro.errors import MarionError
+from repro.machine.instruction import OperandMode
+from repro.machine.target import TargetMachine
+
+#: Where the data segment starts in simulated memory.
+DATA_BASE = 4096
+
+#: The global pointer sits mid-window so gp-relative 16-bit displacements
+#: reach 64 KB of data (the MIPS convention).
+GP_BIAS = 0x7FF0
+
+_SIZES = {"int": 4, "float": 4, "double": 8}
+
+
+@dataclass
+class Executable:
+    """A linked program the simulator can run."""
+
+    target: TargetMachine
+    instrs: list[MachineInstr] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    functions: dict[str, int] = field(default_factory=dict)
+    symbols: dict[str, int] = field(default_factory=dict)
+    #: (address, type, value) triples to install before running
+    data_init: list[tuple[int, str, object]] = field(default_factory=list)
+    memory_size: int = 1 << 20
+    data_end: int = DATA_BASE
+    gp_base: int = DATA_BASE + GP_BIAS
+
+    def instruction_count(self) -> int:
+        return len(self.instrs)
+
+    def entry(self, function: str) -> int:
+        try:
+            return self.functions[function]
+        except KeyError:
+            raise MarionError(f"executable has no function {function!r}") from None
+
+    def initial_memory(self) -> bytearray:
+        memory = bytearray(self.memory_size)
+        for address, type_name, value in self.data_init:
+            if type_name == "double":
+                memory[address : address + 8] = struct.pack("<d", float(value))
+            elif type_name == "float":
+                memory[address : address + 4] = struct.pack("<f", float(value))
+            else:
+                memory[address : address + 4] = struct.pack(
+                    "<i", int(value) & 0xFFFFFFFF if int(value) >= 0 else int(value)
+                )
+        return memory
+
+
+def link(program: MachineProgram, memory_size: int = 1 << 20) -> Executable:
+    """Lay out and resolve ``program`` into an :class:`Executable`."""
+    exe = Executable(target=program.target, memory_size=memory_size)
+
+    # -- data segment: small (gp-addressable) globals first, so they land
+    # inside the 64 KB window around gp ------------------------------------
+    from repro.backend.lower import GP_SMALL_DATA_THRESHOLD
+
+    ordered = sorted(
+        program.globals.items(),
+        key=lambda item: item[1].size > GP_SMALL_DATA_THRESHOLD,
+    )
+    address = DATA_BASE
+    for name, var in ordered:
+        size = _SIZES[var.type]
+        address = (address + size - 1) // size * size
+        exe.symbols[name] = address
+        if var.initial:
+            for position, value in enumerate(var.initial):
+                exe.data_init.append((address + position * size, var.type, value))
+        address += var.size
+    exe.data_end = address
+    if address >= memory_size // 2:
+        raise MarionError(
+            f"data segment ({address} bytes) does not leave room for the stack"
+        )
+
+    # -- code --------------------------------------------------------------
+    for fn in program.functions:
+        exe.functions[fn.name] = len(exe.instrs)
+        for block in fn.blocks:
+            if block.label in exe.labels:
+                raise MarionError(f"duplicate label {block.label!r}")
+            exe.labels[block.label] = len(exe.instrs)
+            exe.instrs.extend(block.instrs)
+
+    # -- resolve immediates ---------------------------------------------------
+    for instr in exe.instrs:
+        _resolve_instr(instr, exe)
+
+    # -- verify branch targets ---------------------------------------------------
+    for instr in exe.instrs:
+        for position in instr.desc.label_operands:
+            operand = instr.operands[position]
+            if isinstance(operand, Lab) and operand.name not in exe.labels:
+                raise MarionError(
+                    f"{instr}: branch target {operand.name!r} is undefined"
+                )
+    return exe
+
+
+def _resolve_instr(instr: MachineInstr, exe: Executable) -> None:
+    for position, operand in enumerate(instr.operands):
+        if not isinstance(operand, Imm):
+            continue
+        value = _resolve_value(operand.value, exe, instr)
+        spec = instr.desc.operands[position]
+        if spec.mode is OperandMode.IMM and isinstance(value, int):
+            if not spec.accepts_int(value) and not spec.absolute:
+                raise MarionError(
+                    f"{instr}: resolved immediate {value} does not fit "
+                    f"#{spec.def_name} [{spec.lo}:{spec.hi}]"
+                )
+        instr.operands[position] = Imm(value)
+
+
+def _resolve_value(value: object, exe: Executable, instr: MachineInstr) -> object:
+    if isinstance(value, SymbolRef):
+        base = exe.symbols.get(value.name)
+        if base is None:
+            raise MarionError(f"{instr}: undefined symbol {value.name!r}")
+        return base + value.addend
+    if isinstance(value, SlotOffset):
+        if value.slot.offset is None:
+            raise MarionError(f"{instr}: unresolved frame slot {value.slot}")
+        return value.slot.offset + value.addend
+    if isinstance(value, GpOffset):
+        base = exe.symbols.get(value.name)
+        if base is None:
+            raise MarionError(f"{instr}: undefined symbol {value.name!r}")
+        displacement = base + value.addend - exe.gp_base
+        if not -32768 <= displacement <= 32767:
+            raise MarionError(
+                f"{instr}: {value.name} is outside the 64 KB gp window "
+                f"(displacement {displacement})"
+            )
+        return displacement
+    if isinstance(value, HighHalf):
+        base = _resolve_value(value.base, exe, instr)
+        return (int(base) >> 16) & 0xFFFF
+    if isinstance(value, LowHalf):
+        base = _resolve_value(value.base, exe, instr)
+        return int(base) & 0xFFFF
+    return value

@@ -1,0 +1,196 @@
+"""In-order pipeline timing model.
+
+Charges cycles to a dynamic instruction stream using the same Maril-derived
+resource vectors, latencies, ``%aux`` overrides and packing classes the
+scheduler used — but observed at run time, the way the hardware would:
+
+* an instruction cannot issue before its operands are ready (register
+  interlock; the DECstation's R3000-style behaviour);
+* it cannot issue on a cycle where its resource vector collides with
+  resources already committed (structural hazard, section 4.3);
+* several instructions may issue on one cycle when resources are disjoint
+  and packing classes intersect (dual-issue i860, sections 4.3/4.5);
+* taken control transfers redirect the fetch stream after the producer's
+  latency (delay-slot instructions issue in the gap);
+* data-cache misses stretch a load's result latency.
+"""
+
+from __future__ import annotations
+
+from repro.backend.insts import MachineInstr, Reg
+from repro.machine.registers import PhysReg
+from repro.machine.resources import commit, conflicts
+from repro.machine.target import TargetMachine
+from repro.sim.cache import DirectMappedCache
+
+
+class PipelineModel:
+    """Charges cycles to a dynamic instruction stream (one per run)."""
+
+    def __init__(self, target: TargetMachine, cache: DirectMappedCache | None = None):
+        self.target = target
+        self.registers = target.registers
+        self.cache = cache
+        self.last_issue = 0
+        self.redirect_floor = 0  # earliest issue after a taken transfer
+        #: unit key -> (producer issue cycle, producer mnemonic, produced reg)
+        self.producers: dict = {}
+        self.temporal_producers: dict[str, tuple[int, str]] = {}
+        self.resource_use: dict[int, int] = {}
+        self.cycle_classes: dict[int, frozenset] = {}
+        self.last_store_issue = -1
+        self.last_load_issue = -1
+        self._horizon = 0  # cycles below this have been pruned
+        #: per-instruction static facts keyed by instr.id:
+        #: (use_units, def_units_by_operand, implicit_def_units, temporal)
+        self._static: dict[int, tuple] = {}
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _facts(self, instr: MachineInstr):
+        """Static register-unit facts for one instruction, memoized."""
+        facts = self._static.get(instr.id)
+        if facts is not None:
+            return facts
+        units_of = self.registers.units_of
+        use_units = []
+        for position in instr.desc.use_operands:
+            operand = instr.operands[position]
+            if isinstance(operand, Reg) and isinstance(operand.reg, PhysReg):
+                use_units.extend(units_of(operand.reg))
+        for reg in instr.implicit_uses:
+            use_units.extend(units_of(reg))
+        def_entries = []
+        for position in instr.desc.def_operands:
+            operand = instr.operands[position]
+            if isinstance(operand, Reg) and isinstance(operand.reg, PhysReg):
+                def_entries.append((units_of(operand.reg), operand.reg))
+        implicit_defs = [
+            (units_of(reg), reg) for reg in instr.implicit_defs
+        ]
+        facts = (tuple(use_units), tuple(def_entries), tuple(implicit_defs))
+        self._static[instr.id] = facts
+        return facts
+
+    def _ready_cycle(self, instr: MachineInstr) -> int:
+        ready = 0
+        use_units, _defs, _implicits = self._facts(instr)
+        producers = self.producers
+        for unit in use_units:
+            producer = producers.get(unit)
+            if producer is None:
+                continue
+            issue, mnemonic, produced_reg = producer
+            latency = self._latency(mnemonic, produced_reg, instr)
+            if issue + latency > ready:
+                ready = issue + latency
+        for name in instr.desc.temporal_reads:
+            producer = self.temporal_producers.get(name)
+            if producer is not None:
+                issue, mnemonic = producer
+                latency = self.target.instructions[mnemonic].latency \
+                    if mnemonic in self.target.instructions else 1
+                if issue + latency > ready:
+                    ready = issue + latency
+        return ready
+
+    def _latency(self, mnemonic: str, produced_reg, consumer: MachineInstr) -> int:
+        rule = self.target.aux_latency(mnemonic, consumer.desc.mnemonic)
+        if rule is not None:
+            position = rule.second_operand - 1
+            if position < len(consumer.operands):
+                operand = consumer.operands[position]
+                if isinstance(operand, Reg) and operand.reg == produced_reg:
+                    return rule.latency
+        desc = self.target.instructions.get(mnemonic)
+        return desc.latency if desc is not None else 1
+
+    # -- main entry -----------------------------------------------------------
+
+    def issue(self, instr: MachineInstr, mem_log) -> int:
+        """Charge cycles for one executed instruction; returns issue cycle."""
+        desc = instr.desc
+        start = max(self.last_issue, self.redirect_floor, self._ready_cycle(instr))
+
+        if desc.reads_memory and self.last_store_issue >= 0:
+            start = max(start, self.last_store_issue + 1)
+        if desc.writes_memory:
+            start = max(start, self.last_store_issue + 1, self.last_load_issue)
+
+        vector = desc.resource_vector
+        classes = desc.classes
+        cycle = start
+        while True:
+            conflict = False
+            for offset, need in enumerate(vector):
+                if conflicts(self.resource_use.get(cycle + offset, 0), need):
+                    conflict = True
+                    break
+            if not conflict and classes:
+                existing = self.cycle_classes.get(cycle)
+                if existing is not None and not (existing & classes):
+                    conflict = True
+            if not conflict:
+                break
+            cycle += 1
+
+        for offset, need in enumerate(vector):
+            self.resource_use[cycle + offset] = commit(
+                self.resource_use.get(cycle + offset, 0), need
+            )
+        if classes:
+            existing = self.cycle_classes.get(cycle)
+            self.cycle_classes[cycle] = (
+                classes if existing is None else existing & classes
+            )
+
+        # memory + cache effects
+        extra_latency = 0
+        for address, is_write, _size in mem_log:
+            if self.cache is not None and not self.cache.access(address):
+                if not is_write:  # write-through: stores do not stall
+                    extra_latency += self.cache.miss_penalty
+            if is_write:
+                self.last_store_issue = max(self.last_store_issue, cycle)
+            else:
+                self.last_load_issue = max(self.last_load_issue, cycle)
+
+        # record produced values (producers store issue cycle; the
+        # consumer adds the pair latency at use)
+        _uses, def_entries, implicit_defs = self._facts(instr)
+        for units, reg in def_entries:
+            entry = (cycle + extra_latency, desc.mnemonic, reg)
+            for unit in units:
+                self.producers[unit] = entry
+        for units, reg in implicit_defs:
+            entry = (cycle, desc.mnemonic, reg)
+            for unit in units:
+                self.producers[unit] = entry
+        for name in desc.temporal_writes:
+            self.temporal_producers[name] = (cycle, desc.mnemonic)
+
+        self.last_issue = cycle
+        self._prune(cycle)
+        return cycle
+
+    def transfer(self, instr: MachineInstr, issue_cycle: int) -> None:
+        """A taken control transfer: fetch redirects after the latency."""
+        self.redirect_floor = max(
+            self.redirect_floor, issue_cycle + max(1, instr.desc.latency)
+        )
+
+    def _prune(self, cycle: int) -> None:
+        """Drop resource bookkeeping for long-past cycles."""
+        if cycle - self._horizon > 256:
+            cutoff = cycle - 64
+            self.resource_use = {
+                c: m for c, m in self.resource_use.items() if c >= cutoff
+            }
+            self.cycle_classes = {
+                c: k for c, k in self.cycle_classes.items() if c >= cutoff
+            }
+            self._horizon = cycle
+
+    @property
+    def cycles(self) -> int:
+        return self.last_issue + 1

@@ -1,0 +1,246 @@
+"""The simulation driver: functional execution + pipeline timing.
+
+:class:`Simulator` runs one function of a linked executable under the
+target's calling convention: arguments go to the CWVM argument registers,
+``sp`` starts at the top of simulated memory, a sentinel return address
+halts the run, and the result is read from the CWVM result register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.insts import MachineInstr
+from repro.errors import SimulationError
+from repro.program import Executable
+from repro.sim.cache import DirectMappedCache
+from repro.sim.executor import SemanticsCompiler
+from repro.sim.pipeline import PipelineModel
+from repro.sim.state import MachineState
+
+_HALT = -1
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run reports."""
+
+    return_value: object
+    cycles: int
+    instructions: int
+    loads: int = 0
+    stores: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: dynamic entry count per block label (profiling, Tables 3/4)
+    block_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dilation(self) -> float:
+        """Instructions executed per instruction generated — set by callers
+        that know the static code size (Table 3)."""
+        return getattr(self, "_dilation", 0.0)
+
+
+class Simulator:
+    """Executes linked programs; reusable across runs of one executable
+    (instruction closures are compiled once)."""
+
+    def __init__(
+        self,
+        executable: Executable,
+        cache: DirectMappedCache | None = None,
+        model_timing: bool = True,
+    ):
+        self.executable = executable
+        self.target = executable.target
+        self.cache = cache
+        self.model_timing = model_timing
+        compiler = SemanticsCompiler(self.target)
+        self.closures = [compiler.compile_instr(i) for i in executable.instrs]
+        # label of the block each instruction belongs to (for profiling)
+        self.block_of: list[str] = []
+        by_index = sorted(
+            executable.labels.items(), key=lambda item: item[1]
+        )
+        position = 0
+        current = ""
+        for label, index in by_index:
+            while position < index:
+                self.block_of.append(current)
+                position += 1
+            current = label
+        while position < len(executable.instrs):
+            self.block_of.append(current)
+            position += 1
+        self._block_starts = set(executable.labels.values())
+
+    def run(
+        self,
+        function: str,
+        args: tuple = (),
+        arg_types: tuple | None = None,
+        max_instructions: int = 50_000_000,
+        trace=None,
+    ) -> SimResult:
+        """Run ``function``.
+
+        ``trace``, if given, is called as ``trace(pc, instr, cycle)`` after
+        every executed instruction (cycle is 0 when timing is off) — a
+        debugging hook for watching generated code execute."""
+        exe = self.executable
+        state = MachineState(self.target.registers, exe.initial_memory())
+        cwvm = self.target.cwvm
+        if self.cache is not None:
+            self.cache.reset()
+        pipeline = PipelineModel(self.target, self.cache) if self.model_timing else None
+
+        # calling convention setup
+        stack_top = exe.memory_size - 64
+        state.write_reg(cwvm.sp, "int", stack_top)
+        state.write_reg(cwvm.fp, "int", stack_top)
+        if arg_types is None:
+            arg_types = tuple(
+                "double" if isinstance(a, float) else "int" for a in args
+            )
+        counts: dict[str, int] = {}
+        for value, type_name in zip(args, arg_types):
+            index = counts.get(type_name, 0)
+            counts[type_name] = index + 1
+            reg = cwvm.arg_register(type_name, index)
+            if reg is None:
+                raise SimulationError(
+                    f"no argument register for {type_name} argument #{index + 1}"
+                )
+            state.write_reg(reg, type_name, value)
+        if cwvm.gp is not None:
+            state.write_reg(cwvm.gp, "int", exe.gp_base)
+        if cwvm.retaddr is not None:
+            state.write_reg(cwvm.retaddr, "int", _HALT)
+        for reg, value in cwvm.hard_registers.items():
+            state.write_reg(reg, "int", value)
+
+        pc = exe.entry(function)
+        executed = 0
+        loads = stores = 0
+        block_counts: dict[str, int] = {}
+        mem_log: list = []
+        instrs = exe.instrs
+        closures = self.closures
+        block_of = self.block_of
+
+        while pc != _HALT:
+            if pc < 0 or pc >= len(instrs):
+                raise SimulationError(f"pc {pc} outside program")
+            instr = instrs[pc]
+            if executed >= max_instructions:
+                raise SimulationError(
+                    f"exceeded {max_instructions} instructions (infinite loop?)"
+                )
+            del mem_log[:]
+            effect = closures[pc](state, mem_log)
+            executed += 1
+            if pc in self._block_starts:
+                block_counts[block_of[pc]] = block_counts.get(block_of[pc], 0) + 1
+            for _addr, is_write, _size in mem_log:
+                if is_write:
+                    stores += 1
+                else:
+                    loads += 1
+            issue_cycle = pipeline.issue(instr, mem_log) if pipeline else 0
+            if trace is not None:
+                trace(pc, instr, issue_cycle)
+
+            if effect is None:
+                pc += 1
+                continue
+
+            kind = effect[0]
+            if kind == "goto":
+                target_pc = self._execute_delay_slots(
+                    instr, pc, state, pipeline, block_counts
+                )
+                executed += abs(instr.desc.slots)
+                if pipeline:
+                    pipeline.transfer(instr, issue_cycle)
+                pc = exe.labels.get(effect[1])
+                if pc is None:
+                    raise SimulationError(f"undefined label {effect[1]!r}")
+            elif kind == "call":
+                if cwvm.retaddr is None:
+                    raise SimulationError("call without a %retaddr register")
+                state.write_reg(cwvm.retaddr, "int", pc + 1)
+                if pipeline:
+                    pipeline.transfer(instr, issue_cycle)
+                pc = exe.labels.get(effect[1])
+                if pc is None:
+                    raise SimulationError(f"undefined function {effect[1]!r}")
+            elif kind == "ret":
+                target_pc = self._execute_delay_slots(
+                    instr, pc, state, pipeline, block_counts
+                )
+                executed += abs(instr.desc.slots)
+                if pipeline:
+                    pipeline.transfer(instr, issue_cycle)
+                pc = state.read_reg(cwvm.retaddr, "int")
+            else:
+                raise SimulationError(f"unknown control effect {effect!r}")
+
+        return_value = None
+        result = SimResult(
+            return_value=None,
+            cycles=pipeline.cycles if pipeline else executed,
+            instructions=executed,
+            loads=loads,
+            stores=stores,
+            cache_hits=self.cache.hits if self.cache else 0,
+            cache_misses=self.cache.misses if self.cache else 0,
+            block_counts=block_counts,
+        )
+        result.return_value = self._read_result(state)
+        return result
+
+    def _execute_delay_slots(
+        self, instr: MachineInstr, pc: int, state, pipeline, block_counts
+    ) -> None:
+        """Execute the delay-slot instructions following a taken transfer.
+
+        Marion fills delay slots with nops (section 4.4), so only their
+        timing matters, but we execute them faithfully anyway."""
+        mem_log: list = []
+        for slot in range(abs(instr.desc.slots)):
+            slot_pc = pc + 1 + slot
+            if slot_pc >= len(self.executable.instrs):
+                break
+            del mem_log[:]
+            effect = self.closures[slot_pc](state, mem_log)
+            if effect is not None:
+                raise SimulationError(
+                    "control instruction in a delay slot is not supported"
+                )
+            if pipeline:
+                pipeline.issue(self.executable.instrs[slot_pc], mem_log)
+        return None
+
+    def _read_result(self, state: MachineState):
+        # probe both result registers; the caller knows which one is real
+        results = {}
+        for type_name, reg in self.target.cwvm.results.items():
+            try:
+                results[type_name] = state.read_reg(reg, type_name)
+            except SimulationError:
+                pass
+        return results
+
+
+def run_program(
+    executable: Executable,
+    function: str,
+    args: tuple = (),
+    cache: DirectMappedCache | None = None,
+    model_timing: bool = True,
+    max_instructions: int = 50_000_000,
+) -> SimResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(executable, cache=cache, model_timing=model_timing)
+    return simulator.run(function, args, max_instructions=max_instructions)

@@ -1,0 +1,81 @@
+"""Simulated machine state: register files (as 32-bit units), temporal
+registers, and byte-addressed memory."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import SimulationError
+from repro.machine.registers import PhysReg, RegisterModel
+
+_INT_MAX = 2**31 - 1
+
+
+def _to_signed(word: int) -> int:
+    word &= 0xFFFFFFFF
+    return word - 0x100000000 if word > _INT_MAX else word
+
+
+class MachineState:
+    """Registers + memory for one simulation run."""
+
+    def __init__(self, registers: RegisterModel, memory: bytearray):
+        self.registers = registers
+        self.units: dict[tuple[int, int], int] = {}  # (file, unit) -> u32
+        self.temporal: dict[str, object] = {}  # temporal reg -> typed value
+        self.memory = memory
+
+    # -- registers -----------------------------------------------------------
+
+    def read_reg(self, reg: PhysReg, type_name: str):
+        units = self.registers.units_of(reg)
+        if type_name == "double":
+            if len(units) != 2:
+                raise SimulationError(f"{reg} cannot hold a double")
+            lo = self.units.get(units[0], 0)
+            hi = self.units.get(units[1], 0)
+            return struct.unpack("<d", struct.pack("<II", lo, hi))[0]
+        if type_name == "float":
+            word = self.units.get(units[0], 0)
+            return struct.unpack("<f", struct.pack("<I", word))[0]
+        return _to_signed(self.units.get(units[0], 0))
+
+    def write_reg(self, reg: PhysReg, type_name: str, value) -> None:
+        units = self.registers.units_of(reg)
+        if type_name == "double":
+            if len(units) != 2:
+                raise SimulationError(f"{reg} cannot hold a double")
+            lo, hi = struct.unpack("<II", struct.pack("<d", float(value)))
+            self.units[units[0]] = lo
+            self.units[units[1]] = hi
+        elif type_name == "float":
+            self.units[units[0]] = struct.unpack(
+                "<I", struct.pack("<f", float(value))
+            )[0]
+        else:
+            self.units[units[0]] = int(value) & 0xFFFFFFFF
+
+    # -- memory -----------------------------------------------------------------
+
+    def read_mem(self, address: int, type_name: str):
+        self._check(address, 8 if type_name == "double" else 4)
+        if type_name == "double":
+            return struct.unpack_from("<d", self.memory, address)[0]
+        if type_name == "float":
+            return struct.unpack_from("<f", self.memory, address)[0]
+        return struct.unpack_from("<i", self.memory, address)[0]
+
+    def write_mem(self, address: int, type_name: str, value) -> None:
+        self._check(address, 8 if type_name == "double" else 4)
+        if type_name == "double":
+            struct.pack_into("<d", self.memory, address, float(value))
+        elif type_name == "float":
+            struct.pack_into("<f", self.memory, address, float(value))
+        else:
+            struct.pack_into("<i", self.memory, address, _to_signed(int(value)))
+
+    def _check(self, address: int, size: int) -> None:
+        if address < 0 or address + size > len(self.memory):
+            raise SimulationError(
+                f"memory access at {address} outside [0, {len(self.memory)})"
+            )

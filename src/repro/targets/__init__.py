@@ -1,0 +1,57 @@
+"""Built-in target machine descriptions.
+
+Four targets, as in the paper: TOYP (the tutorial machine of figures 1-3),
+the MIPS R2000, the Motorola 88000 and the Intel i860 (dual issue,
+explicitly advanced floating point pipelines, packing classes).
+
+:func:`load_target` builds a fresh :class:`TargetMachine` by name.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MarionError
+from repro.machine.target import TargetMachine
+
+TARGET_NAMES = ("toyp", "r2000", "m88000", "i860")
+
+
+def load_target(name: str) -> TargetMachine:
+    """Build the named target from its Maril description."""
+    if name == "toyp":
+        from repro.targets.toyp import build_toyp
+
+        return build_toyp()
+    if name == "r2000":
+        from repro.targets.r2000 import build_r2000
+
+        return build_r2000()
+    if name == "m88000":
+        from repro.targets.m88000 import build_m88000
+
+        return build_m88000()
+    if name == "i860":
+        from repro.targets.i860 import build_i860
+
+        return build_i860()
+    raise MarionError(f"unknown target {name!r}; known: {', '.join(TARGET_NAMES)}")
+
+
+def maril_source(name: str) -> str:
+    """The Maril description text for a built-in target (for Table 1)."""
+    if name == "toyp":
+        from repro.targets.toyp import TOYP_MARIL
+
+        return TOYP_MARIL
+    if name == "r2000":
+        from repro.targets.r2000 import R2000_MARIL
+
+        return R2000_MARIL
+    if name == "m88000":
+        from repro.targets.m88000 import M88000_MARIL
+
+        return M88000_MARIL
+    if name == "i860":
+        from repro.targets.i860 import I860_MARIL
+
+        return I860_MARIL
+    raise MarionError(f"unknown target {name!r}")

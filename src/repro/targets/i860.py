@@ -1,0 +1,388 @@
+"""Intel i860 — the paper's most challenging target (sections 4.5-4.6).
+
+Two instructions can issue per cycle (an integer-core operation and a
+floating point operation); the floating point add and multiply pipelines
+are *explicitly advanced* (EAPs).  Following the paper's model exactly:
+
+* the floating point unit is a long instruction word whose fields are the
+  three multiplier stages (``M1``/``M2``/``M3``), three adder stages
+  (``A1``/``A2``/``A3``) and the write-back bus ``FWB``;
+* each pipestage sub-operation is declared as an instruction occupying only
+  its field's resource, so sub-operations pack into long instructions when
+  their *classes* intersect (``M1`` + ``M3`` -> a ``pfmul``;
+  ``M2`` + ``A1`` -> an ``m12apm`` dual-operation instruction);
+* the latches between stages are *temporal registers* (``m1..m3`` on clock
+  ``clk_m``, ``a1..a3`` on ``clk_a``); every sub-operation in a pipe
+  affects that pipe's clock, so the scheduler's Rule 1 and the protection
+  edges keep values alive without backtracking;
+* the code selector produces sub-operation sequences through ``*func``
+  escapes (the original's i860 description spent 399 lines of C on seven
+  funcs, Table 1), including the chained ``A1M`` sub-operation that feeds
+  the multiplier output straight into the adder pipe;
+* the integer core runs in parallel: core instructions use the ``CORE``
+  resource, disjoint from the floating point fields.
+
+Idealisations (DESIGN.md): double-precision pipelines only (the paper's
+evaluation is double-precision Livermore/NAS code); divide is one
+long-latency instruction standing for the i860's reciprocal-iteration
+sequence; compare/branch uses a generic-compare register idiom.
+"""
+
+from __future__ import annotations
+
+from repro.cgg import build_target
+from repro.machine.target import TargetMachine
+
+I860_MARIL = r"""
+declare {
+    %reg r[0:31] (int);
+    %reg f[0:31] (float);
+    %reg d[0:15] (double);          /* doubles are even f pairs */
+    %equiv d[0] f[0];
+
+    %clock clk_m;                   /* multiplier EAP */
+    %clock clk_a;                   /* adder EAP      */
+    %reg m1 (double; clk_m) +temporal;
+    %reg m2 (double; clk_m) +temporal;
+    %reg m3 (double; clk_m) +temporal;
+    %reg a1 (double; clk_a) +temporal;
+    %reg a2 (double; clk_a) +temporal;
+    %reg a3 (double; clk_a) +temporal;
+
+    %resource CORE, CMEM;           /* integer core, load/store port */
+    %resource FISSUE;               /* the single fp instruction slot:
+                                       sub-operations of one long
+                                       instruction share it via their
+                                       fields; whole operations own it */
+    %resource FM1, FM2, FM3;        /* multiplier fields */
+    %resource FA1, FA2, FA3;        /* adder fields */
+    %resource FWB;                  /* fp result write-back field */
+    %resource FDIV;
+
+    %def const16 [-32768:32767];
+    %def uconst16 [0:65535];
+    %def const32 [-2147483648:2147483647] +abs;
+    %label rlab [-65536:65535] +relative;
+    %label flab [-67108864:67108863] +abs;
+    %memory m[0:268435455];
+}
+
+cwvm {
+    %general (int) r;
+    %general (float) f;
+    %general (double) d;
+    %allocable r[4:27], f[2:31], d[1:15];
+    %calleesave r[4:15], f[2:7], d[1:3];
+    %sp r[2] +down;
+    %fp r[3] +down;
+    %retaddr r[1];
+    %hard r[0] 0;
+    %arg (int) r[16] 1;
+    %arg (int) r[17] 2;
+    %arg (int) r[18] 3;
+    %arg (int) r[19] 4;
+    %arg (double) d[4] 1;
+    %arg (double) d[5] 2;
+    %arg (double) d[6] 3;
+    %arg (double) d[7] 4;
+    %arg (float) f[16] 1;
+    %arg (float) f[17] 2;
+    %result r[16] (int);
+    %result d[4] (double);
+    %result f[8] (float);
+}
+
+instr {
+    /* ---- long-instruction-word elements (packing classes) ---- */
+    %element pfadd, pfsub, pfmul, m12apm, m12asm, m12tpm, i2ap1, r2p1;
+
+    /* ---- constants ---- */
+    %instr adds r, r[0], #const16 (int) {$1 = $3;}
+        [CORE] (1,1,0);
+    %instr orh r, #uconst16 (int) {$1 = $2 << 16;}
+        [CORE] (1,1,0);
+    %instr or.l r, r, #uconst16 (int) {$1 = $2 | $3;}
+        [CORE] (1,1,0);
+
+    /* ---- integer core ---- */
+    %instr addsi r, r, #const16 (int) {$1 = $2 + $3;} [CORE] (1,1,0);
+    %instr adds r, r, r (int) {$1 = $2 + $3;} [CORE] (1,1,0);
+    %instr subsi r, r, #const16 (int) {$1 = $2 - $3;} [CORE] (1,1,0);
+    %instr subs r, r, r (int) {$1 = $2 - $3;} [CORE] (1,1,0);
+    %instr neg r, r (int) {$1 = -$2;} [CORE] (1,1,0);
+    %instr imul r, r, r (int) {$1 = $2 * $3;}
+        [CORE; FM1; FM2; FM3] (1,4,0);
+    %instr idiv r, r, r (int) {$1 = $2 / $3;}
+        [CORE; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV] (1,37,0);
+    %instr irem r, r, r (int) {$1 = $2 % $3;}
+        [CORE; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV] (1,37,0);
+    %instr andi r, r, #uconst16 (int) {$1 = $2 & $3;} [CORE] (1,1,0);
+    %instr and r, r, r (int) {$1 = $2 & $3;} [CORE] (1,1,0);
+    %instr or r, r, r (int) {$1 = $2 | $3;} [CORE] (1,1,0);
+    %instr xori r, r, #uconst16 (int) {$1 = $2 ^ $3;} [CORE] (1,1,0);
+    %instr xor r, r, r (int) {$1 = $2 ^ $3;} [CORE] (1,1,0);
+    %instr not r, r (int) {$1 = ~$2;} [CORE] (1,1,0);
+    %instr shli r, r, #const16 (int) {$1 = $2 << $3;} [CORE] (1,1,0);
+    %instr shl r, r, r (int) {$1 = $2 << $3;} [CORE] (1,1,0);
+    %instr shrai r, r, #const16 (int) {$1 = $2 >> $3;} [CORE] (1,1,0);
+    %instr shra r, r, r (int) {$1 = $2 >> $3;} [CORE] (1,1,0);
+
+    /* ---- compares (generic-compare register idiom) ---- */
+    %instr cmpi r, r, #const16 (int) {$1 = $2 :: $3;} [CORE] (1,1,0);
+    %instr cmp r, r, r (int) {$1 = $2 :: $3;} [CORE] (1,1,0);
+    %instr fcmp.dd r, d, d {$1 = $2 :: $3;}
+        [CORE; FA1; FA2] (1,3,0);
+    %instr fcmp.ss r, f, f {$1 = $2 :: $3;}
+        [CORE; FA1; FA2] (1,3,0);
+
+    /* ---- memory (core pipeline, pipelined loads) ---- */
+    %instr ld.l r, r, #const16 (int) {$1 = m[$2 + $3];}
+        [CORE,CMEM; CMEM] (1,2,0);
+    %instr st.l r, r, #const16 (int) {m[$2 + $3] = $1;}
+        [CORE,CMEM; CMEM] (1,1,0);
+    %instr fld.l f, r, #const16 (float) {$1 = m[$2 + $3];}
+        [CORE,CMEM; CMEM] (1,2,0);
+    %instr fst.l f, r, #const16 (float) {m[$2 + $3] = $1;}
+        [CORE,CMEM; CMEM] (1,1,0);
+    %instr fld.d d, r, #const16 (double) {$1 = m[$2 + $3];}
+        [CORE,CMEM; CMEM] (1,3,0);
+    %instr fst.d d, r, #const16 (double) {m[$2 + $3] = $1;}
+        [CORE,CMEM; CMEM] (1,1,0);
+
+    /* ---- explicitly advanced floating point pipelines (figure 5) ----
+       Each sub-operation occupies one long-instruction-word field and
+       affects its pipeline's clock; the classes list the long instructions
+       the sub-operation may appear in. */
+    %instr M1 d, d (double; clk_m) {m1 = $1 * $2;}
+        [FM1] (1,1,0) <pfmul, m12apm, m12asm, m12tpm>;
+    %instr M2 (double; clk_m) {m2 = m1;}
+        [FM2] (1,1,0) <pfmul, m12apm, m12asm, m12tpm>;
+    %instr M3 (double; clk_m) {m3 = m2;}
+        [FM3] (1,1,0) <pfmul, m12apm, m12asm, m12tpm>;
+    %instr FWBM d (double; clk_m) {$1 = m3;}
+        [FWB] (1,1,0) <pfmul, m12apm, m12asm, m12tpm>;
+
+    %instr A1 d, d (double; clk_a) {a1 = $1 + $2;}
+        [FA1] (1,1,0) <pfadd, m12apm, i2ap1, r2p1>;
+    %instr A1S d, d (double; clk_a) {a1 = $1 - $2;}
+        [FA1] (1,1,0) <pfsub, m12asm>;
+    %instr A2 (double; clk_a) {a2 = a1;}
+        [FA2] (1,1,0) <pfadd, pfsub, m12apm, m12asm, i2ap1, r2p1>;
+    %instr A3 (double; clk_a) {a3 = a2;}
+        [FA3] (1,1,0) <pfadd, pfsub, m12apm, m12asm, i2ap1, r2p1>;
+    %instr FWBA d (double; clk_a) {$1 = a3;}
+        [FWB] (1,1,0) <pfadd, pfsub, m12apm, m12asm, i2ap1, r2p1>;
+
+    /* chained sub-operation: adder takes the multiplier output directly
+       (the T-register path between the pipelines, section 4.6) */
+    %instr A1M d (double; clk_a) {a1 = m3 + $1;}
+        [FA1] (1,1,0) <m12apm, m12tpm>;
+
+    /* the *func escapes below expand to these sequences.  The fused
+       multiply-add forms come first in the ordered pattern list: they
+       chain the multiplier output straight into the adder pipe through
+       the A1M sub-operation (the T-register path, section 4.6). */
+    %instr *fmad d, d, d, d {$1 = ($2 * $3) + $4;} [] (0,0,0);
+    %instr *fmadr d, d, d, d {$1 = $2 + ($3 * $4);} [] (0,0,0);
+    %instr *fmuld d, d, d {$1 = $2 * $3;} [] (0,0,0);
+    %instr *faddd d, d, d {$1 = $2 + $3;} [] (0,0,0);
+    %instr *fsubd d, d, d {$1 = $2 - $3;} [] (0,0,0);
+
+    /* ---- whole-operation double ops: unreachable in normal selection
+       (the *func patterns above match first) but used by the temporal
+       scheduling ablation.  Treating the EAP as an ordinary pipeline
+       means one operation owns every stage until its result is written:
+       operations cannot interleave stage-by-stage and nothing can pack
+       into the unused fields (the drawbacks section 4.6 describes). ---- */
+    %instr fadd.dd d, d, d {$1 = $2 + $3;}
+        [FISSUE, FA1; FISSUE, FA2; FISSUE, FA3; FISSUE, FWB] (1,4,0);
+    %instr fsub.dd d, d, d {$1 = $2 - $3;}
+        [FISSUE, FA1; FISSUE, FA2; FISSUE, FA3; FISSUE, FWB] (1,4,0);
+    %instr fmul.dd d, d, d {$1 = $2 * $3;}
+        [FISSUE, FM1; FISSUE, FM2; FISSUE, FM3; FISSUE, FWB] (1,4,0);
+
+    /* ---- remaining scalar fp (idealised, see module docstring) ---- */
+    %instr fdiv.dd d, d, d {$1 = $2 / $3;}
+        [FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV] (1,38,0);
+    %instr fneg.dd d, d {$1 = -$2;} [FISSUE, FA1; FA2] (1,2,0);
+    %instr fadd.ss f, f, f {$1 = $2 + $3;} [FISSUE, FA1; FA2; FA3] (1,3,0);
+    %instr fsub.ss f, f, f {$1 = $2 - $3;} [FISSUE, FA1; FA2; FA3] (1,3,0);
+    %instr fmul.ss f, f, f {$1 = $2 * $3;} [FISSUE, FM1; FM2; FM3] (1,3,0);
+    %instr fdiv.ss f, f, f {$1 = $2 / $3;}
+        [FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV]
+        (1,22,0);
+    %instr fneg.ss f, f {$1 = -$2;} [FA1; FA2] (1,2,0);
+
+    /* ---- conversions ---- */
+    %instr fcvt.dw d, r {$1 = double($2);} [CORE; FA1; FA2] (1,3,0);
+    %instr fcvt.wd r, d (int) {$1 = int($2);} [CORE; FA1; FA2] (1,3,0);
+    %instr fcvt.sw f, r {$1 = float($2);} [CORE; FA1; FA2] (1,3,0);
+    %instr fcvt.ws r, f (int) {$1 = int($2);} [CORE; FA1; FA2] (1,3,0);
+    %instr fcvt.ds d, f {$1 = double($2);} [FA1; FA2] (1,2,0);
+    %instr fcvt.sd f, d (float) {$1 = float($2);} [FA1; FA2] (1,2,0);
+
+    /* ---- control: one delay slot ---- */
+    %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [CORE] (1,2,1);
+    %instr bne0 r, #rlab {if ($1 != 0) goto $2;} [CORE] (1,2,1);
+    %instr blt0 r, #rlab {if ($1 < 0) goto $2;} [CORE] (1,2,1);
+    %instr ble0 r, #rlab {if ($1 <= 0) goto $2;} [CORE] (1,2,1);
+    %instr bgt0 r, #rlab {if ($1 > 0) goto $2;} [CORE] (1,2,1);
+    %instr bge0 r, #rlab {if ($1 >= 0) goto $2;} [CORE] (1,2,1);
+    %instr bte r, r, #rlab {if ($1 == $2) goto $3;} [CORE] (1,2,1);
+    %instr btne r, r, #rlab {if ($1 != $2) goto $3;} [CORE] (1,2,1);
+    %instr br #rlab {goto $1;} [CORE] (1,2,1);
+    %instr call #flab {call $1;} [CORE; CORE] (1,2,0);
+    %instr bri.r1 {ret;} [CORE] (1,2,1);
+    %instr nop {;} [CORE] (1,1,0);
+
+    /* ---- moves ---- */
+    %move [i.movs] shl r, r[0], r {$1 = $3;} [CORE] (1,1,0);
+    %move fmov.ss f, f {$1 = $2;} [FA1] (1,1,0);
+    %move *movd d, d {$1 = $2;} [] (0,0,0);
+
+    /* ---- glue ---- */
+    %glue #const32 { $1 ==> ((high($1) << 16) | low($1)); };
+    %glue r, r, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue r, r, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue r, r, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue r, r, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+    %glue d, d, #rlab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+    %glue d, d, #rlab {if ($1 != $2) goto $3 ==> if (($1 :: $2) != 0) goto $3;};
+    %glue d, d, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue d, d, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue d, d, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue d, d, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+    %glue f, f, #rlab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+    %glue f, f, #rlab {if ($1 != $2) goto $3 ==> if (($1 :: $2) != 0) goto $3;};
+    %glue f, f, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue f, f, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue f, f, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue f, f, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+}
+"""
+
+
+def _movd(ctx) -> None:
+    """Double move via the float halves (fmov.ss pairs)."""
+    dst = ctx.reg_operand(0)
+    src = ctx.reg_operand(1)
+    for half in (0, 1):
+        ctx.emit(
+            "fmov.ss",
+            ctx.reg("f", 2 * dst.index + half),
+            ctx.reg("f", 2 * src.index + half),
+        )
+
+
+def _fmuld(ctx) -> None:
+    """Launch, advance (x2) and catch a double multiply (figure 5b)."""
+    dst = ctx.reg_operand(0)
+    ctx.emit("M1", ctx.reg_operand(1), ctx.reg_operand(2))
+    ctx.emit("M2")
+    ctx.emit("M3")
+    ctx.emit("FWBM", dst)
+
+
+def _faddd(ctx) -> None:
+    dst = ctx.reg_operand(0)
+    ctx.emit("A1", ctx.reg_operand(1), ctx.reg_operand(2))
+    ctx.emit("A2")
+    ctx.emit("A3")
+    ctx.emit("FWBA", dst)
+
+
+def _fsubd(ctx) -> None:
+    dst = ctx.reg_operand(0)
+    ctx.emit("A1S", ctx.reg_operand(1), ctx.reg_operand(2))
+    ctx.emit("A2")
+    ctx.emit("A3")
+    ctx.emit("FWBA", dst)
+
+
+def _chain_mul_add(ctx, mul_a, mul_b, addend, dst) -> None:
+    """Multiply, then feed m3 into the adder pipe without a write-back
+    (the i860's pipeline chaining through the T register)."""
+    ctx.emit("M1", mul_a, mul_b)
+    ctx.emit("M2")
+    ctx.emit("M3")
+    ctx.emit("A1M", addend)  # a1 = m3 + addend
+    ctx.emit("A2")
+    ctx.emit("A3")
+    ctx.emit("FWBA", dst)
+
+
+def _fmad(ctx) -> None:
+    """$1 = ($2 * $3) + $4"""
+    _chain_mul_add(
+        ctx,
+        ctx.reg_operand(1),
+        ctx.reg_operand(2),
+        ctx.reg_operand(3),
+        ctx.reg_operand(0),
+    )
+
+
+def _fmadr(ctx) -> None:
+    """$1 = $2 + ($3 * $4)"""
+    _chain_mul_add(
+        ctx,
+        ctx.reg_operand(2),
+        ctx.reg_operand(3),
+        ctx.reg_operand(1),
+        ctx.reg_operand(0),
+    )
+
+
+def _scalar(mnemonic: str):
+    """Ablation variant: the escape emits one scalar (non-pipelined)
+    instruction instead of the explicitly-advanced sub-operation sequence."""
+
+    def emit(ctx) -> None:
+        ctx.emit(
+            mnemonic, ctx.reg_operand(0), ctx.reg_operand(1), ctx.reg_operand(2)
+        )
+
+    return emit
+
+
+def build_i860(eap: bool = True) -> TargetMachine:
+    """Build the i860; ``eap=False`` treats the floating point pipelines as
+    ordinary pipelines (the alternative section 4.6 argues against)."""
+    target = build_target(I860_MARIL, name="i860" if eap else "i860-scalar")
+    target.register_func("movd", _movd)
+    if eap:
+        target.register_func("fmuld", _fmuld)
+        target.register_func("faddd", _faddd)
+        target.register_func("fsubd", _fsubd)
+        target.register_func("fmad", _fmad)
+        target.register_func("fmadr", _fmadr)
+    else:
+        target.register_func("fmuld", _scalar("fmul.dd"))
+        target.register_func("faddd", _scalar("fadd.dd"))
+        target.register_func("fsubd", _scalar("fsub.dd"))
+        target.register_func("fmad", _scalar_mul_add)
+        target.register_func("fmadr", _scalar_mul_add_right)
+    return target
+
+
+def _scalar_mul_add(ctx) -> None:
+    """Ablation variant of *fmad: separate scalar multiply and add."""
+    temp = ctx.new_pseudo("double")
+    ctx.emit("fmul.dd", temp, ctx.reg_operand(1), ctx.reg_operand(2))
+    ctx.emit("fadd.dd", ctx.reg_operand(0), temp, ctx.reg_operand(3))
+
+
+def _scalar_mul_add_right(ctx) -> None:
+    temp = ctx.new_pseudo("double")
+    ctx.emit("fmul.dd", temp, ctx.reg_operand(2), ctx.reg_operand(3))
+    ctx.emit("fadd.dd", ctx.reg_operand(0), ctx.reg_operand(1), temp)

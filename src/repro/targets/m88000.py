@@ -1,0 +1,248 @@
+"""Motorola 88000 (MC88100).
+
+The 88100 keeps floating point values in the general register file: floats
+occupy one ``r`` register, doubles an even/odd pair (the ``d`` overlay).
+The FP unit (SFU1) is pipelined with separate add and multiply stages and a
+long non-pipelined divide.  The write-back bus is shared between the
+integer pipe and the FP unit — the paper singles this out (section 5): we
+model it as the ``WB`` resource appearing in the final cycle of every
+result-producing vector, so the scheduler resolves the contention in favour
+of the instruction scheduled first, exactly the policy the paper adopts.
+
+Branches follow the 88100's compare-into-register style (``cmp`` produces a
+condition value a ``bcnd``-family branch tests), one delay slot (``.n``
+forms).
+"""
+
+from __future__ import annotations
+
+from repro.cgg import build_target
+from repro.machine.target import TargetMachine
+
+M88000_MARIL = r"""
+declare {
+    %reg r[0:31] (int);
+    %reg s[0:31] (float);           /* float view of the r file */
+    %equiv s[0] r[0];
+    %reg d[0:15] (double);          /* doubles are even/odd r pairs */
+    %equiv d[0] r[0];
+    %resource IF, ID, EX, WB;       /* integer pipe + shared writeback */
+    %resource FA1, FA2, FA3;        /* FP add stages    */
+    %resource FM1, FM2, FM3;        /* FP multiply stages */
+    %resource FDIV;                 /* non-pipelined divide */
+    %resource MD;                   /* integer multiply/divide */
+    %def const16 [-32768:32767];
+    %def uconst16 [0:65535];
+    %def const32 [-2147483648:2147483647] +abs;
+    %label rlab [-65536:65535] +relative;
+    %label flab [-67108864:67108863] +abs;
+    %memory m[0:268435455];
+}
+
+cwvm {
+    %general (int) r;
+    %general (float) s;
+    %general (double) d;
+    %allocable r[2:13], r[14:25], s[2:13], s[14:25], d[1:6], d[7:12];
+    %calleesave r[14:25], s[14:25], d[7:12];
+    %sp r[31] +down;
+    %fp r[30] +down;
+    %retaddr r[1];
+    %hard r[0] 0;
+    %arg (int) r[2] 1;
+    %arg (int) r[3] 2;
+    %arg (int) r[4] 3;
+    %arg (int) r[5] 4;
+    %arg (double) d[3] 1;
+    %arg (double) d[4] 2;
+    %arg (float) s[10] 1;
+    %arg (float) s[11] 2;
+    %result r[2] (int);
+    %result d[1] (double);
+    %result s[2] (float);
+}
+
+instr {
+    /* ---- constants ---- */
+    %instr addi r, r[0], #const16 (int) {$1 = $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr or.u r, #uconst16 (int) {$1 = $2 << 16;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr or.l r, r, #uconst16 (int) {$1 = $2 | $3;}
+        [IF; ID; EX; WB] (1,1,0);
+
+    /* ---- integer ALU ---- */
+    %instr addi r, r, #const16 (int) {$1 = $2 + $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr add r, r, r (int) {$1 = $2 + $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr subi r, r, #const16 (int) {$1 = $2 - $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr sub r, r, r (int) {$1 = $2 - $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr neg r, r (int) {$1 = -$2;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr mul r, r, r (int) {$1 = $2 * $3;}
+        [IF; ID; MD; MD; MD; WB] (1,4,0);
+    %instr divs r, r, r (int) {$1 = $2 / $3;}
+        [IF; ID; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+         MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+         MD; MD; MD; WB] (1,37,0);
+    %instr rems r, r, r (int) {$1 = $2 % $3;}
+        [IF; ID; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+         MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+         MD; MD; MD; WB] (1,37,0);
+    %instr andi r, r, #uconst16 (int) {$1 = $2 & $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr and r, r, r (int) {$1 = $2 & $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr or r, r, r (int) {$1 = $2 | $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr xori r, r, #uconst16 (int) {$1 = $2 ^ $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr xor r, r, r (int) {$1 = $2 ^ $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr not r, r (int) {$1 = ~$2;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr maki r, r, #const16 (int) {$1 = $2 << $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr mak r, r, r (int) {$1 = $2 << $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr exti r, r, #const16 (int) {$1 = $2 >> $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr ext r, r, r (int) {$1 = $2 >> $3;}
+        [IF; ID; EX; WB] (1,1,0);
+
+    /* ---- compares: generic compare into a register ---- */
+    %instr cmpi r, r, #const16 (int) {$1 = $2 :: $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr cmp r, r, r (int) {$1 = $2 :: $3;}
+        [IF; ID; EX; WB] (1,1,0);
+    %instr fcmp.sdd r, d, d {$1 = $2 :: $3;}
+        [IF; ID; FA1; FA2; WB] (1,3,0);
+    %instr fcmp.sss r, s, s {$1 = $2 :: $3;}
+        [IF; ID; FA1; FA2; WB] (1,3,0);
+
+    /* ---- memory: 3-cycle loads ---- */
+    %instr ld r, r, #const16 (int) {$1 = m[$2 + $3];}
+        [IF; ID; EX; EX; WB] (1,3,0);
+    %instr st r, r, #const16 (int) {m[$2 + $3] = $1;}
+        [IF; ID; EX; EX] (1,1,0);
+    %instr ld.s s, r, #const16 (float) {$1 = m[$2 + $3];}
+        [IF; ID; EX; EX; WB] (1,3,0);
+    %instr st.s s, r, #const16 (float) {m[$2 + $3] = $1;}
+        [IF; ID; EX; EX] (1,1,0);
+    %instr ld.d d, r, #const16 (double) {$1 = m[$2 + $3];}
+        [IF; ID; EX; EX; EX; WB] (1,4,0);
+    %instr st.d d, r, #const16 (double) {m[$2 + $3] = $1;}
+        [IF; ID; EX; EX; EX] (1,1,0);
+
+    /* ---- floating point (SFU1); results arbitrate for WB ---- */
+    %instr fadd.ddd d, d, d {$1 = $2 + $3;}
+        [IF; ID; FA1; FA2; FA3; WB] (1,5,0);
+    %instr fsub.ddd d, d, d {$1 = $2 - $3;}
+        [IF; ID; FA1; FA2; FA3; WB] (1,5,0);
+    %instr fmul.ddd d, d, d {$1 = $2 * $3;}
+        [IF; ID; FM1; FM2; FM2; FM3; WB] (1,6,0);
+    %instr fdiv.ddd d, d, d {$1 = $2 / $3;}
+        [IF; ID; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; WB] (1,28,0);
+    %instr fneg.dd d, d {$1 = -$2;}
+        [IF; ID; FA1; WB] (1,2,0);
+    %instr fadd.sss s, s, s {$1 = $2 + $3;}
+        [IF; ID; FA1; FA2; FA3; WB] (1,5,0);
+    %instr fsub.sss s, s, s {$1 = $2 - $3;}
+        [IF; ID; FA1; FA2; FA3; WB] (1,5,0);
+    %instr fmul.sss s, s, s {$1 = $2 * $3;}
+        [IF; ID; FM1; FM2; FM3; WB] (1,5,0);
+    %instr fdiv.sss s, s, s {$1 = $2 / $3;}
+        [IF; ID; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+         FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; WB]
+        (1,20,0);
+    %instr fneg.ss s, s {$1 = -$2;}
+        [IF; ID; FA1; WB] (1,2,0);
+
+    /* ---- conversions ---- */
+    %instr flt.dw d, r {$1 = double($2);}
+        [IF; ID; FA1; FA2; WB] (1,4,0);
+    %instr int.wd r, d (int) {$1 = int($2);}
+        [IF; ID; FA1; FA2; WB] (1,4,0);
+    %instr flt.sw s, r {$1 = float($2);}
+        [IF; ID; FA1; FA2; WB] (1,4,0);
+    %instr int.ws r, s (int) {$1 = int($2);}
+        [IF; ID; FA1; FA2; WB] (1,4,0);
+    %instr fcvt.ds d, s {$1 = double($2);}
+        [IF; ID; FA1; FA2; WB] (1,3,0);
+    %instr fcvt.sd s, d (float) {$1 = float($2);}
+        [IF; ID; FA1; FA2; WB] (1,3,0);
+
+    /* ---- control: one delay slot (.n forms) ---- */
+    %instr beq0.n r, #rlab {if ($1 == 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr bne0.n r, #rlab {if ($1 != 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr blt0.n r, #rlab {if ($1 < 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr ble0.n r, #rlab {if ($1 <= 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr bgt0.n r, #rlab {if ($1 > 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr bge0.n r, #rlab {if ($1 >= 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr br.n #rlab {goto $1;} [IF; ID; EX] (1,2,1);
+    %instr bsr #flab {call $1;} [IF; ID; EX; EX] (1,2,0);
+    %instr jmp.r1 {ret;} [IF; ID; EX] (1,2,1);
+    %instr nop {;} [IF; ID] (1,1,0);
+
+    /* ---- moves ---- */
+    %move [m.movs] or r, r, r[0] {$1 = $2;}
+        [IF; ID; EX; WB] (1,1,0);
+    %move *movd d, d {$1 = $2;} [] (0,0,0);
+
+    /* ---- glue: big constants via or.u/or.l ---- */
+    %glue #const32 { $1 ==> ((high($1) << 16) | low($1)); };
+
+    /* ---- glue: compare + branch-on-condition (TOYP style) ---- */
+    %glue r, r, #rlab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+    %glue r, r, #rlab {if ($1 != $2) goto $3 ==> if (($1 :: $2) != 0) goto $3;};
+    %glue r, r, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue r, r, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue r, r, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue r, r, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+    %glue d, d, #rlab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+    %glue d, d, #rlab {if ($1 != $2) goto $3 ==> if (($1 :: $2) != 0) goto $3;};
+    %glue d, d, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue d, d, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue d, d, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue d, d, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+
+    %glue s, s, #rlab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+    %glue s, s, #rlab {if ($1 != $2) goto $3 ==> if (($1 :: $2) != 0) goto $3;};
+    %glue s, s, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue s, s, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue s, s, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue s, s, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+
+    /* ---- single float move (same file as r, float view) ---- */
+    %move fmov.ss s, s {$1 = $2;} [IF; ID; EX; WB] (1,1,0);
+
+    /* ---- aux latencies: a store consuming an FP result needs an extra
+       cycle through the shared write-back bus (section 5) ---- */
+    %aux fadd.ddd : st.d (1.$1 == 2.$1) (6);
+    %aux fmul.ddd : st.d (1.$1 == 2.$1) (7);
+}
+"""
+
+
+def _movd(ctx) -> None:
+    """88100 double move: two single moves over the r halves."""
+    dst = ctx.reg_operand(0)
+    src = ctx.reg_operand(1)
+    for half in (0, 1):
+        ctx.emit_labelled(
+            "m.movs",
+            ctx.reg("r", 2 * dst.index + half),
+            ctx.reg("r", 2 * src.index + half),
+            ctx.reg("r", 0),
+        )
+
+
+def build_m88000() -> TargetMachine:
+    target = build_target(M88000_MARIL, name="m88000")
+    target.register_func("movd", _movd)
+    return target

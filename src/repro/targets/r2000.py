@@ -1,0 +1,245 @@
+"""MIPS R2000 — the paper's primary evaluation target.
+
+Modelled after the R2000/R3010 pair the DECstation uses: 32 integer
+registers (r0 hard-wired to zero, standard o32-style roles), 32 single
+floats overlaid by 16 even-pair doubles, a floating-point condition flag
+(``fcc``) written by compares and read by ``bc1t``/``bc1f``, one branch
+delay slot, 2-cycle loads and R3010 floating-point latencies.  Big
+constants and global addresses split into ``lui``/``ori`` halves through a
+glue rule with the ``high``/``low`` builtins; the double move is the
+``*movd`` escape (MIPS-I ``mov.d`` really is two ``mov.s``).
+
+Idealisations (documented in DESIGN.md): conversions are single
+instructions (hardware needs ``mtc1``/``mfc1`` shuffles), and ``mul``/
+``div`` stand for the ``mult``/``mflo`` macro sequences with their
+combined latency.
+"""
+
+from __future__ import annotations
+
+from repro.cgg import build_target
+from repro.machine.target import TargetMachine
+
+R2000_MARIL = r"""
+declare {
+    %reg r[0:31] (int);
+    %reg f[0:31] (float);
+    %reg d[0:15] (double);          /* doubles are even f pairs */
+    %equiv d[0] f[0];
+    %reg fcc[0:0] (int);            /* floating point condition flag */
+    %resource IF, ID, EX, MEM, WB;  /* integer pipeline */
+    %resource MD;                   /* multiply/divide unit */
+    %resource FPA1, FPA2;           /* R3010 adder stages */
+    %resource FPM1, FPM2, FPM3;     /* multiplier stages */
+    %resource FPD;                  /* divide unit (not pipelined) */
+    %def const16 [-32768:32767];
+    %def uconst16 [0:65535];
+    %def const32 [-2147483648:2147483647] +abs;
+    %label rlab [-131072:131071] +relative;
+    %label flab [-134217728:134217727] +abs;
+    %memory m[0:268435455];
+}
+
+cwvm {
+    %general (int) r;
+    %general (float) f;
+    %general (double) d;
+    %allocable r[2:25], f[0:19], d[0:15], fcc[0:0];
+    %calleesave r[16:23], d[10:15];
+    %sp r[29] +down;
+    %fp r[30] +down;
+    %gp r[28];
+    %retaddr r[31];
+    %hard r[0] 0;
+    %arg (int) r[4] 1;
+    %arg (int) r[5] 2;
+    %arg (int) r[6] 3;
+    %arg (int) r[7] 4;
+    %arg (double) d[6] 1;
+    %arg (double) d[7] 2;
+    %arg (float) f[12] 1;
+    %arg (float) f[14] 2;
+    %result r[2] (int);
+    %result d[0] (double);
+    %result f[0] (float);
+}
+
+instr {
+    /* ---- constants and addresses: immediate forms first ---- */
+    %instr addiu r, r[0], #const16 (int) {$1 = $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr lui r, #uconst16 (int) {$1 = $2 << 16;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr ori r, r, #uconst16 (int) {$1 = $2 | $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+
+    /* ---- integer ALU ---- */
+    %instr addiu r, r, #const16 (int) {$1 = $2 + $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr addu r, r, r (int) {$1 = $2 + $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr subu r, r, r (int) {$1 = $2 - $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr negu r, r (int) {$1 = -$2;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr mul r, r, r (int) {$1 = $2 * $3;}
+        [IF; ID; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD] (1,12,0);
+    %instr div r, r, r (int) {$1 = $2 / $3;}
+        [IF; ID; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+         MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+         MD] (1,35,0);
+    %instr rem r, r, r (int) {$1 = $2 % $3;}
+        [IF; ID; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+         MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+         MD] (1,35,0);
+    %instr andi r, r, #uconst16 (int) {$1 = $2 & $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr and r, r, r (int) {$1 = $2 & $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr or r, r, r (int) {$1 = $2 | $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr xori r, r, #uconst16 (int) {$1 = $2 ^ $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr xor r, r, r (int) {$1 = $2 ^ $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr nor r, r (int) {$1 = ~$2;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr sll r, r, #const16 (int) {$1 = $2 << $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr sllv r, r, r (int) {$1 = $2 << $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr sra r, r, #const16 (int) {$1 = $2 >> $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr srav r, r, r (int) {$1 = $2 >> $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr slti r, r, #const16 (int) {$1 = $2 < $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr slt r, r, r (int) {$1 = $2 < $3;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+
+    /* ---- memory: 2-cycle loads (one load delay slot, interlocked) ---- */
+    %instr lw r, r, #const16 (int) {$1 = m[$2 + $3];}
+        [IF; ID; EX; MEM; WB] (1,2,0);
+    %instr sw r, r, #const16 (int) {m[$2 + $3] = $1;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr l.s f, r, #const16 (float) {$1 = m[$2 + $3];}
+        [IF; ID; EX; MEM; WB] (1,2,0);
+    %instr s.s f, r, #const16 (float) {m[$2 + $3] = $1;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %instr l.d d, r, #const16 (double) {$1 = m[$2 + $3];}
+        [IF; ID; EX; MEM; MEM; WB] (1,3,0);
+    %instr s.d d, r, #const16 (double) {m[$2 + $3] = $1;}
+        [IF; ID; EX; MEM; MEM; WB] (1,1,0);
+
+    /* ---- R3010 floating point ---- */
+    %instr add.d d, d, d {$1 = $2 + $3;}
+        [IF; ID; FPA1; FPA2] (1,2,0);
+    %instr sub.d d, d, d {$1 = $2 - $3;}
+        [IF; ID; FPA1; FPA2] (1,2,0);
+    %instr mul.d d, d, d {$1 = $2 * $3;}
+        [IF; ID; FPM1; FPM2; FPM2; FPM3; FPM3] (1,5,0);
+    %instr div.d d, d, d {$1 = $2 / $3;}
+        [IF; ID; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD;
+         FPD; FPD; FPD; FPD; FPD; FPD; FPD] (1,19,0);
+    %instr neg.d d, d {$1 = -$2;}
+        [IF; ID; FPA1] (1,1,0);
+    %instr add.s f, f, f {$1 = $2 + $3;}
+        [IF; ID; FPA1; FPA2] (1,2,0);
+    %instr sub.s f, f, f {$1 = $2 - $3;}
+        [IF; ID; FPA1; FPA2] (1,2,0);
+    %instr mul.s f, f, f {$1 = $2 * $3;}
+        [IF; ID; FPM1; FPM2; FPM2; FPM3] (1,4,0);
+    %instr div.s f, f, f {$1 = $2 / $3;}
+        [IF; ID; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD]
+        (1,12,0);
+    %instr neg.s f, f {$1 = -$2;}
+        [IF; ID; FPA1] (1,1,0);
+
+    /* ---- conversions (idealised single instructions) ---- */
+    %instr cvt.d.w d, r {$1 = double($2);}
+        [IF; ID; FPA1; FPA2; FPA2] (1,4,0);
+    %instr cvt.w.d r, d (int) {$1 = int($2);}
+        [IF; ID; FPA1; FPA2; FPA2] (1,4,0);
+    %instr cvt.s.w f, r {$1 = float($2);}
+        [IF; ID; FPA1; FPA2; FPA2] (1,4,0);
+    %instr cvt.w.s r, f (int) {$1 = int($2);}
+        [IF; ID; FPA1; FPA2; FPA2] (1,4,0);
+    %instr cvt.d.s d, f {$1 = double($2);}
+        [IF; ID; FPA1; FPA2] (1,2,0);
+    %instr cvt.s.d f, d {$1 = float($2);}
+        [IF; ID; FPA1; FPA2] (1,2,0);
+
+    /* ---- floating point compares: write the condition flag ---- */
+    %instr c.eq.d fcc, d, d {$1 = $2 == $3;}
+        [IF; ID; FPA1] (1,2,0);
+    %instr c.lt.d fcc, d, d {$1 = $2 < $3;}
+        [IF; ID; FPA1] (1,2,0);
+    %instr c.eq.s fcc, f, f {$1 = $2 == $3;}
+        [IF; ID; FPA1] (1,2,0);
+    %instr c.lt.s fcc, f, f {$1 = $2 < $3;}
+        [IF; ID; FPA1] (1,2,0);
+
+    /* ---- control: one branch delay slot ---- */
+    %instr beq r, r, #rlab {if ($1 == $2) goto $3;} [IF; ID; EX] (1,2,1);
+    %instr bne r, r, #rlab {if ($1 != $2) goto $3;} [IF; ID; EX] (1,2,1);
+    %instr blez r, #rlab {if ($1 <= 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr bgtz r, #rlab {if ($1 > 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr bltz r, #rlab {if ($1 < 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr bgez r, #rlab {if ($1 >= 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr bc1t fcc, #rlab {if ($1 != 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr bc1f fcc, #rlab {if ($1 == 0) goto $2;} [IF; ID; EX] (1,2,1);
+    %instr j #rlab {goto $1;} [IF; ID; EX] (1,2,1);
+    %instr jal #flab {call $1;} [IF; ID; EX; EX] (1,2,0);
+    %instr jr.ra {ret;} [IF; ID; EX] (1,2,1);
+    %instr nop {;} [IF; ID] (1,1,0);
+
+    /* ---- moves ---- */
+    %move [m.movs] move r, r, r[0] {$1 = $2;}
+        [IF; ID; EX; MEM; WB] (1,1,0);
+    %move [m.fmovs] mov.s f, f {$1 = $2;}
+        [IF; ID; FPA1] (1,1,0);
+    %move *movd d, d {$1 = $2;} [] (0,0,0);
+    %move movcc fcc, fcc {$1 = $2;} [IF; ID; EX] (1,1,0);
+
+    /* ---- glue: big constants/addresses split into lui/ori halves ---- */
+    %glue #const32 { $1 ==> ((high($1) << 16) | low($1)); };
+
+    /* ---- glue: general integer relational branches through slt ---- */
+    %glue r, r, #rlab {if ($1 < $2) goto $3 ==> if (($1 < $2) != 0) goto $3;};
+    %glue r, r, #rlab {if ($1 >= $2) goto $3 ==> if (($1 < $2) == 0) goto $3;};
+    %glue r, r, #rlab {if ($1 > $2) goto $3 ==> if (($2 < $1) != 0) goto $3;};
+    %glue r, r, #rlab {if ($1 <= $2) goto $3 ==> if (($2 < $1) == 0) goto $3;};
+
+    /* ---- glue: floating branches through the condition flag ---- */
+    %glue d, d, #rlab {if ($1 < $2) goto $3 ==> if (($1 < $2) != 0) goto $3;};
+    %glue d, d, #rlab {if ($1 >= $2) goto $3 ==> if (($1 < $2) == 0) goto $3;};
+    %glue d, d, #rlab {if ($1 > $2) goto $3 ==> if (($2 < $1) != 0) goto $3;};
+    %glue d, d, #rlab {if ($1 <= $2) goto $3 ==> if (($2 < $1) == 0) goto $3;};
+    %glue d, d, #rlab {if ($1 == $2) goto $3 ==> if (($1 == $2) != 0) goto $3;};
+    %glue d, d, #rlab {if ($1 != $2) goto $3 ==> if (($1 == $2) == 0) goto $3;};
+    %glue f, f, #rlab {if ($1 < $2) goto $3 ==> if (($1 < $2) != 0) goto $3;};
+    %glue f, f, #rlab {if ($1 >= $2) goto $3 ==> if (($1 < $2) == 0) goto $3;};
+    %glue f, f, #rlab {if ($1 > $2) goto $3 ==> if (($2 < $1) != 0) goto $3;};
+    %glue f, f, #rlab {if ($1 <= $2) goto $3 ==> if (($2 < $1) == 0) goto $3;};
+    %glue f, f, #rlab {if ($1 == $2) goto $3 ==> if (($1 == $2) != 0) goto $3;};
+    %glue f, f, #rlab {if ($1 != $2) goto $3 ==> if (($1 == $2) == 0) goto $3;};
+}
+"""
+
+
+def _movd(ctx) -> None:
+    """MIPS-I double move: two single moves over the f halves."""
+    dst = ctx.reg_operand(0)
+    src = ctx.reg_operand(1)
+    for half in (0, 1):
+        ctx.emit_labelled(
+            "m.fmovs",
+            ctx.reg("f", 2 * dst.index + half),
+            ctx.reg("f", 2 * src.index + half),
+        )
+
+
+def build_r2000() -> TargetMachine:
+    target = build_target(R2000_MARIL, name="r2000")
+    target.register_func("movd", _movd)
+    return target

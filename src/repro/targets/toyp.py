@@ -1,0 +1,191 @@
+"""TOYP — the paper's tutorial target (figures 1-3), completed.
+
+The paper's TOYP shows five operations; this description fills in the rest
+of a usable instruction set (integer/double arithmetic, all six relational
+branches, conversions) in the same style: a 5-stage integer pipeline
+IF/ID/IE/IA/IW and a 5-stage floating-point pipe F1..F5, one delay slot on
+branches, 3-cycle loads, and the ``%aux`` override that stretches
+``fadd.d`` -> ``st.d`` latency from 6 to 7 cycles exactly as in figure 3.
+
+Double registers overlay the integer registers (``%equiv``); the double
+move is the paper's ``*movd`` escape function generating two single moves.
+"""
+
+from __future__ import annotations
+
+from repro.cgg import build_target
+from repro.machine.target import TargetMachine
+
+TOYP_MARIL = r"""
+declare {
+    %reg r[0:7] (int);               /* integer registers            */
+    %reg d[0:3] (double);            /* doubles overlay the r regs   */
+    %equiv d[0] r[0];
+    %resource IF, ID, IE, IA, IW;    /* fetch decode execute access writeback */
+    %resource F1, F2, F3, F4, F5;    /* floating point pipe          */
+    %def const16 [-32768:32767];     /* signed immediate             */
+    %def const32 [-2147483648:2147483647] +abs;
+    %label rlab [-32768:32767] +relative;   /* branch offset         */
+    %label flab [-134217728:134217727] +abs; /* call target          */
+    %memory m[0:268435455];
+}
+
+cwvm {
+    %general (int) r;
+    %general (double) d;
+    %allocable r[1:5], d[1:2];
+    %calleesave r[4:7];
+    %sp r[7] +down;
+    %fp r[6] +down;
+    %retaddr r[1];
+    %hard r[0] 0;
+    %arg (int) r[2] 1;
+    %arg (int) r[3] 2;
+    %arg (double) d[1] 1;
+    %result r[2] (int);
+    %result d[1] (double);
+}
+
+instr {
+    /* ---- integer ALU: immediate forms first (ordered pattern list) ---- */
+    %instr add r, r[0], #const16 (int) {$1 = $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr la r, #const32 (int) {$1 = $2;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr addi r, r, #const16 (int) {$1 = $2 + $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr subi r, r, #const16 (int) {$1 = $2 - $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr add r, r, r (int) {$1 = $2 + $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr sub r, r, r (int) {$1 = $2 - $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr neg r, r (int) {$1 = -$2;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr mul r, r, r (int) {$1 = $2 * $3;}
+        [IF; ID; IE; IE; IE; IA; IW] (1,3,0);
+    %instr div r, r, r (int) {$1 = $2 / $3;}
+        [IF; ID; IE; IE; IE; IE; IE; IE; IE; IE; IA; IW] (1,10,0);
+    %instr rem r, r, r (int) {$1 = $2 % $3;}
+        [IF; ID; IE; IE; IE; IE; IE; IE; IE; IE; IA; IW] (1,10,0);
+    %instr andi r, r, #const16 (int) {$1 = $2 & $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr and r, r, r (int) {$1 = $2 & $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr ori r, r, #const16 (int) {$1 = $2 | $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr or r, r, r (int) {$1 = $2 | $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr xori r, r, #const16 (int) {$1 = $2 ^ $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr xor r, r, r (int) {$1 = $2 ^ $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr not r, r (int) {$1 = ~$2;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr slli r, r, #const16 (int) {$1 = $2 << $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr sll r, r, r (int) {$1 = $2 << $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr srai r, r, #const16 (int) {$1 = $2 >> $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr sra r, r, r (int) {$1 = $2 >> $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+
+    /* ---- compares (generic compare '::' as in figure 3) ---- */
+    %instr cmpi r, r, #const16 (int) {$1 = $2 :: $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr cmp r, r, r (int) {$1 = $2 :: $3;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr fcmp.d r, d, d {$1 = $2 :: $3;}
+        [IF; ID; F1,ID; F1; F2; F3] (1,4,0);
+
+    /* ---- memory ---- */
+    %instr ld r, r, #const16 (int) {$1 = m[$2 + $3];}
+        [IF; ID; IE; IA; IW] (1,3,0);
+    %instr st r, r, #const16 (int) {m[$2 + $3] = $1;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %instr ld.d d, r, #const16 (double) {$1 = m[$2 + $3];}
+        [IF; ID; IE; IA; IA; IW] (1,4,0);
+    %instr st.d d, r, #const16 (double) {m[$2 + $3] = $1;}
+        [IF; ID; IE; IA; IA; IW] (1,1,0);
+
+    /* ---- double float pipe ---- */
+    %instr fadd.d d, d, d {$1 = $2 + $3;}
+        [IF; ID; F1,ID; F1; F2; F3; F4; F5,IW] (1,6,0);
+    %instr fsub.d d, d, d {$1 = $2 - $3;}
+        [IF; ID; F1,ID; F1; F2; F3; F4; F5,IW] (1,6,0);
+    %instr fmul.d d, d, d {$1 = $2 * $3;}
+        [IF; ID; F1,ID; F1; F2; F2; F3; F4; F5,IW] (1,7,0);
+    %instr fdiv.d d, d, d {$1 = $2 / $3;}
+        [IF; ID; F1,ID; F1; F1; F1; F1; F1; F1; F1; F1; F2; F3; F4; F5,IW] (1,14,0);
+    %instr fneg.d d, d {$1 = -$2;}
+        [IF; ID; F1,ID; F1; F2] (1,3,0);
+
+    /* ---- conversions ---- */
+    %instr cvt.d.w d, r {$1 = double($2);}
+        [IF; ID; F1,ID; F1; F2; F3] (1,4,0);
+    %instr cvt.w.d r, d (int) {$1 = int($2);}
+        [IF; ID; F1,ID; F1; F2; F3] (1,4,0);
+
+    /* ---- control: one always-executed delay slot ---- */
+    %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [IF; ID; IE] (1,2,1);
+    %instr bne0 r, #rlab {if ($1 != 0) goto $2;} [IF; ID; IE] (1,2,1);
+    %instr blt0 r, #rlab {if ($1 < 0) goto $2;} [IF; ID; IE] (1,2,1);
+    %instr ble0 r, #rlab {if ($1 <= 0) goto $2;} [IF; ID; IE] (1,2,1);
+    %instr bgt0 r, #rlab {if ($1 > 0) goto $2;} [IF; ID; IE] (1,2,1);
+    %instr bge0 r, #rlab {if ($1 >= 0) goto $2;} [IF; ID; IE] (1,2,1);
+    %instr jmp #rlab {goto $1;} [IF; ID; IE] (1,2,1);
+    %instr call #flab {call $1;} [IF; ID; IE; IE] (1,2,0);
+    %instr ret {ret;} [IF; ID; IE] (1,2,1);
+    %instr nop {;} [IF; ID] (1,1,0);
+
+    /* ---- moves (figure 3) ---- */
+    %move [s.movs] add r, r, r[0] {$1 = $2;}
+        [IF; ID; IE; IA; IW] (1,1,0);
+    %move *movd d, d {$1 = $2;} [] (0,0,0);
+    %move fmov.d d, d {$1 = $2;}
+        [IF; ID; F1,ID; F1; F2] (1,2,0);
+
+    /* ---- auxiliary latency (figure 3): fadd.d feeding a store of the
+       same register takes 7 cycles, not 6 ---- */
+    %aux fadd.d : st.d (1.$1 == 2.$1) (7);
+
+    /* ---- glue: rewrite two-register branches into compare + branch-on
+       -zero (figure 3), and double branches through fcmp.d ---- */
+    %glue r, r, #rlab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+    %glue r, r, #rlab {if ($1 != $2) goto $3 ==> if (($1 :: $2) != 0) goto $3;};
+    %glue r, r, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue r, r, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue r, r, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue r, r, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+    %glue d, d, #rlab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+    %glue d, d, #rlab {if ($1 != $2) goto $3 ==> if (($1 :: $2) != 0) goto $3;};
+    %glue d, d, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue d, d, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue d, d, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue d, d, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+}
+"""
+
+
+def _movd(ctx) -> None:
+    """The paper's ``*movd`` escape: a double move is two single moves.
+
+    Only meaningful after register allocation, when the halves of each
+    ``d`` register are known ``r`` registers (d[i] overlays r[2i], r[2i+1]).
+    """
+    dst = ctx.reg_operand(0)
+    src = ctx.reg_operand(1)
+    for half in (0, 1):
+        ctx.emit_labelled(
+            "s.movs",
+            ctx.reg("r", 2 * dst.index + half),
+            ctx.reg("r", 2 * src.index + half),
+            ctx.reg("r", 0),
+        )
+
+
+def build_toyp() -> TargetMachine:
+    target = build_target(TOYP_MARIL, name="toyp")
+    target.register_func("movd", _movd)
+    return target

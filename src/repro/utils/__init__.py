@@ -1,0 +1,6 @@
+"""Small shared helpers: text tables and numeric utilities."""
+
+from repro.utils.tables import TextTable, format_table
+from repro.utils.stats import harmonic_mean, arithmetic_mean
+
+__all__ = ["TextTable", "format_table", "harmonic_mean", "arithmetic_mean"]

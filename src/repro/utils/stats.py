@@ -1,0 +1,27 @@
+"""Mean helpers used by the evaluation tables.
+
+Table 4 of the paper reports an arithmetic mean for execution times and a
+harmonic mean for actual/estimated ratios; both are provided here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain average; raises ``ValueError`` on an empty sequence."""
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; every value must be positive."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic_mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)

@@ -1,0 +1,50 @@
+"""Plain-text table rendering for the evaluation harness.
+
+The paper's evaluation section is a set of tables; the harness in
+:mod:`repro.eval` renders each reproduced table with this formatter so the
+benchmark output is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(cells[0]))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in cells[1:])
+    return "\n".join(out)
+
+
+class TextTable:
+    """Incrementally built table; ``str()`` renders it."""
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.headers = list(headers)
+        self.title = title
+        self.rows: list[list[object]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def __str__(self) -> str:
+        return format_table(self.headers, self.rows, self.title)

@@ -1,0 +1,13 @@
+"""Workloads: the Livermore Loops (Table 4) and the compile-time program
+suite (Table 3 substitute)."""
+
+from repro.workloads.livermore import LIVERMORE_KERNELS, KernelSpec, kernel_by_id
+from repro.workloads.suite import PROGRAM_SUITE, SuiteProgram
+
+__all__ = [
+    "LIVERMORE_KERNELS",
+    "KernelSpec",
+    "kernel_by_id",
+    "PROGRAM_SUITE",
+    "SuiteProgram",
+]

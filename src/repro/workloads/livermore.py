@@ -1,0 +1,963 @@
+"""The first fourteen Livermore Loops, in the C subset (Table 4).
+
+Each kernel is a self-contained translation unit with its own arrays, a
+deterministic ``init`` routine (a 32-bit LCG, so initialisation also runs
+through the compiler and simulator) and a ``kernel`` function returning a
+checksum.  ``reference()`` computes the same checksum in pure Python with
+the same operation order, validating functional correctness of the whole
+compiler + simulator stack; both sides use IEEE doubles.
+
+Array sizes are the classic McMahon sizes; the iteration counts are
+parameters so tests can run scaled-down instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+_M31 = 2147483647
+
+
+def _wrap32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value > 0x7FFFFFFF else value
+
+
+class _LCG:
+    """Mirror of the in-kernel C random number generator."""
+
+    def __init__(self, seed: int = 42):
+        self.seed = seed
+
+    def next(self) -> float:
+        self.seed = _wrap32(self.seed * 1103515245 + 12345)
+        value = self.seed
+        if value < 0:
+            value = -value
+        return (value % 10000) / 10000.0 + 0.01
+
+
+_C_RANDOM = """
+int seed;
+
+double rnd(void) {
+    int v;
+    seed = seed * 1103515245 + 12345;
+    v = seed;
+    if (v < 0) { v = -v; }
+    return (double)(v % 10000) / 10000.0 + 0.01;
+}
+"""
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    id: int
+    name: str
+    source: str
+    #: arguments passed to kernel(...) — the loop count
+    args: tuple
+    reference: Callable[..., float]
+
+    @property
+    def entry(self) -> str:
+        return "kernel"
+
+    @property
+    def init(self) -> str:
+        return "init"
+
+
+# ---------------------------------------------------------------------------
+# Kernel 1 — hydro fragment
+# ---------------------------------------------------------------------------
+
+_K1_SRC = _C_RANDOM + """
+double x[1001], y[1001], z[1012];
+double q, r, t;
+
+void init(void) {
+    int k;
+    seed = 42;
+    q = rnd(); r = rnd(); t = rnd();
+    for (k = 0; k < 1001; k++) { x[k] = 0.0; y[k] = rnd(); }
+    for (k = 0; k < 1012; k++) { z[k] = rnd(); }
+}
+
+double kernel(int loop, int n) {
+    int l, k;
+    double s = 0.0;
+    for (l = 0; l < loop; l++) {
+        for (k = 0; k < n; k++) {
+            x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+        }
+    }
+    for (k = 0; k < n; k++) { s = s + x[k]; }
+    return s;
+}
+"""
+
+
+def _k1_ref(loop: int, n: int) -> float:
+    rng = _LCG()
+    q, r, t = rng.next(), rng.next(), rng.next()
+    x = [0.0] * 1001
+    y = [rng.next() for _ in range(1001)]
+    z = [rng.next() for _ in range(1012)]
+    for _ in range(loop):
+        for k in range(n):
+            x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11])
+    return _fsum(x, n)
+
+
+def _fsum(values, n) -> float:
+    s = 0.0
+    for k in range(n):
+        s = s + values[k]
+    return s
+
+
+# ---------------------------------------------------------------------------
+# Kernel 2 — incomplete Cholesky conjugate gradient excerpt
+# ---------------------------------------------------------------------------
+
+_K2_SRC = _C_RANDOM + """
+double x[1001], v[1001];
+
+void init(void) {
+    int k;
+    seed = 7;
+    for (k = 0; k < 1001; k++) { x[k] = rnd(); v[k] = rnd(); }
+}
+
+double kernel(int loop, int n) {
+    int l, k, i, ii, ipnt, ipntp;
+    double s = 0.0;
+    for (l = 0; l < loop; l++) {
+        ii = n;
+        ipntp = 0;
+        while (ii > 1) {
+            ipnt = ipntp;
+            ipntp = ipntp + ii;
+            ii = ii / 2;
+            i = ipntp - 1;
+            for (k = ipnt + 1; k < ipntp; k = k + 2) {
+                i = i + 1;
+                x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+            }
+        }
+    }
+    for (k = 0; k < n; k++) { s = s + x[k]; }
+    return s;
+}
+"""
+
+
+def _k2_ref(loop: int, n: int) -> float:
+    rng = _LCG(7)
+    x = [0.0] * 1001
+    v = [0.0] * 1001
+    for k in range(1001):
+        x[k] = rng.next()
+        v[k] = rng.next()
+    for _ in range(loop):
+        ii = n
+        ipntp = 0
+        while ii > 1:
+            ipnt = ipntp
+            ipntp = ipntp + ii
+            ii = ii // 2
+            i = ipntp - 1
+            for k in range(ipnt + 1, ipntp, 2):
+                i += 1
+                x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1]
+    return _fsum(x, n)
+
+
+# ---------------------------------------------------------------------------
+# Kernel 3 — inner product
+# ---------------------------------------------------------------------------
+
+_K3_SRC = _C_RANDOM + """
+double x[1001], z[1001];
+
+void init(void) {
+    int k;
+    seed = 3;
+    for (k = 0; k < 1001; k++) { x[k] = rnd(); z[k] = rnd(); }
+}
+
+double kernel(int loop, int n) {
+    int l, k;
+    double q = 0.0;
+    for (l = 0; l < loop; l++) {
+        q = 0.0;
+        for (k = 0; k < n; k++) { q = q + z[k] * x[k]; }
+    }
+    return q;
+}
+"""
+
+
+def _k3_ref(loop: int, n: int) -> float:
+    rng = _LCG(3)
+    x = [0.0] * 1001
+    z = [0.0] * 1001
+    for k in range(1001):
+        x[k] = rng.next()
+        z[k] = rng.next()
+    q = 0.0
+    for _ in range(loop):
+        q = 0.0
+        for k in range(n):
+            q = q + z[k] * x[k]
+    return q
+
+
+# ---------------------------------------------------------------------------
+# Kernel 4 — banded linear equations
+# ---------------------------------------------------------------------------
+
+_K4_SRC = _C_RANDOM + """
+double x[1501], y[1001];
+
+void init(void) {
+    int k;
+    seed = 4;
+    for (k = 0; k < 1501; k++) { x[k] = rnd(); }
+    for (k = 0; k < 1001; k++) { y[k] = rnd(); }
+}
+
+double kernel(int loop, int n) {
+    int l, k, j, lw, m;
+    double temp, s;
+    m = (1001 - 7) / 2;
+    for (l = 0; l < loop; l++) {
+        for (k = 6; k < 1001; k = k + m) {
+            lw = k - 6;
+            temp = x[k - 1];
+            for (j = 4; j < n; j = j + 5) {
+                temp = temp - x[lw] * y[j];
+                lw = lw + 1;
+            }
+            x[k - 1] = y[4] * temp;
+        }
+    }
+    s = 0.0;
+    for (k = 0; k < 1001; k++) { s = s + x[k]; }
+    return s;
+}
+"""
+
+
+def _k4_ref(loop: int, n: int) -> float:
+    rng = _LCG(4)
+    x = [rng.next() for _ in range(1501)]
+    y = [rng.next() for _ in range(1001)]
+    m = (1001 - 7) // 2
+    for _ in range(loop):
+        for k in range(6, 1001, m):
+            lw = k - 6
+            temp = x[k - 1]
+            for j in range(4, n, 5):
+                temp = temp - x[lw] * y[j]
+                lw += 1
+            x[k - 1] = y[4] * temp
+    return _fsum(x, 1001)
+
+
+# ---------------------------------------------------------------------------
+# Kernel 5 — tri-diagonal elimination, below diagonal
+# ---------------------------------------------------------------------------
+
+_K5_SRC = _C_RANDOM + """
+double x[1001], y[1001], z[1001];
+
+void init(void) {
+    int k;
+    seed = 5;
+    for (k = 0; k < 1001; k++) { x[k] = rnd(); y[k] = rnd(); z[k] = rnd(); }
+}
+
+double kernel(int loop, int n) {
+    int l, i;
+    double s = 0.0;
+    for (l = 0; l < loop; l++) {
+        for (i = 1; i < n; i++) {
+            x[i] = z[i] * (y[i] - x[i - 1]);
+        }
+    }
+    for (i = 0; i < n; i++) { s = s + x[i]; }
+    return s;
+}
+"""
+
+
+def _k5_ref(loop: int, n: int) -> float:
+    rng = _LCG(5)
+    x = [0.0] * 1001
+    y = [0.0] * 1001
+    z = [0.0] * 1001
+    for k in range(1001):
+        x[k] = rng.next()
+        y[k] = rng.next()
+        z[k] = rng.next()
+    for _ in range(loop):
+        for i in range(1, n):
+            x[i] = z[i] * (y[i] - x[i - 1])
+    return _fsum(x, n)
+
+
+# ---------------------------------------------------------------------------
+# Kernel 6 — general linear recurrence equations
+# ---------------------------------------------------------------------------
+
+_K6_SRC = _C_RANDOM + """
+double w[64];
+double b[64][64];
+
+void init(void) {
+    int i, j;
+    seed = 6;
+    for (i = 0; i < 64; i++) {
+        w[i] = 0.0;
+        for (j = 0; j < 64; j++) { b[i][j] = rnd() * 0.01; }
+    }
+}
+
+double kernel(int loop, int n) {
+    int l, i, k;
+    double s = 0.0;
+    for (l = 0; l < loop; l++) {
+        for (i = 1; i < n; i++) {
+            w[i] = 0.0100;
+            for (k = 0; k < i; k++) {
+                w[i] = w[i] + b[k][i] * w[(i - k) - 1];
+            }
+        }
+    }
+    for (i = 0; i < n; i++) { s = s + w[i]; }
+    return s;
+}
+"""
+
+
+def _k6_ref(loop: int, n: int) -> float:
+    rng = _LCG(6)
+    w = [0.0] * 64
+    b = [[0.0] * 64 for _ in range(64)]
+    for i in range(64):
+        w[i] = 0.0
+        for j in range(64):
+            b[i][j] = rng.next() * 0.01
+    for _ in range(loop):
+        for i in range(1, n):
+            w[i] = 0.0100
+            for k in range(i):
+                w[i] = w[i] + b[k][i] * w[(i - k) - 1]
+    return _fsum(w, n)
+
+
+# ---------------------------------------------------------------------------
+# Kernel 7 — equation of state fragment
+# ---------------------------------------------------------------------------
+
+_K7_SRC = _C_RANDOM + """
+double x[995], y[995], z[995], u[1001];
+double q, r, t;
+
+void init(void) {
+    int k;
+    seed = 77;
+    q = rnd(); r = rnd(); t = rnd();
+    for (k = 0; k < 995; k++) { x[k] = 0.0; y[k] = rnd(); z[k] = rnd(); }
+    for (k = 0; k < 1001; k++) { u[k] = rnd(); }
+}
+
+double kernel(int loop, int n) {
+    int l, k;
+    double s = 0.0;
+    for (l = 0; l < loop; l++) {
+        for (k = 0; k < n; k++) {
+            x[k] = u[k] + r * (z[k] + r * y[k])
+                 + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+                 + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+        }
+    }
+    for (k = 0; k < n; k++) { s = s + x[k]; }
+    return s;
+}
+"""
+
+
+def _k7_ref(loop: int, n: int) -> float:
+    rng = _LCG(77)
+    q, r, t = rng.next(), rng.next(), rng.next()
+    x = [0.0] * 995
+    y = [0.0] * 995
+    z = [0.0] * 995
+    for k in range(995):
+        x[k] = 0.0
+        y[k] = rng.next()
+        z[k] = rng.next()
+    u = [rng.next() for _ in range(1001)]
+    for _ in range(loop):
+        for k in range(n):
+            x[k] = (
+                u[k]
+                + r * (z[k] + r * y[k])
+                + t
+                * (
+                    u[k + 3]
+                    + r * (u[k + 2] + r * u[k + 1])
+                    + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4]))
+                )
+            )
+    return _fsum(x, n)
+
+
+# ---------------------------------------------------------------------------
+# Kernel 8 — ADI integration
+# ---------------------------------------------------------------------------
+
+_K8_SRC = _C_RANDOM + """
+double u1[2][101][5], u2[2][101][5], u3[2][101][5];
+double du1[101], du2[101], du3[101];
+double a11, a12, a13, a21, a22, a23, a31, a32, a33, sig;
+
+void init(void) {
+    int i, j, k;
+    seed = 8;
+    a11 = rnd(); a12 = rnd(); a13 = rnd();
+    a21 = rnd(); a22 = rnd(); a23 = rnd();
+    a31 = rnd(); a32 = rnd(); a33 = rnd();
+    sig = rnd();
+    for (i = 0; i < 2; i++) {
+        for (j = 0; j < 101; j++) {
+            for (k = 0; k < 5; k++) {
+                u1[i][j][k] = rnd(); u2[i][j][k] = rnd(); u3[i][j][k] = rnd();
+            }
+        }
+    }
+}
+
+double kernel(int loop, int n) {
+    int l, kx, ky, nl1, nl2;
+    double s;
+    nl1 = 0;
+    nl2 = 1;
+    for (l = 0; l < loop; l++) {
+        for (kx = 1; kx < 3; kx++) {
+            for (ky = 1; ky < n; ky++) {
+                du1[ky] = u1[nl1][ky + 1][kx] - u1[nl1][ky - 1][kx];
+                du2[ky] = u2[nl1][ky + 1][kx] - u2[nl1][ky - 1][kx];
+                du3[ky] = u3[nl1][ky + 1][kx] - u3[nl1][ky - 1][kx];
+                u1[nl2][ky][kx] = u1[nl1][ky][kx]
+                    + a11 * du1[ky] + a12 * du2[ky] + a13 * du3[ky]
+                    + sig * (u1[nl1][ky][kx + 1]
+                             - 2.0 * u1[nl1][ky][kx] + u1[nl1][ky][kx - 1]);
+                u2[nl2][ky][kx] = u2[nl1][ky][kx]
+                    + a21 * du1[ky] + a22 * du2[ky] + a23 * du3[ky]
+                    + sig * (u2[nl1][ky][kx + 1]
+                             - 2.0 * u2[nl1][ky][kx] + u2[nl1][ky][kx - 1]);
+                u3[nl2][ky][kx] = u3[nl1][ky][kx]
+                    + a31 * du1[ky] + a32 * du2[ky] + a33 * du3[ky]
+                    + sig * (u3[nl1][ky][kx + 1]
+                             - 2.0 * u3[nl1][ky][kx] + u3[nl1][ky][kx - 1]);
+            }
+        }
+    }
+    s = 0.0;
+    for (kx = 0; kx < n; kx++) {
+        s = s + u1[1][kx][2] + u2[1][kx][2] + u3[1][kx][2];
+    }
+    return s;
+}
+"""
+
+
+def _k8_ref(loop: int, n: int) -> float:
+    rng = _LCG(8)
+    a = [rng.next() for _ in range(9)]
+    a11, a12, a13, a21, a22, a23, a31, a32, a33 = a
+    sig = rng.next()
+
+    def cube():
+        return [[[0.0] * 5 for _ in range(101)] for _ in range(2)]
+
+    u1, u2, u3 = cube(), cube(), cube()
+    for i in range(2):
+        for j in range(101):
+            for k in range(5):
+                u1[i][j][k] = rng.next()
+                u2[i][j][k] = rng.next()
+                u3[i][j][k] = rng.next()
+    du1 = [0.0] * 101
+    du2 = [0.0] * 101
+    du3 = [0.0] * 101
+    nl1, nl2 = 0, 1
+    for _ in range(loop):
+        for kx in range(1, 3):
+            for ky in range(1, n):
+                du1[ky] = u1[nl1][ky + 1][kx] - u1[nl1][ky - 1][kx]
+                du2[ky] = u2[nl1][ky + 1][kx] - u2[nl1][ky - 1][kx]
+                du3[ky] = u3[nl1][ky + 1][kx] - u3[nl1][ky - 1][kx]
+                u1[nl2][ky][kx] = (
+                    u1[nl1][ky][kx]
+                    + a11 * du1[ky] + a12 * du2[ky] + a13 * du3[ky]
+                    + sig * (u1[nl1][ky][kx + 1] - 2.0 * u1[nl1][ky][kx]
+                             + u1[nl1][ky][kx - 1])
+                )
+                u2[nl2][ky][kx] = (
+                    u2[nl1][ky][kx]
+                    + a21 * du1[ky] + a22 * du2[ky] + a23 * du3[ky]
+                    + sig * (u2[nl1][ky][kx + 1] - 2.0 * u2[nl1][ky][kx]
+                             + u2[nl1][ky][kx - 1])
+                )
+                u3[nl2][ky][kx] = (
+                    u3[nl1][ky][kx]
+                    + a31 * du1[ky] + a32 * du2[ky] + a33 * du3[ky]
+                    + sig * (u3[nl1][ky][kx + 1] - 2.0 * u3[nl1][ky][kx]
+                             + u3[nl1][ky][kx - 1])
+                )
+    s = 0.0
+    for kx in range(n):
+        s = s + u1[1][kx][2] + u2[1][kx][2] + u3[1][kx][2]
+    return s
+
+
+# ---------------------------------------------------------------------------
+# Kernel 9 — integrate predictors
+# ---------------------------------------------------------------------------
+
+_K9_SRC = _C_RANDOM + """
+double px[101][13];
+double dm22, dm23, dm24, dm25, dm26, dm27, dm28, c0;
+
+void init(void) {
+    int i, j;
+    seed = 9;
+    dm22 = rnd(); dm23 = rnd(); dm24 = rnd(); dm25 = rnd();
+    dm26 = rnd(); dm27 = rnd(); dm28 = rnd(); c0 = rnd();
+    for (i = 0; i < 101; i++) {
+        for (j = 0; j < 13; j++) { px[i][j] = rnd(); }
+    }
+}
+
+double kernel(int loop, int n) {
+    int l, i;
+    double s = 0.0;
+    for (l = 0; l < loop; l++) {
+        for (i = 0; i < n; i++) {
+            px[i][0] = dm28 * px[i][12] + dm27 * px[i][11] + dm26 * px[i][10]
+                     + dm25 * px[i][9] + dm24 * px[i][8] + dm23 * px[i][7]
+                     + dm22 * px[i][6]
+                     + c0 * (px[i][4] + px[i][5]) + px[i][2];
+        }
+    }
+    for (i = 0; i < n; i++) { s = s + px[i][0]; }
+    return s;
+}
+"""
+
+
+def _k9_ref(loop: int, n: int) -> float:
+    rng = _LCG(9)
+    dm22, dm23, dm24, dm25 = rng.next(), rng.next(), rng.next(), rng.next()
+    dm26, dm27, dm28, c0 = rng.next(), rng.next(), rng.next(), rng.next()
+    px = [[rng.next() for _ in range(13)] for _ in range(101)]
+    for _ in range(loop):
+        for i in range(n):
+            px[i][0] = (
+                dm28 * px[i][12] + dm27 * px[i][11] + dm26 * px[i][10]
+                + dm25 * px[i][9] + dm24 * px[i][8] + dm23 * px[i][7]
+                + dm22 * px[i][6]
+                + c0 * (px[i][4] + px[i][5]) + px[i][2]
+            )
+    return _fsum([px[i][0] for i in range(101)], n)
+
+
+# ---------------------------------------------------------------------------
+# Kernel 10 — difference predictors
+# ---------------------------------------------------------------------------
+
+_K10_SRC = _C_RANDOM + """
+double px[101][13], cx[101][13];
+
+void init(void) {
+    int i, j;
+    seed = 10;
+    for (i = 0; i < 101; i++) {
+        for (j = 0; j < 13; j++) { px[i][j] = rnd(); cx[i][j] = rnd(); }
+    }
+}
+
+double kernel(int loop, int n) {
+    int l, i;
+    double ar, br, cr, s;
+    for (l = 0; l < loop; l++) {
+        for (i = 0; i < n; i++) {
+            ar = cx[i][4];
+            br = ar - px[i][4];
+            px[i][4] = ar;
+            cr = br - px[i][5];
+            px[i][5] = br;
+            ar = cr - px[i][6];
+            px[i][6] = cr;
+            br = ar - px[i][7];
+            px[i][7] = ar;
+            cr = br - px[i][8];
+            px[i][8] = br;
+            ar = cr - px[i][9];
+            px[i][9] = cr;
+            br = ar - px[i][10];
+            px[i][10] = ar;
+            cr = br - px[i][11];
+            px[i][11] = br;
+            px[i][13 - 1] = cr - px[i][12];
+            px[i][12] = cr;
+        }
+    }
+    s = 0.0;
+    for (i = 0; i < n; i++) { s = s + px[i][12]; }
+    return s;
+}
+"""
+
+
+def _k10_ref(loop: int, n: int) -> float:
+    rng = _LCG(10)
+    px = [[0.0] * 13 for _ in range(101)]
+    cx = [[0.0] * 13 for _ in range(101)]
+    for i in range(101):
+        for j in range(13):
+            px[i][j] = rng.next()
+            cx[i][j] = rng.next()
+    for _ in range(loop):
+        for i in range(n):
+            ar = cx[i][4]
+            br = ar - px[i][4]
+            px[i][4] = ar
+            cr = br - px[i][5]
+            px[i][5] = br
+            ar = cr - px[i][6]
+            px[i][6] = cr
+            br = ar - px[i][7]
+            px[i][7] = ar
+            cr = br - px[i][8]
+            px[i][8] = br
+            ar = cr - px[i][9]
+            px[i][9] = cr
+            br = ar - px[i][10]
+            px[i][10] = ar
+            cr = br - px[i][11]
+            px[i][11] = br
+            # px[i][13-1] aliases px[i][12]: its cr - px[i][12] value is
+            # immediately overwritten, so the final value is just cr
+            px[i][12] = cr
+    s = 0.0
+    for i in range(n):
+        s = s + px[i][12]
+    return s
+
+
+# ---------------------------------------------------------------------------
+# Kernel 11 — first sum
+# ---------------------------------------------------------------------------
+
+_K11_SRC = _C_RANDOM + """
+double x[1001], y[1001];
+
+void init(void) {
+    int k;
+    seed = 11;
+    for (k = 0; k < 1001; k++) { x[k] = 0.0; y[k] = rnd(); }
+}
+
+double kernel(int loop, int n) {
+    int l, k;
+    for (l = 0; l < loop; l++) {
+        x[0] = y[0];
+        for (k = 1; k < n; k++) { x[k] = x[k - 1] + y[k]; }
+    }
+    return x[n - 1];
+}
+"""
+
+
+def _k11_ref(loop: int, n: int) -> float:
+    rng = _LCG(11)
+    x = [0.0] * 1001
+    y = [0.0] * 1001
+    for k in range(1001):
+        x[k] = 0.0
+        y[k] = rng.next()
+    for _ in range(loop):
+        x[0] = y[0]
+        for k in range(1, n):
+            x[k] = x[k - 1] + y[k]
+    return x[n - 1]
+
+
+# ---------------------------------------------------------------------------
+# Kernel 12 — first difference
+# ---------------------------------------------------------------------------
+
+_K12_SRC = _C_RANDOM + """
+double x[1001], y[1002];
+
+void init(void) {
+    int k;
+    seed = 12;
+    for (k = 0; k < 1001; k++) { x[k] = 0.0; }
+    for (k = 0; k < 1002; k++) { y[k] = rnd(); }
+}
+
+double kernel(int loop, int n) {
+    int l, k;
+    double s = 0.0;
+    for (l = 0; l < loop; l++) {
+        for (k = 0; k < n; k++) { x[k] = y[k + 1] - y[k]; }
+    }
+    for (k = 0; k < n; k++) { s = s + x[k]; }
+    return s;
+}
+"""
+
+
+def _k12_ref(loop: int, n: int) -> float:
+    rng = _LCG(12)
+    x = [0.0] * 1001
+    y = [rng.next() for _ in range(1002)]
+    for _ in range(loop):
+        for k in range(n):
+            x[k] = y[k + 1] - y[k]
+    return _fsum(x, n)
+
+
+# ---------------------------------------------------------------------------
+# Kernel 13 — 2-D particle in cell
+# ---------------------------------------------------------------------------
+
+_K13_SRC = _C_RANDOM + """
+double p[128][4], b[32][32], c[32][32], y[64], h[32][32];
+
+void init(void) {
+    int i, j;
+    seed = 13;
+    for (i = 0; i < 128; i++) {
+        p[i][0] = rnd() * 16.0;
+        p[i][1] = rnd() * 16.0;
+        p[i][2] = rnd();
+        p[i][3] = rnd();
+    }
+    for (i = 0; i < 32; i++) {
+        for (j = 0; j < 32; j++) { b[i][j] = rnd(); c[i][j] = rnd(); h[i][j] = 0.0; }
+    }
+    for (i = 0; i < 64; i++) { y[i] = rnd(); }
+}
+
+double kernel(int loop, int n) {
+    int l, ip, i1, j1, i2, j2;
+    double s;
+    for (l = 0; l < loop; l++) {
+        for (ip = 0; ip < n; ip++) {
+            i1 = (int)p[ip][0];
+            j1 = (int)p[ip][1];
+            i1 = i1 & 31;
+            j1 = j1 & 31;
+            p[ip][2] = p[ip][2] + b[j1][i1];
+            p[ip][3] = p[ip][3] + c[j1][i1];
+            p[ip][0] = p[ip][0] + p[ip][2];
+            p[ip][1] = p[ip][1] + p[ip][3];
+            i2 = (int)p[ip][0];
+            j2 = (int)p[ip][1];
+            i2 = i2 & 31;
+            j2 = j2 & 31;
+            p[ip][0] = p[ip][0] + y[i2 + 32];
+            p[ip][1] = p[ip][1] + y[j2 + 32];
+            h[j2][i2] = h[j2][i2] + 1.0;
+        }
+    }
+    s = 0.0;
+    for (i1 = 0; i1 < 32; i1++) {
+        for (j1 = 0; j1 < 32; j1++) { s = s + h[i1][j1]; }
+    }
+    for (ip = 0; ip < n; ip++) { s = s + p[ip][0] + p[ip][1]; }
+    return s;
+}
+"""
+
+
+def _k13_ref(loop: int, n: int) -> float:
+    rng = _LCG(13)
+    p = [[0.0] * 4 for _ in range(128)]
+    for i in range(128):
+        p[i][0] = rng.next() * 16.0
+        p[i][1] = rng.next() * 16.0
+        p[i][2] = rng.next()
+        p[i][3] = rng.next()
+    b = [[0.0] * 32 for _ in range(32)]
+    c = [[0.0] * 32 for _ in range(32)]
+    h = [[0.0] * 32 for _ in range(32)]
+    for i in range(32):
+        for j in range(32):
+            b[i][j] = rng.next()
+            c[i][j] = rng.next()
+            h[i][j] = 0.0
+    y = [rng.next() for _ in range(64)]
+    for _ in range(loop):
+        for ip in range(n):
+            i1 = int(p[ip][0]) & 31
+            j1 = int(p[ip][1]) & 31
+            p[ip][2] += b[j1][i1]
+            p[ip][3] += c[j1][i1]
+            p[ip][0] += p[ip][2]
+            p[ip][1] += p[ip][3]
+            i2 = int(p[ip][0]) & 31
+            j2 = int(p[ip][1]) & 31
+            p[ip][0] += y[i2 + 32]
+            p[ip][1] += y[j2 + 32]
+            h[j2][i2] += 1.0
+    s = 0.0
+    for i1 in range(32):
+        for j1 in range(32):
+            s = s + h[i1][j1]
+    for ip in range(n):
+        s = s + p[ip][0] + p[ip][1]
+    return s
+
+
+# ---------------------------------------------------------------------------
+# Kernel 14 — 1-D particle in cell
+# ---------------------------------------------------------------------------
+
+_K14_SRC = _C_RANDOM + """
+double vx[1001], xx[1001], xi[1001], ex1[1001], dex1[1001], rx[1001];
+double ex[128], dex[128], grd[1001], rh[2050];
+int ix[1001], ir[1001];
+double flx, qq;
+
+void init(void) {
+    int k;
+    seed = 14;
+    flx = rnd();
+    qq = rnd();
+    for (k = 0; k < 128; k++) { ex[k] = rnd(); dex[k] = rnd(); }
+    for (k = 0; k < 1001; k++) { grd[k] = 1.0 + rnd() * 100.0; }
+    for (k = 0; k < 2050; k++) { rh[k] = 0.0; }
+}
+
+double kernel(int loop, int n) {
+    int l, k;
+    double s;
+    for (l = 0; l < loop; l++) {
+        for (k = 0; k < n; k++) {
+            vx[k] = 0.0;
+            xx[k] = 0.0;
+            ix[k] = (int)grd[k];
+            xi[k] = (double)ix[k];
+            ex1[k] = ex[ix[k] - 1];
+            dex1[k] = dex[ix[k] - 1];
+        }
+        for (k = 0; k < n; k++) {
+            vx[k] = vx[k] + ex1[k] + (xx[k] - xi[k]) * dex1[k];
+            xx[k] = xx[k] + vx[k] + flx;
+            ir[k] = (int)xx[k];
+            rx[k] = xx[k] - (double)ir[k];
+            ir[k] = (ir[k] & 2047) + 1;
+            xx[k] = rx[k] + (double)ir[k];
+        }
+        for (k = 0; k < n; k++) {
+            rh[ir[k] - 1] = rh[ir[k] - 1] + qq * (1.0 - rx[k]);
+            rh[ir[k]] = rh[ir[k]] + qq * rx[k];
+        }
+    }
+    s = 0.0;
+    for (k = 0; k < 2050; k++) { s = s + rh[k]; }
+    return s;
+}
+"""
+
+
+def _k14_ref(loop: int, n: int) -> float:
+    rng = _LCG(14)
+    flx = rng.next()
+    qq = rng.next()
+    ex = [0.0] * 128
+    dex = [0.0] * 128
+    for k in range(128):
+        ex[k] = rng.next()
+        dex[k] = rng.next()
+    grd = [1.0 + rng.next() * 100.0 for _ in range(1001)]
+    rh = [0.0] * 2050
+    vx = [0.0] * 1001
+    xx = [0.0] * 1001
+    xi = [0.0] * 1001
+    ex1 = [0.0] * 1001
+    dex1 = [0.0] * 1001
+    rx = [0.0] * 1001
+    ix = [0] * 1001
+    ir = [0] * 1001
+    for _ in range(loop):
+        for k in range(n):
+            vx[k] = 0.0
+            xx[k] = 0.0
+            ix[k] = int(grd[k])
+            xi[k] = float(ix[k])
+            ex1[k] = ex[ix[k] - 1]
+            dex1[k] = dex[ix[k] - 1]
+        for k in range(n):
+            vx[k] = vx[k] + ex1[k] + (xx[k] - xi[k]) * dex1[k]
+            xx[k] = xx[k] + vx[k] + flx
+            ir[k] = int(xx[k])
+            rx[k] = xx[k] - float(ir[k])
+            ir[k] = (ir[k] & 2047) + 1
+            xx[k] = rx[k] + float(ir[k])
+        for k in range(n):
+            rh[ir[k] - 1] = rh[ir[k] - 1] + qq * (1.0 - rx[k])
+            rh[ir[k]] = rh[ir[k]] + qq * rx[k]
+    s = 0.0
+    for k in range(2050):
+        s = s + rh[k]
+    return s
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: appended to every kernel: one simulation entry that initialises the data
+#: and runs the timed loop, so a single `simulate(exe, "bench", ...)` call
+#: reproduces one Table 4 measurement
+_DRIVER = """
+double bench(int loop, int n) {
+    init();
+    return kernel(loop, n);
+}
+"""
+
+LIVERMORE_KERNELS: list[KernelSpec] = [
+    KernelSpec(1, "hydro fragment", _K1_SRC + _DRIVER, (1, 990), _k1_ref),
+    KernelSpec(2, "ICCG excerpt", _K2_SRC + _DRIVER, (1, 500), _k2_ref),
+    KernelSpec(3, "inner product", _K3_SRC + _DRIVER, (1, 1001), _k3_ref),
+    KernelSpec(4, "banded linear equations", _K4_SRC + _DRIVER, (1, 1001), _k4_ref),
+    KernelSpec(5, "tri-diagonal elimination", _K5_SRC + _DRIVER, (1, 1001), _k5_ref),
+    KernelSpec(6, "linear recurrence", _K6_SRC + _DRIVER, (1, 64), _k6_ref),
+    KernelSpec(7, "equation of state", _K7_SRC + _DRIVER, (1, 988), _k7_ref),
+    KernelSpec(8, "ADI integration", _K8_SRC + _DRIVER, (1, 100), _k8_ref),
+    KernelSpec(9, "integrate predictors", _K9_SRC + _DRIVER, (1, 101), _k9_ref),
+    KernelSpec(10, "difference predictors", _K10_SRC + _DRIVER, (1, 101), _k10_ref),
+    KernelSpec(11, "first sum", _K11_SRC + _DRIVER, (1, 1001), _k11_ref),
+    KernelSpec(12, "first difference", _K12_SRC + _DRIVER, (1, 1000), _k12_ref),
+    KernelSpec(13, "2-D particle in cell", _K13_SRC + _DRIVER, (1, 128), _k13_ref),
+    KernelSpec(14, "1-D particle in cell", _K14_SRC + _DRIVER, (1, 1001), _k14_ref),
+]
+
+
+def kernel_by_id(kernel_id: int) -> KernelSpec:
+    for spec in LIVERMORE_KERNELS:
+        if spec.id == kernel_id:
+            return spec
+    raise KeyError(f"no Livermore kernel {kernel_id}")

@@ -1,0 +1,414 @@
+"""The compile-time program suite (Table 3 substitute).
+
+The paper times its back ends compiling the NAS Kernel, SPHOT, ARC2D and
+Lcc itself.  We cannot obtain those; this suite provides the same *mix* —
+dense floating point kernels, branchy integer code, recursion, and a
+table-driven interpreter (the "compiler-like" program) — with enough
+volume to rank strategies and targets by compilation time, and it runs
+under the simulator so Table 3's dilation column can be measured too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class SuiteProgram:
+    name: str
+    source: str
+    entry: str
+    args: tuple
+    reference: Callable[..., float]
+
+
+# ---------------------------------------------------------------------------
+# matrix: dense double-precision linear algebra
+# ---------------------------------------------------------------------------
+
+_MATRIX_SRC = """
+double a[24][24], b[24][24], c[24][24];
+int mseed;
+
+double mrnd(void) {
+    int v;
+    mseed = mseed * 1103515245 + 12345;
+    v = mseed;
+    if (v < 0) { v = -v; }
+    return (double)(v % 1000) / 1000.0 + 0.001;
+}
+
+void minit(int n) {
+    int i, j;
+    mseed = 1234;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            a[i][j] = mrnd();
+            b[i][j] = mrnd();
+            c[i][j] = 0.0;
+        }
+    }
+}
+
+void matmul(int n) {
+    int i, j, k;
+    double s;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            s = 0.0;
+            for (k = 0; k < n; k++) { s = s + a[i][k] * b[k][j]; }
+            c[i][j] = s;
+        }
+    }
+}
+
+double trace(int n) {
+    int i;
+    double t = 0.0;
+    for (i = 0; i < n; i++) { t = t + c[i][i]; }
+    return t;
+}
+
+double frobenius(int n) {
+    int i, j;
+    double t = 0.0;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) { t = t + c[i][j] * c[i][j]; }
+    }
+    return t;
+}
+
+double matrix_main(int n) {
+    minit(n);
+    matmul(n);
+    return trace(n) + frobenius(n);
+}
+"""
+
+
+def _matrix_ref(n: int) -> float:
+    seed = 1234
+
+    def rnd():
+        nonlocal seed
+        seed = ((seed * 1103515245 + 12345) & 0xFFFFFFFF)
+        if seed > 0x7FFFFFFF:
+            seed -= 0x100000000
+        v = seed if seed >= 0 else -seed
+        return (v % 1000) / 1000.0 + 0.001
+
+    a = [[0.0] * 24 for _ in range(24)]
+    b = [[0.0] * 24 for _ in range(24)]
+    c = [[0.0] * 24 for _ in range(24)]
+    for i in range(n):
+        for j in range(n):
+            a[i][j] = rnd()
+            b[i][j] = rnd()
+    for i in range(n):
+        for j in range(n):
+            s = 0.0
+            for k in range(n):
+                s = s + a[i][k] * b[k][j]
+            c[i][j] = s
+    t = 0.0
+    for i in range(n):
+        t = t + c[i][i]
+    f = 0.0
+    for i in range(n):
+        for j in range(n):
+            f = f + c[i][j] * c[i][j]
+    return t + f
+
+
+# ---------------------------------------------------------------------------
+# intsort: branchy integer code (sieve + quicksort + checksum)
+# ---------------------------------------------------------------------------
+
+_INTSORT_SRC = """
+int data[512];
+int flags[512];
+
+void fill(int n) {
+    int i, v;
+    v = 12345;
+    for (i = 0; i < n; i++) {
+        v = (v * 25173 + 13849) % 65536;
+        data[i] = v % 1000;
+    }
+}
+
+int sieve(int n) {
+    int i, j, count;
+    for (i = 0; i < n; i++) { flags[i] = 1; }
+    count = 0;
+    for (i = 2; i < n; i++) {
+        if (flags[i]) {
+            count++;
+            for (j = i + i; j < n; j = j + i) { flags[j] = 0; }
+        }
+    }
+    return count;
+}
+
+void quicksort(int lo, int hi) {
+    int i, j, pivot, tmp;
+    if (lo >= hi) { return; }
+    pivot = data[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (data[i] < pivot) { i++; }
+        while (data[j] > pivot) { j--; }
+        if (i <= j) {
+            tmp = data[i];
+            data[i] = data[j];
+            data[j] = tmp;
+            i++;
+            j--;
+        }
+    }
+    quicksort(lo, j);
+    quicksort(i, hi);
+}
+
+int intsort_main(int n) {
+    int i, check;
+    fill(n);
+    quicksort(0, n - 1);
+    check = sieve(n);
+    for (i = 1; i < n; i++) {
+        if (data[i - 1] > data[i]) { return -1; }
+    }
+    for (i = 0; i < n; i++) { check = (check + data[i] * i) % 100003; }
+    return check;
+}
+"""
+
+
+def _intsort_ref(n: int) -> int:
+    v = 12345
+    data = []
+    for i in range(n):
+        v = (v * 25173 + 13849) % 65536
+        data.append(v % 1000)
+    data.sort()
+    flags = [1] * n
+    count = 0
+    for i in range(2, n):
+        if flags[i]:
+            count += 1
+            for j in range(i + i, n, i):
+                flags[j] = 0
+    check = count
+    for i in range(n):
+        check = (check + data[i] * i) % 100003
+    return check
+
+
+# ---------------------------------------------------------------------------
+# recurse: recursion-heavy integer code
+# ---------------------------------------------------------------------------
+
+_RECURSE_SRC = """
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+int ack(int m, int n) {
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+
+int gcd(int a, int b) {
+    if (b == 0) { return a; }
+    return gcd(b, a % b);
+}
+
+int recurse_main(int n) {
+    return fib(n) + ack(2, 3) + gcd(1071, 462);
+}
+"""
+
+
+def _fib(n):
+    return n if n < 2 else _fib(n - 1) + _fib(n - 2)
+
+
+def _ack(m, n):
+    if m == 0:
+        return n + 1
+    if n == 0:
+        return _ack(m - 1, 1)
+    return _ack(m - 1, _ack(m, n - 1))
+
+
+def _recurse_ref(n: int) -> int:
+    import math
+
+    return _fib(n) + _ack(2, 3) + math.gcd(1071, 462)
+
+
+# ---------------------------------------------------------------------------
+# interp: a table-driven bytecode interpreter (the "compiler-like" program)
+# ---------------------------------------------------------------------------
+
+_INTERP_SRC = """
+int code[64];
+int stack[64];
+
+void load_program(void) {
+    /* computes sum of squares 1..k for k supplied at run time:
+       ops: 0 halt, 1 push-imm, 2 add, 3 mul, 4 dup, 5 swap,
+            6 jump-if-counter-zero, 7 jump, 8 pop-sub-counter,
+            9 push-counter */
+    code[0] = 1;  code[1] = 0;     /* push 0 (the accumulator)  */
+    code[2] = 6;  code[3] = 13;    /* if counter == 0 -> halt   */
+    code[4] = 9;                   /* push counter              */
+    code[5] = 9;                   /* push counter              */
+    code[6] = 3;                   /* mul -> counter^2          */
+    code[7] = 2;                   /* add into the accumulator  */
+    code[8] = 1;  code[9] = 1;     /* push 1                    */
+    code[10] = 8;                  /* counter -= pop()          */
+    code[11] = 7; code[12] = 2;    /* jump to the loop head     */
+    code[13] = 0;                  /* halt                      */
+}
+
+int interp(int counter) {
+    int pc, sp, op, a, b;
+    pc = 0;
+    sp = 0;
+    while (1) {
+        op = code[pc];
+        pc++;
+        if (op == 0) { break; }
+        if (op == 1) { stack[sp] = code[pc]; pc++; sp++; continue; }
+        if (op == 2) { sp--; a = stack[sp]; sp--; b = stack[sp];
+                       stack[sp] = a + b; sp++; continue; }
+        if (op == 3) { sp--; a = stack[sp]; sp--; b = stack[sp];
+                       stack[sp] = a * b; sp++; continue; }
+        if (op == 4) { stack[sp] = stack[sp - 1]; sp++; continue; }
+        if (op == 5) { a = stack[sp - 1]; stack[sp - 1] = stack[sp - 2];
+                       stack[sp - 2] = a; continue; }
+        if (op == 6) { if (counter == 0) { pc = code[pc]; } else { pc++; }
+                       continue; }
+        if (op == 7) { pc = code[pc]; continue; }
+        if (op == 8) { sp--; a = stack[sp]; counter = counter - a; continue; }
+        if (op == 9) { stack[sp] = counter; sp++; continue; }
+        return -1;
+    }
+    sp--;
+    return stack[sp];
+}
+
+int interp_main(int k) {
+    load_program();
+    return interp(k);
+}
+"""
+
+
+def _interp_ref(k: int) -> int:
+    return sum(i * i for i in range(1, k + 1))
+
+
+# ---------------------------------------------------------------------------
+# stencil: a second dense floating point program (keeps the suite's mix
+# close to the paper's numeric-heavy one, and exercises the i860 back end's
+# sub-operation expansion heavily)
+# ---------------------------------------------------------------------------
+
+_STENCIL_SRC = """
+double grid[34][34], next[34][34];
+
+void ginit(int n) {
+    int i, j;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            grid[i][j] = (double)(i * 31 + j * 17 % 13) * 0.01;
+            next[i][j] = 0.0;
+        }
+    }
+}
+
+void smooth(int n) {
+    int i, j;
+    for (i = 1; i < n - 1; i++) {
+        for (j = 1; j < n - 1; j++) {
+            next[i][j] = 0.2 * (grid[i][j] + grid[i - 1][j] + grid[i + 1][j]
+                                + grid[i][j - 1] + grid[i][j + 1]);
+        }
+    }
+    for (i = 1; i < n - 1; i++) {
+        for (j = 1; j < n - 1; j++) { grid[i][j] = next[i][j]; }
+    }
+}
+
+double residual(int n) {
+    int i, j;
+    double s = 0.0, d;
+    for (i = 1; i < n - 1; i++) {
+        for (j = 1; j < n - 1; j++) {
+            d = grid[i][j] - next[i][j];
+            s = s + d * d;
+        }
+    }
+    return s;
+}
+
+double energy(int n) {
+    int i, j;
+    double s = 0.0;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) { s = s + grid[i][j] * grid[i][j]; }
+    }
+    return s;
+}
+
+double stencil_main(int n) {
+    int step;
+    ginit(n);
+    for (step = 0; step < 3; step++) { smooth(n); }
+    return energy(n) + residual(n);
+}
+"""
+
+
+def _stencil_ref(n: int) -> float:
+    grid = [[0.0] * 34 for _ in range(34)]
+    nxt = [[0.0] * 34 for _ in range(34)]
+    for i in range(n):
+        for j in range(n):
+            grid[i][j] = float(i * 31 + j * 17 % 13) * 0.01
+            nxt[i][j] = 0.0
+    for _ in range(3):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                nxt[i][j] = 0.2 * (
+                    grid[i][j] + grid[i - 1][j] + grid[i + 1][j]
+                    + grid[i][j - 1] + grid[i][j + 1]
+                )
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                grid[i][j] = nxt[i][j]
+    s = 0.0
+    for i in range(n):
+        for j in range(n):
+            s = s + grid[i][j] * grid[i][j]
+    r = 0.0
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            d = grid[i][j] - nxt[i][j]
+            r = r + d * d
+    return s + r
+
+
+PROGRAM_SUITE: list[SuiteProgram] = [
+    SuiteProgram("matrix", _MATRIX_SRC, "matrix_main", (16,), _matrix_ref),
+    SuiteProgram("stencil", _STENCIL_SRC, "stencil_main", (20,), _stencil_ref),
+    SuiteProgram("intsort", _INTSORT_SRC, "intsort_main", (200,), _intsort_ref),
+    SuiteProgram("recurse", _RECURSE_SRC, "recurse_main", (12,), _recurse_ref),
+    SuiteProgram("interp", _INTERP_SRC, "interp_main", (40,), _interp_ref),
+]

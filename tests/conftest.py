@@ -1,0 +1,30 @@
+"""Shared fixtures: targets are expensive to build, so cache per session."""
+
+import pytest
+
+from repro.targets import load_target
+
+
+@pytest.fixture(scope="session")
+def toyp():
+    return load_target("toyp")
+
+
+@pytest.fixture(scope="session")
+def r2000():
+    return load_target("r2000")
+
+
+@pytest.fixture(scope="session")
+def m88000():
+    return load_target("m88000")
+
+
+@pytest.fixture(scope="session")
+def i860():
+    return load_target("i860")
+
+
+@pytest.fixture(scope="session")
+def all_targets(toyp, r2000, m88000, i860):
+    return {"toyp": toyp, "r2000": r2000, "m88000": m88000, "i860": i860}

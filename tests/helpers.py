@@ -1,0 +1,52 @@
+"""Shared test utilities."""
+
+from repro.backend.insts import Imm, Lab, MachineInstr, Reg, make_instr
+from repro.machine.instruction import OperandMode
+
+
+def find_desc(target, mnemonic, operands):
+    """Find the descriptor variant whose operand shapes fit ``operands``
+    (several directives may share a mnemonic, e.g. TOYP's three ``add``)."""
+    candidates = [
+        d for d in target.instructions.values() if d.mnemonic == mnemonic
+    ]
+    for desc in candidates:
+        if len(desc.operands) != len(operands):
+            continue
+        ok = True
+        for spec, operand in zip(desc.operands, operands):
+            if isinstance(operand, Reg):
+                if spec.mode is OperandMode.FIXED_REG:
+                    from repro.machine.registers import PhysReg
+
+                    fixed = PhysReg(spec.set_name, spec.reg_index)
+                    if operand.reg != fixed:
+                        ok = False
+                elif spec.mode is not OperandMode.REG:
+                    ok = False
+            elif isinstance(operand, Imm) and spec.mode is not OperandMode.IMM:
+                ok = False
+            elif isinstance(operand, Lab) and spec.mode is not OperandMode.LABEL:
+                ok = False
+            elif operand is None and spec.mode is not OperandMode.FIXED_REG:
+                ok = False
+        if ok:
+            return desc
+    if candidates:
+        return candidates[0]
+    raise KeyError(mnemonic)
+
+
+def build(target, mnemonic, *operands) -> MachineInstr:
+    """Build a machine instruction, padding fixed-register slots."""
+    # try exact shape first, then with None padding for fixed registers
+    desc = None
+    for padding in range(3):
+        shaped = list(operands) + [None] * padding
+        try:
+            desc = find_desc(target, mnemonic, shaped)
+        except KeyError:
+            raise
+        if len(desc.operands) == len(shaped):
+            return make_instr(desc, shaped)
+    return make_instr(desc, list(operands))

@@ -1,0 +1,57 @@
+"""Assembly printer tests."""
+
+import repro
+from repro.backend.asmprinter import format_instr, format_mfunction, format_program
+
+
+SOURCE = """
+double gains[8];
+double apply(double x, int k) {
+    return x * gains[k];
+}
+"""
+
+
+def test_format_program_structure():
+    exe = repro.compile_c(SOURCE, "r2000")
+    text = format_program(exe.machine_program)
+    assert text.startswith("# target: r2000")
+    assert "#   gains: double[8] (64 bytes)" in text
+    assert "apply:" in text
+    assert "jr.ra" in text
+
+
+def test_format_function_includes_frame_and_blocks():
+    exe = repro.compile_c(
+        "int f(int n) { int a[4]; a[0] = n; return a[0]; }", "toyp"
+    )
+    text = format_mfunction(exe.machine_program.function("f"))
+    assert text.splitlines()[0].startswith("# function f (frame")
+    assert "frame 0" not in text  # the local array needs a frame
+
+
+def test_format_instr_comment_column():
+    exe = repro.compile_c(SOURCE, "r2000")
+    lines = [
+        format_instr(i)
+        for i in exe.machine_program.function("apply").entry.instrs
+    ]
+    commented = [line for line in lines if ";" in line]
+    assert commented, "prologue/param comments expected"
+    for line in commented:
+        assert line.index(";") >= 40  # aligned comment column
+
+
+def test_labels_unique_in_listing():
+    exe = repro.compile_c(
+        "int f(int n) { if (n) { return 1; } return 2; }"
+        "int g(int n) { if (n) { return 3; } return 4; }",
+        "toyp",
+    )
+    text = format_program(exe.machine_program)
+    labels = [
+        line[:-1]
+        for line in text.splitlines()
+        if line.endswith(":") and not line.startswith("#")
+    ]
+    assert len(labels) == len(set(labels))

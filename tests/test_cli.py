@@ -1,0 +1,71 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int f(int a, int b) { return a * b + 1; }
+double g(double x) { return x * 0.5; }
+"""
+
+
+@pytest.fixture()
+def c_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_cli_targets(capsys):
+    assert main(["targets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("toyp", "r2000", "m88000", "i860"):
+        assert name in out
+
+
+def test_cli_compile_to_stdout(c_file, capsys):
+    assert main(["compile", c_file, "--target", "toyp"]) == 0
+    out = capsys.readouterr().out
+    assert "# target: toyp" in out
+    assert "ret" in out
+
+
+def test_cli_compile_to_file(c_file, tmp_path, capsys):
+    output = tmp_path / "out.s"
+    assert main(["compile", c_file, "-o", str(output)]) == 0
+    assert "# target: r2000" in output.read_text()
+
+
+def test_cli_run_int(c_file, capsys):
+    assert main(["run", c_file, "--entry", "f", "--args", "6", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "'int': 43" in out
+    assert "cycles:" in out
+
+
+def test_cli_run_double_with_cache(c_file, capsys):
+    assert (
+        main(
+            [
+                "run",
+                c_file,
+                "--entry",
+                "g",
+                "--args",
+                "8.0",
+                "--cache",
+                "--strategy",
+                "ips",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "'double': 4.0" in out
+    assert "cache:" in out
+
+
+def test_cli_no_schedule_baseline(c_file, capsys):
+    assert main(["run", c_file, "--entry", "f", "--args", "2", "3", "--no-schedule"]) == 0
+    assert "'int': 7" in capsys.readouterr().out

@@ -1,0 +1,139 @@
+"""Tests for the Gross-Hennessy delay-slot filling extension."""
+
+import pytest
+
+import repro
+from repro.backend.delayfill import fill_delay_slots
+from repro.backend.insts import Imm, Lab, Reg
+from repro.backend.mfunc import MBlock, MFunction
+from repro.il.node import PseudoReg
+from repro.machine.registers import PhysReg
+
+from tests.helpers import build as instr
+
+
+def block_fn(target, instrs):
+    fn = MFunction(name="f", return_type=None)
+    block = MBlock(label="f")
+    block.instrs = list(instrs)
+    block.schedule_cost = len(instrs)
+    fn.blocks.append(block)
+    return fn
+
+
+def nop(target):
+    from repro.backend.insts import make_instr
+
+    n = make_instr(target.nop, [])
+    n.comment = "delay slot"
+    return n
+
+
+def test_independent_instruction_moves_into_slot(toyp):
+    a, b, p = (PseudoReg("int", n) for n in "abp")
+    work = instr(toyp, "addi", Reg(a), Reg(p), Imm(1))
+    cond = instr(toyp, "addi", Reg(b), Reg(p), Imm(2))
+    branch = instr(toyp, "beq0", Reg(b), Lab("L"))
+    fn = block_fn(toyp, [work, cond, branch, nop(toyp)])
+    assert fill_delay_slots(fn, toyp) == 1
+    names = [i.desc.mnemonic for i in fn.blocks[0].instrs]
+    assert names == ["addi", "beq0", "addi"]
+    # the hoisted instruction is the one the branch does NOT depend on
+    assert fn.blocks[0].instrs[2].defs()[0] is a
+
+
+def test_branch_dependency_blocks_hoisting(toyp):
+    b, p = PseudoReg("int", "b"), PseudoReg("int", "p")
+    cond = instr(toyp, "addi", Reg(b), Reg(p), Imm(2))
+    branch = instr(toyp, "beq0", Reg(b), Lab("L"))
+    fn = block_fn(toyp, [cond, branch, nop(toyp)])
+    assert fill_delay_slots(fn, toyp) == 0  # only candidate feeds the branch
+
+
+def test_dependent_chain_tail_only(toyp):
+    """Only the tail of a chain may move (nothing may depend on it)."""
+    a, b, c, p = (PseudoReg("int", n) for n in "abcp")
+    first = instr(toyp, "addi", Reg(a), Reg(p), Imm(1))
+    second = instr(toyp, "addi", Reg(b), Reg(a), Imm(2))  # depends on first
+    cond = instr(toyp, "addi", Reg(c), Reg(p), Imm(3))
+    branch = instr(toyp, "beq0", Reg(c), Lab("L"))
+    fn = block_fn(toyp, [first, second, cond, branch, nop(toyp)])
+    assert fill_delay_slots(fn, toyp) == 1
+    moved = fn.blocks[0].instrs[-1]
+    assert moved is second  # the chain tail, never the head
+
+
+def test_store_can_fill_slot(toyp):
+    a, p, c = (PseudoReg("int", n) for n in "apc")
+    store = instr(toyp, "st", Reg(a), Reg(p), Imm(0))
+    cond = instr(toyp, "addi", Reg(c), Reg(p), Imm(3))
+    branch = instr(toyp, "bne0", Reg(c), Lab("L"))
+    fn = block_fn(toyp, [store, cond, branch, nop(toyp)])
+    assert fill_delay_slots(fn, toyp) == 1
+    assert fn.blocks[0].instrs[-1] is store
+
+
+def test_call_never_moves(toyp):
+    c, p = PseudoReg("int", "c"), PseudoReg("int", "p")
+    call = instr(toyp, "call", Lab("g"))
+    cond = instr(toyp, "addi", Reg(c), Reg(p), Imm(3))
+    branch = instr(toyp, "bne0", Reg(c), Lab("L"))
+    fn = block_fn(toyp, [call, cond, branch, nop(toyp)])
+    assert fill_delay_slots(fn, toyp) == 0
+
+
+def test_false_path_jump_slot_left_alone(toyp):
+    """Only the first control's slot is filled; the explicit jump's slot is
+    one-path-only and must stay a nop."""
+    a, b, p = (PseudoReg("int", n) for n in "abp")
+    one = instr(toyp, "addi", Reg(a), Reg(p), Imm(1))
+    two = instr(toyp, "addi", Reg(b), Reg(p), Imm(2))
+    branch = instr(toyp, "beq0", Reg(b), Lab("L"))
+    jump = instr(toyp, "jmp", Lab("M"))
+    fn = block_fn(toyp, [one, two, branch, nop(toyp), jump, nop(toyp)])
+    filled = fill_delay_slots(fn, toyp)
+    assert filled == 1
+    instrs = fn.blocks[0].instrs
+    assert instrs[-1].is_nop  # the jump's slot is untouched
+
+
+@pytest.mark.parametrize("target", ["toyp", "r2000", "m88000"])
+@pytest.mark.parametrize("strategy", ["postpass", "ips"])
+def test_end_to_end_correct_and_not_slower(target, strategy):
+    src = """
+    int a[64];
+    int f(int n) {
+        int i; int s = 0;
+        for (i = 0; i < n; i++) {
+            a[i] = i * 3;
+            if (a[i] > 50) { s = s + a[i]; } else { s = s - 1; }
+        }
+        return s;
+    }
+    """
+    plain = repro.compile_c(src, target, strategy=strategy)
+    filled = repro.compile_c(
+        src, target, strategy=strategy, fill_delay_slots=True
+    )
+    result_plain = repro.simulate(plain, "f", args=(40,))
+    result_filled = repro.simulate(filled, "f", args=(40,))
+    assert result_plain.return_value["int"] == result_filled.return_value["int"]
+    assert result_filled.cycles <= result_plain.cycles
+
+
+def test_fills_reduce_nop_count():
+    src = """
+    int a[64];
+    int f(int n) {
+        int i; int s = 0;
+        for (i = 0; i < n; i++) { a[i] = i * 3; s = s + a[i]; }
+        return s;
+    }
+    """
+    plain = repro.compile_c(src, "r2000")
+    filled = repro.compile_c(src, "r2000", fill_delay_slots=True)
+
+    def nops(executable):
+        return sum(1 for i in executable.instrs if i.is_nop)
+
+    assert nops(filled) < nops(plain)

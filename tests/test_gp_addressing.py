@@ -1,0 +1,67 @@
+"""gp-relative global addressing (the CWVM %gp register, MIPS small-data
+style)."""
+
+import pytest
+
+import repro
+from repro.backend.lower import GP_SMALL_DATA_THRESHOLD
+from repro.errors import MarionError
+from repro.machine.registers import PhysReg
+
+
+def test_small_global_uses_single_gp_relative_access():
+    exe = repro.compile_c("int g; int f(void) { return g; }", "r2000")
+    names = [i.desc.mnemonic for i in exe.instrs]
+    assert "lui" not in names and "ori" not in names
+    load = next(i for i in exe.instrs if i.desc.mnemonic == "lw")
+    assert load.operands[1].reg == PhysReg("r", 28)  # $gp
+
+
+def test_large_global_keeps_absolute_addressing():
+    size = GP_SMALL_DATA_THRESHOLD // 8 + 16
+    src = f"double big[{size}]; double f(void) {{ return big[3]; }}"
+    exe = repro.compile_c(src, "r2000")
+    names = [i.desc.mnemonic for i in exe.instrs]
+    assert "lui" in names  # high/low pair for the big array
+    assert repro.simulate(exe, "f").return_value["double"] == 0.0
+
+
+def test_targets_without_gp_unaffected():
+    exe = repro.compile_c("int g; int f(void) { return g; }", "toyp")
+    names = [i.desc.mnemonic for i in exe.instrs]
+    assert "la" in names  # absolute addressing
+
+
+def test_gp_relative_correctness_mixed_sizes():
+    src = """
+    int small;
+    double big[200];
+    int f(int n) {
+        int i;
+        small = 0;
+        for (i = 0; i < n; i++) { big[i] = (double)i; small = small + i; }
+        return small + (int)big[n - 1];
+    }
+    """
+    exe = repro.compile_c(src, "r2000")
+    result = repro.simulate(exe, "f", args=(12,))
+    assert result.return_value["int"] == sum(range(12)) + 11
+
+
+def test_small_data_placed_inside_window():
+    src = """
+    double pad[300];
+    int tiny;
+    int f(void) { tiny = 7; return tiny; }
+    """
+    exe = repro.compile_c(src, "r2000")
+    # the small global sorts before the big array in the data segment
+    assert exe.symbols["tiny"] < exe.symbols["pad"]
+    assert repro.simulate(exe, "f").return_value["int"] == 7
+
+
+def test_gp_initialised_by_simulator():
+    exe = repro.compile_c("int g; int f(void) { g = 3; return g; }", "r2000")
+    result = repro.simulate(exe, "f")
+    assert result.return_value["int"] == 3
+    assert exe.gp_base > exe.symbols["g"] - 32768

@@ -1,0 +1,88 @@
+"""Unit tests for the IL data structures."""
+
+from repro.il import (
+    BasicBlock,
+    ILFunction,
+    ILProgram,
+    GlobalVar,
+    ILOp,
+    Node,
+    format_node,
+)
+from repro.il.node import count_parents, unique_nodes
+
+
+def cnst(v):
+    return Node(ILOp.CNST, "int", (), v)
+
+
+def test_node_purity():
+    assert cnst(1).is_pure
+    assert Node(ILOp.ADD, "int", (cnst(1), cnst(2))).is_pure
+    assert not Node(ILOp.ASGN, None, (cnst(0), cnst(1))).is_pure
+    assert not Node(ILOp.CALL, "int", (), "f").is_pure
+
+
+def test_unique_nodes_deduplicates_shared():
+    shared = cnst(5)
+    root = Node(ILOp.ADD, "int", (shared, shared))
+    assert len(unique_nodes([root])) == 2
+
+
+def test_count_parents_detects_cse():
+    shared = Node(ILOp.ADD, "int", (cnst(1), cnst(2)))
+    a = Node(ILOp.MUL, "int", (shared, cnst(3)))
+    b = Node(ILOp.SUB, "int", (shared, cnst(4)))
+    counts = count_parents([a, b])
+    assert counts[id(shared)] == 2
+    assert counts[id(a)] == 0
+
+
+def test_count_parents_same_parent_twice():
+    shared = cnst(7)
+    root = Node(ILOp.MUL, "int", (shared, shared))
+    assert count_parents([root])[id(shared)] == 2
+
+
+def test_format_node_readable():
+    node = Node(ILOp.ADD, "int", (cnst(1), cnst(2)))
+    assert format_node(node) == "(1 + 2)"
+    load = Node(ILOp.INDIR, "double", (cnst(8),))
+    assert format_node(load) == "*(8)"
+
+
+def test_block_terminator():
+    block = BasicBlock("L")
+    assert block.terminator is None
+    block.append(Node(ILOp.JUMP, None, (), "X"))
+    assert block.terminator is not None
+
+
+def test_block_linking():
+    a = BasicBlock("a")
+    b = BasicBlock("b")
+    a.link_to(b)
+    a.link_to(b)  # idempotent
+    assert a.successors == [b]
+    assert b.predecessors == [a]
+
+
+def test_function_pseudo_and_slot_factories():
+    fn = ILFunction("f", "int")
+    pseudo = fn.new_pseudo("double", name="x", is_global=True)
+    slot = fn.new_slot(8, 8, name="arr")
+    assert pseudo in fn.pseudos
+    assert slot in fn.frame_slots
+    assert pseudo.type == "double"
+    assert slot.size == 8
+
+
+def test_global_var_size():
+    assert GlobalVar("g", "double", count=10).size == 80
+    assert GlobalVar("h", "int", count=3).size == 12
+
+
+def test_program_function_lookup():
+    fn = ILFunction("f", None)
+    program = ILProgram(functions=[fn])
+    assert program.function("f") is fn

@@ -1,0 +1,200 @@
+"""Unit tests for IL generation from checked C ASTs."""
+
+import pytest
+
+from repro.errors import CSemanticError
+from repro.frontend import compile_to_il
+from repro.il.node import count_parents
+from repro.il.ops import ILOp
+
+
+def blocks_of(source, name):
+    program = compile_to_il(source)
+    return program.function(name).blocks
+
+
+def test_scalar_locals_become_global_pseudos():
+    program = compile_to_il("int f(int x) { int y = x; return y; }")
+    fn = program.function("f")
+    names = {p.name for p in fn.pseudos if p.name}
+    assert {"x", "y"} <= names
+    assert all(p.is_global for p in fn.pseudos if p.name in ("x", "y"))
+
+
+def test_local_array_gets_frame_slot():
+    program = compile_to_il("double f(void) { double a[10]; a[0] = 1.0; return a[0]; }")
+    fn = program.function("f")
+    assert fn.frame_slots and fn.frame_slots[0].size == 80
+
+
+def test_global_array_recorded():
+    program = compile_to_il("int g[7]; void f(void) { g[0] = 1; }")
+    assert program.globals["g"].count == 7
+    assert program.globals["g"].size == 28
+
+
+def test_float_literals_pooled_and_deduplicated():
+    program = compile_to_il(
+        "double f(void) { return 1.5; } double g(void) { return 1.5 + 2.5; }"
+    )
+    pool = [name for name in program.globals if name.startswith(".fp")]
+    assert len(pool) == 2  # 1.5 shared, 2.5 separate
+
+
+def test_if_else_control_flow():
+    blocks = blocks_of(
+        "int f(int x) { if (x > 0) { x = 1; } else { x = 2; } return x; }", "f"
+    )
+    # entry + then + else + join
+    assert len(blocks) == 4
+    entry = blocks[0]
+    assert entry.statements[-2].op is ILOp.CJUMP
+    assert entry.statements[-1].op is ILOp.JUMP
+
+
+def test_while_loop_depths():
+    blocks = blocks_of(
+        "void f(int n) { int i = 0; while (i < n) { i = i + 1; } }", "f"
+    )
+    depths = {b.label: b.loop_depth for b in blocks}
+    assert max(depths.values()) == 1
+    assert depths[[l for l in depths if l == "f"][0]] == 0
+
+
+def test_nested_loop_depth():
+    blocks = blocks_of(
+        "void f(int n) { int i; int j;"
+        " for (i = 0; i < n; i++) { for (j = 0; j < n; j++) { } } }",
+        "f",
+    )
+    assert max(b.loop_depth for b in blocks) == 2
+
+
+def test_short_circuit_and():
+    blocks = blocks_of(
+        "int f(int a, int b) { if (a > 0 && b > 0) { return 1; } return 0; }",
+        "f",
+    )
+    cjumps = [
+        s for b in blocks for s in b.statements if s.op is ILOp.CJUMP
+    ]
+    assert len(cjumps) == 2  # one test per operand
+
+
+def test_value_context_comparison_materializes_branches():
+    blocks = blocks_of("int f(int a, int b) { int c = a < b; return c; }", "f")
+    cjumps = [s for b in blocks for s in b.statements if s.op is ILOp.CJUMP]
+    assert cjumps  # lowered through control flow, not a set instruction
+
+
+def test_break_and_continue():
+    blocks = blocks_of(
+        "int f(int n) { int i; int s = 0;"
+        " for (i = 0; i < n; i++) {"
+        "   if (i == 3) { continue; }"
+        "   if (i == 7) { break; }"
+        "   s = s + i; }"
+        " return s; }",
+        "f",
+    )
+    assert len(blocks) >= 8
+
+
+def test_two_dimensional_indexing_row_major():
+    program = compile_to_il(
+        "double a[4][8]; double f(int i, int j) { return a[i][j]; }"
+    )
+    fn = program.function("f")
+    ret = fn.blocks[0].statements[-1]
+    load = ret.kids[0]
+    assert load.op is ILOp.INDIR
+    # address tree contains a multiply by the row stride 8*8=64
+    strides = [
+        n.value
+        for n in load.kids[0].walk()
+        if n.op is ILOp.CNST and isinstance(n.value, int)
+    ]
+    assert 64 in strides
+
+
+def test_local_cse_shares_nodes():
+    program = compile_to_il(
+        "int g[10]; int f(int i) { return g[i + 1] + g[i + 1]; }"
+    )
+    fn = program.function("f")
+    block = fn.blocks[0]
+    counts = count_parents(block.statements)
+    assert any(count >= 2 for count in counts.values())
+
+
+def test_store_invalidates_load_cse():
+    program = compile_to_il(
+        "int g[4]; int f(int i) { int a = g[i]; g[i] = 0; return a + g[i]; }"
+    )
+    fn = program.function("f")
+    loads = [
+        n
+        for stmt in fn.blocks[0].statements
+        for n in stmt.walk()
+        if n.op is ILOp.INDIR
+    ]
+    # the load after the store must be a distinct node from the one before
+    assert len({id(n) for n in loads}) >= 2
+
+
+def test_call_flattened_to_own_statement():
+    program = compile_to_il(
+        "int g(int a) { return a; }"
+        " int f(int x) { return g(x) + g(x + 1); }"
+    )
+    fn = program.function("f")
+    call_statements = [
+        s
+        for b in fn.blocks
+        for s in b.statements
+        if s.op is ILOp.SETREG and s.kids[0].op is ILOp.CALL
+    ]
+    assert len(call_statements) == 2
+
+
+def test_void_call_statement():
+    program = compile_to_il(
+        "void g(void) { } void f(void) { g(); }"
+    )
+    fn = program.function("f")
+    assert any(
+        s.op is ILOp.CALL for b in fn.blocks for s in b.statements
+    )
+
+
+def test_incdec_value_context_rejected():
+    with pytest.raises(CSemanticError, match="discarded"):
+        compile_to_il("int f(int x) { return x++; }")
+
+
+def test_missing_return_synthesized():
+    program = compile_to_il("int f(int x) { if (x) { return 1; } }")
+    fn = program.function("f")
+    rets = [s for b in fn.blocks for s in b.statements if s.op is ILOp.RET]
+    assert len(rets) == 2
+
+
+def test_unreachable_blocks_pruned():
+    program = compile_to_il(
+        "int f(void) { return 1; }"
+    )
+    fn = program.function("f")
+    assert all(b.predecessors or b is fn.entry for b in fn.blocks)
+
+
+def test_too_many_initializers_rejected():
+    with pytest.raises(CSemanticError, match="too many"):
+        compile_to_il("int a[2] = {1, 2, 3};")
+
+
+def test_global_scalar_reads_through_memory():
+    program = compile_to_il("int g; int f(void) { return g; }")
+    fn = program.function("f")
+    ret = fn.blocks[0].statements[-1]
+    assert ret.kids[0].op is ILOp.INDIR
+    assert ret.kids[0].kids[0].op is ILOp.ADDRG

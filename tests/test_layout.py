@@ -1,0 +1,100 @@
+"""Tests for block layout cleanup (fallthrough jump removal)."""
+
+import pytest
+
+import repro
+from repro.backend.layout import remove_fallthrough_jumps
+from repro.backend.insts import Lab, make_instr
+from repro.backend.mfunc import MBlock, MFunction
+from repro.machine.instruction import InstrKind
+
+
+def jump_to(target, label):
+    return make_instr(target.instruction("jmp"), [Lab(label)])
+
+
+def nop(target):
+    return make_instr(target.nop, [])
+
+
+def test_jump_to_next_block_removed(toyp):
+    fn = MFunction(name="f", return_type=None)
+    a = MBlock(label="a")
+    a.instrs = [jump_to(toyp, "b"), nop(toyp)]
+    a.schedule_cost = 3
+    b = MBlock(label="b")
+    fn.blocks = [a, b]
+    assert remove_fallthrough_jumps(fn) == 1
+    assert a.instrs == []
+    assert a.schedule_cost == 1  # jump + delay slot removed
+
+
+def test_jump_to_distant_block_kept(toyp):
+    fn = MFunction(name="f", return_type=None)
+    a = MBlock(label="a")
+    a.instrs = [jump_to(toyp, "c"), nop(toyp)]
+    fn.blocks = [a, MBlock(label="b"), MBlock(label="c")]
+    assert remove_fallthrough_jumps(fn) == 0
+    assert len(a.instrs) == 2
+
+
+def test_conditional_branch_never_removed(toyp):
+    from repro.backend.insts import Reg
+    from repro.machine.registers import PhysReg
+
+    fn = MFunction(name="f", return_type=None)
+    a = MBlock(label="a")
+    branch = make_instr(
+        toyp.instruction("beq0"), [Reg(PhysReg("r", 2)), Lab("b")]
+    )
+    a.instrs = [branch, nop(toyp)]
+    fn.blocks = [a, MBlock(label="b")]
+    assert remove_fallthrough_jumps(fn) == 0
+
+
+def test_last_block_untouched(toyp):
+    fn = MFunction(name="f", return_type=None)
+    a = MBlock(label="a")
+    a.instrs = [jump_to(toyp, "a"), nop(toyp)]  # self-loop in final block
+    fn.blocks = [a]
+    assert remove_fallthrough_jumps(fn) == 0
+
+
+def test_loops_fall_through_into_body():
+    """With branch inversion, the loop-head branch targets the exit and the
+    body is reached by fallthrough: no jump executes per iteration on the
+    hot path."""
+    src = """
+    int f(int n) {
+        int i; int s = 0;
+        for (i = 0; i < n; i++) { s = s + i; }
+        return s;
+    }
+    """
+    exe = repro.compile_c(src, "r2000")
+    result = repro.simulate(exe, "f", args=(10,), model_timing=False)
+    assert result.return_value["int"] == 45
+    fn = exe.machine_program.function("f")
+    # the head block ends in a conditional branch (to the exit), with no
+    # unconditional jump left behind it
+    head = next(b for b in fn.blocks if b.loop_depth == 1 and b.instrs)
+    kinds = [i.desc.kind for i in head.instrs if not i.is_nop]
+    assert kinds.count(InstrKind.JUMP) <= 1
+
+
+def test_layout_cleanup_shrinks_code_and_time():
+    src = """
+    int f(int n) {
+        int i; int s = 0;
+        for (i = 0; i < n; i++) {
+            if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+        }
+        return s;
+    }
+    """
+    exe = repro.compile_c(src, "r2000")
+    result = repro.simulate(exe, "f", args=(30,), model_timing=False)
+    expected = 0
+    for i in range(30):
+        expected = expected + i if i % 3 == 0 else expected - 1
+    assert result.return_value["int"] == expected

@@ -1,0 +1,76 @@
+"""Livermore Loops validation: every kernel compiles and its simulated
+checksum matches the pure-Python reference (the whole-stack correctness
+test the paper's Table 4 rests on)."""
+
+import math
+
+import pytest
+
+import repro
+from repro.workloads import LIVERMORE_KERNELS, kernel_by_id
+
+#: reduced problem sizes so the full matrix stays fast; scale tests below
+#: exercise one kernel at full size
+_SMALL = 48
+
+
+@pytest.mark.parametrize("spec", LIVERMORE_KERNELS, ids=lambda s: f"k{s.id}")
+def test_kernel_matches_reference_r2000(spec):
+    exe = repro.compile_c(spec.source, "r2000", strategy="postpass")
+    loop, n = spec.args
+    n = min(n, _SMALL)
+    result = repro.simulate(exe, "bench", args=(loop, n), model_timing=False)
+    expected = spec.reference(loop, n)
+    assert math.isclose(
+        result.return_value["double"], expected, rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+@pytest.mark.parametrize("strategy", ["ips", "rase"])
+@pytest.mark.parametrize("kernel_id", [1, 5, 13])
+def test_kernels_under_prepass_strategies(kernel_id, strategy):
+    spec = kernel_by_id(kernel_id)
+    exe = repro.compile_c(spec.source, "r2000", strategy=strategy)
+    loop, n = spec.args
+    n = min(n, _SMALL)
+    result = repro.simulate(exe, "bench", args=(loop, n), model_timing=False)
+    expected = spec.reference(loop, n)
+    assert math.isclose(
+        result.return_value["double"], expected, rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+@pytest.mark.parametrize("target", ["m88000", "i860", "toyp"])
+def test_kernel1_on_other_targets(target):
+    spec = kernel_by_id(1)
+    exe = repro.compile_c(spec.source, target, strategy="postpass")
+    result = repro.simulate(exe, "bench", args=(1, _SMALL), model_timing=False)
+    expected = spec.reference(1, _SMALL)
+    assert math.isclose(result.return_value["double"], expected, rel_tol=1e-9)
+
+
+def test_kernel3_full_size_exact():
+    spec = kernel_by_id(3)
+    exe = repro.compile_c(spec.source, "r2000")
+    loop, n = spec.args
+    result = repro.simulate(exe, "bench", args=(loop, n), model_timing=False)
+    assert result.return_value["double"] == spec.reference(loop, n)
+
+
+def test_recurrence_kernel_is_order_sensitive():
+    """Kernel 5 is a true recurrence: the checksum depends on strictly
+    sequential evaluation, so a scheduler reordering across the loop-carried
+    dependence would change the result."""
+    spec = kernel_by_id(5)
+    for strategy in ("postpass", "ips", "rase"):
+        exe = repro.compile_c(spec.source, "r2000", strategy=strategy)
+        result = repro.simulate(exe, "bench", args=(1, 64), model_timing=False)
+        assert math.isclose(
+            result.return_value["double"], spec.reference(1, 64), rel_tol=1e-12
+        )
+
+
+def test_kernel_ids_complete():
+    assert [spec.id for spec in LIVERMORE_KERNELS] == list(range(1, 15))
+    with pytest.raises(KeyError):
+        kernel_by_id(99)

@@ -1,0 +1,151 @@
+"""Unit and property tests for resource vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MarionError
+from repro.machine.resources import (
+    Need,
+    ResourceTable,
+    commit,
+    conflicts,
+    merge_vectors,
+    vectors_conflict,
+)
+
+
+@pytest.fixture()
+def table():
+    t = ResourceTable()
+    for name in ("IF", "ID", "EX", "MEM", "WB"):
+        t.declare(name)
+    return t
+
+
+def test_declare_assigns_distinct_bits(table):
+    masks = [table.mask([name]) for name in table.names]
+    assert len(set(masks)) == len(masks)
+
+
+def test_duplicate_declare_rejected(table):
+    with pytest.raises(MarionError, match="twice"):
+        table.declare("IF")
+
+
+def test_unknown_resource_rejected(table):
+    with pytest.raises(MarionError, match="unknown"):
+        table.mask(["BOGUS"])
+
+
+def test_vector_and_unmask_roundtrip(table):
+    vector = table.vector([("IF",), ("ID", "EX"), ("WB",)])
+    assert table.unmask(vector[1].mask) == ["ID", "EX"]
+
+
+def test_same_cycle_conflict(table):
+    a = table.vector([("IF",), ("EX",)])
+    b = table.vector([("IF",)])
+    assert vectors_conflict(a, b, offset=0)
+
+
+def test_offset_removes_conflict(table):
+    a = table.vector([("IF",), ("EX",)])
+    b = table.vector([("IF",)])
+    assert not vectors_conflict(a, b, offset=2)
+
+
+def test_offset_creates_conflict(table):
+    a = table.vector([("IF",), ("EX",)])
+    b = table.vector([("EX",)])
+    assert vectors_conflict(a, b, offset=1)
+    assert not vectors_conflict(a, b, offset=0)
+
+
+def test_disjoint_vectors_never_conflict(table):
+    a = table.vector([("IF",), ("ID",)])
+    b = table.vector([("MEM",), ("WB",)])
+    for offset in range(-2, 3):
+        assert not vectors_conflict(a, b, offset)
+
+
+def test_merge_preserves_both(table):
+    a = table.vector([("IF",)])
+    b = table.vector([("EX",)])
+    merged = merge_vectors(a, b, offset=1)
+    assert table.unmask(merged[0]) == ["IF"]
+    assert table.unmask(merged[1]) == ["EX"]
+
+
+# -- pooled resources (the section-5 multiple-functional-unit extension) --
+
+
+def test_pool_allows_capacity_parallelism():
+    table = ResourceTable()
+    table.declare("ALU", capacity=2)
+    need = table.need(["ALU"])
+    usage = commit(0, need)
+    assert not conflicts(usage, need)  # a second unit is free
+    usage = commit(usage, need)
+    assert conflicts(usage, need)  # both units busy
+
+
+def test_pool_multi_unit_request():
+    table = ResourceTable()
+    table.declare("ALU", capacity=3)
+    double_need = table.need(["ALU", "ALU"])
+    usage = commit(0, double_need)
+    assert not conflicts(usage, table.need(["ALU"]))
+    assert conflicts(usage, double_need)
+
+
+def test_pool_request_beyond_capacity_rejected():
+    table = ResourceTable()
+    table.declare("ALU", capacity=2)
+    with pytest.raises(MarionError, match="capacity"):
+        table.need(["ALU", "ALU", "ALU"])
+
+
+def test_pool_and_scalar_coexist():
+    table = ResourceTable()
+    table.declare("IF")
+    table.declare("ALU", capacity=2)
+    table.declare("WB")
+    need = table.need(["IF", "ALU", "WB"])
+    assert bin(need.mask).count("1") == 2
+    assert need.pools == ((1, 2, 1),)
+    usage = commit(0, need)
+    assert conflicts(usage, table.need(["IF"]))
+    assert not conflicts(usage, table.need(["ALU"]))
+
+
+def test_mask_rejects_pools():
+    table = ResourceTable()
+    table.declare("ALU", capacity=2)
+    with pytest.raises(MarionError, match="pooled"):
+        table.mask(["ALU"])
+
+
+_vec = st.lists(
+    st.integers(min_value=0, max_value=31).map(lambda m: Need(m, ())),
+    min_size=0,
+    max_size=6,
+).map(tuple)
+
+
+@given(_vec, _vec, st.integers(min_value=0, max_value=8))
+def test_property_conflict_iff_merged_smaller(a, b, offset):
+    """Merging double-counts exactly when there is a conflict."""
+    merged = merge_vectors(a, b, offset)
+    bit_total = sum(bin(m).count("1") for m in merged)
+    separate = sum(bin(n.mask).count("1") for n in a) + sum(
+        bin(n.mask).count("1") for n in b
+    )
+    if vectors_conflict(a, b, offset):
+        assert bit_total < separate
+    else:
+        assert bit_total == separate
+
+
+@given(_vec, _vec)
+def test_property_conflict_symmetric_at_zero_offset(a, b):
+    assert vectors_conflict(a, b, 0) == vectors_conflict(b, a, 0)

@@ -1,0 +1,137 @@
+"""Unit tests for the Maril lexer."""
+
+import pytest
+
+from repro.errors import MarilSyntaxError
+from repro.maril.lexer import tokenize
+from repro.maril.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # strip EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+def test_empty_input_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_directive_token():
+    tokens = tokenize("%reg")
+    assert tokens[0].kind is TokenKind.DIRECTIVE
+    assert tokens[0].value == "reg"
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(MarilSyntaxError, match="unknown directive"):
+        tokenize("%registr")
+
+
+def test_percent_alone_is_modulo():
+    assert kinds("$1 % $2") == [TokenKind.DOLLAR, TokenKind.PERCENT, TokenKind.DOLLAR]
+
+
+def test_dollar_operand_reference():
+    tokens = tokenize("$12")
+    assert tokens[0].kind is TokenKind.DOLLAR
+    assert tokens[0].value == 12
+
+
+def test_dollar_without_digit_rejected():
+    with pytest.raises(MarilSyntaxError):
+        tokenize("$x")
+
+
+def test_dotted_identifier_is_single_token():
+    assert values("fadd.d s.movs") == ["fadd.d", "s.movs"]
+
+
+def test_trailing_dot_not_part_of_identifier():
+    assert kinds("st.") == [TokenKind.IDENT, TokenKind.DOT]
+
+
+def test_integer_and_float_literals():
+    tokens = tokenize("42 3.5 0x1f")
+    assert tokens[0].value == 42
+    assert tokens[1].kind is TokenKind.FLOAT
+    assert tokens[1].value == 3.5
+    assert tokens[2].value == 31
+
+
+def test_aux_condition_lexes_int_dot_dollar():
+    assert kinds("1.$1") == [TokenKind.INT, TokenKind.DOT, TokenKind.DOLLAR]
+
+
+def test_two_char_operators():
+    assert kinds("== != <= >= << >> :: ==>") == [
+        TokenKind.EQ,
+        TokenKind.NE,
+        TokenKind.LE,
+        TokenKind.GE,
+        TokenKind.LSHIFT,
+        TokenKind.RSHIFT,
+        TokenKind.COLONCOLON,
+        TokenKind.ARROW,
+    ]
+
+
+def test_single_char_tokens():
+    assert kinds("{ } [ ] ( ) ; , : < > = + - * / & | ^ ~ ! #") == [
+        TokenKind.LBRACE,
+        TokenKind.RBRACE,
+        TokenKind.LBRACKET,
+        TokenKind.RBRACKET,
+        TokenKind.LPAREN,
+        TokenKind.RPAREN,
+        TokenKind.SEMI,
+        TokenKind.COMMA,
+        TokenKind.COLON,
+        TokenKind.LANGLE,
+        TokenKind.RANGLE,
+        TokenKind.ASSIGN,
+        TokenKind.PLUS,
+        TokenKind.MINUS,
+        TokenKind.STAR,
+        TokenKind.SLASH,
+        TokenKind.AMP,
+        TokenKind.PIPE,
+        TokenKind.CARET,
+        TokenKind.TILDE,
+        TokenKind.BANG,
+        TokenKind.HASH,
+    ]
+
+
+def test_line_comment_skipped():
+    assert values("add // comment\n sub") == ["add", "sub"]
+
+
+def test_block_comment_skipped():
+    assert values("add /* multi\nline */ sub") == ["add", "sub"]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(MarilSyntaxError, match="unterminated"):
+        tokenize("/* oops")
+
+
+def test_locations_track_lines_and_columns():
+    tokens = tokenize("add\n  sub")
+    assert tokens[0].location.line == 1
+    assert tokens[1].location.line == 2
+    assert tokens[1].location.column == 3
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(MarilSyntaxError, match="unexpected character"):
+        tokenize("@")
+
+
+def test_malformed_hex_rejected():
+    with pytest.raises(MarilSyntaxError, match="hex"):
+        tokenize("0xZZ")

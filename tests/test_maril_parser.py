@@ -1,0 +1,244 @@
+"""Unit tests for the Maril parser (structure, directives, errors)."""
+
+import pytest
+
+from repro.errors import MarilSyntaxError
+from repro.maril import ast
+from repro.maril.parser import parse_maril_unchecked
+
+
+def parse(text):
+    return parse_maril_unchecked(text)
+
+
+MINIMAL = """
+declare {
+    %reg r[0:3] (int);
+    %resource IF, EX;
+    %def imm [-8:7];
+    %label lab [-64:63] +relative;
+    %memory m[0:1023];
+}
+cwvm {
+    %general (int) r;
+    %allocable r[1:2];
+    %sp r[3] +down;
+    %fp r[2] +down;
+    %hard r[0] 0;
+}
+instr {
+    %instr add r, r, r (int) {$1 = $2 + $3;} [IF; EX] (1,1,0);
+}
+"""
+
+
+def test_minimal_description_parses():
+    d = parse(MINIMAL)
+    assert len(d.declare) == 5
+    assert len(d.cwvm) == 5
+    assert len(d.instr_decls()) == 1
+
+
+def test_reg_decl_fields():
+    d = parse(MINIMAL)
+    reg = d.declarations(ast.RegDecl)[0]
+    assert reg.name == "r"
+    assert (reg.lo, reg.hi) == (0, 3)
+    assert reg.types == ("int",)
+    assert not reg.is_temporal
+
+
+def test_temporal_reg_decl():
+    d = parse(
+        "declare { %clock clk; %reg m1 (double; clk) +temporal; }"
+    )
+    reg = d.declarations(ast.RegDecl)[0]
+    assert reg.is_temporal
+    assert reg.clock == "clk"
+    assert (reg.lo, reg.hi) == (0, 0)
+
+
+def test_equiv_decl():
+    d = parse(
+        "declare { %reg r[0:7] (int); %reg d[0:3] (double); %equiv d[0] r[0]; }"
+    )
+    equiv = d.declarations(ast.EquivDecl)[0]
+    assert str(equiv.wide) == "d[0]"
+    assert str(equiv.narrow) == "r[0]"
+
+
+def test_def_with_negative_range_and_flags():
+    d = parse("declare { %def c [-32768:32767] +abs; }")
+    decl = d.declarations(ast.DefDecl)[0]
+    assert (decl.lo, decl.hi) == (-32768, 32767)
+    assert "abs" in decl.flags
+
+
+def test_instr_parts():
+    d = parse(MINIMAL)
+    instr = d.instr_decls()[0]
+    assert instr.mnemonic == "add"
+    assert len(instr.operands) == 3
+    assert instr.type == "int"
+    assert instr.resources == (("IF",), ("EX",))
+    assert (instr.cost, instr.latency, instr.slots) == (1, 1, 0)
+
+
+def test_instr_multi_resource_cycle():
+    d = parse("instr { %instr f r, r {$1 = $2;} [IF; EX,IF; EX] (1,2,0); }")
+    instr = d.instr_decls()[0]
+    assert instr.resources == (("IF",), ("EX", "IF"), ("EX",))
+
+
+def test_instr_with_fixed_register_operand():
+    d = parse(
+        "instr { %move [s.movs] add r, r, r[0] {$1 = $2;} [] (1,1,0); }"
+    )
+    instr = d.instr_decls()[0]
+    assert instr.is_move
+    assert instr.label == "s.movs"
+    op = instr.operands[2]
+    assert isinstance(op, ast.RegOperand)
+    assert op.index == 0
+
+
+def test_func_escape_directive():
+    d = parse("instr { %move *movd d, d {$1 = $2;} [] (0,0,0); }")
+    instr = d.instr_decls()[0]
+    assert instr.func == "movd"
+    assert instr.mnemonic == "*movd"
+
+
+def test_branch_semantics():
+    d = parse(
+        "instr { %instr beq0 r, #lab {if ($1 == 0) goto $2;} [] (1,2,1); }"
+    )
+    instr = d.instr_decls()[0]
+    stmt = instr.semantics[0]
+    assert isinstance(stmt, ast.CondGotoStmt)
+    assert isinstance(stmt.condition, ast.Binary)
+    assert stmt.condition.op == "=="
+
+
+def test_call_and_ret_statements():
+    d = parse(
+        "instr { %instr call #lab {call $1;} [] (1,2,0);"
+        " %instr ret {ret;} [] (1,2,1); }"
+    )
+    call, ret = d.instr_decls()
+    assert isinstance(call.semantics[0], ast.CallStmt)
+    assert isinstance(ret.semantics[0], ast.RetStmt)
+
+
+def test_nop_semantics_empty():
+    d = parse("instr { %instr nop {;} [] (1,1,0); }")
+    assert isinstance(d.instr_decls()[0].semantics[0], ast.EmptyStmt)
+
+
+def test_memory_reference_semantics():
+    d = parse(
+        "instr { %instr ld r, r, #c {$1 = m[$2 + $3];} [] (1,3,0); }"
+    )
+    stmt = d.instr_decls()[0].semantics[0]
+    assert isinstance(stmt.value, ast.MemRef)
+    assert stmt.value.memory == "m"
+
+
+def test_aux_directive():
+    d = parse("instr { %aux fadd.d : st.d (1.$1 == 2.$1) (7); }")
+    aux = d.aux_decls()[0]
+    assert aux.first == "fadd.d"
+    assert aux.second == "st.d"
+    assert (aux.first_operand, aux.second_operand) == (1, 1)
+    assert aux.latency == 7
+
+
+def test_aux_wrong_instruction_numbers_rejected():
+    with pytest.raises(MarilSyntaxError):
+        parse("instr { %aux a : b (2.$1 == 1.$1) (7); }")
+
+
+def test_glue_expression_rewrite():
+    d = parse("instr { %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}; }")
+    glue = d.glue_decls()[0]
+    assert isinstance(glue.pattern, ast.Binary)
+    assert isinstance(glue.replacement, ast.Binary)
+
+
+def test_glue_statement_rewrite():
+    d = parse(
+        "instr { %glue r, r, #lab "
+        "{if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;}; }"
+    )
+    glue = d.glue_decls()[0]
+    assert isinstance(glue.pattern, ast.CondGotoStmt)
+    assert isinstance(glue.replacement, ast.CondGotoStmt)
+
+
+def test_glue_mixed_forms_rejected():
+    with pytest.raises(MarilSyntaxError, match="both"):
+        parse("instr { %glue r {($1) ==> if ($1 == 0) goto $1;}; }")
+
+
+def test_element_and_class_clause():
+    d = parse(
+        "instr { %element pfmul, pfadd;"
+        " %instr M1 d, d {$1 = $2;} [] (1,1,0) <pfmul, pfadd>; }"
+    )
+    assert d.element_decls()[0].names == ("pfmul", "pfadd")
+    assert d.instr_decls()[0].classes == ("pfmul", "pfadd")
+
+
+def test_type_clause_with_clock():
+    d = parse("instr { %instr M2 (double; clk) {;} [] (1,1,0); }")
+    instr = d.instr_decls()[0]
+    assert instr.type == "double"
+    assert instr.clock == "clk"
+
+
+def test_expression_precedence():
+    d = parse("instr { %instr f r, r, r {$1 = $2 + $3 * 2;} [] (1,1,0); }")
+    value = d.instr_decls()[0].semantics[0].value
+    assert value.op == "+"
+    assert value.right.op == "*"
+
+
+def test_builtin_calls():
+    d = parse(
+        "instr { %instr lui r, #c {$1 = high($2);} [] (1,1,0); }"
+    )
+    value = d.instr_decls()[0].semantics[0].value
+    assert isinstance(value, ast.BuiltinCall)
+    assert value.name == "high"
+
+
+def test_unknown_builtin_rejected():
+    with pytest.raises(MarilSyntaxError, match="unknown builtin"):
+        parse("instr { %instr f r {$1 = frobnicate($1);} [] (1,1,0); }")
+
+
+def test_unknown_section_rejected():
+    with pytest.raises(MarilSyntaxError, match="section"):
+        parse("wibble { }")
+
+
+def test_directive_in_wrong_section_rejected():
+    with pytest.raises(MarilSyntaxError, match="not valid"):
+        parse("declare { %instr add r {$1 = $1;} [] (1,1,0); }")
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(MarilSyntaxError):
+        parse("declare { %clock clk }")
+
+
+def test_cwvm_arg_and_result():
+    d = parse(
+        "cwvm { %sp r[3] +down; %fp r[2] +down;"
+        " %arg (int) r[1] 1; %result r[1] (int); }"
+    )
+    arg = d.cwvm_declarations(ast.ArgDecl)[0]
+    assert arg.type == "int"
+    assert arg.index == 1
+    result = d.cwvm_declarations(ast.ResultDecl)[0]
+    assert result.type == "int"

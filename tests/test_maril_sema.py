@@ -1,0 +1,165 @@
+"""Unit tests for Maril semantic checking."""
+
+import pytest
+
+from repro.errors import MarilSemanticError
+from repro.maril.parser import parse_maril
+
+GOOD = """
+declare {
+    %reg r[0:7] (int);
+    %reg d[0:3] (double);
+    %equiv d[0] r[0];
+    %resource IF, EX;
+    %def c16 [-32768:32767];
+    %label lab [-64:63] +relative;
+    %memory m[0:1023];
+    %clock clk;
+    %reg m1 (double; clk) +temporal;
+}
+cwvm {
+    %general (int) r;
+    %allocable r[1:5];
+    %calleesave r[4:5];
+    %sp r[7] +down;
+    %fp r[6] +down;
+    %retaddr r[1];
+    %hard r[0] 0;
+    %arg (int) r[2] 1;
+    %result r[2] (int);
+}
+instr {
+    %instr add r, r, r (int) {$1 = $2 + $3;} [IF; EX] (1,1,0);
+    %instr beq0 r, #lab {if ($1 == 0) goto $2;} [IF] (1,2,1);
+    %aux add : beq0 (1.$1 == 2.$1) (3);
+    %glue r, r, #lab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+}
+"""
+
+
+def test_valid_description_passes():
+    parse_maril(GOOD)
+
+
+def check_fails(text, match):
+    with pytest.raises(MarilSemanticError, match=match):
+        parse_maril(text)
+
+
+def test_duplicate_name_rejected():
+    check_fails(
+        "declare { %reg r[0:1] (int); %resource r; } cwvm { %sp r[0] ; %fp r[1]; }",
+        "duplicate",
+    )
+
+
+def test_empty_register_range_rejected():
+    check_fails(
+        "declare { %reg r[5:1] (int); } cwvm { %sp r[5]; %fp r[5]; }", "empty"
+    )
+
+
+def test_unknown_type_rejected():
+    check_fails(
+        "declare { %reg r[0:1] (quad); } cwvm { %sp r[0]; %fp r[1]; }",
+        "unknown type",
+    )
+
+
+def test_temporal_without_clock_rejected():
+    check_fails(
+        "declare { %reg m1 (double) +temporal; %reg r[0:1] (int); }"
+        " cwvm { %sp r[0]; %fp r[1]; }",
+        "must name a clock",
+    )
+
+
+def test_undeclared_clock_rejected():
+    check_fails(
+        "declare { %reg m1 (double; nope) +temporal; %reg r[0:1] (int); }"
+        " cwvm { %sp r[0]; %fp r[1]; }",
+        "clock",
+    )
+
+
+def test_missing_sp_rejected():
+    check_fails("declare { %reg r[0:1] (int); } cwvm { %fp r[1]; }", "%sp")
+
+
+def test_register_index_out_of_range_rejected():
+    check_fails(
+        "declare { %reg r[0:1] (int); } cwvm { %sp r[0]; %fp r[9]; }",
+        "out of range",
+    )
+
+
+def test_allocable_outside_declared_range_rejected():
+    check_fails(
+        "declare { %reg r[0:3] (int); }"
+        " cwvm { %sp r[0]; %fp r[1]; %allocable r[1:9]; }",
+        "outside",
+    )
+
+
+def test_instr_undeclared_resource_rejected():
+    check_fails(
+        "declare { %reg r[0:1] (int); } cwvm { %sp r[0]; %fp r[1]; }"
+        " instr { %instr add r, r, r {$1 = $2 + $3;} [BOGUS] (1,1,0); }",
+        "undeclared resource",
+    )
+
+
+def test_instr_operand_ref_out_of_range_rejected():
+    check_fails(
+        "declare { %reg r[0:1] (int); } cwvm { %sp r[0]; %fp r[1]; }"
+        " instr { %instr add r, r {$1 = $2 + $3;} [] (1,1,0); }",
+        "out of range",
+    )
+
+
+def test_instr_undeclared_class_rejected():
+    check_fails(
+        "declare { %reg r[0:1] (int); } cwvm { %sp r[0]; %fp r[1]; }"
+        " instr { %instr f r {$1 = $1;} [] (1,1,0) <ghost>; }",
+        "class element",
+    )
+
+
+def test_instr_negative_latency_rejected():
+    check_fails(
+        "declare { %reg r[0:1] (int); } cwvm { %sp r[0]; %fp r[1]; }"
+        " instr { %instr f r {$1 = $1;} [] (1,-2,0); }",
+        "cost/latency",
+    )
+
+
+def test_aux_unknown_mnemonic_rejected():
+    check_fails(
+        "declare { %reg r[0:1] (int); } cwvm { %sp r[0]; %fp r[1]; }"
+        " instr { %aux nope : never (1.$1 == 2.$1) (3); }",
+        "unknown instruction",
+    )
+
+
+def test_glue_unknown_immediate_class_rejected():
+    check_fails(
+        "declare { %reg r[0:1] (int); } cwvm { %sp r[0]; %fp r[1]; }"
+        " instr { %glue #ghost {($1) ==> ($1);}; }",
+        "unknown immediate",
+    )
+
+
+def test_unknown_memory_in_semantics_rejected():
+    check_fails(
+        "declare { %reg r[0:1] (int); %def c [0:1]; }"
+        " cwvm { %sp r[0]; %fp r[1]; }"
+        " instr { %instr ld r, r, #c {$1 = nomem[$2 + $3];} [] (1,1,0); }",
+        "unknown",
+    )
+
+
+def test_equal_size_equiv_allowed_for_alias_sets():
+    parse_maril(
+        "declare { %reg r[0:3] (int); %reg s[0:3] (float); %equiv s[0] r[0]; }"
+        " cwvm { %sp r[0]; %fp r[1]; }"
+    )

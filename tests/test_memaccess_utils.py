@@ -1,0 +1,94 @@
+"""Unit tests for TargetMemoryAccess, the text-table helpers and stats."""
+
+import pytest
+
+from repro.backend.insts import Imm, Reg
+from repro.backend.memaccess import TargetMemoryAccess
+from repro.errors import MarionError
+from repro.il.node import PseudoReg
+from repro.machine.registers import PhysReg
+from repro.utils import TextTable, arithmetic_mean, format_table, harmonic_mean
+
+
+# -- TargetMemoryAccess -----------------------------------------------------
+
+
+def test_load_shapes_found_per_type(toyp):
+    memory = TargetMemoryAccess(toyp)
+    assert memory.load_shape("int").desc.mnemonic == "ld"
+    assert memory.load_shape("double").desc.mnemonic == "ld.d"
+    assert memory.store_shape("int").desc.mnemonic == "st"
+    assert memory.store_shape("double").desc.mnemonic == "st.d"
+
+
+def test_missing_type_raises(toyp):
+    memory = TargetMemoryAccess(toyp)
+    with pytest.raises(MarionError, match="float"):
+        memory.load_shape("float")  # TOYP has no float instruction set
+
+
+def test_add_imm_shape(toyp):
+    memory = TargetMemoryAccess(toyp)
+    shape = memory.add_imm_shape()
+    assert shape.desc.mnemonic == "addi"
+
+
+def test_emitters_place_operands(r2000):
+    memory = TargetMemoryAccess(r2000)
+    dest = PseudoReg("double", "d")
+    load = memory.load("double", dest, PhysReg("r", 30), -16)
+    assert load.desc.mnemonic == "l.d"
+    assert load.operands[0] == Reg(dest)
+    assert load.operands[1] == Reg(PhysReg("r", 30))
+    assert load.operands[2] == Imm(-16)
+
+    store = memory.store("int", PhysReg("r", 5), PhysReg("r", 29), 8)
+    assert store.desc.mnemonic == "sw"
+    assert store.operands[0] == Reg(PhysReg("r", 5))
+
+    add = memory.add_imm(PhysReg("r", 29), PhysReg("r", 29), -32)
+    assert add.desc.mnemonic == "addiu"
+    assert add.operands[2] == Imm(-32)
+
+
+def test_shapes_cached(toyp):
+    memory = TargetMemoryAccess(toyp)
+    assert memory.load_shape("int") is memory.load_shape("int")
+
+
+# -- text tables --------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbb"], [[1, 2], [333, 4]], title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].startswith("a    bbb")
+    assert "333" in lines[4]
+
+
+def test_text_table_add_row_checks_width():
+    table = TextTable(["x", "y"])
+    table.add_row(1, 2)
+    with pytest.raises(ValueError, match="columns"):
+        table.add_row(1)
+    assert "x" in str(table)
+
+
+# -- stats --------------------------------------------------------------------
+
+
+def test_means():
+    assert arithmetic_mean([1, 2, 3]) == 2
+    assert harmonic_mean([1, 1, 1]) == 1
+    assert harmonic_mean([2, 2]) == 2
+    assert abs(harmonic_mean([1, 2]) - 4 / 3) < 1e-12
+
+
+def test_mean_edge_cases():
+    with pytest.raises(ValueError):
+        arithmetic_mean([])
+    with pytest.raises(ValueError):
+        harmonic_mean([])
+    with pytest.raises(ValueError):
+        harmonic_mean([1.0, 0.0])

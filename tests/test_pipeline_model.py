@@ -1,0 +1,152 @@
+"""Unit tests for the pipeline timing model in isolation."""
+
+import pytest
+
+from repro.backend.insts import Imm, Lab, Reg
+from repro.il.node import PseudoReg
+from repro.machine.registers import PhysReg
+from repro.sim.cache import DirectMappedCache
+from repro.sim.pipeline import PipelineModel
+
+from tests.helpers import build as instr
+
+
+def test_independent_ops_serialize_on_single_issue(toyp):
+    model = PipelineModel(toyp)
+    one = instr(toyp, "addi", Reg(PhysReg("r", 2)), Reg(PhysReg("r", 6)), Imm(1))
+    two = instr(toyp, "addi", Reg(PhysReg("r", 3)), Reg(PhysReg("r", 6)), Imm(2))
+    c1 = model.issue(one, [])
+    c2 = model.issue(two, [])
+    assert c2 == c1 + 1  # both need IF on cycle 0
+
+
+def test_interlock_on_producer_latency(toyp):
+    model = PipelineModel(toyp)
+    load = instr(toyp, "ld", Reg(PhysReg("r", 2)), Reg(PhysReg("r", 6)), Imm(0))
+    use = instr(toyp, "addi", Reg(PhysReg("r", 3)), Reg(PhysReg("r", 2)), Imm(1))
+    c1 = model.issue(load, [(4096, False, 4)])
+    c2 = model.issue(use, [])
+    assert c2 >= c1 + 3  # ld latency
+
+
+def test_aux_latency_applies_at_runtime(toyp):
+    model = PipelineModel(toyp)
+    fadd = instr(
+        toyp, "fadd.d", Reg(PhysReg("d", 1)), Reg(PhysReg("d", 2)), Reg(PhysReg("d", 3))
+    )
+    store = instr(
+        toyp, "st.d", Reg(PhysReg("d", 1)), Reg(PhysReg("r", 6)), Imm(0)
+    )
+    c1 = model.issue(fadd, [])
+    c2 = model.issue(store, [(4096, True, 8)])
+    assert c2 >= c1 + 7  # %aux fadd.d : st.d (7)
+
+
+def test_pair_alias_interlock(toyp):
+    """Writing d[1] delays a reader of r[2] (shared unit)."""
+    model = PipelineModel(toyp)
+    fadd = instr(
+        toyp, "fadd.d", Reg(PhysReg("d", 1)), Reg(PhysReg("d", 2)), Reg(PhysReg("d", 3))
+    )
+    reader = instr(
+        toyp, "addi", Reg(PhysReg("r", 4)), Reg(PhysReg("r", 2)), Imm(0)
+    )
+    c1 = model.issue(fadd, [])
+    c2 = model.issue(reader, [])
+    assert c2 >= c1 + 6
+
+
+def test_taken_transfer_redirects_fetch(toyp):
+    model = PipelineModel(toyp)
+    branch = instr(toyp, "beq0", Reg(PhysReg("r", 2)), Lab("L"))
+    c1 = model.issue(branch, [])
+    model.transfer(branch, c1)
+    follower = instr(
+        toyp, "addi", Reg(PhysReg("r", 3)), Reg(PhysReg("r", 6)), Imm(1)
+    )
+    c2 = model.issue(follower, [])
+    assert c2 >= c1 + branch.desc.latency
+
+
+def test_cache_miss_extends_result_latency(r2000):
+    cache = DirectMappedCache(size=256, line=16, miss_penalty=20)
+    model = PipelineModel(r2000, cache)
+    load = instr(r2000, "lw", Reg(PhysReg("r", 8)), Reg(PhysReg("r", 30)), Imm(0))
+    use = instr(r2000, "addiu", Reg(PhysReg("r", 9)), Reg(PhysReg("r", 8)), Imm(1))
+    c1 = model.issue(load, [(8192, False, 4)])  # cold: miss
+    c2 = model.issue(use, [])
+    assert c2 >= c1 + 2 + 20
+
+
+def test_cache_hit_costs_nothing_extra(r2000):
+    cache = DirectMappedCache(size=256, line=16, miss_penalty=20)
+    model = PipelineModel(r2000, cache)
+    warm = instr(r2000, "lw", Reg(PhysReg("r", 8)), Reg(PhysReg("r", 30)), Imm(0))
+    model.issue(warm, [(8192, False, 4)])
+    again = instr(r2000, "lw", Reg(PhysReg("r", 10)), Reg(PhysReg("r", 30)), Imm(4))
+    use = instr(r2000, "addiu", Reg(PhysReg("r", 9)), Reg(PhysReg("r", 10)), Imm(1))
+    c1 = model.issue(again, [(8196, False, 4)])  # same line: hit
+    c2 = model.issue(use, [])
+    assert c2 <= c1 + 2
+
+
+def test_store_does_not_stall_on_miss(r2000):
+    """Write-through stores complete without a refill stall."""
+    cache = DirectMappedCache(size=256, line=16, miss_penalty=20)
+    model = PipelineModel(r2000, cache)
+    store = instr(
+        r2000, "sw", Reg(PhysReg("r", 8)), Reg(PhysReg("r", 30)), Imm(0)
+    )
+    c1 = model.issue(store, [(8192, True, 4)])
+    follower = instr(
+        r2000, "addiu", Reg(PhysReg("r", 9)), Reg(PhysReg("r", 6)), Imm(1)
+    )
+    c2 = model.issue(follower, [])
+    assert c2 == c1 + 1
+
+
+def test_i860_core_and_fp_coissue(i860):
+    model = PipelineModel(i860)
+    core = instr(i860, "addsi", Reg(PhysReg("r", 16)), Reg(PhysReg("r", 17)), Imm(1))
+    sub = instr(i860, "A1", Reg(PhysReg("d", 4)), Reg(PhysReg("d", 5)))
+    c1 = model.issue(core, [])
+    c2 = model.issue(sub, [])
+    assert c1 == c2
+
+
+def test_i860_incompatible_classes_split_cycles(i860):
+    model = PipelineModel(i860)
+    a1 = instr(i860, "A1", Reg(PhysReg("d", 4)), Reg(PhysReg("d", 5)))
+    a1s = instr(i860, "A1S", Reg(PhysReg("d", 6)), Reg(PhysReg("d", 7)))
+    c1 = model.issue(a1, [])
+    c2 = model.issue(a1s, [])
+    assert c2 > c1  # same FA1 field, and pfadd vs pfsub classes disjoint
+
+
+def test_temporal_producer_latency(i860):
+    model = PipelineModel(i860)
+    m1 = instr(i860, "M1", Reg(PhysReg("d", 4)), Reg(PhysReg("d", 5)))
+    m2 = instr(i860, "M2")
+    c1 = model.issue(m1, [])
+    c2 = model.issue(m2, [])
+    assert c2 >= c1 + 1
+
+
+def test_memory_ordering_load_after_store(toyp):
+    model = PipelineModel(toyp)
+    store = instr(toyp, "st", Reg(PhysReg("r", 2)), Reg(PhysReg("r", 6)), Imm(0))
+    load = instr(toyp, "ld", Reg(PhysReg("r", 3)), Reg(PhysReg("r", 6)), Imm(0))
+    c1 = model.issue(store, [(4096, True, 4)])
+    c2 = model.issue(load, [(4096, False, 4)])
+    assert c2 >= c1 + 1
+
+
+def test_bookkeeping_pruned_on_long_runs(toyp):
+    model = PipelineModel(toyp)
+    for index in range(600):
+        add = instr(
+            toyp, "addi", Reg(PhysReg("r", 2)), Reg(PhysReg("r", 6)), Imm(index % 100)
+        )
+        model.issue(add, [])
+    assert len(model.resource_use) < 400  # pruned, not 600+
+    assert model.cycles >= 600

@@ -1,0 +1,120 @@
+"""Tests for linking: layout, symbol resolution, range re-verification."""
+
+import pytest
+import struct
+
+import repro
+from repro.errors import MarionError
+from repro.program import DATA_BASE, link
+
+
+def compile_mp(source, target="toyp", strategy="postpass"):
+    from repro.backend.codegen import CodeGenerator
+    from repro.frontend import compile_to_il
+
+    generator = CodeGenerator(repro.load_target(target), strategy=strategy)
+    return generator.compile_il(compile_to_il(source))
+
+
+def test_globals_laid_out_with_alignment():
+    mp = compile_mp("int a; double b; int c[3]; void f(void) { a = 1; }")
+    exe = link(mp)
+    assert exe.symbols["a"] >= DATA_BASE
+    assert exe.symbols["b"] % 8 == 0
+    assert exe.symbols["c"] > exe.symbols["b"]
+    assert exe.data_end >= exe.symbols["c"] + 12
+
+
+def test_initial_values_installed():
+    mp = compile_mp(
+        "int a = 7; double d[2] = {1.5, -2.0}; void f(void) { a = a; }"
+    )
+    exe = link(mp)
+    memory = exe.initial_memory()
+    assert struct.unpack_from("<i", memory, exe.symbols["a"])[0] == 7
+    assert struct.unpack_from("<d", memory, exe.symbols["d"])[0] == 1.5
+    assert struct.unpack_from("<d", memory, exe.symbols["d"] + 8)[0] == -2.0
+
+
+def test_labels_map_to_instruction_indices():
+    mp = compile_mp("int f(int x) { if (x) { return 1; } return 2; }")
+    exe = link(mp)
+    assert exe.functions["f"] == exe.labels["f"]
+    for label, index in exe.labels.items():
+        assert 0 <= index <= len(exe.instrs)
+
+
+def test_symbol_immediates_resolved_to_addresses():
+    from repro.backend.insts import Imm
+    from repro.backend.values import SymbolRef
+
+    mp = compile_mp("int g; int f(void) { return g; }")
+    exe = link(mp)
+    for instr in exe.instrs:
+        for operand in instr.operands:
+            if isinstance(operand, Imm):
+                assert not isinstance(operand.value, SymbolRef)
+
+
+def test_undefined_branch_target_rejected(toyp):
+    from repro.backend.codegen import MachineProgram
+    from repro.backend.insts import Lab, make_instr
+    from repro.backend.mfunc import MBlock, MFunction
+
+    fn = MFunction(name="f", return_type=None)
+    block = MBlock(label="f")
+    block.instrs = [make_instr(toyp.instruction("jmp"), [Lab("nowhere")])]
+    fn.blocks.append(block)
+    mp = MachineProgram(target=toyp, functions=[fn])
+    with pytest.raises(MarionError, match="undefined"):
+        link(mp)
+
+
+def test_data_segment_overflow_rejected():
+    mp = compile_mp("double huge[100000]; void f(void) { huge[0] = 1.0; }")
+    with pytest.raises(MarionError, match="stack"):
+        link(mp, memory_size=1 << 20)
+
+
+def test_high_low_halves_resolve_on_r2000():
+    mp = compile_mp("int g; int f(void) { return g; }", target="r2000")
+    exe = link(mp)
+    # all lui/ori immediates are plain 16-bit ints after linking
+    from repro.backend.insts import Imm
+
+    for instr in exe.instrs:
+        if instr.desc.mnemonic in ("lui", "ori"):
+            for operand in instr.operands:
+                if isinstance(operand, Imm):
+                    assert isinstance(operand.value, int)
+                    assert 0 <= operand.value <= 0xFFFF
+
+
+def test_duplicate_label_rejected(toyp):
+    from repro.backend.codegen import MachineProgram
+    from repro.backend.mfunc import MBlock, MFunction
+
+    fn = MFunction(name="f", return_type=None)
+    fn.blocks.append(MBlock(label="dup"))
+    fn.blocks.append(MBlock(label="dup"))
+    mp = MachineProgram(target=toyp, functions=[fn])
+    with pytest.raises(MarionError, match="duplicate label"):
+        link(mp)
+
+
+def test_executable_entry_lookup_and_counts():
+    mp = compile_mp("int f(void) { return 1; } int g(void) { return 2; }")
+    exe = link(mp)
+    assert exe.entry("f") != exe.entry("g")
+    assert exe.instruction_count() == len(exe.instrs)
+    with pytest.raises(MarionError, match="no function"):
+        exe.entry("ghost")
+
+
+def test_float_pool_initial_values_installed():
+    mp = compile_mp("double f(void) { return 2.75; }")
+    exe = link(mp)
+    pool = [name for name in exe.symbols if name.startswith(".fp")]
+    assert pool
+    memory = exe.initial_memory()
+    assert struct.unpack_from("<d", memory, exe.symbols[pool[0]])[0] == 2.75

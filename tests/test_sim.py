@@ -1,0 +1,230 @@
+"""Simulator tests: machine state, semantics execution, cache, pipeline
+timing."""
+
+import pytest
+
+import repro
+from repro.errors import SimulationError
+from repro.machine.registers import PhysReg
+from repro.sim.cache import DirectMappedCache
+from repro.sim.state import MachineState
+
+
+# -- machine state --------------------------------------------------------------
+
+
+@pytest.fixture()
+def state(toyp):
+    return MachineState(toyp.registers, bytearray(4096))
+
+
+def test_int_register_roundtrip(state):
+    state.write_reg(PhysReg("r", 3), "int", -123)
+    assert state.read_reg(PhysReg("r", 3), "int") == -123
+
+
+def test_int_register_wraps_32_bits(state):
+    state.write_reg(PhysReg("r", 3), "int", 2**31)
+    assert state.read_reg(PhysReg("r", 3), "int") == -(2**31)
+
+
+def test_double_register_spans_two_units(state):
+    state.write_reg(PhysReg("d", 1), "double", 3.25)
+    assert state.read_reg(PhysReg("d", 1), "double") == 3.25
+    # the halves landed in the overlaid integer registers
+    lo = state.read_reg(PhysReg("r", 2), "int")
+    hi = state.read_reg(PhysReg("r", 3), "int")
+    assert (lo, hi) != (0, 0)
+
+
+def test_double_halves_reassemble(state):
+    """Moving the two halves as integers moves the double (the *movd
+    semantics)."""
+    state.write_reg(PhysReg("d", 1), "double", -17.5)
+    for half in range(2):
+        value = state.read_reg(PhysReg("r", 2 + half), "int")
+        state.write_reg(PhysReg("r", 4 + half), "int", value)
+    assert state.read_reg(PhysReg("d", 2), "double") == -17.5
+
+
+def test_memory_roundtrip(state):
+    state.write_mem(128, "double", 2.5)
+    assert state.read_mem(128, "double") == 2.5
+    state.write_mem(64, "int", -7)
+    assert state.read_mem(64, "int") == -7
+
+
+def test_memory_bounds_checked(state):
+    with pytest.raises(SimulationError, match="outside"):
+        state.read_mem(5000, "int")
+    with pytest.raises(SimulationError, match="outside"):
+        state.write_mem(-4, "int", 0)
+
+
+# -- cache -----------------------------------------------------------------
+
+
+def test_cache_hit_after_miss():
+    cache = DirectMappedCache(size=256, line=16)
+    assert not cache.access(0)
+    assert cache.access(4)  # same line
+    assert cache.access(15)
+    assert not cache.access(16)  # next line
+
+
+def test_cache_conflict_eviction():
+    cache = DirectMappedCache(size=256, line=16)
+    cache.access(0)
+    cache.access(256)  # same set, different tag: evicts
+    assert not cache.access(0)
+    assert cache.misses == 3
+
+
+def test_cache_reset():
+    cache = DirectMappedCache(size=256, line=16)
+    cache.access(0)
+    cache.reset()
+    assert cache.hits == cache.misses == 0
+    assert not cache.access(0)
+
+
+def test_cache_size_validation():
+    with pytest.raises(ValueError):
+        DirectMappedCache(size=100, line=16)
+
+
+# -- semantics / whole-program execution -----------------------------------------
+
+
+def test_integer_division_truncates_toward_zero():
+    src = "int f(int a, int b) { return a / b; }"
+    exe = repro.compile_c(src, "toyp")
+    assert repro.simulate(exe, "f", args=(-7, 2)).return_value["int"] == -3
+    assert repro.simulate(exe, "f", args=(7, -2)).return_value["int"] == -3
+
+
+def test_modulo_sign_follows_dividend():
+    src = "int f(int a, int b) { return a % b; }"
+    exe = repro.compile_c(src, "toyp")
+    assert repro.simulate(exe, "f", args=(-7, 2)).return_value["int"] == -1
+    assert repro.simulate(exe, "f", args=(7, -2)).return_value["int"] == 1
+
+
+def test_division_by_zero_raises():
+    src = "int f(int a) { return a / (a - a); }"
+    exe = repro.compile_c(src, "toyp")
+    with pytest.raises(SimulationError, match="zero"):
+        repro.simulate(exe, "f", args=(3,))
+
+
+def test_shift_and_mask_semantics():
+    src = "int f(int a) { return ((a << 4) >> 2) & 255; }"
+    exe = repro.compile_c(src, "toyp")
+    assert repro.simulate(exe, "f", args=(9,)).return_value["int"] == (
+        ((9 << 4) >> 2) & 255
+    )
+
+
+def test_int_to_double_and_back():
+    src = "int f(int a) { double d = (double)a / 4.0; return (int)(d * 8.0); }"
+    exe = repro.compile_c(src, "r2000")
+    assert repro.simulate(exe, "f", args=(5,)).return_value["int"] == 10
+
+
+def test_negative_double_truncation():
+    src = "int f(void) { return (int)(0.0 - 2.7); }"
+    exe = repro.compile_c(src, "r2000")
+    assert repro.simulate(exe, "f").return_value["int"] == -2
+
+
+def test_infinite_loop_guard():
+    src = "int f(void) { while (1) { } return 0; }"
+    exe = repro.compile_c(src, "toyp")
+    with pytest.raises(SimulationError, match="instructions"):
+        repro.simulate(exe, "f", max_instructions=10_000, model_timing=False)
+
+
+def test_timing_charges_latency_stalls(toyp):
+    dependent = "double f(double a) { return ((a * a) * a) * a; }"
+    exe_dep = repro.compile_c(dependent, "toyp")
+    dep = repro.simulate(exe_dep, "f", args=(2.0,))
+    assert dep.return_value["double"] == 16.0
+    # three dependent 7-cycle multiplies cannot fit in instruction count
+    # alone: interlock stalls must appear in the cycle count
+    assert dep.cycles >= dep.instructions + 2 * 6
+
+
+def test_cache_misses_slow_execution():
+    src = """
+    double a[2048];
+    double f(int n) {
+        int i; double s = 0.0;
+        for (i = 0; i < n; i++) { a[i * 8 % 2048] = (double)i; }
+        for (i = 0; i < n; i++) { s = s + a[i * 8 % 2048]; }
+        return s;
+    }
+    """
+    exe = repro.compile_c(src, "r2000")
+    cold = repro.simulate(exe, "f", args=(256,), cache=DirectMappedCache(size=1024))
+    warm = repro.simulate(exe, "f", args=(256,))
+    assert cold.return_value["double"] == warm.return_value["double"]
+    assert cold.cache_misses > 0
+    assert cold.cycles > warm.cycles
+
+
+def test_load_store_counters():
+    src = """
+    int g[8];
+    int f(void) { g[0] = 1; g[1] = 2; return g[0] + g[1]; }
+    """
+    exe = repro.compile_c(src, "toyp")
+    result = repro.simulate(exe, "f")
+    assert result.stores >= 2
+    assert result.loads >= 2
+
+
+def test_block_profile_counts_loop_iterations():
+    src = "int f(int n) { int i; int s = 0; for (i = 0; i < n; i++) { s += i; } return s; }"
+    exe = repro.compile_c(src, "toyp")
+    result = repro.simulate(exe, "f", args=(10,), model_timing=False)
+    assert result.return_value["int"] == 45
+    # some block was entered exactly 10 times (the loop body)
+    assert 10 in result.block_counts.values()
+
+
+def test_dilation_numerator_is_dynamic_count():
+    src = "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += 1; } return s; }"
+    exe = repro.compile_c(src, "toyp")
+    small = repro.simulate(exe, "f", args=(2,), model_timing=False)
+    large = repro.simulate(exe, "f", args=(50,), model_timing=False)
+    assert large.instructions > small.instructions
+
+
+def test_i860_dual_issue_beats_serial_model(i860):
+    """Timing model issues core and FP ops in the same cycle."""
+    src = """
+    double v[64];
+    double f(int n) {
+        int i; double s = 0.0;
+        for (i = 0; i < n; i++) { s = s + v[i] * 2.0; }
+        return s;
+    }
+    """
+    exe = repro.compile_c(src, "i860")
+    result = repro.simulate(exe, "f", args=(32,))
+    # more instructions than cycles is only possible with multi-issue
+    assert result.instructions > 0
+    assert result.cycles < result.instructions * 2
+
+
+def test_trace_hook_sees_every_instruction():
+    src = "int f(int a) { return a * 2 + 1; }"
+    exe = repro.compile_c(src, "toyp")
+    events = []
+    sim = repro.Simulator(exe)
+    result = sim.run("f", (5,), trace=lambda pc, i, c: events.append((pc, str(i), c)))
+    assert result.return_value["int"] == 11
+    # the trace covers the non-delay-slot instructions, in issue order
+    assert len(events) >= result.instructions - 2
+    cycles = [c for _, _, c in events]
+    assert cycles == sorted(cycles)

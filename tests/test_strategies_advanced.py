@@ -1,0 +1,117 @@
+"""Deeper strategy behaviour tests: the IPS register limit, RASE cost
+overrides, and edge-type control."""
+
+import pytest
+
+import repro
+from repro.backend.codegen import CodeGenerator
+from repro.backend.strategies.ips import IPSStrategy
+from repro.frontend import compile_to_il
+
+
+def test_ips_register_limit_scales_with_target(toyp, r2000):
+    ips = IPSStrategy()
+    toyp_limit = ips.register_limit(toyp)
+    r2000_limit = ips.register_limit(r2000)
+    assert toyp_limit < r2000_limit
+    assert toyp_limit >= 2
+
+
+def test_ips_limit_reduces_peak_pressure_in_first_pass(r2000):
+    """With the limit active, the prepass keeps fewer locals live than an
+    unlimited schedule of the same block."""
+    from repro.backend.insts import Imm, Reg
+    from repro.backend.scheduler import ListScheduler
+    from repro.il.node import PseudoReg
+
+    from tests.helpers import build as instr
+
+    base = PseudoReg("int", "base", is_global=True)
+    locals_ = [PseudoReg("int", f"t{i}") for i in range(8)]
+    sinks = []
+    thread = [
+        instr(r2000, "addiu", Reg(t), Reg(base), Imm(i))
+        for i, t in enumerate(locals_)
+    ]
+    accumulator = locals_[0]
+    for t in locals_[1:]:
+        out = PseudoReg("int", f"s{t.name}")
+        thread.append(instr(r2000, "addu", Reg(out), Reg(accumulator), Reg(t)))
+        accumulator = out
+        sinks.append(out)
+
+    def peak_live(result):
+        live = set()
+        peak = 0
+        remaining = {}
+        for i in result.instrs:
+            for reg in i.uses():
+                if isinstance(reg, PseudoReg) and not reg.is_global:
+                    remaining[reg.id] = remaining.get(reg.id, 0) + 1
+        for i in result.instrs:
+            for reg in i.uses():
+                if isinstance(reg, PseudoReg) and not reg.is_global:
+                    remaining[reg.id] -= 1
+                    if remaining[reg.id] == 0:
+                        live.discard(reg.id)
+            for reg in i.defs():
+                if isinstance(reg, PseudoReg) and not reg.is_global:
+                    if remaining.get(reg.id, 0) > 0:
+                        live.add(reg.id)
+            peak = max(peak, len(live))
+        return peak
+
+    unlimited = ListScheduler(r2000).schedule_block(list(thread))
+    limited = ListScheduler(r2000, register_limit=3).schedule_block(list(thread))
+    assert peak_live(limited) <= peak_live(unlimited)
+
+
+def test_rase_adopts_relaxed_schedule_order():
+    """RASE's estimate pass reorders the code before allocation, so the
+    allocator sees schedule-shaped live ranges (unlike Postpass)."""
+    src = """
+    double v[64];
+    double f(int n) {
+        int i; double s = 0.0;
+        for (i = 0; i < n; i++) { s = s + v[i] * 2.0 + v[i] * 3.0; }
+        return s;
+    }
+    """
+    target = repro.load_target("r2000")
+    postpass = CodeGenerator(target, strategy="postpass").compile_il(
+        compile_to_il(src)
+    )
+    rase = CodeGenerator(target, strategy="rase").compile_il(compile_to_il(src))
+    assert postpass.stats["f"].schedule_passes == 1
+    assert rase.stats["f"].schedule_passes == 3
+
+
+def test_strategies_on_superscalar_description():
+    """Strategies compose with a pooled-resource target."""
+    from tests.test_superscalar import SUPERSCALAR_MARIL
+    from repro.cgg import build_target
+
+    target = build_target(SUPERSCALAR_MARIL, name="dual")
+    src = """
+    int f(int n) {
+        int i, s, t;
+        s = 0; t = 1;
+        for (i = 0; i < n; i++) { s = s + i; t = t + s; }
+        return s * 100 + t;
+    }
+    """
+    results = {}
+    for strategy in ("postpass", "ips", "rase"):
+        exe = repro.compile_c(src, target, strategy=strategy)
+        results[strategy] = repro.simulate(exe, "f", args=(15,))
+    values = {r.return_value["int"] for r in results.values()}
+    assert len(values) == 1  # all strategies agree
+
+
+def test_heuristic_flag_propagates():
+    src = "int f(int a) { return a + 1; }"
+    for heuristic in ("maxdist", "fifo"):
+        exe = repro.compile_c(src, "toyp", heuristic=heuristic)
+        assert repro.simulate(exe, "f", args=(4,)).return_value["int"] == 5
+    with pytest.raises(ValueError, match="heuristic"):
+        repro.compile_c(src, "toyp", heuristic="bogus")

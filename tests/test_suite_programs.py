@@ -1,0 +1,41 @@
+"""The compile-time program suite runs correctly on the primary targets."""
+
+import math
+
+import pytest
+
+import repro
+from repro.workloads import PROGRAM_SUITE
+
+
+@pytest.mark.parametrize("program", PROGRAM_SUITE, ids=lambda p: p.name)
+@pytest.mark.parametrize("target", ["r2000", "i860"])
+def test_suite_program_correct(program, target):
+    exe = repro.compile_c(program.source, target, strategy="postpass")
+    result = repro.simulate(exe, program.entry, args=program.args, model_timing=False)
+    expected = program.reference(*program.args)
+    if isinstance(expected, float):
+        got = result.return_value["double"]
+        assert math.isclose(got, expected, rel_tol=1e-9)
+    else:
+        assert result.return_value["int"] == expected
+
+
+def test_quicksort_randomized_against_python():
+    intsort = next(p for p in PROGRAM_SUITE if p.name == "intsort")
+    exe = repro.compile_c(intsort.source, "r2000")
+    for n in (5, 17, 63, 200):
+        got = repro.simulate(
+            exe, "intsort_main", args=(n,), model_timing=False
+        ).return_value["int"]
+        assert got == intsort.reference(n)
+
+
+def test_interpreter_computes_sum_of_squares():
+    interp = next(p for p in PROGRAM_SUITE if p.name == "interp")
+    exe = repro.compile_c(interp.source, "r2000")
+    for k in (0, 1, 7, 40):
+        got = repro.simulate(
+            exe, "interp_main", args=(k,), model_timing=False
+        ).return_value["int"]
+        assert got == sum(i * i for i in range(1, k + 1))

@@ -1,0 +1,175 @@
+"""The multiple-identical-functional-units extension (paper section 5:
+"Marion does not support multiple identical functional units ...
+introducing arrays of resources would be a natural extension").
+
+``%resource ALU[2]`` declares two interchangeable units; the scheduler and
+the pipeline model both let two independent integer operations issue on the
+same cycle, and a third must wait.
+"""
+
+import pytest
+
+import repro
+from repro.backend.insts import Imm, Reg
+from repro.backend.scheduler import ListScheduler
+from repro.cgg import build_target
+from repro.il.node import PseudoReg
+
+SUPERSCALAR_MARIL = r"""
+declare {
+    %reg r[0:15] (int);
+    %resource ALU[2];               /* two identical integer units */
+    %resource MEM;
+    %def c16 [-32768:32767];
+    %def c32 [-2147483648:2147483647] +abs;
+    %label rlab [-32768:32767] +relative;
+    %label flab [-8388608:8388607] +abs;
+    %memory m[0:1048575];
+}
+cwvm {
+    %general (int) r;
+    %allocable r[1:11];
+    %calleesave r[8:11];
+    %sp r[15] +down;
+    %fp r[14] +down;
+    %retaddr r[13];
+    %hard r[0] 0;
+    %arg (int) r[2] 1;
+    %arg (int) r[3] 2;
+    %result r[2] (int);
+}
+instr {
+    %instr li r, r[0], #c16 (int) {$1 = $3;} [ALU] (1,1,0);
+    %instr la r, #c32 (int) {$1 = $2;} [ALU] (1,1,0);
+    %instr addi r, r, #c16 (int) {$1 = $2 + $3;} [ALU] (1,1,0);
+    %instr add r, r, r (int) {$1 = $2 + $3;} [ALU] (1,1,0);
+    %instr sub r, r, r (int) {$1 = $2 - $3;} [ALU] (1,1,0);
+    %instr mul r, r, r (int) {$1 = $2 * $3;} [ALU; ALU; ALU] (1,3,0);
+    %instr div r, r, r (int) {$1 = $2 / $3;}
+        [ALU; ALU; ALU; ALU; ALU; ALU; ALU; ALU] (1,8,0);
+    %instr rem r, r, r (int) {$1 = $2 % $3;}
+        [ALU; ALU; ALU; ALU; ALU; ALU; ALU; ALU] (1,8,0);
+    %instr sll r, r, #c16 (int) {$1 = $2 << $3;} [ALU] (1,1,0);
+    %instr sra r, r, #c16 (int) {$1 = $2 >> $3;} [ALU] (1,1,0);
+    %instr cmpi r, r, #c16 (int) {$1 = $2 :: $3;} [ALU] (1,1,0);
+    %instr cmp r, r, r (int) {$1 = $2 :: $3;} [ALU] (1,1,0);
+    %instr ld r, r, #c16 (int) {$1 = m[$2 + $3];} [MEM; MEM] (1,2,0);
+    %instr st r, r, #c16 (int) {m[$2 + $3] = $1;} [MEM; MEM] (1,1,0);
+    %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [ALU] (1,2,1);
+    %instr bne0 r, #rlab {if ($1 != 0) goto $2;} [ALU] (1,2,1);
+    %instr blt0 r, #rlab {if ($1 < 0) goto $2;} [ALU] (1,2,1);
+    %instr bge0 r, #rlab {if ($1 >= 0) goto $2;} [ALU] (1,2,1);
+    %instr bgt0 r, #rlab {if ($1 > 0) goto $2;} [ALU] (1,2,1);
+    %instr ble0 r, #rlab {if ($1 <= 0) goto $2;} [ALU] (1,2,1);
+    %instr jmp #rlab {goto $1;} [ALU] (1,2,1);
+    %instr call #flab {call $1;} [ALU; ALU] (1,2,0);
+    %instr ret {ret;} [ALU] (1,2,1);
+    %instr nop {;} [ALU] (1,1,0);
+    %move [ss.movs] add r, r, r[0] {$1 = $2;} [ALU] (1,1,0);
+    %glue r, r, #rlab {if ($1 == $2) goto $3 ==> if (($1 :: $2) == 0) goto $3;};
+    %glue r, r, #rlab {if ($1 != $2) goto $3 ==> if (($1 :: $2) != 0) goto $3;};
+    %glue r, r, #rlab {if ($1 < $2) goto $3 ==> if (($1 :: $2) < 0) goto $3;};
+    %glue r, r, #rlab {if ($1 <= $2) goto $3 ==> if (($1 :: $2) <= 0) goto $3;};
+    %glue r, r, #rlab {if ($1 > $2) goto $3 ==> if (($1 :: $2) > 0) goto $3;};
+    %glue r, r, #rlab {if ($1 >= $2) goto $3 ==> if (($1 :: $2) >= 0) goto $3;};
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def superscalar():
+    return build_target(SUPERSCALAR_MARIL, name="dual-alu")
+
+
+def _instr(target, mnemonic, *operands):
+    from tests.helpers import build
+
+    return build(target, mnemonic, *operands)
+
+
+def test_two_independent_adds_issue_together(superscalar):
+    a, b, c, d = (PseudoReg("int", n) for n in "abcd")
+    base = PseudoReg("int", "base")
+    one = _instr(superscalar, "addi", Reg(a), Reg(base), Imm(1))
+    two = _instr(superscalar, "addi", Reg(b), Reg(base), Imm(2))
+    result = ListScheduler(superscalar).schedule_block([one, two])
+    assert result.cycle_of(one) == result.cycle_of(two) == 0
+
+
+def test_third_add_waits_for_a_unit(superscalar):
+    base = PseudoReg("int", "base")
+    instrs = [
+        _instr(superscalar, "addi", Reg(PseudoReg("int", f"t{i}")), Reg(base), Imm(i))
+        for i in range(3)
+    ]
+    result = ListScheduler(superscalar).schedule_block(list(instrs))
+    cycles = sorted(result.cycle_of(i) for i in instrs)
+    assert cycles == [0, 0, 1]
+
+
+def test_multicycle_occupancy_respects_capacity(superscalar):
+    """Two 3-cycle multiplies fill both units; a third waits 3 cycles."""
+    base = PseudoReg("int", "base")
+    muls = [
+        _instr(
+            superscalar,
+            "mul",
+            Reg(PseudoReg("int", f"m{i}")),
+            Reg(base),
+            Reg(base),
+        )
+        for i in range(3)
+    ]
+    result = ListScheduler(superscalar).schedule_block(list(muls))
+    cycles = sorted(result.cycle_of(i) for i in muls)
+    assert cycles[0] == cycles[1] == 0
+    assert cycles[2] >= 3
+
+
+def test_whole_program_on_superscalar(superscalar):
+    src = """
+    int a[64];
+    int f(int n) {
+        int i, s, t;
+        s = 0;
+        t = 0;
+        for (i = 0; i < n; i++) {
+            a[i] = i * 3;
+            s = s + a[i];
+            t = t + i;
+        }
+        return s * 1000 + t;
+    }
+    """
+    exe = repro.compile_c(src, superscalar, strategy="ips")
+    result = repro.simulate(exe, "f", args=(20,))
+    expected = sum(i * 3 for i in range(20)) * 1000 + sum(range(20))
+    assert result.return_value["int"] == expected
+    # dual issue visible end-to-end: fewer cycles than instructions executed
+    assert result.cycles < result.instructions
+
+
+def test_dual_alu_faster_than_single_alu():
+    dual = build_target(SUPERSCALAR_MARIL, name="dual")
+    single = build_target(
+        SUPERSCALAR_MARIL.replace("%resource ALU[2];", "%resource ALU;"),
+        name="single",
+    )
+    src = """
+    int f(int a, int b) {
+        int t1, t2, t3, t4;
+        t1 = a + b;
+        t2 = a - b;
+        t3 = a + 7;
+        t4 = b + 9;
+        return (t1 + t2) * 1000 + (t3 + t4);
+    }
+    """
+    results = {}
+    for target in (dual, single):
+        exe = repro.compile_c(src, target)
+        results[target.name] = repro.simulate(exe, "f", args=(10, 3))
+    assert (
+        results["dual"].return_value["int"] == results["single"].return_value["int"]
+    )
+    assert results["dual"].cycles < results["single"].cycles

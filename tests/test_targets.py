@@ -1,0 +1,125 @@
+"""Per-target sanity checks over the bundled Maril descriptions."""
+
+import pytest
+
+import repro
+from repro.errors import MarionError
+from repro.machine.instruction import InstrKind
+from repro.machine.registers import PhysReg
+from repro.targets import TARGET_NAMES, load_target, maril_source
+
+
+@pytest.mark.parametrize("name", TARGET_NAMES)
+def test_target_builds(name, all_targets):
+    target = all_targets[name]
+    assert target.instructions
+    assert target.cwvm.sp is not None and target.cwvm.fp is not None
+
+
+@pytest.mark.parametrize("name", TARGET_NAMES)
+def test_target_has_complete_control_set(name, all_targets):
+    target = all_targets[name]
+    kinds = {d.kind for d in target.instructions.values()}
+    assert InstrKind.BRANCH in kinds
+    assert InstrKind.JUMP in kinds
+    assert InstrKind.CALL in kinds
+    assert InstrKind.RET in kinds
+    assert InstrKind.NOP in kinds
+
+
+@pytest.mark.parametrize("name", TARGET_NAMES)
+def test_target_has_moves_for_general_sets(name, all_targets):
+    target = all_targets[name]
+    for set_name in set(target.cwvm.general.values()):
+        assert target.move_for_set(set_name) is not None
+
+
+@pytest.mark.parametrize("name", TARGET_NAMES)
+def test_allocable_registers_exclude_special(name, all_targets):
+    target = all_targets[name]
+    cwvm = target.cwvm
+    for special in (cwvm.sp, cwvm.fp):
+        assert special not in cwvm.allocable
+
+
+@pytest.mark.parametrize("name", TARGET_NAMES)
+def test_maril_source_reparses(name):
+    from repro.maril import parse_maril
+
+    description = parse_maril(maril_source(name))
+    assert description.instr_decls()
+
+
+def test_r2000_register_roles(r2000):
+    assert r2000.cwvm.sp == PhysReg("r", 29)
+    assert r2000.cwvm.fp == PhysReg("r", 30)
+    assert r2000.cwvm.retaddr == PhysReg("r", 31)
+    assert r2000.cwvm.hard_registers[PhysReg("r", 0)] == 0
+    assert r2000.cwvm.arg_register("int", 0) == PhysReg("r", 4)
+    assert r2000.cwvm.result_register("double") == PhysReg("d", 0)
+
+
+def test_r2000_double_overlays_floats(r2000):
+    assert r2000.registers.interfere(PhysReg("d", 6), PhysReg("f", 12))
+    assert r2000.registers.interfere(PhysReg("d", 6), PhysReg("f", 13))
+    assert not r2000.registers.interfere(PhysReg("d", 6), PhysReg("f", 14))
+    assert not r2000.registers.interfere(PhysReg("d", 6), PhysReg("r", 12))
+
+
+def test_m88000_floats_alias_integer_file(m88000):
+    assert m88000.registers.interfere(PhysReg("s", 5), PhysReg("r", 5))
+    assert m88000.registers.interfere(PhysReg("d", 2), PhysReg("r", 4))
+    assert m88000.registers.interfere(PhysReg("d", 2), PhysReg("s", 5))
+
+
+def test_m88000_shared_writeback_resource(m88000):
+    wb = m88000.resources.mask(["WB"])
+    fadd = m88000.instruction("fadd.ddd")
+    add = m88000.instruction("add")
+    assert any(need.mask & wb for need in fadd.resource_vector)
+    assert any(need.mask & wb for need in add.resource_vector)
+
+
+def test_i860_clocks_and_elements(i860):
+    assert set(i860.clocks) == {"clk_m", "clk_a"}
+    assert "pfmul" in i860.elements and "m12apm" in i860.elements
+    assert i860.temporal_clock("m1") == "clk_m"
+    assert i860.temporal_clock("a3") == "clk_a"
+
+
+def test_i860_suboperation_fields_are_disjoint(i860):
+    m1 = i860.instruction("M1").resource_vector
+    m2 = i860.instruction("M2").resource_vector
+    a1 = i860.instruction("A1").resource_vector
+    assert not (m1[0].mask & m2[0].mask)
+    assert not (m1[0].mask & a1[0].mask)
+
+
+def test_i860_funcs_registered(i860):
+    assert {"movd", "fmuld", "faddd", "fsubd"} <= set(i860.funcs)
+
+
+def test_i860_scalar_variant_differs():
+    from repro.targets.i860 import build_i860
+
+    scalar = build_i860(eap=False)
+    assert scalar.name == "i860-scalar"
+    assert "fmuld" in scalar.funcs
+
+
+def test_toyp_matches_paper_figures(toyp):
+    # figure 1/2 facts
+    assert toyp.registers.set("r").count == 8
+    assert toyp.registers.set("d").count == 4
+    assert toyp.cwvm.retaddr == PhysReg("r", 1)
+    assert toyp.cwvm.hard_registers[PhysReg("r", 0)] == 0
+    # figure 3 facts
+    assert toyp.instruction("beq0").slots == 1
+    assert toyp.instruction("ld").latency == 3
+    assert toyp.aux_latency("fadd.d", "st.d").latency == 7
+    assert toyp.instruction("*movd").func == "movd"
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(MarionError, match="unknown target"):
+        load_target("vax")

@@ -1,0 +1,138 @@
+"""Unit tests for symbolic immediates and machine-instruction plumbing."""
+
+import pytest
+
+from repro.backend.insts import Imm, Lab, Reg, make_instr
+from repro.backend.values import (
+    FRAME_OFFSET_REACH,
+    HighHalf,
+    LowHalf,
+    SlotOffset,
+    SymbolRef,
+    fold_halves,
+    immediate_fits,
+)
+from repro.il.node import FrameSlot, PseudoReg
+from repro.machine.instruction import OperandDesc, OperandMode
+from repro.machine.registers import PhysReg
+
+C16 = OperandDesc(OperandMode.IMM, def_name="c16", lo=-32768, hi=32767)
+U16 = OperandDesc(OperandMode.IMM, def_name="u16", lo=0, hi=65535)
+ABS32 = OperandDesc(
+    OperandMode.IMM, def_name="c32", lo=-(2**31), hi=2**31 - 1, absolute=True
+)
+TINY = OperandDesc(OperandMode.IMM, def_name="c4", lo=-8, hi=7)
+
+
+# -- immediate_fits -----------------------------------------------------------
+
+
+def test_int_range_check():
+    assert immediate_fits(0, C16)
+    assert immediate_fits(-32768, C16)
+    assert not immediate_fits(32768, C16)
+    assert not immediate_fits(True, C16)  # bools are not immediates
+
+
+def test_slot_offset_needs_wide_reach():
+    offset = SlotOffset(FrameSlot(8))
+    assert immediate_fits(offset, C16)
+    assert not immediate_fits(offset, TINY)
+    assert FRAME_OFFSET_REACH <= C16.hi
+
+
+def test_symbol_only_fits_absolute():
+    symbol = SymbolRef("gv")
+    assert immediate_fits(symbol, ABS32)
+    assert not immediate_fits(symbol, C16)
+
+
+def test_halves_of_int_always_fit():
+    assert immediate_fits(HighHalf(0x12345678), TINY)
+    assert immediate_fits(LowHalf(0x12345678), TINY)
+
+
+def test_halves_of_symbol_need_u16_or_abs():
+    high = HighHalf(SymbolRef("gv"))
+    assert immediate_fits(high, U16)
+    assert immediate_fits(high, ABS32)
+    assert not immediate_fits(high, TINY)
+
+
+def test_fold_halves():
+    assert fold_halves(HighHalf(0x12345678)) == 0x1234
+    assert fold_halves(LowHalf(0x12345678)) == 0x5678
+    symbolic = HighHalf(SymbolRef("gv"))
+    assert fold_halves(symbolic) is symbolic
+    assert fold_halves(42) == 42
+
+
+def test_value_reprs():
+    slot = FrameSlot(8, name="x")
+    assert "x" in str(SlotOffset(slot, addend=4))
+    assert str(SymbolRef("gv", addend=8)) == "gv+8"
+    assert "%hi" in str(HighHalf(SymbolRef("gv")))
+
+
+# -- MachineInstr -----------------------------------------------------------
+
+
+def test_make_instr_fills_fixed_registers(toyp):
+    move = toyp.move_for_set("r")  # add rD, rS, r[0]
+    instr = make_instr(move, [Reg(PseudoReg("int", "a")), Reg(PseudoReg("int", "b")), None])
+    assert instr.operands[2].reg == PhysReg("r", 0)
+
+
+def test_make_instr_operand_count_checked(toyp):
+    with pytest.raises(ValueError, match="operands"):
+        make_instr(toyp.instruction("ld"), [Reg(PseudoReg("int", "a"))])
+
+
+def test_defs_uses_with_implicits(toyp):
+    a = PseudoReg("int", "a")
+    instr = make_instr(
+        toyp.instruction("ld"),
+        [Reg(a), Reg(PhysReg("r", 6)), Imm(0)],
+    )
+    instr.implicit_uses = [PhysReg("r", 7)]
+    instr.implicit_defs = [PhysReg("r", 1)]
+    assert a in instr.defs() and PhysReg("r", 1) in instr.defs()
+    assert PhysReg("r", 6) in instr.uses() and PhysReg("r", 7) in instr.uses()
+
+
+def test_rewrite_reg(toyp):
+    a = PseudoReg("int", "a")
+    instr = make_instr(
+        toyp.instruction("ld"), [Reg(a), Reg(PhysReg("r", 6)), Imm(0)]
+    )
+    instr.rewrite_reg(0, PhysReg("r", 3))
+    assert instr.defs() == [PhysReg("r", 3)]
+
+
+def test_branch_target_helper(toyp):
+    instr = make_instr(
+        toyp.instruction("beq0"), [Reg(PseudoReg("int", "a")), Lab("L")]
+    )
+    assert instr.branch_target() == "L"
+    add = make_instr(
+        toyp.instruction("addi"),
+        [Reg(PseudoReg("int", "a")), Reg(PhysReg("r", 6)), Imm(1)],
+    )
+    assert add.branch_target() is None
+
+
+def test_str_renders_mnemonic_and_operands(toyp):
+    instr = make_instr(
+        toyp.instruction("addi"),
+        [Reg(PhysReg("r", 2)), Reg(PhysReg("r", 3)), Imm(7)],
+    )
+    assert str(instr) == "addi r[2], r[3], 7"
+
+
+def test_classification_properties(toyp):
+    ret = make_instr(toyp.instruction("ret"), [])
+    assert ret.is_branch_or_jump and ret.is_control and not ret.is_call
+    call = make_instr(toyp.instruction("call"), [Lab("g")])
+    assert call.is_call and call.is_control and not call.is_branch_or_jump
+    nop = make_instr(toyp.nop, [])
+    assert nop.is_nop and not nop.is_control
