@@ -32,7 +32,8 @@ from repro.machine.target import TargetMachine
 from repro.maril import parse_maril
 from repro.program import Executable, link
 from repro.sim import DirectMappedCache, SimResult, Simulator, run_program
-from repro.targets import TARGET_NAMES, load_target
+from repro.targets import TARGET_NAMES, clear_target_cache, load_target
+from repro.utils import timing
 
 __version__ = "1.0.0"
 
@@ -47,6 +48,7 @@ __all__ = [
     "TARGET_NAMES",
     "TargetMachine",
     "build_target",
+    "clear_target_cache",
     "compile_c",
     "compile_to_il",
     "link",
@@ -70,7 +72,9 @@ def compile_c(
     """Compile C-subset source text to a linked executable."""
     if isinstance(target, str):
         target = load_target(target)
-    il_program = compile_to_il(source)
+    timing.add("compile.calls")
+    with timing.phase("compile.frontend"):
+        il_program = compile_to_il(source)
     generator = CodeGenerator(
         target,
         strategy=strategy,
@@ -78,8 +82,10 @@ def compile_c(
         schedule=schedule,
         fill_delay_slots=fill_delay_slots,
     )
-    machine_program = generator.compile_il(il_program)
-    executable = link(machine_program, memory_size=memory_size)
+    with timing.phase("compile.codegen"):
+        machine_program = generator.compile_il(il_program)
+    with timing.phase("compile.link"):
+        executable = link(machine_program, memory_size=memory_size)
     executable.machine_program = machine_program  # keep stats reachable
     return executable
 

@@ -21,6 +21,8 @@ IPS strategy's pressure-bounded first pass.
 
 from __future__ import annotations
 
+import heapq
+import time
 from dataclasses import dataclass, field
 
 from repro.backend.codedag import CodeDag, DagNode, build_code_dag
@@ -29,6 +31,7 @@ from repro.machine.resources import commit, conflicts
 from repro.errors import SchedulingError
 from repro.il.node import PseudoReg
 from repro.machine.target import TargetMachine
+from repro.utils import timing
 
 
 @dataclass
@@ -68,6 +71,18 @@ class ListScheduler:
         """List-schedule one basic block's instructions."""
         if not instrs:
             return ScheduleResult([], 0)
+        if timing.ENABLED:
+            start = time.perf_counter()
+            dag = build_code_dag(
+                instrs, self.target, include_anti=self.include_anti
+            )
+            result = _BlockScheduler(self, dag).run()
+            timing.add_seconds(
+                "scheduler.schedule_block", time.perf_counter() - start
+            )
+            timing.add("scheduler.blocks")
+            timing.add("scheduler.instructions", len(instrs))
+            return result
         dag = build_code_dag(instrs, self.target, include_anti=self.include_anti)
         return _BlockScheduler(self, dag).run()
 
@@ -86,11 +101,22 @@ class _BlockScheduler:
         self.issue_cycle: dict[DagNode, int] = {}
         self.earliest: dict[DagNode, int] = {}
         self.pred_count = {n: len(n.preds) for n in self.nodes}
-        self.ready: list[DagNode] = [
-            n for n in self.nodes if self.pred_count[n] == 0
+        # the ready list is a priority heap keyed on the scheduling
+        # heuristic (maxdist: highest priority first, thread order as the
+        # tie-break; fifo: thread order).  Issued nodes are deleted lazily:
+        # temporal groups issue nodes without going through the heap, so
+        # stale entries are skipped on read and compacted in _issue.
+        if config.heuristic == "maxdist":
+            self._heap_key = lambda n: (-n.priority, n.index, n)
+        else:
+            self._heap_key = lambda n: (n.index, n)
+        self.ready_heap: list[tuple] = [
+            self._heap_key(n) for n in self.nodes if self.pred_count[n] == 0
         ]
-        for node in self.ready:
-            self.earliest[node] = 0
+        heapq.heapify(self.ready_heap)
+        self._stale = 0
+        for entry in self.ready_heap:
+            self.earliest[entry[-1]] = 0
         self.resource_use: dict[int, int] = {}  # cycle -> mask
         self.cycle_classes: frozenset | None = None  # intersection this cycle
         self.pending_temporal: dict[str, set[DagNode]] = {}
@@ -217,9 +243,17 @@ class _BlockScheduler:
         return True
 
     def _candidates(self, cycle: int) -> list[DagNode]:
-        ready = [n for n in self.ready if self.earliest[n] <= cycle]
+        issue_cycle = self.issue_cycle
+        earliest = self.earliest
+        # a sorted walk of the heap yields heuristic order directly (the
+        # keys are precomputed tuples); issued nodes are skipped lazily
+        ready = [
+            entry[-1]
+            for entry in sorted(self.ready_heap)
+            if entry[-1] not in issue_cycle and earliest[entry[-1]] <= cycle
+        ]
         pending_controls = [
-            n for n in self.controls if n not in self.issue_cycle
+            n for n in self.controls if n not in issue_cycle
         ]
         if pending_controls:
             # control instructions end the block: hold them back until only
@@ -230,10 +264,6 @@ class _BlockScheduler:
             else:
                 first = pending_controls[0]
                 ready = [n for n in ready if n is first]
-        if self.config.heuristic == "maxdist":
-            ready.sort(key=lambda n: (-n.priority, n.index))
-        else:
-            ready.sort(key=lambda n: n.index)
         limit = self.config.register_limit
         if limit is not None and len(self.live) >= limit:
             relaxed = [n for n in ready if self._pressure_delta(n) <= 0]
@@ -242,10 +272,17 @@ class _BlockScheduler:
         return ready
 
     def _can_issue(self, node: DagNode, cycle: int) -> bool:
-        vector = node.instr.desc.resource_vector
-        for offset, need in enumerate(vector):
-            if conflicts(self.resource_use.get(cycle + offset, 0), need):
-                return False
+        resource_use = self.resource_use
+        masks = node.instr.desc.vector_fastpath()
+        if masks is not None:
+            for offset, mask in enumerate(masks):
+                if mask and resource_use.get(cycle + offset, 0) & mask:
+                    return False
+        else:
+            vector = node.instr.desc.resource_vector
+            for offset, need in enumerate(vector):
+                if conflicts(resource_use.get(cycle + offset, 0), need):
+                    return False
         classes = node.instr.desc.classes
         if classes and self.cycle_classes is not None:
             if not (classes & self.cycle_classes):
@@ -263,13 +300,29 @@ class _BlockScheduler:
     def _issue(self, node: DagNode, cycle: int) -> None:
         self.issue_cycle[node] = cycle
         self.unscheduled -= 1
-        self.ready.remove(node)
+        self._stale += 1
+        if self._stale * 2 > len(self.ready_heap):
+            issue_cycle = self.issue_cycle
+            self.ready_heap = [
+                entry
+                for entry in self.ready_heap
+                if entry[-1] not in issue_cycle
+            ]
+            heapq.heapify(self.ready_heap)
+            self._stale = 0
         self.order.append(node)
-        vector = node.instr.desc.resource_vector
-        for offset, need in enumerate(vector):
-            self.resource_use[cycle + offset] = commit(
-                self.resource_use.get(cycle + offset, 0), need
-            )
+        resource_use = self.resource_use
+        masks = node.instr.desc.vector_fastpath()
+        if masks is not None:
+            for offset, mask in enumerate(masks):
+                at = cycle + offset
+                resource_use[at] = resource_use.get(at, 0) | mask
+        else:
+            vector = node.instr.desc.resource_vector
+            for offset, need in enumerate(vector):
+                resource_use[cycle + offset] = commit(
+                    resource_use.get(cycle + offset, 0), need
+                )
         classes = node.instr.desc.classes
         if classes:
             self.cycle_classes = (
@@ -288,7 +341,7 @@ class _BlockScheduler:
             else:
                 self.earliest[dst] = when
             if self.pred_count[dst] == 0:
-                self.ready.append(dst)
+                heapq.heappush(self.ready_heap, self._heap_key(dst))
             if edge.is_temporal and dst not in self.issue_cycle:
                 self.pending_temporal.setdefault(edge.clock, set()).add(dst)
         # this node is no longer pending anywhere

@@ -105,7 +105,13 @@ def cmd_targets(arguments) -> int:
 def cmd_report(arguments) -> int:
     from repro.eval.report import generate_report
 
-    print(generate_report(scale=arguments.scale))
+    print(
+        generate_report(
+            scale=arguments.scale,
+            jobs=arguments.jobs,
+            bench_path=arguments.bench_out or None,
+        )
+    )
     return 0
 
 
@@ -140,6 +146,18 @@ def main(argv=None) -> int:
         "report", help="regenerate the paper's tables and figures"
     )
     report_parser.add_argument("--scale", type=float, default=0.3)
+    report_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel worker processes for the evaluation grid "
+        "(default: REPRO_JOBS or cpu count; 1 = serial)",
+    )
+    report_parser.add_argument(
+        "--bench-out",
+        default="",
+        help="write a machine-readable BENCH_eval.json here",
+    )
     report_parser.set_defaults(handler=cmd_report)
 
     arguments = parser.parse_args(argv)

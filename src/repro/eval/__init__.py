@@ -20,8 +20,10 @@ from repro.eval.table4 import table4
 from repro.eval.figure7 import figure7
 from repro.eval.claims import claim_strategy_speedup, claim_compile_time_ordering
 from repro.eval.ablation import ablation_temporal, ablation_heuristic
+from repro.eval.grid import GridTask, resolve_jobs, run_grid
 
 __all__ = [
+    "GridTask",
     "table1",
     "table2",
     "table3",
@@ -31,4 +33,6 @@ __all__ = [
     "claim_compile_time_ordering",
     "ablation_temporal",
     "ablation_heuristic",
+    "resolve_jobs",
+    "run_grid",
 ]

@@ -30,11 +30,12 @@ from dataclasses import dataclass
 
 import repro
 from repro.backend.codegen import CodeGenerator
+from repro.eval.grid import GridTask, run_grid
 from repro.frontend import compile_to_il
 from repro.program import link
 from repro.targets.i860 import build_i860
 from repro.utils.tables import TextTable
-from repro.workloads import LIVERMORE_KERNELS
+from repro.workloads import LIVERMORE_KERNELS, kernel_by_id
 
 _FP_KERNELS = (1, 3, 5, 7, 12)
 
@@ -73,6 +74,19 @@ class AblationRow:
         return self.variant_cycles / max(1, self.baseline_cycles)
 
 
+#: eap -> TargetMachine; the i860 EAP variants are not served by
+#: repro.targets.load_target, so they get their own process-local memo
+_I860_VARIANTS: dict[bool, object] = {}
+
+
+def _i860(eap: bool):
+    target = _I860_VARIANTS.get(eap)
+    if target is None:
+        target = build_i860(eap=eap)
+        _I860_VARIANTS[eap] = target
+    return target
+
+
 def _compile_for(target, source: str, strategy: str):
     generator = CodeGenerator(target, strategy=strategy)
     machine_program = generator.compile_il(compile_to_il(source))
@@ -89,35 +103,62 @@ def _marginal_kernel_cycles(executable, loop: int, n: int) -> tuple[int, float]:
     return twice.cycles - once.cycles, once.return_value["double"]
 
 
+def _temporal_unit(kernel_id: int, strategy: str, scale: float) -> AblationRow:
+    """One kernel's EAP-vs-monolithic measurement (picklable grid unit)."""
+    spec = kernel_by_id(kernel_id)
+    loop, n = spec.args
+    n = max(4, int(n * scale))
+    eap_exe = _compile_for(_i860(True), spec.source, strategy)
+    scalar_exe = _compile_for(_i860(False), spec.source, strategy)
+    eap_cycles, eap_value = _marginal_kernel_cycles(eap_exe, loop, n)
+    scalar_cycles, scalar_value = _marginal_kernel_cycles(scalar_exe, loop, n)
+    assert abs(eap_value - scalar_value) < 1e-9
+    return AblationRow(spec.id, eap_cycles, scalar_cycles)
+
+
 def ablation_temporal(
-    kernel_ids=_FP_KERNELS, strategy: str = "postpass", scale: float = 0.25
+    kernel_ids=_FP_KERNELS,
+    strategy: str = "postpass",
+    scale: float = 0.25,
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """EAP sub-operation scheduling vs. ordinary-pipeline operations."""
-    eap_target = build_i860(eap=True)
-    scalar_target = build_i860(eap=False)
-    rows = []
-    for spec in LIVERMORE_KERNELS:
-        if spec.id not in kernel_ids:
-            continue
-        loop, n = spec.args
-        n = max(4, int(n * scale))
-        eap_exe = _compile_for(eap_target, spec.source, strategy)
-        scalar_exe = _compile_for(scalar_target, spec.source, strategy)
-        eap_cycles, eap_value = _marginal_kernel_cycles(eap_exe, loop, n)
-        scalar_cycles, scalar_value = _marginal_kernel_cycles(scalar_exe, loop, n)
-        assert abs(eap_value - scalar_value) < 1e-9
-        rows.append(AblationRow(spec.id, eap_cycles, scalar_cycles))
-    return rows
+    ids = [spec.id for spec in LIVERMORE_KERNELS if spec.id in kernel_ids]
+    if jobs is None or jobs == 1:
+        # warm the variant memo so the serial path builds each target once
+        _i860(True), _i860(False)
+    return run_grid(
+        [GridTask(_temporal_unit, (kid, strategy, scale)) for kid in ids],
+        jobs=jobs,
+        label="ablation_temporal",
+    )
 
 
 def ablation_temporal_dual(strategy: str = "postpass", n: int = 64) -> AblationRow:
     """The headline A1 measurement on dual-operation-rich code."""
-    eap_exe = _compile_for(build_i860(eap=True), DUAL_OPERATION_RICH, strategy)
-    scalar_exe = _compile_for(build_i860(eap=False), DUAL_OPERATION_RICH, strategy)
+    eap_exe = _compile_for(_i860(True), DUAL_OPERATION_RICH, strategy)
+    scalar_exe = _compile_for(_i860(False), DUAL_OPERATION_RICH, strategy)
     eap_cycles, eap_value = _marginal_kernel_cycles(eap_exe, 1, n)
     scalar_cycles, scalar_value = _marginal_kernel_cycles(scalar_exe, 1, n)
     assert abs(eap_value - scalar_value) < 1e-9
     return AblationRow(0, eap_cycles, scalar_cycles)
+
+
+def _heuristic_unit(
+    kernel_id: int, target: str, strategy: str, scale: float
+) -> AblationRow:
+    spec = kernel_by_id(kernel_id)
+    loop, n = spec.args
+    n = max(4, int(n * scale))
+    maxdist_exe = repro.compile_c(
+        spec.source, target, strategy=strategy, heuristic="maxdist"
+    )
+    fifo_exe = repro.compile_c(
+        spec.source, target, strategy=strategy, heuristic="fifo"
+    )
+    maxdist_cycles, _ = _marginal_kernel_cycles(maxdist_exe, loop, n)
+    fifo_cycles, _ = _marginal_kernel_cycles(fifo_exe, loop, n)
+    return AblationRow(spec.id, maxdist_cycles, fifo_cycles)
 
 
 def ablation_heuristic(
@@ -125,24 +166,34 @@ def ablation_heuristic(
     target: str = "r2000",
     strategy: str = "postpass",
     scale: float = 0.25,
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """Maximum-distance priority vs. FIFO ready-list order."""
-    rows = []
-    for spec in LIVERMORE_KERNELS:
-        if spec.id not in kernel_ids:
-            continue
-        loop, n = spec.args
-        n = max(4, int(n * scale))
-        maxdist_exe = repro.compile_c(
-            spec.source, target, strategy=strategy, heuristic="maxdist"
-        )
-        fifo_exe = repro.compile_c(
-            spec.source, target, strategy=strategy, heuristic="fifo"
-        )
-        maxdist_cycles, _ = _marginal_kernel_cycles(maxdist_exe, loop, n)
-        fifo_cycles, _ = _marginal_kernel_cycles(fifo_exe, loop, n)
-        rows.append(AblationRow(spec.id, maxdist_cycles, fifo_cycles))
-    return rows
+    ids = [spec.id for spec in LIVERMORE_KERNELS if spec.id in kernel_ids]
+    return run_grid(
+        [
+            GridTask(_heuristic_unit, (kid, target, strategy, scale))
+            for kid in ids
+        ],
+        jobs=jobs,
+        label="ablation_heuristic",
+    )
+
+
+def _delay_fill_unit(
+    kernel_id: int, target: str, strategy: str, scale: float
+) -> AblationRow:
+    spec = kernel_by_id(kernel_id)
+    loop, n = spec.args
+    n = max(4, int(n * scale))
+    filled_exe = repro.compile_c(
+        spec.source, target, strategy=strategy, fill_delay_slots=True
+    )
+    nops_exe = repro.compile_c(spec.source, target, strategy=strategy)
+    filled_cycles, filled_value = _marginal_kernel_cycles(filled_exe, loop, n)
+    nops_cycles, nops_value = _marginal_kernel_cycles(nops_exe, loop, n)
+    assert abs(filled_value - nops_value) < 1e-9
+    return AblationRow(spec.id, filled_cycles, nops_cycles)
 
 
 def ablation_delay_fill(
@@ -150,23 +201,18 @@ def ablation_delay_fill(
     target: str = "r2000",
     strategy: str = "postpass",
     scale: float = 0.25,
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """Delay slots filled with useful work (baseline) vs. nops (variant)."""
-    rows = []
-    for spec in LIVERMORE_KERNELS:
-        if spec.id not in kernel_ids:
-            continue
-        loop, n = spec.args
-        n = max(4, int(n * scale))
-        filled_exe = repro.compile_c(
-            spec.source, target, strategy=strategy, fill_delay_slots=True
-        )
-        nops_exe = repro.compile_c(spec.source, target, strategy=strategy)
-        filled_cycles, filled_value = _marginal_kernel_cycles(filled_exe, loop, n)
-        nops_cycles, nops_value = _marginal_kernel_cycles(nops_exe, loop, n)
-        assert abs(filled_value - nops_value) < 1e-9
-        rows.append(AblationRow(spec.id, filled_cycles, nops_cycles))
-    return rows
+    ids = [spec.id for spec in LIVERMORE_KERNELS if spec.id in kernel_ids]
+    return run_grid(
+        [
+            GridTask(_delay_fill_unit, (kid, target, strategy, scale))
+            for kid in ids
+        ],
+        jobs=jobs,
+        label="ablation_delay_fill",
+    )
 
 
 def render(rows: list[AblationRow], title: str, variant_label: str) -> str:

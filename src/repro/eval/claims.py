@@ -29,9 +29,9 @@ import math
 from dataclasses import dataclass
 
 import repro
-from repro.eval.common import run_kernel
+from repro.eval.grid import GridTask, run_grid
 from repro.eval.table3 import measure as measure_table3
-from repro.workloads import LIVERMORE_KERNELS
+from repro.workloads import LIVERMORE_KERNELS, kernel_by_id
 
 #: the computation-intensive (large basic block) kernels
 FP_KERNELS = (6, 7, 8, 9, 10)
@@ -76,41 +76,52 @@ class SpeedupClaim:
     per_kernel: dict[int, tuple[float, float]]
 
 
+def _strategy_unit(
+    kernel_id: int, target: str, scale: float
+) -> tuple[int, float, float]:
+    """One workload's (kernel_id, postpass/ips, postpass/rase) ratios.
+
+    ``kernel_id == 0`` selects the unrolled hydro fragment.
+    """
+    if kernel_id == 0:
+        source = UNROLLED_HYDRO
+        loop, n = 1, max(8, int(512 * scale) // 4 * 4)
+    else:
+        spec = kernel_by_id(kernel_id)
+        source = spec.source
+        loop, n = spec.args
+        n = max(4, int(n * scale))
+    cycles = {}
+    for strategy in ("postpass", "ips", "rase"):
+        exe = repro.compile_c(source, target, strategy=strategy)
+        cycles[strategy] = _marginal_cycles(exe, loop, n)
+    return (
+        kernel_id,
+        cycles["postpass"] / cycles["ips"],
+        cycles["postpass"] / cycles["rase"],
+    )
+
+
 def claim_strategy_speedup(
-    target: str = "r2000", kernel_ids=FP_KERNELS, scale: float = 0.25
+    target: str = "r2000",
+    kernel_ids=FP_KERNELS,
+    scale: float = 0.25,
+    jobs: int | None = None,
 ) -> SpeedupClaim:
+    ids = [spec.id for spec in LIVERMORE_KERNELS if spec.id in kernel_ids]
+    ids.append(0)  # the unrolled fragment
+    results = run_grid(
+        [GridTask(_strategy_unit, (kid, target, scale)) for kid in ids],
+        jobs=jobs,
+        label="claim_c1",
+    )
     per_kernel: dict[int, tuple[float, float]] = {}
     log_ips = 0.0
     log_rase = 0.0
-
-    def kernel_cycles(source: str, strategy: str, loop: int, n: int) -> int:
-        exe = repro.compile_c(source, target, strategy=strategy)
-        return _marginal_cycles(exe, loop, n)
-
-    for spec in LIVERMORE_KERNELS:
-        if spec.id not in kernel_ids:
-            continue
-        loop, n = spec.args
-        n = max(4, int(n * scale))
-        postpass = kernel_cycles(spec.source, "postpass", loop, n)
-        ips = kernel_cycles(spec.source, "ips", loop, n)
-        rase = kernel_cycles(spec.source, "rase", loop, n)
-        ips_ratio = postpass / ips
-        rase_ratio = postpass / rase
-        per_kernel[spec.id] = (ips_ratio, rase_ratio)
+    for kid, ips_ratio, rase_ratio in results:
+        per_kernel[kid] = (ips_ratio, rase_ratio)
         log_ips += math.log(ips_ratio)
         log_rase += math.log(rase_ratio)
-    # the unrolled fragment (id 0)
-    n = max(8, int(512 * scale) // 4 * 4)
-    cycles = {
-        strategy: kernel_cycles(UNROLLED_HYDRO, strategy, 1, n)
-        for strategy in ("postpass", "ips", "rase")
-    }
-    ips_ratio = cycles["postpass"] / cycles["ips"]
-    rase_ratio = cycles["postpass"] / cycles["rase"]
-    per_kernel[0] = (ips_ratio, rase_ratio)
-    log_ips += math.log(ips_ratio)
-    log_rase += math.log(rase_ratio)
     count = len(per_kernel)
     return SpeedupClaim(
         ips_speedup=math.exp(log_ips / count),
@@ -127,23 +138,33 @@ class BaselineClaim:
     per_kernel: dict[int, float]
 
 
+def _baseline_unit(kernel_id: int, target: str, scale: float) -> tuple[int, float]:
+    spec = kernel_by_id(kernel_id)
+    loop, n = spec.args
+    n = max(4, int(n * scale))
+    rase = repro.compile_c(spec.source, target, strategy="rase")
+    baseline = repro.compile_c(
+        spec.source, target, strategy="postpass", schedule=False
+    )
+    ratio = _marginal_cycles(baseline, loop, n) / max(
+        1, _marginal_cycles(rase, loop, n)
+    )
+    return spec.id, ratio
+
+
 def claim_rase_vs_unscheduled(
-    target: str = "r2000", scale: float = 0.25
+    target: str = "r2000", scale: float = 0.25, jobs: int | None = None
 ) -> BaselineClaim:
-    per_kernel: dict[int, float] = {}
-    log_total = 0.0
-    for spec in LIVERMORE_KERNELS:
-        loop, n = spec.args
-        n = max(4, int(n * scale))
-        rase = repro.compile_c(spec.source, target, strategy="rase")
-        baseline = repro.compile_c(
-            spec.source, target, strategy="postpass", schedule=False
-        )
-        ratio = _marginal_cycles(baseline, loop, n) / max(
-            1, _marginal_cycles(rase, loop, n)
-        )
-        per_kernel[spec.id] = ratio
-        log_total += math.log(ratio)
+    results = run_grid(
+        [
+            GridTask(_baseline_unit, (spec.id, target, scale))
+            for spec in LIVERMORE_KERNELS
+        ],
+        jobs=jobs,
+        label="claim_c3",
+    )
+    per_kernel = {kid: ratio for kid, ratio in results}
+    log_total = sum(math.log(ratio) for _kid, ratio in results)
     return BaselineClaim(
         geomean_speedup=math.exp(log_total / len(per_kernel)),
         per_kernel=per_kernel,

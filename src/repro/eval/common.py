@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
 
 import repro
 from repro.sim import DirectMappedCache, SimResult
+from repro.utils import timing
+from repro.workloads import kernel_by_id
 
 STRATEGIES = ("postpass", "ips", "rase")
 
@@ -21,25 +25,58 @@ class KernelRun:
     instructions: int
     code_size: int
     checksum: float
+    #: profiled blocks with no scheduler cost entry (should be 0; a
+    #: nonzero count means a selector/labeling bug is skewing the ratio)
+    unmatched_blocks: int = 0
+    #: wall seconds spent compiling / simulating (perf trajectory only —
+    #: never part of a table value)
+    compile_seconds: float = 0.0
+    sim_seconds: float = 0.0
 
     @property
     def ratio(self) -> float:
         return self.actual_cycles / max(1, self.estimated_cycles)
 
 
-def estimated_cycles(executable, profile: SimResult) -> int:
-    """The paper's estimate: per-block scheduler cost x execution frequency
-    ("combining basic block execution costs computed by each scheduler with
-    execution frequencies computed by a separate profiling tool", so cache
-    misses and cross-block stalls are not considered)."""
+def estimated_cycles_detailed(
+    executable, profile: SimResult
+) -> tuple[int, int]:
+    """The paper's estimate, plus a mismatch count.
+
+    Per-block scheduler cost x execution frequency ("combining basic block
+    execution costs computed by each scheduler with execution frequencies
+    computed by a separate profiling tool", so cache misses and
+    cross-block stalls are not considered).  The second element counts
+    profiled blocks that have *no* cost entry: silently scoring such a
+    block as zero would deflate the estimate and inflate the
+    actual/estimated ratio, so callers surface the count as a warning.
+    """
     machine_program = executable.machine_program
     cost_of: dict[str, int] = {}
     for fn in machine_program.functions:
         for block in fn.blocks:
             cost_of[block.label] = block.schedule_cost
     total = 0
+    unmatched = 0
     for label, count in profile.block_counts.items():
-        total += cost_of.get(label, 0) * count
+        cost = cost_of.get(label)
+        if cost is None:
+            unmatched += 1
+            timing.add("eval.profiled_blocks_without_cost")
+            continue
+        total += cost * count
+    if unmatched:
+        warnings.warn(
+            f"{unmatched} profiled block(s) have no scheduler cost entry; "
+            "the actual/estimated ratio is skewed",
+            stacklevel=2,
+        )
+    return total, unmatched
+
+
+def estimated_cycles(executable, profile: SimResult) -> int:
+    """Back-compat wrapper around :func:`estimated_cycles_detailed`."""
+    total, _unmatched = estimated_cycles_detailed(executable, profile)
     return total
 
 
@@ -51,17 +88,38 @@ def run_kernel(
     cache: bool = True,
 ) -> KernelRun:
     """Compile and simulate one Livermore kernel under one strategy."""
+    compile_start = time.perf_counter()
     executable = repro.compile_c(spec.source, target, strategy=strategy)
+    compile_seconds = time.perf_counter() - compile_start
     loop, n = spec.args
     n = max(4, int(n * scale))
     data_cache = DirectMappedCache() if cache else None
+    sim_start = time.perf_counter()
     result = repro.simulate(executable, "bench", args=(loop, n), cache=data_cache)
+    sim_seconds = time.perf_counter() - sim_start
+    estimate, unmatched = estimated_cycles_detailed(executable, result)
     return KernelRun(
         kernel_id=spec.id,
         strategy=strategy,
         actual_cycles=result.cycles,
-        estimated_cycles=estimated_cycles(executable, result),
+        estimated_cycles=estimate,
         instructions=result.instructions,
         code_size=executable.instruction_count(),
         checksum=result.return_value["double"],
+        unmatched_blocks=unmatched,
+        compile_seconds=compile_seconds,
+        sim_seconds=sim_seconds,
+    )
+
+
+def grid_run_kernel(
+    kernel_id: int,
+    target: str,
+    strategy: str,
+    scale: float = 1.0,
+    cache: bool = True,
+) -> KernelRun:
+    """Picklable :func:`run_kernel` wrapper for the process-pool grid."""
+    return run_kernel(
+        kernel_by_id(kernel_id), target, strategy, scale=scale, cache=cache
     )

@@ -1,17 +1,27 @@
 """Run the whole evaluation and render a report.
 
-``python -m repro.eval.report [--scale S]`` regenerates every table and
-figure (the content of EXPERIMENTS.md) in one run.  Scaled-down problem
-sizes keep the full sweep to a few minutes; pass ``--scale 1.0`` for the
+``python -m repro.eval.report [--scale S] [--jobs N]`` regenerates every
+table and figure (the content of EXPERIMENTS.md) in one run.  Scaled-down
+problem sizes keep the full sweep fast; pass ``--scale 1.0`` for the
 classic Livermore sizes.
+
+The harness is performance-instrumented: independent (kernel × strategy ×
+target) work units fan out across a process pool (``--jobs``/``REPRO_JOBS``;
+``--jobs 1`` is the deterministic serial fallback — table values and
+checksums are identical at any job count), and a machine-readable
+``BENCH_eval.json`` records wall time per section, simulator throughput,
+and target-cache hit counts so later PRs have a perf trajectory to
+regress against.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 from repro.eval.ablation import (
+    ablation_delay_fill,
     ablation_heuristic,
     ablation_temporal,
     ablation_temporal_dual,
@@ -23,93 +33,222 @@ from repro.eval.claims import (
     claim_strategy_speedup,
 )
 from repro.eval.figure7 import figure7
+from repro.eval.grid import resolve_jobs
 from repro.eval.table1 import table1
 from repro.eval.table2 import table2
 from repro.eval.table3 import table3
-from repro.eval.table4 import table4
+from repro.eval.table4 import measure as table4_measure
+from repro.eval.table4 import render as table4_render
+from repro.utils import timing
+
+#: the seed harness (serial, uncached, pre-optimization) measured at
+#: scale 0.3 on this repository's reference runner — the denominator for
+#: the speedup figure in BENCH_eval.json
+SEED_SERIAL_SECONDS = 194.7
+SEED_SCALE = 0.3
 
 
-def generate_report(scale: float = 0.3) -> str:
+def generate_report(
+    scale: float = 0.3,
+    jobs: int | None = None,
+    bench_path: str | None = None,
+) -> str:
+    jobs = resolve_jobs(jobs)
+    timing.reset()
+    timing.enable()
     sections: list[str] = []
+    section_seconds: dict[str, float] = {}
 
-    def section(title: str, body: str) -> None:
+    def section(title: str, body_fn) -> None:
+        start = time.time()
+        body = body_fn()
+        section_seconds[title.split(" — ")[0]] = time.time() - start
         sections.append(f"{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
 
     start = time.time()
-    section("Table 1 — machine description statistics", table1())
-    section("Table 2 — system source code size", table2())
-    section("Table 3 — compile time and dilation", table3(repeat=2))
+    section(
+        "Table 1 — machine description statistics", lambda: table1(jobs=jobs)
+    )
+    section("Table 2 — system source code size", table2)
+    section("Table 3 — compile time and dilation", lambda: table3(repeat=2))
+
+    measure_start = time.time()
+    table4_data = table4_measure(scale=scale, cache=True, jobs=jobs)
+    measure_seconds = time.time() - measure_start
     section(
         f"Table 4 — Livermore Loops (scale={scale})",
-        table4(scale=scale, cache=True),
+        lambda: table4_render(table4_data),
     )
-    section("Figure 7 — i860 dual-operation schedule", figure7())
+    section_seconds["Table 4"] += measure_seconds
+    section("Figure 7 — i860 dual-operation schedule", figure7)
 
-    claim = claim_strategy_speedup(scale=scale)
-    lines = [
-        f"  workload {kid or 'unrolled-hydro'}: postpass/ips={ips:.3f}  "
-        f"postpass/rase={rase:.3f}"
-        for kid, (ips, rase) in sorted(claim.per_kernel.items())
-    ]
-    section(
-        "Claim C1 — IPS/RASE vs Postpass on computation-intensive code",
-        "\n".join(lines)
-        + f"\n  geomean: IPS {claim.ips_speedup:.3f}, RASE {claim.rase_speedup:.3f}",
-    )
-
-    baseline_claim = claim_rase_vs_unscheduled(scale=scale)
-    section(
-        "Claim C3 — RASE vs unscheduled (local-only) baseline",
-        "\n".join(
-            f"  K{kid}: {ratio:.3f}"
-            for kid, ratio in sorted(baseline_claim.per_kernel.items())
+    def c1() -> str:
+        claim = claim_strategy_speedup(scale=scale, jobs=jobs)
+        lines = [
+            f"  workload {kid or 'unrolled-hydro'}: postpass/ips={ips:.3f}  "
+            f"postpass/rase={rase:.3f}"
+            for kid, (ips, rase) in sorted(claim.per_kernel.items())
+        ]
+        return (
+            "\n".join(lines)
+            + f"\n  geomean: IPS {claim.ips_speedup:.3f}, "
+            f"RASE {claim.rase_speedup:.3f}"
         )
-        + f"\n  geomean speedup: {baseline_claim.geomean_speedup:.3f}",
-    )
 
-    compile_claim = claim_compile_time_ordering(repeat=2)
-    section(
-        "Claim C2 — compile-time orderings",
-        f"  postpass {compile_claim.postpass_seconds:.3f}s < "
-        f"ips {compile_claim.ips_seconds:.3f}s < "
-        f"rase {compile_claim.rase_seconds:.3f}s : "
-        f"{'holds' if compile_claim.ordering_holds else 'VIOLATED'}\n"
-        f"  i860/r2000 total back-end time: {compile_claim.i860_slowdown:.2f}x",
-    )
+    section("Claim C1 — IPS/RASE vs Postpass on computation-intensive code", c1)
 
-    dual = ablation_temporal_dual()
-    rows = ablation_temporal(kernel_ids=(1, 3, 7), scale=scale)
-    section(
-        "Ablation A1 — temporal scheduling of EAP sub-operations",
-        f"dual-operation-rich fragment: eap={dual.baseline_cycles} "
-        f"monolithic={dual.variant_cycles} "
-        f"(monolithic/eap={dual.ratio:.3f})\n"
-        + render(rows, "per-kernel (kernel-loop cycles)", "monolithic"),
-    )
+    def c3() -> str:
+        baseline_claim = claim_rase_vs_unscheduled(scale=scale, jobs=jobs)
+        return (
+            "\n".join(
+                f"  K{kid}: {ratio:.3f}"
+                for kid, ratio in sorted(baseline_claim.per_kernel.items())
+            )
+            + f"\n  geomean speedup: {baseline_claim.geomean_speedup:.3f}"
+        )
 
-    heuristic_rows = ablation_heuristic(kernel_ids=(1, 6, 7), scale=scale)
+    section("Claim C3 — RASE vs unscheduled (local-only) baseline", c3)
+
+    def c2() -> str:
+        compile_claim = claim_compile_time_ordering(repeat=2)
+        return (
+            f"  postpass {compile_claim.postpass_seconds:.3f}s < "
+            f"ips {compile_claim.ips_seconds:.3f}s < "
+            f"rase {compile_claim.rase_seconds:.3f}s : "
+            f"{'holds' if compile_claim.ordering_holds else 'VIOLATED'}\n"
+            f"  i860/r2000 total back-end time: {compile_claim.i860_slowdown:.2f}x"
+        )
+
+    section("Claim C2 — compile-time orderings", c2)
+
+    def a1() -> str:
+        dual = ablation_temporal_dual()
+        rows = ablation_temporal(kernel_ids=(1, 3, 7), scale=scale, jobs=jobs)
+        return (
+            f"dual-operation-rich fragment: eap={dual.baseline_cycles} "
+            f"monolithic={dual.variant_cycles} "
+            f"(monolithic/eap={dual.ratio:.3f})\n"
+            + render(rows, "per-kernel (kernel-loop cycles)", "monolithic")
+        )
+
+    section("Ablation A1 — temporal scheduling of EAP sub-operations", a1)
+
     section(
         "Ablation A2 — maximum-distance heuristic vs FIFO",
-        render(heuristic_rows, "kernel-loop cycles", "fifo"),
+        lambda: render(
+            ablation_heuristic(kernel_ids=(1, 6, 7), scale=scale, jobs=jobs),
+            "kernel-loop cycles",
+            "fifo",
+        ),
     )
 
-    from repro.eval.ablation import ablation_delay_fill
-
-    delay_rows = ablation_delay_fill(kernel_ids=(1, 5, 12), scale=scale)
     section(
         "Ablation A3 — GH82 delay-slot filling vs nops",
-        render(delay_rows, "kernel-loop cycles", "nops"),
+        lambda: render(
+            ablation_delay_fill(kernel_ids=(1, 5, 12), scale=scale, jobs=jobs),
+            "kernel-loop cycles",
+            "nops",
+        ),
     )
 
-    sections.append(f"total evaluation time: {time.time() - start:.1f}s\n")
+    total_seconds = time.time() - start
+    sections.append(
+        f"total evaluation time: {total_seconds:.1f}s (jobs={jobs})\n"
+    )
+
+    if bench_path:
+        bench = _bench_payload(
+            scale, jobs, total_seconds, section_seconds, table4_data
+        )
+        with open(bench_path, "w") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return "\n".join(sections)
+
+
+def _bench_payload(
+    scale: float,
+    jobs: int,
+    total_seconds: float,
+    section_seconds: dict[str, float],
+    table4_data,
+) -> dict:
+    """The machine-readable BENCH_eval.json payload (schema v1)."""
+    runs = [
+        run
+        for by_strategy in table4_data.runs.values()
+        for run in by_strategy.values()
+    ]
+    sim_seconds = sum(run.sim_seconds for run in runs)
+    sim_cycles = sum(run.actual_cycles for run in runs)
+    snapshot = timing.snapshot()
+    payload = {
+        "schema": 1,
+        "scale": scale,
+        "jobs": jobs,
+        "wall_seconds": {
+            "total": round(total_seconds, 3),
+            **{
+                name: round(seconds, 3)
+                for name, seconds in section_seconds.items()
+            },
+        },
+        "table4": {
+            "runs": len(runs),
+            "cycles_simulated": sim_cycles,
+            "sim_wall_seconds": round(sim_seconds, 3),
+            "cycles_per_second": (
+                round(sim_cycles / sim_seconds) if sim_seconds > 0 else None
+            ),
+            "compile_wall_seconds": round(
+                sum(run.compile_seconds for run in runs), 3
+            ),
+            "unmatched_profile_blocks": table4_data.unmatched_blocks,
+        },
+        "target_cache": {
+            "hits": timing.counter("target_cache.hit"),
+            "misses": timing.counter("target_cache.miss"),
+            "bypasses": timing.counter("target_cache.bypass"),
+        },
+        "counters": snapshot["counters"],
+        "phases": snapshot["phases"],
+        "baseline": {
+            "seed_serial_seconds": SEED_SERIAL_SECONDS,
+            "seed_scale": SEED_SCALE,
+            "speedup_vs_seed": (
+                round(SEED_SERIAL_SECONDS / total_seconds, 2)
+                if scale == SEED_SCALE and total_seconds > 0
+                else None
+            ),
+        },
+    }
+    return payload
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel worker processes (default: REPRO_JOBS or cpu count; "
+        "1 = serial)",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default="BENCH_eval.json",
+        help="write the machine-readable benchmark record here "
+        "('' to disable)",
+    )
     arguments = parser.parse_args()
-    print(generate_report(scale=arguments.scale))
+    print(
+        generate_report(
+            scale=arguments.scale,
+            jobs=arguments.jobs,
+            bench_path=arguments.bench_out or None,
+        )
+    )
 
 
 if __name__ == "__main__":

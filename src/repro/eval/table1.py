@@ -87,9 +87,15 @@ def description_stats(target_name: str) -> DescriptionStats:
     return stats
 
 
-def table1(targets=("m88000", "r2000", "i860")) -> str:
+def table1(targets=("m88000", "r2000", "i860"), jobs: int | None = None) -> str:
     """Render the reproduced Table 1."""
-    stats = [description_stats(name) for name in targets]
+    from repro.eval.grid import GridTask, run_grid
+
+    stats = run_grid(
+        [GridTask(description_stats, (name,)) for name in targets],
+        jobs=jobs,
+        label="table1",
+    )
     table = TextTable(
         ["Section / item"] + [s.target for s in stats],
         title="Table 1: Maril machine description statistics",

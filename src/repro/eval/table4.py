@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.eval.common import STRATEGIES, KernelRun, run_kernel
+from repro.eval.common import STRATEGIES, KernelRun, grid_run_kernel
+from repro.eval.grid import GridTask, run_grid
 from repro.utils.stats import arithmetic_mean, harmonic_mean
 from repro.utils.tables import TextTable
 from repro.workloads import LIVERMORE_KERNELS
@@ -24,6 +25,15 @@ from repro.workloads import LIVERMORE_KERNELS
 class Table4Data:
     #: runs[kernel_id][strategy]
     runs: dict[int, dict[str, KernelRun]] = field(default_factory=dict)
+
+    @property
+    def unmatched_blocks(self) -> int:
+        """Profiled blocks with no scheduler cost entry, summed."""
+        return sum(
+            run.unmatched_blocks
+            for by_strategy in self.runs.values()
+            for run in by_strategy.values()
+        )
 
     def cycles(self, kernel_id: int, strategy: str) -> int:
         return self.runs[kernel_id][strategy].actual_cycles
@@ -47,22 +57,39 @@ def measure(
     kernels=None,
     scale: float = 1.0,
     cache: bool = True,
+    jobs: int | None = None,
 ) -> Table4Data:
     specs = kernels or LIVERMORE_KERNELS
+    units = [
+        GridTask(
+            grid_run_kernel,
+            (spec.id, target, strategy),
+            {"scale": scale, "cache": cache},
+        )
+        for spec in specs
+        for strategy in STRATEGIES
+    ]
+    results = run_grid(units, jobs=jobs, label="table4")
     data = Table4Data()
-    for spec in specs:
-        data.runs[spec.id] = {}
-        for strategy in STRATEGIES:
-            data.runs[spec.id][strategy] = run_kernel(
-                spec, target, strategy, scale=scale, cache=cache
-            )
+    for run in results:
+        data.runs.setdefault(run.kernel_id, {})[run.strategy] = run
     return data
 
 
 def table4(
-    target: str = "r2000", kernels=None, scale: float = 1.0, cache: bool = True
+    target: str = "r2000",
+    kernels=None,
+    scale: float = 1.0,
+    cache: bool = True,
+    jobs: int | None = None,
 ) -> str:
-    data = measure(target=target, kernels=kernels, scale=scale, cache=cache)
+    data = measure(
+        target=target, kernels=kernels, scale=scale, cache=cache, jobs=jobs
+    )
+    return render(data, target=target)
+
+
+def render(data: Table4Data, target: str = "r2000") -> str:
     table = TextTable(
         [
             "Ker",
@@ -91,4 +118,10 @@ def table4(
     for strategy in STRATEGIES:
         means.append(f"{data.mean_ratio(strategy):.2f}")
     table.add_row(*means)
-    return str(table)
+    text = str(table)
+    if data.unmatched_blocks:
+        text += (
+            f"\nWARNING: {data.unmatched_blocks} profiled block(s) had no "
+            "scheduler cost entry — actual/estimated ratios are skewed"
+        )
+    return text

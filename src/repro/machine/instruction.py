@@ -14,7 +14,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.maril import ast
-from repro.machine.resources import ResourceVector
+from repro.machine.resources import ResourceVector, scalar_masks
 
 
 class OperandMode(enum.Enum):
@@ -94,6 +94,17 @@ class InstrDesc:
 
     def __repr__(self) -> str:
         return f"InstrDesc({self.mnemonic!r})"
+
+    def vector_fastpath(self) -> tuple[int, ...] | None:
+        """Cached :func:`~repro.machine.resources.scalar_masks` of the
+        resource vector — the hazard-check fast path for pool-free
+        instructions (``None`` when the vector uses resource pools)."""
+        try:
+            return self._scalar_masks
+        except AttributeError:
+            masks = scalar_masks(self.resource_vector)
+            self._scalar_masks = masks
+            return masks
 
     @property
     def is_control(self) -> bool:

@@ -44,13 +44,15 @@ def conflicts(usage: int, need: Need) -> bool:
         return True
     for first_bit, capacity, count in need.pools:
         busy = (usage >> first_bit) & ((1 << capacity) - 1)
-        if bin(busy).count("1") + count > capacity:
+        if busy.bit_count() + count > capacity:
             return True
     return False
 
 
 def commit(usage: int, need: Need) -> int:
     """Claim ``need`` in ``usage`` (call :func:`conflicts` first)."""
+    if not need.pools:
+        return usage | need.mask
     usage |= need.mask
     for first_bit, capacity, count in need.pools:
         remaining = count
@@ -128,6 +130,20 @@ class ResourceTable:
             if (mask >> first_bit) & ((1 << width) - 1):
                 out.append(name)
         return out
+
+
+def scalar_masks(vector: ResourceVector) -> tuple[int, ...] | None:
+    """Per-cycle composite masks for a pool-free vector, else ``None``.
+
+    When every cycle of an instruction's resource vector involves only
+    scalar (capacity-1) resources, the whole hazard check collapses to one
+    ``usage & mask`` per cycle and the commit to one ``usage | mask`` —
+    the hot inner loops of the scheduler and the pipeline model predecode
+    this once per instruction description.
+    """
+    if any(need.pools for need in vector):
+        return None
+    return tuple(need.mask for need in vector)
 
 
 def vectors_conflict(a: ResourceVector, b: ResourceVector, offset: int = 0) -> bool:

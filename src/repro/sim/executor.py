@@ -14,6 +14,8 @@ uses them for cache simulation and memory ordering).
 
 from __future__ import annotations
 
+import struct
+
 from repro.backend.insts import Imm, Lab, MachineInstr, Reg
 from repro.backend.values import fold_halves
 from repro.errors import SimulationError
@@ -22,6 +24,12 @@ from repro.machine.target import TargetMachine
 from repro.maril import ast
 
 _INT_MIN, _INT_MAX = -(2**31), 2**31 - 1
+
+# prebound codecs for the specialised register closures
+_DOUBLE = struct.Struct("<d")
+_FLOAT = struct.Struct("<f")
+_WORD = struct.Struct("<I")
+_PAIR = struct.Struct("<II")
 
 
 def _wrap32(value: int) -> int:
@@ -168,12 +176,57 @@ class SemanticsCompiler:
             reg = operand.reg
             type_name = self._operand_type(instr, position)
             value, _ = self._compile_expr(stmt.value, instr, type_name)
+            # predecode the destination's register units so the per-step
+            # closure writes raw words without units_of/hash lookups
+            units = self.target.registers.units_of(reg)
+            if type_name == "double":
+                if len(units) != 2:  # invalid pairing: report at execute time
+                    def write_reg(
+                        state, mem_log, _reg=reg, _type=type_name, _value=value
+                    ):
+                        state.write_reg(_reg, _type, _value(state, mem_log))
+                        return None
 
-            def write_reg(state, mem_log, _reg=reg, _type=type_name, _value=value):
-                state.write_reg(_reg, _type, _value(state, mem_log))
+                    return write_reg
+                u0, u1 = units
+
+                def write_double(
+                    state,
+                    mem_log,
+                    _u0=u0,
+                    _u1=u1,
+                    _value=value,
+                    _pack=_DOUBLE.pack,
+                    _unpack=_PAIR.unpack,
+                ):
+                    lo, hi = _unpack(_pack(float(_value(state, mem_log))))
+                    state_units = state.units
+                    state_units[_u0] = lo
+                    state_units[_u1] = hi
+                    return None
+
+                return write_double
+            if type_name == "float":
+                def write_float(
+                    state,
+                    mem_log,
+                    _u0=units[0],
+                    _value=value,
+                    _pack=_FLOAT.pack,
+                    _unpack=_WORD.unpack,
+                ):
+                    state.units[_u0] = _unpack(
+                        _pack(float(_value(state, mem_log)))
+                    )[0]
+                    return None
+
+                return write_float
+
+            def write_int(state, mem_log, _u0=units[0], _value=value):
+                state.units[_u0] = int(_value(state, mem_log)) & 0xFFFFFFFF
                 return None
 
-            return write_reg
+            return write_int
         if isinstance(target, ast.NameRef):
             type_name = self._temporal_type(target.name)
             value, _ = self._compile_expr(stmt.value, instr, type_name)
@@ -223,11 +276,48 @@ class SemanticsCompiler:
             if isinstance(operand, Reg) and isinstance(operand.reg, PhysReg):
                 type_name = self._operand_type(instr, position)
                 reg = operand.reg
-                return (
-                    lambda state, mem_log, _r=reg, _t=type_name: state.read_reg(
-                        _r, _t
-                    )
-                ), type_name
+                units = self.target.registers.units_of(reg)
+                if type_name == "double":
+                    if len(units) != 2:  # invalid pairing: error at execute time
+                        return (
+                            lambda state, mem_log, _r=reg, _t=type_name:
+                                state.read_reg(_r, _t)
+                        ), type_name
+                    u0, u1 = units
+
+                    def read_double(
+                        state,
+                        mem_log,
+                        _u0=u0,
+                        _u1=u1,
+                        _pack=_PAIR.pack,
+                        _unpack=_DOUBLE.unpack,
+                    ):
+                        state_units = state.units
+                        return _unpack(
+                            _pack(
+                                state_units.get(_u0, 0), state_units.get(_u1, 0)
+                            )
+                        )[0]
+
+                    return read_double, type_name
+                if type_name == "float":
+                    def read_float(
+                        state,
+                        mem_log,
+                        _u0=units[0],
+                        _pack=_WORD.pack,
+                        _unpack=_FLOAT.unpack,
+                    ):
+                        return _unpack(_pack(state.units.get(_u0, 0)))[0]
+
+                    return read_float, type_name
+
+                def read_int(state, mem_log, _u0=units[0]):
+                    word = state.units.get(_u0, 0)
+                    return word - 0x100000000 if word > _INT_MAX else word
+
+                return read_int, type_name
             raise SimulationError(f"{instr}: cannot read operand {operand}")
         if isinstance(expr, ast.NameRef):
             type_name = self._temporal_type(expr.name)

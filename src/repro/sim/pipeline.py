@@ -13,6 +13,13 @@ scheduler used — but observed at run time, the way the hardware would:
 * taken control transfers redirect the fetch stream after the producer's
   latency (delay-slot instructions issue in the gap);
 * data-cache misses stretch a load's result latency.
+
+This is the simulator's hottest loop (one :meth:`PipelineModel.issue` per
+dynamic instruction), so everything static about an instruction is
+*predecoded* once into a :class:`_Decoded` record — operand register
+units, per-cycle composite resource masks (pool-free fast path), packing
+classes, memory flags — and producer→consumer latencies are memoized per
+(producer mnemonic, produced register, consumer instruction).
 """
 
 from __future__ import annotations
@@ -22,6 +29,33 @@ from repro.machine.registers import PhysReg
 from repro.machine.resources import commit, conflicts
 from repro.machine.target import TargetMachine
 from repro.sim.cache import DirectMappedCache
+
+#: per-cycle resource words live in a tagged ring (cycle tag + busy mask),
+#: so the hot hazard scan is two list indexings instead of a dict probe.
+#: The window is safe because scans never look below ``last_issue`` and
+#: commits never reach more than a vector length past it — far less than
+#: the ring size — so a stale slot can never alias a live cycle.
+_RING = 1024
+_RING_MASK = _RING - 1
+
+
+class _Decoded:
+    """Static per-instruction facts, computed once per instruction id."""
+
+    __slots__ = (
+        "use_units",
+        "def_entries",
+        "implicit_defs",
+        "masks",
+        "vector",
+        "classes",
+        "temporal_reads",
+        "temporal_writes",
+        "reads_memory",
+        "writes_memory",
+        "mnemonic",
+        "lat_memo",
+    )
 
 
 class PipelineModel:
@@ -33,66 +67,81 @@ class PipelineModel:
         self.cache = cache
         self.last_issue = 0
         self.redirect_floor = 0  # earliest issue after a taken transfer
-        #: unit key -> (producer issue cycle, producer mnemonic, produced reg)
+        #: unit key -> (producer issue cycle, (mnemonic, produced reg) token)
         self.producers: dict = {}
         self.temporal_producers: dict[str, tuple[int, str]] = {}
-        self.resource_use: dict[int, int] = {}
+        self.ring_cycle: list[int] = [-1] * _RING
+        self.ring_mask: list[int] = [0] * _RING
         self.cycle_classes: dict[int, frozenset] = {}
         self.last_store_issue = -1
         self.last_load_issue = -1
         self._horizon = 0  # cycles below this have been pruned
-        #: per-instruction static facts keyed by instr.id:
-        #: (use_units, def_units_by_operand, implicit_def_units, temporal)
-        self._static: dict[int, tuple] = {}
+        #: highest cycle holding any committed resource or packing class —
+        #: cycles beyond it cannot conflict, so hazard scans stop there
+        self._frontier = -1
+        #: instr.id -> _Decoded
+        self._static: dict[int, _Decoded] = {}
+        #: producer mnemonic -> latency (temporal reads)
+        self._mnemonic_latency: dict[str, int] = {}
 
-    # -- helpers ----------------------------------------------------------------
+    # -- predecode --------------------------------------------------------------
 
-    def _facts(self, instr: MachineInstr):
-        """Static register-unit facts for one instruction, memoized."""
-        facts = self._static.get(instr.id)
-        if facts is not None:
-            return facts
-        units_of = self.registers.units_of
+    def _unit_keys(self, reg) -> tuple[int, ...]:
+        """Interned (file, unit) pairs: a single int hashes much faster."""
+        return tuple(
+            (file_id << 24) | unit
+            for file_id, unit in self.registers.units_of(reg)
+        )
+
+    def _decode(self, instr: MachineInstr) -> _Decoded:
+        """Build (and memoize) the static facts for one instruction."""
+        desc = instr.desc
+        unit_keys = self._unit_keys
         use_units = []
-        for position in instr.desc.use_operands:
+        for position in desc.use_operands:
             operand = instr.operands[position]
             if isinstance(operand, Reg) and isinstance(operand.reg, PhysReg):
-                use_units.extend(units_of(operand.reg))
+                use_units.extend(unit_keys(operand.reg))
         for reg in instr.implicit_uses:
-            use_units.extend(units_of(reg))
+            use_units.extend(unit_keys(reg))
+        # producer *tokens* are long-lived (mnemonic, reg) tuples: consumers
+        # key their latency memo on the token's identity, which hashes as
+        # an int instead of re-hashing a PhysReg on every operand check
         def_entries = []
-        for position in instr.desc.def_operands:
+        for position in desc.def_operands:
             operand = instr.operands[position]
             if isinstance(operand, Reg) and isinstance(operand.reg, PhysReg):
-                def_entries.append((units_of(operand.reg), operand.reg))
-        implicit_defs = [
-            (units_of(reg), reg) for reg in instr.implicit_defs
-        ]
-        facts = (tuple(use_units), tuple(def_entries), tuple(implicit_defs))
-        self._static[instr.id] = facts
-        return facts
+                def_entries.append(
+                    (unit_keys(operand.reg), (desc.mnemonic, operand.reg))
+                )
 
-    def _ready_cycle(self, instr: MachineInstr) -> int:
-        ready = 0
-        use_units, _defs, _implicits = self._facts(instr)
-        producers = self.producers
-        for unit in use_units:
-            producer = producers.get(unit)
-            if producer is None:
-                continue
-            issue, mnemonic, produced_reg = producer
-            latency = self._latency(mnemonic, produced_reg, instr)
-            if issue + latency > ready:
-                ready = issue + latency
-        for name in instr.desc.temporal_reads:
-            producer = self.temporal_producers.get(name)
-            if producer is not None:
-                issue, mnemonic = producer
-                latency = self.target.instructions[mnemonic].latency \
-                    if mnemonic in self.target.instructions else 1
-                if issue + latency > ready:
-                    ready = issue + latency
-        return ready
+        decoded = _Decoded()
+        decoded.use_units = tuple(use_units)
+        decoded.def_entries = tuple(def_entries)
+        decoded.implicit_defs = tuple(
+            (unit_keys(reg), (desc.mnemonic, reg))
+            for reg in instr.implicit_defs
+        )
+        decoded.lat_memo = {}
+        fastpath = desc.vector_fastpath()
+        decoded.masks = (
+            None
+            if fastpath is None
+            else tuple(
+                (offset, mask) for offset, mask in enumerate(fastpath) if mask
+            )
+        )
+        decoded.vector = desc.resource_vector
+        decoded.classes = desc.classes or None
+        decoded.temporal_reads = desc.temporal_reads
+        decoded.temporal_writes = desc.temporal_writes
+        decoded.reads_memory = desc.reads_memory
+        decoded.writes_memory = desc.writes_memory
+        decoded.mnemonic = desc.mnemonic
+        self._static[instr.id] = decoded
+        return decoded
+
+    # -- latency ---------------------------------------------------------------
 
     def _latency(self, mnemonic: str, produced_reg, consumer: MachineInstr) -> int:
         rule = self.target.aux_latency(mnemonic, consumer.desc.mnemonic)
@@ -105,72 +154,164 @@ class PipelineModel:
         desc = self.target.instructions.get(mnemonic)
         return desc.latency if desc is not None else 1
 
+    def _temporal_latency(self, mnemonic: str) -> int:
+        latency = self._mnemonic_latency.get(mnemonic)
+        if latency is None:
+            desc = self.target.instructions.get(mnemonic)
+            latency = desc.latency if desc is not None else 1
+            self._mnemonic_latency[mnemonic] = latency
+        return latency
+
     # -- main entry -----------------------------------------------------------
 
     def issue(self, instr: MachineInstr, mem_log) -> int:
         """Charge cycles for one executed instruction; returns issue cycle."""
-        desc = instr.desc
-        start = max(self.last_issue, self.redirect_floor, self._ready_cycle(instr))
+        decoded = self._static.get(instr.id)
+        if decoded is None:
+            decoded = self._decode(instr)
+        producers = self.producers
+        producers_get = producers.get
+        ring_cycle = self.ring_cycle
+        ring_mask = self.ring_mask
 
-        if desc.reads_memory and self.last_store_issue >= 0:
-            start = max(start, self.last_store_issue + 1)
-        if desc.writes_memory:
-            start = max(start, self.last_store_issue + 1, self.last_load_issue)
+        # operand readiness (register interlock)
+        start = self.last_issue
+        if self.redirect_floor > start:
+            start = self.redirect_floor
+        lat_memo = decoded.lat_memo
+        for unit in decoded.use_units:
+            producer = producers_get(unit)
+            if producer is None:
+                continue
+            p_issue, token = producer
+            latency = lat_memo.get(id(token))
+            if latency is None:
+                latency = self._latency(token[0], token[1], instr)
+                lat_memo[id(token)] = latency
+            if p_issue + latency > start:
+                start = p_issue + latency
+        if decoded.temporal_reads:
+            for name in decoded.temporal_reads:
+                producer = self.temporal_producers.get(name)
+                if producer is not None:
+                    p_issue, p_mnemonic = producer
+                    ready = p_issue + self._temporal_latency(p_mnemonic)
+                    if ready > start:
+                        start = ready
 
-        vector = desc.resource_vector
-        classes = desc.classes
+        # memory ordering
+        if decoded.reads_memory and self.last_store_issue >= 0:
+            if self.last_store_issue + 1 > start:
+                start = self.last_store_issue + 1
+        if decoded.writes_memory:
+            if self.last_store_issue + 1 > start:
+                start = self.last_store_issue + 1
+            if self.last_load_issue > start:
+                start = self.last_load_issue
+
+        # structural hazards + packing classes.  Resources and packing
+        # classes only exist at cycles <= _frontier, so the scan stops the
+        # moment the candidate cycle passes it — the common case (issuing
+        # at the stream frontier) does no dict lookups at all.
+        classes = decoded.classes
+        cycle_classes = self.cycle_classes
         cycle = start
-        while True:
-            conflict = False
-            for offset, need in enumerate(vector):
-                if conflicts(self.resource_use.get(cycle + offset, 0), need):
-                    conflict = True
+        frontier = self._frontier
+        masks = decoded.masks
+        if masks is not None:
+            # pool-free fast path: two list indexings per occupied cycle
+            while cycle <= frontier:
+                for offset, mask in masks:
+                    at = cycle + offset
+                    slot = at & _RING_MASK
+                    if ring_cycle[slot] == at and ring_mask[slot] & mask:
+                        break
+                else:
+                    if classes:
+                        existing = cycle_classes.get(cycle)
+                        if existing is not None and not (existing & classes):
+                            cycle += 1
+                            continue
                     break
-            if not conflict and classes:
-                existing = self.cycle_classes.get(cycle)
-                if existing is not None and not (existing & classes):
-                    conflict = True
-            if not conflict:
-                break
-            cycle += 1
-
-        for offset, need in enumerate(vector):
-            self.resource_use[cycle + offset] = commit(
-                self.resource_use.get(cycle + offset, 0), need
-            )
+                cycle += 1
+            last = cycle
+            for offset, mask in masks:
+                at = cycle + offset
+                slot = at & _RING_MASK
+                if ring_cycle[slot] == at:
+                    ring_mask[slot] |= mask
+                else:
+                    ring_cycle[slot] = at
+                    ring_mask[slot] = mask
+                last = at
+        else:
+            vector = decoded.vector
+            while cycle <= frontier:
+                conflict = False
+                for offset, need in enumerate(vector):
+                    at = cycle + offset
+                    slot = at & _RING_MASK
+                    busy = ring_mask[slot] if ring_cycle[slot] == at else 0
+                    if conflicts(busy, need):
+                        conflict = True
+                        break
+                if not conflict and classes:
+                    existing = cycle_classes.get(cycle)
+                    if existing is not None and not (existing & classes):
+                        conflict = True
+                if not conflict:
+                    break
+                cycle += 1
+            last = cycle + len(vector) - 1
+            for offset, need in enumerate(vector):
+                at = cycle + offset
+                slot = at & _RING_MASK
+                busy = ring_mask[slot] if ring_cycle[slot] == at else 0
+                ring_cycle[slot] = at
+                ring_mask[slot] = commit(busy, need)
         if classes:
-            existing = self.cycle_classes.get(cycle)
-            self.cycle_classes[cycle] = (
+            existing = cycle_classes.get(cycle)
+            cycle_classes[cycle] = (
                 classes if existing is None else existing & classes
             )
+        if last < cycle:
+            last = cycle
+        if last > frontier:
+            self._frontier = last
 
         # memory + cache effects
         extra_latency = 0
-        for address, is_write, _size in mem_log:
-            if self.cache is not None and not self.cache.access(address):
-                if not is_write:  # write-through: stores do not stall
-                    extra_latency += self.cache.miss_penalty
-            if is_write:
-                self.last_store_issue = max(self.last_store_issue, cycle)
-            else:
-                self.last_load_issue = max(self.last_load_issue, cycle)
+        if mem_log:
+            cache = self.cache
+            for address, is_write, _size in mem_log:
+                if cache is not None and not cache.access(address):
+                    if not is_write:  # write-through: stores do not stall
+                        extra_latency += cache.miss_penalty
+                if is_write:
+                    if cycle > self.last_store_issue:
+                        self.last_store_issue = cycle
+                else:
+                    if cycle > self.last_load_issue:
+                        self.last_load_issue = cycle
 
         # record produced values (producers store issue cycle; the
         # consumer adds the pair latency at use)
-        _uses, def_entries, implicit_defs = self._facts(instr)
-        for units, reg in def_entries:
-            entry = (cycle + extra_latency, desc.mnemonic, reg)
+        for units, token in decoded.def_entries:
+            entry = (cycle + extra_latency, token)
             for unit in units:
-                self.producers[unit] = entry
-        for units, reg in implicit_defs:
-            entry = (cycle, desc.mnemonic, reg)
+                producers[unit] = entry
+        for units, token in decoded.implicit_defs:
+            entry = (cycle, token)
             for unit in units:
-                self.producers[unit] = entry
-        for name in desc.temporal_writes:
-            self.temporal_producers[name] = (cycle, desc.mnemonic)
+                producers[unit] = entry
+        if decoded.temporal_writes:
+            mnemonic = decoded.mnemonic
+            for name in decoded.temporal_writes:
+                self.temporal_producers[name] = (cycle, mnemonic)
 
         self.last_issue = cycle
-        self._prune(cycle)
+        if cycle - self._horizon > 256:
+            self._prune(cycle)
         return cycle
 
     def transfer(self, instr: MachineInstr, issue_cycle: int) -> None:
@@ -180,16 +321,13 @@ class PipelineModel:
         )
 
     def _prune(self, cycle: int) -> None:
-        """Drop resource bookkeeping for long-past cycles."""
-        if cycle - self._horizon > 256:
-            cutoff = cycle - 64
-            self.resource_use = {
-                c: m for c, m in self.resource_use.items() if c >= cutoff
-            }
-            self.cycle_classes = {
-                c: k for c, k in self.cycle_classes.items() if c >= cutoff
-            }
-            self._horizon = cycle
+        """Drop class bookkeeping for long-past cycles (the resource ring
+        is fixed-size and recycles itself)."""
+        cutoff = cycle - 64
+        self.cycle_classes = {
+            c: k for c, k in self.cycle_classes.items() if c >= cutoff
+        }
+        self._horizon = cycle
 
     @property
     def cycles(self) -> int:

@@ -8,6 +8,7 @@ halts the run, and the result is read from the CWVM result register.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.backend.insts import MachineInstr
@@ -17,6 +18,7 @@ from repro.sim.cache import DirectMappedCache
 from repro.sim.executor import SemanticsCompiler
 from repro.sim.pipeline import PipelineModel
 from repro.sim.state import MachineState
+from repro.utils import timing
 
 _HALT = -1
 
@@ -56,24 +58,32 @@ class Simulator:
         self.target = executable.target
         self.cache = cache
         self.model_timing = model_timing
-        compiler = SemanticsCompiler(self.target)
-        self.closures = [compiler.compile_instr(i) for i in executable.instrs]
-        # label of the block each instruction belongs to (for profiling)
-        self.block_of: list[str] = []
-        by_index = sorted(
-            executable.labels.items(), key=lambda item: item[1]
-        )
-        position = 0
-        current = ""
-        for label, index in by_index:
-            while position < index:
-                self.block_of.append(current)
+        # the instruction closures and block map depend only on the linked
+        # program, so they are compiled once and shared by every Simulator
+        # built over the same executable (the eval harness simulates each
+        # compiled kernel several times)
+        decoded = getattr(executable, "_sim_decode", None)
+        if decoded is None:
+            compiler = SemanticsCompiler(self.target)
+            closures = [compiler.compile_instr(i) for i in executable.instrs]
+            # label of the block each instruction belongs to (for profiling)
+            block_of: list[str] = []
+            by_index = sorted(
+                executable.labels.items(), key=lambda item: item[1]
+            )
+            position = 0
+            current = ""
+            for label, index in by_index:
+                while position < index:
+                    block_of.append(current)
+                    position += 1
+                current = label
+            while position < len(executable.instrs):
+                block_of.append(current)
                 position += 1
-            current = label
-        while position < len(executable.instrs):
-            self.block_of.append(current)
-            position += 1
-        self._block_starts = set(executable.labels.values())
+            decoded = (closures, block_of, frozenset(executable.labels.values()))
+            executable._sim_decode = decoded
+        self.closures, self.block_of, self._block_starts = decoded
 
     def run(
         self,
@@ -126,28 +136,38 @@ class Simulator:
         block_counts: dict[str, int] = {}
         mem_log: list = []
         instrs = exe.instrs
+        program_size = len(instrs)
         closures = self.closures
         block_of = self.block_of
+        block_starts = self._block_starts
+        pipeline_issue = pipeline.issue if pipeline else None
+        wall_start = time.perf_counter() if timing.ENABLED else 0.0
 
         while pc != _HALT:
-            if pc < 0 or pc >= len(instrs):
+            if pc < 0 or pc >= program_size:
                 raise SimulationError(f"pc {pc} outside program")
             instr = instrs[pc]
             if executed >= max_instructions:
                 raise SimulationError(
                     f"exceeded {max_instructions} instructions (infinite loop?)"
                 )
-            del mem_log[:]
             effect = closures[pc](state, mem_log)
             executed += 1
-            if pc in self._block_starts:
-                block_counts[block_of[pc]] = block_counts.get(block_of[pc], 0) + 1
-            for _addr, is_write, _size in mem_log:
-                if is_write:
-                    stores += 1
-                else:
-                    loads += 1
-            issue_cycle = pipeline.issue(instr, mem_log) if pipeline else 0
+            if pc in block_starts:
+                label = block_of[pc]
+                block_counts[label] = block_counts.get(label, 0) + 1
+            if mem_log:
+                for _addr, is_write, _size in mem_log:
+                    if is_write:
+                        stores += 1
+                    else:
+                        loads += 1
+            if pipeline_issue is not None:
+                issue_cycle = pipeline_issue(instr, mem_log)
+            else:
+                issue_cycle = 0
+            if mem_log:
+                del mem_log[:]
             if trace is not None:
                 trace(pc, instr, issue_cycle)
 
@@ -186,7 +206,12 @@ class Simulator:
             else:
                 raise SimulationError(f"unknown control effect {effect!r}")
 
-        return_value = None
+        if timing.ENABLED:
+            timing.add_seconds("sim.run", time.perf_counter() - wall_start)
+            timing.add("sim.instructions", executed)
+            timing.add(
+                "sim.cycles", (pipeline.cycles if pipeline else executed)
+            )
         result = SimResult(
             return_value=None,
             cycles=pipeline.cycles if pipeline else executed,

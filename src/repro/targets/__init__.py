@@ -4,36 +4,88 @@ Four targets, as in the paper: TOYP (the tutorial machine of figures 1-3),
 the MIPS R2000, the Motorola 88000 and the Intel i860 (dual issue,
 explicitly advanced floating point pipelines, packing classes).
 
-:func:`load_target` builds a fresh :class:`TargetMachine` by name.
+:func:`load_target` builds a :class:`TargetMachine` by name.  Building a
+target means lexing, parsing and semantically checking its Maril
+description and then running the code generator generator over it — a
+few hundred milliseconds of pure-Python work that the evaluation harness
+used to repeat for every compile.  Results are therefore memoized
+per process: repeated ``load_target("r2000")`` calls return the *same*
+:class:`TargetMachine` instance, which is safe because compilation never
+mutates a target (enforced by ``tests/test_target_cache.py``).  Pass
+``fresh=True`` to bypass the cache and get a private instance — useful
+when an experiment wants to monkeypatch a description in place.
 """
 
 from __future__ import annotations
 
 from repro.errors import MarionError
 from repro.machine.target import TargetMachine
+from repro.utils import timing
 
 TARGET_NAMES = ("toyp", "r2000", "m88000", "i860")
 
+#: name -> memoized TargetMachine (process-local)
+_CACHE: dict[str, TargetMachine] = {}
 
-def load_target(name: str) -> TargetMachine:
-    """Build the named target from its Maril description."""
+#: name -> how many times the Maril description was actually CGG-built
+_BUILD_COUNTS: dict[str, int] = {}
+
+
+def _build(name: str) -> TargetMachine:
     if name == "toyp":
         from repro.targets.toyp import build_toyp
 
-        return build_toyp()
-    if name == "r2000":
+        builder = build_toyp
+    elif name == "r2000":
         from repro.targets.r2000 import build_r2000
 
-        return build_r2000()
-    if name == "m88000":
+        builder = build_r2000
+    elif name == "m88000":
         from repro.targets.m88000 import build_m88000
 
-        return build_m88000()
-    if name == "i860":
+        builder = build_m88000
+    elif name == "i860":
         from repro.targets.i860 import build_i860
 
-        return build_i860()
-    raise MarionError(f"unknown target {name!r}; known: {', '.join(TARGET_NAMES)}")
+        builder = build_i860
+    else:
+        raise MarionError(
+            f"unknown target {name!r}; known: {', '.join(TARGET_NAMES)}"
+        )
+    _BUILD_COUNTS[name] = _BUILD_COUNTS.get(name, 0) + 1
+    with timing.phase(f"target_build.{name}"):
+        return builder()
+
+
+def load_target(name: str, fresh: bool = False) -> TargetMachine:
+    """Build the named target from its Maril description.
+
+    Cached per process: the description is parsed and CGG-built at most
+    once per name.  ``fresh=True`` bypasses the cache both ways (the
+    returned instance is not stored, and any cached instance is left
+    alone).
+    """
+    if fresh:
+        timing.add("target_cache.bypass")
+        return _build(name)
+    cached = _CACHE.get(name)
+    if cached is not None:
+        timing.add("target_cache.hit")
+        return cached
+    timing.add("target_cache.miss")
+    target = _build(name)
+    _CACHE[name] = target
+    return target
+
+
+def clear_target_cache() -> None:
+    """Forget every cached target (build counts are kept)."""
+    _CACHE.clear()
+
+
+def target_build_count(name: str) -> int:
+    """How many times ``name`` has been CGG-built in this process."""
+    return _BUILD_COUNTS.get(name, 0)
 
 
 def maril_source(name: str) -> str:

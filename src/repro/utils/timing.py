@@ -1,0 +1,107 @@
+"""Lightweight phase timers and counters for the performance layer.
+
+The evaluation harness (and anything else that wants a perf trace) turns
+instrumentation on with :func:`enable`; the hot paths it is wired into —
+:func:`repro.compile_c`, the list scheduler and the simulator — guard
+every record with a single module-level boolean so the disabled cost is
+one attribute load and a branch.
+
+Usage::
+
+    from repro.utils import timing
+
+    timing.enable()
+    with timing.phase("compile.frontend"):
+        ...
+    timing.add("target_cache.hit")
+    print(timing.snapshot())
+
+Counters and phase timings are process-local: worker processes of the
+parallel harness each keep their own recorder, so aggregate numbers in
+``BENCH_eval.json`` either come from the parent process or are carried
+back explicitly in result rows (see ``repro/eval/common.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+#: instrumentation master switch — read directly by hot paths
+ENABLED = False
+
+
+class Recorder:
+    """Accumulates phase wall times, call counts and event counters."""
+
+    __slots__ = ("phase_seconds", "phase_calls", "counters")
+
+    def __init__(self) -> None:
+        self.phase_seconds: dict[str, float] = defaultdict(float)
+        self.phase_calls: dict[str, int] = defaultdict(int)
+        self.counters: dict[str, int] = defaultdict(int)
+
+
+_recorder = Recorder()
+
+
+def enable(on: bool = True) -> None:
+    """Turn instrumentation on (or off with ``enable(False)``)."""
+    global ENABLED
+    ENABLED = on
+
+
+def enabled() -> bool:
+    return ENABLED
+
+
+def reset() -> None:
+    """Drop all recorded data (the enabled flag is left alone)."""
+    global _recorder
+    _recorder = Recorder()
+
+
+@contextmanager
+def phase(name: str):
+    """Time a named phase; a no-op (beyond one branch) when disabled."""
+    if not ENABLED:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _recorder.phase_seconds[name] += time.perf_counter() - start
+        _recorder.phase_calls[name] += 1
+
+
+def add(name: str, amount: int = 1) -> None:
+    """Bump a named counter (no-op when disabled)."""
+    if ENABLED:
+        _recorder.counters[name] += amount
+
+
+def add_seconds(name: str, seconds: float) -> None:
+    """Credit wall time to a phase without the context-manager overhead."""
+    if ENABLED:
+        _recorder.phase_seconds[name] += seconds
+        _recorder.phase_calls[name] += 1
+
+
+def counter(name: str) -> int:
+    return _recorder.counters.get(name, 0)
+
+
+def snapshot() -> dict:
+    """A JSON-ready copy of everything recorded so far."""
+    return {
+        "phases": {
+            name: {
+                "seconds": round(seconds, 6),
+                "calls": _recorder.phase_calls.get(name, 0),
+            }
+            for name, seconds in sorted(_recorder.phase_seconds.items())
+        },
+        "counters": dict(sorted(_recorder.counters.items())),
+    }

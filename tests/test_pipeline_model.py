@@ -148,5 +148,7 @@ def test_bookkeeping_pruned_on_long_runs(toyp):
             toyp, "addi", Reg(PhysReg("r", 2)), Reg(PhysReg("r", 6)), Imm(index % 100)
         )
         model.issue(add, [])
-    assert len(model.resource_use) < 400  # pruned, not 600+
+    # the resource ring is fixed-size and class bookkeeping is pruned
+    assert len(model.ring_cycle) == len(model.ring_mask)
+    assert len(model.cycle_classes) < 400  # pruned, not 600+
     assert model.cycles >= 600

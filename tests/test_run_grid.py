@@ -1,0 +1,86 @@
+"""The parallel evaluation grid: deterministic ordering, the serial
+fallback, job-count resolution, and — the property everything else
+rests on — identical table rows at jobs=1 and jobs=4."""
+
+import os
+
+import pytest
+
+from repro.eval.grid import GridTask, resolve_jobs, run_grid
+from repro.eval.table4 import measure as table4_measure
+from repro.workloads import kernel_by_id
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise RuntimeError(f"unit {x} failed")
+
+
+def test_run_grid_serial_preserves_order():
+    results = run_grid([GridTask(_square, (i,)) for i in range(6)], jobs=1)
+    assert results == [0, 1, 4, 9, 16, 25]
+
+
+def test_run_grid_parallel_preserves_submission_order():
+    results = run_grid([GridTask(_square, (i,)) for i in range(8)], jobs=4)
+    assert results == [i * i for i in range(8)]
+
+
+def test_run_grid_accepts_tuples_and_callables():
+    results = run_grid(
+        [(_square, (3,)), lambda: "bare"], jobs=1
+    )
+    assert results == [9, "bare"]
+
+
+def test_run_grid_propagates_worker_exception():
+    with pytest.raises(RuntimeError, match="unit 2 failed"):
+        run_grid([GridTask(_fail, (2,))], jobs=1)
+    with pytest.raises(RuntimeError, match="unit 5 failed"):
+        run_grid(
+            [GridTask(_square, (1,)), GridTask(_fail, (5,))], jobs=2
+        )
+
+
+def test_resolve_jobs_argument_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert resolve_jobs(3) == 3
+
+
+def test_resolve_jobs_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs(None) == 5
+
+
+def test_resolve_jobs_env_invalid(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        resolve_jobs(None)
+
+
+def test_resolve_jobs_floor(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(-3) == 1
+    assert resolve_jobs(None) >= 1
+
+
+def test_jobs_parity_on_livermore_subset():
+    """jobs=1 and jobs=4 produce identical Table 4 rows — cycles,
+    checksums, and row ordering — on a scaled-down kernel subset."""
+    kernels = [kernel_by_id(k) for k in (1, 12)]
+    serial = table4_measure(kernels=kernels, scale=0.05, jobs=1)
+    parallel = table4_measure(kernels=kernels, scale=0.05, jobs=4)
+    assert list(serial.runs) == list(parallel.runs)
+    for kernel_id, by_strategy in serial.runs.items():
+        assert list(by_strategy) == list(parallel.runs[kernel_id])
+        for strategy, run in by_strategy.items():
+            twin = parallel.runs[kernel_id][strategy]
+            assert run.actual_cycles == twin.actual_cycles
+            assert run.estimated_cycles == twin.estimated_cycles
+            assert run.instructions == twin.instructions
+            assert run.code_size == twin.code_size
+            assert run.checksum == twin.checksum
