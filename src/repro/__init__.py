@@ -24,26 +24,40 @@ The public surface:
 * :mod:`repro.eval` — the harness that regenerates the paper's tables.
 """
 
+import warnings as _warnings
+
 from repro.backend.codegen import CodeGenerator, MachineProgram
 from repro.cgg import build_target
-from repro.errors import MarionError
+from repro.errors import (
+    GridTimeout,
+    JournalError,
+    MarionError,
+    SimulationError,
+    SimulationTimeout,
+)
 from repro.frontend import compile_to_il
 from repro.machine.target import TargetMachine
 from repro.maril import parse_maril
+from repro.options import UNSET, CompileOptions, merge_legacy_kwargs
 from repro.program import Executable, link
 from repro.sim import DirectMappedCache, SimResult, Simulator, run_program
 from repro.targets import TARGET_NAMES, clear_target_cache, load_target
 from repro.utils import timing
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CodeGenerator",
+    "CompileOptions",
     "DirectMappedCache",
     "Executable",
+    "GridTimeout",
+    "JournalError",
     "MachineProgram",
     "MarionError",
     "SimResult",
+    "SimulationError",
+    "SimulationTimeout",
     "Simulator",
     "TARGET_NAMES",
     "TargetMachine",
@@ -63,29 +77,49 @@ __all__ = [
 def compile_c(
     source: str,
     target: TargetMachine | str,
-    strategy: str = "postpass",
-    heuristic: str = "maxdist",
-    schedule: bool = True,
-    fill_delay_slots: bool = False,
-    memory_size: int = 1 << 20,
+    options: CompileOptions | None = None,
+    *,
+    strategy=UNSET,
+    heuristic=UNSET,
+    schedule=UNSET,
+    fill_delay_slots=UNSET,
+    memory_size=UNSET,
 ) -> Executable:
-    """Compile C-subset source text to a linked executable."""
+    """Compile C-subset source text to a linked executable.
+
+    All knobs live on one frozen :class:`CompileOptions` record::
+
+        repro.compile_c(src, "r2000", repro.CompileOptions(strategy="rase"))
+
+    The pre-1.1 keyword spellings (``strategy=``, ``heuristic=``,
+    ``schedule=``, ``fill_delay_slots=``, ``memory_size=``) still work
+    but emit a :class:`DeprecationWarning` and cannot be combined with
+    ``options=``.
+    """
+    options = merge_legacy_kwargs(
+        options,
+        {
+            "strategy": strategy,
+            "heuristic": heuristic,
+            "schedule": schedule,
+            "fill_delay_slots": fill_delay_slots,
+            "memory_size": memory_size,
+        },
+        where="compile_c",
+        warn=lambda message: _warnings.warn(
+            message, DeprecationWarning, stacklevel=4
+        ),
+    )
     if isinstance(target, str):
         target = load_target(target)
     timing.add("compile.calls")
     with timing.phase("compile.frontend"):
         il_program = compile_to_il(source)
-    generator = CodeGenerator(
-        target,
-        strategy=strategy,
-        heuristic=heuristic,
-        schedule=schedule,
-        fill_delay_slots=fill_delay_slots,
-    )
+    generator = CodeGenerator(target, options)
     with timing.phase("compile.codegen"):
         machine_program = generator.compile_il(il_program)
     with timing.phase("compile.link"):
-        executable = link(machine_program, memory_size=memory_size)
+        executable = link(machine_program, memory_size=options.memory_size)
     executable.machine_program = machine_program  # keep stats reachable
     return executable
 
@@ -98,9 +132,18 @@ def simulate(
     cache: DirectMappedCache | None = None,
     model_timing: bool = True,
     max_instructions: int = 50_000_000,
+    max_cycles: int | None = None,
 ) -> SimResult:
-    """Run one function of a linked executable under the pipeline model."""
+    """Run one function of a linked executable under the pipeline model.
+
+    ``max_cycles`` arms the simulator watchdog: the run raises
+    :class:`SimulationTimeout` once the cycle count passes the budget.
+    """
     simulator = Simulator(executable, cache=cache, model_timing=model_timing)
     return simulator.run(
-        function, args, arg_types=arg_types, max_instructions=max_instructions
+        function,
+        args,
+        arg_types=arg_types,
+        max_instructions=max_instructions,
+        max_cycles=max_cycles,
     )

@@ -7,6 +7,7 @@ orders register allocation and scheduling as it sees fit).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.backend.delayfill import fill_delay_slots
@@ -18,6 +19,7 @@ from repro.backend.strategies import get_strategy
 from repro.backend.strategies.base import StrategyStats
 from repro.il.function import GlobalVar, ILProgram
 from repro.machine.target import TargetMachine
+from repro.options import UNSET, CompileOptions, merge_legacy_kwargs
 
 
 @dataclass
@@ -40,20 +42,43 @@ class MachineProgram:
 
 
 class CodeGenerator:
-    """Compile IL programs for one target with one strategy."""
+    """Compile IL programs for one target under one
+    :class:`~repro.options.CompileOptions` record.
+
+    ``CodeGenerator(target, CompileOptions(strategy="rase"))`` is the
+    current spelling; a bare strategy string or the pre-1.1 keywords
+    (``strategy=``/``heuristic=``/``schedule=``/``fill_delay_slots=``)
+    still work via the deprecation shim.
+    """
 
     def __init__(
         self,
         target: TargetMachine,
-        strategy: str = "postpass",
-        heuristic: str = "maxdist",
-        schedule: bool = True,
-        fill_delay_slots: bool = False,
+        options: CompileOptions | str | None = None,
+        *,
+        strategy=UNSET,
+        heuristic=UNSET,
+        schedule=UNSET,
+        fill_delay_slots=UNSET,
     ):
+        options = merge_legacy_kwargs(
+            options,
+            {
+                "strategy": strategy,
+                "heuristic": heuristic,
+                "schedule": schedule,
+                "fill_delay_slots": fill_delay_slots,
+            },
+            where="CodeGenerator",
+            warn=lambda message: warnings.warn(
+                message, DeprecationWarning, stacklevel=4
+            ),
+        )
         self.target = target
-        self.strategy_name = strategy
-        self.strategy = get_strategy(strategy, heuristic=heuristic, schedule=schedule)
-        self.fill_delay_slots = fill_delay_slots
+        self.options = options
+        self.strategy_name = options.strategy
+        self.strategy = get_strategy(options.strategy, options=options)
+        self.fill_delay_slots = options.fill_delay_slots
         self.selector = Selector(target)
 
     def compile_il(self, program: ILProgram) -> MachineProgram:

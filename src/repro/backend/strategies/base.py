@@ -17,6 +17,7 @@ from repro.backend.regalloc import GraphColoringAllocator
 from repro.backend.scheduler import ListScheduler
 from repro.errors import MarionError
 from repro.machine.target import TargetMachine
+from repro.options import CompileOptions
 
 STRATEGY_NAMES = ("postpass", "ips", "rase")
 
@@ -32,13 +33,30 @@ class StrategyStats:
 
 
 class Strategy:
-    """Base class: subclasses implement :meth:`run`."""
+    """Base class: subclasses implement :meth:`run`.
+
+    A strategy is configured by one :class:`CompileOptions` record
+    (``options.heuristic`` and ``options.schedule`` are the fields it
+    reads); the pre-1.1 ``heuristic=``/``schedule=`` keywords remain as
+    thin aliases that build the record for you.
+    """
 
     name = "abstract"
 
-    def __init__(self, heuristic: str = "maxdist", schedule: bool = True):
-        self.heuristic = heuristic
-        self.schedule_enabled = schedule
+    def __init__(
+        self,
+        options: CompileOptions | None = None,
+        heuristic: str | None = None,
+        schedule: bool | None = None,
+    ):
+        if options is None:
+            options = CompileOptions(
+                heuristic=heuristic if heuristic is not None else "maxdist",
+                schedule=schedule if schedule is not None else True,
+            )
+        self.options = options
+        self.heuristic = options.heuristic
+        self.schedule_enabled = options.schedule
 
     def run(self, fn: MFunction, target: TargetMachine) -> StrategyStats:
         raise NotImplementedError
@@ -126,7 +144,12 @@ class Strategy:
         return cost
 
 
-def get_strategy(name: str, heuristic: str = "maxdist", schedule: bool = True) -> Strategy:
+def get_strategy(
+    name: str,
+    heuristic: str = "maxdist",
+    schedule: bool = True,
+    options: CompileOptions | None = None,
+) -> Strategy:
     from repro.backend.strategies.ips import IPSStrategy
     from repro.backend.strategies.postpass import PostpassStrategy
     from repro.backend.strategies.rase import RASEStrategy
@@ -142,4 +165,8 @@ def get_strategy(name: str, heuristic: str = "maxdist", schedule: bool = True) -
         raise MarionError(
             f"unknown strategy {name!r}; known: {', '.join(STRATEGY_NAMES)}"
         ) from None
-    return cls(heuristic=heuristic, schedule=schedule)
+    if options is None:
+        options = CompileOptions(
+            strategy=name, heuristic=heuristic, schedule=schedule
+        )
+    return cls(options)

@@ -50,14 +50,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def _compile(arguments) -> repro.Executable:
     with open(arguments.file) as handle:
         source = handle.read()
-    return repro.compile_c(
-        source,
-        arguments.target,
+    options = repro.CompileOptions(
         strategy=arguments.strategy,
         heuristic=arguments.heuristic,
         schedule=not arguments.no_schedule,
         fill_delay_slots=arguments.fill_delay_slots,
     )
+    return repro.compile_c(source, arguments.target, options)
 
 
 def cmd_compile(arguments) -> int:
@@ -103,16 +102,9 @@ def cmd_targets(arguments) -> int:
 
 
 def cmd_report(arguments) -> int:
-    from repro.eval.report import generate_report
+    from repro.eval.report import run_report_command
 
-    print(
-        generate_report(
-            scale=arguments.scale,
-            jobs=arguments.jobs,
-            bench_path=arguments.bench_out or None,
-        )
-    )
-    return 0
+    return run_report_command(arguments, bench_default=None)
 
 
 def main(argv=None) -> int:
@@ -143,16 +135,14 @@ def main(argv=None) -> int:
     targets_parser.set_defaults(handler=cmd_targets)
 
     report_parser = commands.add_parser(
-        "report", help="regenerate the paper's tables and figures"
+        "report",
+        help="regenerate the paper's tables and figures (fault-tolerant: "
+        "--timeout bounds each unit, --resume checkpoints into a journal; "
+        "exits nonzero when any unit fails)",
     )
-    report_parser.add_argument("--scale", type=float, default=0.3)
-    report_parser.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="parallel worker processes for the evaluation grid "
-        "(default: REPRO_JOBS or cpu count; 1 = serial)",
-    )
+    from repro.eval.report import add_report_arguments
+
+    add_report_arguments(report_parser)
     report_parser.add_argument(
         "--bench-out",
         default="",

@@ -10,6 +10,8 @@ paper's section 5 (see DESIGN.md's experiment index).
 * :mod:`repro.eval.claims` — the section-5 headline comparisons
 * :mod:`repro.eval.ablation` — design-choice ablations (temporal
   scheduling; the max-distance heuristic)
+* :mod:`repro.eval.grid` — the fault-tolerant parallel work-unit grid
+* :mod:`repro.eval.journal` — checkpoint/resume journal for the grid
 * :mod:`repro.eval.report` — runs everything and renders EXPERIMENTS.md
 """
 
@@ -20,10 +22,21 @@ from repro.eval.table4 import table4
 from repro.eval.figure7 import figure7
 from repro.eval.claims import claim_strategy_speedup, claim_compile_time_ordering
 from repro.eval.ablation import ablation_temporal, ablation_heuristic
-from repro.eval.grid import GridTask, resolve_jobs, run_grid
+from repro.eval.grid import (
+    GridFailure,
+    GridOptions,
+    GridTask,
+    resolve_jobs,
+    resolve_timeout,
+    run_grid,
+)
+from repro.eval.journal import Journal
 
 __all__ = [
+    "GridFailure",
+    "GridOptions",
     "GridTask",
+    "Journal",
     "table1",
     "table2",
     "table3",
@@ -34,5 +47,6 @@ __all__ = [
     "ablation_temporal",
     "ablation_heuristic",
     "resolve_jobs",
+    "resolve_timeout",
     "run_grid",
 ]

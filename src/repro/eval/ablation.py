@@ -30,8 +30,9 @@ from dataclasses import dataclass
 
 import repro
 from repro.backend.codegen import CodeGenerator
-from repro.eval.grid import GridTask, run_grid
+from repro.eval.grid import GridFailure, GridOptions, GridTask, run_grid
 from repro.frontend import compile_to_il
+from repro.options import CompileOptions
 from repro.program import link
 from repro.targets.i860 import build_i860
 from repro.utils.tables import TextTable
@@ -88,7 +89,7 @@ def _i860(eap: bool):
 
 
 def _compile_for(target, source: str, strategy: str):
-    generator = CodeGenerator(target, strategy=strategy)
+    generator = CodeGenerator(target, CompileOptions(strategy=strategy))
     machine_program = generator.compile_il(compile_to_il(source))
     executable = link(machine_program)
     executable.machine_program = machine_program
@@ -121,6 +122,7 @@ def ablation_temporal(
     strategy: str = "postpass",
     scale: float = 0.25,
     jobs: int | None = None,
+    options: GridOptions | None = None,
 ) -> list[AblationRow]:
     """EAP sub-operation scheduling vs. ordinary-pipeline operations."""
     ids = [spec.id for spec in LIVERMORE_KERNELS if spec.id in kernel_ids]
@@ -128,9 +130,17 @@ def ablation_temporal(
         # warm the variant memo so the serial path builds each target once
         _i860(True), _i860(False)
     return run_grid(
-        [GridTask(_temporal_unit, (kid, strategy, scale)) for kid in ids],
+        [
+            GridTask(
+                f"ablation_a1/i860/{strategy}/K{kid}",
+                _temporal_unit,
+                (kid, strategy, scale),
+            )
+            for kid in ids
+        ],
         jobs=jobs,
         label="ablation_temporal",
+        options=options,
     )
 
 
@@ -151,10 +161,14 @@ def _heuristic_unit(
     loop, n = spec.args
     n = max(4, int(n * scale))
     maxdist_exe = repro.compile_c(
-        spec.source, target, strategy=strategy, heuristic="maxdist"
+        spec.source,
+        target,
+        CompileOptions(strategy=strategy, heuristic="maxdist"),
     )
     fifo_exe = repro.compile_c(
-        spec.source, target, strategy=strategy, heuristic="fifo"
+        spec.source,
+        target,
+        CompileOptions(strategy=strategy, heuristic="fifo"),
     )
     maxdist_cycles, _ = _marginal_kernel_cycles(maxdist_exe, loop, n)
     fifo_cycles, _ = _marginal_kernel_cycles(fifo_exe, loop, n)
@@ -167,16 +181,22 @@ def ablation_heuristic(
     strategy: str = "postpass",
     scale: float = 0.25,
     jobs: int | None = None,
+    options: GridOptions | None = None,
 ) -> list[AblationRow]:
     """Maximum-distance priority vs. FIFO ready-list order."""
     ids = [spec.id for spec in LIVERMORE_KERNELS if spec.id in kernel_ids]
     return run_grid(
         [
-            GridTask(_heuristic_unit, (kid, target, strategy, scale))
+            GridTask(
+                f"ablation_a2/{target}/{strategy}/K{kid}",
+                _heuristic_unit,
+                (kid, target, strategy, scale),
+            )
             for kid in ids
         ],
         jobs=jobs,
         label="ablation_heuristic",
+        options=options,
     )
 
 
@@ -187,9 +207,13 @@ def _delay_fill_unit(
     loop, n = spec.args
     n = max(4, int(n * scale))
     filled_exe = repro.compile_c(
-        spec.source, target, strategy=strategy, fill_delay_slots=True
+        spec.source,
+        target,
+        CompileOptions(strategy=strategy, fill_delay_slots=True),
     )
-    nops_exe = repro.compile_c(spec.source, target, strategy=strategy)
+    nops_exe = repro.compile_c(
+        spec.source, target, CompileOptions(strategy=strategy)
+    )
     filled_cycles, filled_value = _marginal_kernel_cycles(filled_exe, loop, n)
     nops_cycles, nops_value = _marginal_kernel_cycles(nops_exe, loop, n)
     assert abs(filled_value - nops_value) < 1e-9
@@ -202,29 +226,44 @@ def ablation_delay_fill(
     strategy: str = "postpass",
     scale: float = 0.25,
     jobs: int | None = None,
+    options: GridOptions | None = None,
 ) -> list[AblationRow]:
     """Delay slots filled with useful work (baseline) vs. nops (variant)."""
     ids = [spec.id for spec in LIVERMORE_KERNELS if spec.id in kernel_ids]
     return run_grid(
         [
-            GridTask(_delay_fill_unit, (kid, target, strategy, scale))
+            GridTask(
+                f"ablation_a3/{target}/{strategy}/K{kid}",
+                _delay_fill_unit,
+                (kid, target, strategy, scale),
+            )
             for kid in ids
         ],
         jobs=jobs,
         label="ablation_delay_fill",
+        options=options,
     )
 
 
-def render(rows: list[AblationRow], title: str, variant_label: str) -> str:
+def render(rows: list, title: str, variant_label: str) -> str:
     table = TextTable(
         ["Kernel", "baseline kc", f"{variant_label} kc", "variant/baseline"],
         title=title,
     )
+    failures = []
     for row in rows:
+        if isinstance(row, GridFailure):
+            failures.append(row)
+            continue
         table.add_row(
             row.kernel_id,
             f"{row.baseline_cycles / 1000:.1f}",
             f"{row.variant_cycles / 1000:.1f}",
             f"{row.ratio:.3f}",
         )
-    return str(table)
+    text = str(table)
+    if failures:
+        text += "\nFAILED units:\n" + "\n".join(
+            f"  {failure.summary()}" for failure in failures
+        )
+    return text

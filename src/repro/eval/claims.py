@@ -26,10 +26,10 @@ initialisation code).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import repro
-from repro.eval.grid import GridTask, run_grid
+from repro.eval.grid import GridFailure, GridOptions, GridTask, run_grid
 from repro.eval.table3 import measure as measure_table3
 from repro.workloads import LIVERMORE_KERNELS, kernel_by_id
 
@@ -74,6 +74,8 @@ class SpeedupClaim:
     ips_speedup: float  # postpass_cycles / ips_cycles, geometric mean
     rase_speedup: float
     per_kernel: dict[int, tuple[float, float]]
+    #: units that produced no measurement (geomeans cover the survivors)
+    failures: list[GridFailure] = field(default_factory=list)
 
 
 def _strategy_unit(
@@ -93,7 +95,9 @@ def _strategy_unit(
         n = max(4, int(n * scale))
     cycles = {}
     for strategy in ("postpass", "ips", "rase"):
-        exe = repro.compile_c(source, target, strategy=strategy)
+        exe = repro.compile_c(
+            source, target, repro.CompileOptions(strategy=strategy)
+        )
         cycles[strategy] = _marginal_cycles(exe, loop, n)
     return (
         kernel_id,
@@ -107,26 +111,40 @@ def claim_strategy_speedup(
     kernel_ids=FP_KERNELS,
     scale: float = 0.25,
     jobs: int | None = None,
+    options: GridOptions | None = None,
 ) -> SpeedupClaim:
     ids = [spec.id for spec in LIVERMORE_KERNELS if spec.id in kernel_ids]
     ids.append(0)  # the unrolled fragment
     results = run_grid(
-        [GridTask(_strategy_unit, (kid, target, scale)) for kid in ids],
+        [
+            GridTask(
+                f"claim_c1/{target}/all/K{kid}",
+                _strategy_unit,
+                (kid, target, scale),
+            )
+            for kid in ids
+        ],
         jobs=jobs,
         label="claim_c1",
+        options=options,
     )
     per_kernel: dict[int, tuple[float, float]] = {}
+    failures = [r for r in results if isinstance(r, GridFailure)]
     log_ips = 0.0
     log_rase = 0.0
-    for kid, ips_ratio, rase_ratio in results:
+    for outcome in results:
+        if isinstance(outcome, GridFailure):
+            continue
+        kid, ips_ratio, rase_ratio = outcome
         per_kernel[kid] = (ips_ratio, rase_ratio)
         log_ips += math.log(ips_ratio)
         log_rase += math.log(rase_ratio)
-    count = len(per_kernel)
+    count = max(1, len(per_kernel))
     return SpeedupClaim(
         ips_speedup=math.exp(log_ips / count),
         rase_speedup=math.exp(log_rase / count),
         per_kernel=per_kernel,
+        failures=failures,
     )
 
 
@@ -136,15 +154,20 @@ class BaselineClaim:
 
     geomean_speedup: float
     per_kernel: dict[int, float]
+    failures: list[GridFailure] = field(default_factory=list)
 
 
 def _baseline_unit(kernel_id: int, target: str, scale: float) -> tuple[int, float]:
     spec = kernel_by_id(kernel_id)
     loop, n = spec.args
     n = max(4, int(n * scale))
-    rase = repro.compile_c(spec.source, target, strategy="rase")
+    rase = repro.compile_c(
+        spec.source, target, repro.CompileOptions(strategy="rase")
+    )
     baseline = repro.compile_c(
-        spec.source, target, strategy="postpass", schedule=False
+        spec.source,
+        target,
+        repro.CompileOptions(strategy="postpass", schedule=False),
     )
     ratio = _marginal_cycles(baseline, loop, n) / max(
         1, _marginal_cycles(rase, loop, n)
@@ -153,21 +176,32 @@ def _baseline_unit(kernel_id: int, target: str, scale: float) -> tuple[int, floa
 
 
 def claim_rase_vs_unscheduled(
-    target: str = "r2000", scale: float = 0.25, jobs: int | None = None
+    target: str = "r2000",
+    scale: float = 0.25,
+    jobs: int | None = None,
+    options: GridOptions | None = None,
 ) -> BaselineClaim:
     results = run_grid(
         [
-            GridTask(_baseline_unit, (spec.id, target, scale))
+            GridTask(
+                f"claim_c3/{target}/rase/K{spec.id}",
+                _baseline_unit,
+                (spec.id, target, scale),
+            )
             for spec in LIVERMORE_KERNELS
         ],
         jobs=jobs,
         label="claim_c3",
+        options=options,
     )
-    per_kernel = {kid: ratio for kid, ratio in results}
-    log_total = sum(math.log(ratio) for _kid, ratio in results)
+    failures = [r for r in results if isinstance(r, GridFailure)]
+    measured = [r for r in results if not isinstance(r, GridFailure)]
+    per_kernel = {kid: ratio for kid, ratio in measured}
+    log_total = sum(math.log(ratio) for _kid, ratio in measured)
     return BaselineClaim(
-        geomean_speedup=math.exp(log_total / len(per_kernel)),
+        geomean_speedup=math.exp(log_total / max(1, len(per_kernel))),
         per_kernel=per_kernel,
+        failures=failures,
     )
 
 

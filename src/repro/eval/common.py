@@ -80,6 +80,13 @@ def estimated_cycles(executable, profile: SimResult) -> int:
     return total
 
 
+def kernel_key(
+    section: str, target: str, strategy: str, kernel_id: int
+) -> str:
+    """The stable grid/journal key for one (target, strategy, kernel) unit."""
+    return f"{section}/{target}/{strategy}/K{kernel_id}"
+
+
 def run_kernel(
     spec,
     target: str,
@@ -89,7 +96,9 @@ def run_kernel(
 ) -> KernelRun:
     """Compile and simulate one Livermore kernel under one strategy."""
     compile_start = time.perf_counter()
-    executable = repro.compile_c(spec.source, target, strategy=strategy)
+    executable = repro.compile_c(
+        spec.source, target, repro.CompileOptions(strategy=strategy)
+    )
     compile_seconds = time.perf_counter() - compile_start
     loop, n = spec.args
     n = max(4, int(n * scale))

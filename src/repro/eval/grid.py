@@ -1,4 +1,4 @@
-"""Parallel fan-out for the evaluation harness.
+"""Fault-tolerant parallel fan-out for the evaluation harness.
 
 The paper's evaluation is a grid of independent (kernel × strategy ×
 target) compile-and-simulate work units.  :func:`run_grid` fans a list of
@@ -8,6 +8,27 @@ order, so tables render identically at any job count.  With ``jobs=1``
 (or a single work unit) it degrades to a plain serial loop in the calling
 process — no pool, no pickling, bit-identical behaviour to the
 pre-parallel harness.
+
+Every unit is a keyed :class:`GridTask`; the key (a stable
+``section/target/strategy/kernel`` string) names the unit in journals,
+failure cells and logs.  Robustness is layered on top of the parallel
+fan-out, all configured through one :class:`GridOptions` record:
+
+* **per-unit timeout** (``timeout`` / ``REPRO_UNIT_TIMEOUT``): each unit
+  runs under a ``SIGALRM`` deadline in its worker and raises
+  :class:`~repro.errors.GridTimeout` when it blows its wall-clock
+  budget;
+* **crash containment** (``retries`` / ``backoff``): a worker lost to a
+  SIGKILL/segfault breaks the pool; the grid rebuilds the pool,
+  resubmits the units that never reported back, and only after
+  ``retries`` extra attempts turns the survivors into failures;
+* **structured failures** (``failures="collect"``): instead of raising
+  in the parent, a failed unit yields a :class:`GridFailure` in its
+  result slot, carrying the serialized ``repro.errors`` taxonomy
+  (type, message, function/pc/cycle details, traceback) across the
+  process boundary;
+* **checkpoint/resume** (``journal``): completed units are appended to a
+  :class:`~repro.eval.journal.Journal` and skipped on the next run.
 
 Work units must be *top-level callables with picklable arguments and
 results* (the pool uses the default start method; on Linux that is
@@ -21,23 +42,115 @@ The job count resolves, in order: the explicit ``jobs`` argument, the
 from __future__ import annotations
 
 import os
+import signal
+import threading
+import time
+from concurrent.futures import as_completed
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
+from repro.errors import GridTimeout, error_payload, reconstruct_error
+from repro.eval.journal import MISSING, Journal
 from repro.utils import timing
 
 
 @dataclass(frozen=True)
 class GridTask:
-    """One unit of evaluation work: ``fn(*args, **kwargs)``."""
+    """One keyed unit of evaluation work: ``fn(*args, **kwargs)``.
 
+    ``key`` is the unit's stable identity — the same string the journal
+    records, failure cells display and resume matches on.  Keys follow
+    the ``section/target/strategy/kernel`` convention (for example
+    ``table4/r2000/ips/K7``) and must be unique within one grid.
+    """
+
+    key: str
     fn: Callable
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        if not callable(self.fn):
+            raise TypeError(
+                f"GridTask({self.key!r}): fn must be callable — the key "
+                "string comes first"
+            )
+
     def run(self) -> Any:
         return self.fn(*self.args, **self.kwargs)
+
+
+@dataclass(frozen=True)
+class GridFailure:
+    """A work unit that did not produce a result.
+
+    Appears in the result list (in the failed unit's slot) when
+    ``failures="collect"``; renders as a FAILED cell in report tables.
+    ``error_type``/``message``/``details`` carry the serialized
+    ``repro.errors`` payload from the worker; ``attempts`` counts how
+    many times the unit ran (> 1 after pool rebuilds).
+    """
+
+    key: str
+    error_type: str
+    message: str
+    wall_s: float = 0.0
+    attempts: int = 1
+    details: dict = field(default_factory=dict)
+    traceback: str = ""
+
+    def summary(self) -> str:
+        where = ", ".join(
+            f"{name}={value}" for name, value in sorted(self.details.items())
+        )
+        suffix = f" ({where})" if where else ""
+        return f"{self.key}: {self.error_type}: {self.message}{suffix}"
+
+    @property
+    def payload(self) -> dict:
+        """The :func:`repro.errors.error_payload`-shaped dict."""
+        return {
+            "type": self.error_type,
+            "module": "repro.errors",
+            "message": self.message,
+            "details": dict(self.details),
+            "traceback": self.traceback,
+        }
+
+
+@dataclass(frozen=True)
+class GridOptions:
+    """Consolidated knobs for one grid run.
+
+    * ``jobs`` — worker processes (``None``: ``REPRO_JOBS`` or cpu count);
+    * ``timeout`` — per-unit wall-clock seconds (``None``:
+      ``REPRO_UNIT_TIMEOUT`` or unlimited);
+    * ``retries`` — extra attempts for units lost to a broken pool;
+    * ``backoff`` — seconds to wait before rebuilding a broken pool
+      (doubles per rebuild);
+    * ``failures`` — ``"raise"`` re-raises the first failure in the
+      parent (the pre-1.1 behaviour); ``"collect"`` puts a
+      :class:`GridFailure` in the unit's result slot and keeps going;
+    * ``journal`` — a :class:`~repro.eval.journal.Journal` to checkpoint
+      completed units into and resume from.
+    """
+
+    jobs: int | None = None
+    timeout: float | None = None
+    retries: int = 2
+    backoff: float = 0.25
+    failures: str = "raise"
+    journal: Journal | None = None
+
+    def __post_init__(self) -> None:
+        if self.failures not in ("raise", "collect"):
+            raise ValueError(
+                f"GridOptions.failures must be 'raise' or 'collect', "
+                f"got {self.failures!r}"
+            )
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -56,39 +169,254 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return max(1, int(jobs))
 
 
+def resolve_timeout(timeout: float | None = None) -> float | None:
+    """Resolve the per-unit timeout: argument, else ``REPRO_UNIT_TIMEOUT``.
+
+    ``None`` or a non-positive value means no deadline.
+    """
+    if timeout is None:
+        env = os.environ.get("REPRO_UNIT_TIMEOUT", "").strip()
+        if not env:
+            return None
+        try:
+            timeout = float(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_UNIT_TIMEOUT must be a number, got {env!r}"
+            ) from None
+    return timeout if timeout and timeout > 0 else None
+
+
+def derive_key(fn: Callable, args: tuple, kwargs: dict) -> str:
+    """A best-effort stable key for units given as bare callables/tuples."""
+    name = getattr(fn, "__qualname__", None) or repr(fn)
+    module = getattr(fn, "__module__", "")
+    inside = ",".join(
+        [repr(a) for a in args]
+        + [f"{k}={v!r}" for k, v in sorted(kwargs.items())]
+    )
+    prefix = f"{module}." if module else ""
+    return f"{prefix}{name}({inside})"
+
+
 def _as_task(unit) -> GridTask:
     if isinstance(unit, GridTask):
         return unit
     if callable(unit):
-        return GridTask(unit)
+        return GridTask(derive_key(unit, (), {}), unit)
     fn, *rest = unit
     args = tuple(rest[0]) if rest else ()
     kwargs = dict(rest[1]) if len(rest) > 1 else {}
-    return GridTask(fn, args, kwargs)
+    return GridTask(derive_key(fn, args, kwargs), fn, args, kwargs)
+
+
+# -- the per-unit wall-clock deadline (runs inside the worker) -------------
+
+
+@contextmanager
+def _unit_deadline(seconds: float | None):
+    """Arm a ``SIGALRM`` deadline around one unit, when the platform and
+    calling context allow it (main thread, Unix).  Pool workers execute
+    units on their main thread, so the deadline is armed there even when
+    the parent could not arm one for itself."""
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _alarm(_signum, _frame):
+        raise GridTimeout(
+            f"work unit exceeded its {seconds:g}s wall-clock budget",
+            seconds=seconds,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_unit(fn, args, kwargs, timeout):
+    """Top-level worker entry: run one unit, report outcome as data.
+
+    Returns ``("ok", result, wall_s)`` or ``("err", payload, wall_s)``
+    where ``payload`` is an :func:`repro.errors.error_payload` — raising
+    across the pickle boundary would lose the taxonomy's detail fields.
+    """
+    watch = timing.stopwatch()
+    try:
+        with _unit_deadline(timeout):
+            result = fn(*args, **kwargs)
+    except Exception as exc:  # noqa: BLE001 — the whole point is containment
+        return ("err", error_payload(exc), watch.seconds)
+    return ("ok", result, watch.seconds)
+
+
+# -- failure bookkeeping (parent process) ----------------------------------
+
+#: failures collected by every run_grid call since the last reset — the
+#: report reads this to render its failure section and set its exit code
+_collected_failures: list[GridFailure] = []
+
+
+def reset_failures() -> None:
+    del _collected_failures[:]
+
+
+def collected_failures() -> list[GridFailure]:
+    return list(_collected_failures)
+
+
+def _make_failure(key, payload, wall_s, attempts) -> GridFailure:
+    return GridFailure(
+        key=key,
+        error_type=payload.get("type", "Exception"),
+        message=payload.get("message", ""),
+        wall_s=wall_s,
+        attempts=attempts,
+        details=dict(payload.get("details", {})),
+        traceback=payload.get("traceback", ""),
+    )
+
+
+#: payload standing in for a unit whose worker died without reporting
+_CRASH_PAYLOAD = {
+    "type": "WorkerCrash",
+    "module": "repro.errors",
+    "message": "worker process died (killed or crashed) while running "
+    "this unit or its pool-mate",
+}
 
 
 def run_grid(
-    units: Sequence, jobs: int | None = None, label: str = "grid"
+    units: Sequence,
+    jobs: int | None = None,
+    label: str = "grid",
+    options: GridOptions | None = None,
 ) -> list:
     """Run every work unit; results come back in submission order.
 
     ``units`` may hold :class:`GridTask` instances, bare callables, or
     ``(fn, args)`` / ``(fn, args, kwargs)`` tuples.  ``jobs=1`` runs the
     units serially in-process (the deterministic fallback); ``jobs>1``
-    submits them all to a process pool and gathers results by index.  A
-    worker exception propagates to the caller either way.
+    submits them all to a process pool and gathers results by index.
+
+    Robustness knobs (timeout, retries, failure collection, journal)
+    ride on ``options`` — see :class:`GridOptions`.  With the default
+    ``failures="raise"`` a worker exception propagates to the caller
+    either way, reconstructed from its serialized payload.
     """
+    opts = options or GridOptions()
+    if jobs is not None:
+        opts = replace(opts, jobs=jobs)
     tasks = [_as_task(unit) for unit in units]
-    count = resolve_jobs(jobs)
+    seen: set[str] = set()
+    for task in tasks:
+        if task.key in seen:
+            raise ValueError(f"duplicate grid key {task.key!r}")
+        seen.add(task.key)
+    count = resolve_jobs(opts.jobs)
+    timeout = resolve_timeout(opts.timeout)
+    journal = opts.journal
+    collect = opts.failures == "collect"
     timing.add(f"grid.{label}.units", len(tasks))
-    if count <= 1 or len(tasks) <= 1:
-        return [task.run() for task in tasks]
-    workers = min(count, len(tasks))
+
+    results: list = [MISSING] * len(tasks)
+    pending: dict[int, GridTask] = {}
+    for index, task in enumerate(tasks):
+        cached = journal.lookup(task.key) if journal is not None else MISSING
+        if cached is not MISSING:
+            results[index] = cached
+        else:
+            pending[index] = task
+    resumed = len(tasks) - len(pending)
+    if resumed:
+        timing.add(f"grid.{label}.resumed", resumed)
+        timing.add("grid.resumed_units", resumed)
+
+    def record_ok(index: int, value, wall_s: float) -> None:
+        results[index] = value
+        if journal is not None:
+            journal.record_ok(tasks[index].key, value, wall_s)
+
+    def record_failure(index: int, payload, wall_s, attempts) -> None:
+        task = tasks[index]
+        failure = _make_failure(task.key, payload, wall_s, attempts)
+        if journal is not None:
+            journal.record_failure(task.key, payload, wall_s, attempts)
+        timing.add(f"grid.{label}.failures")
+        timing.add("grid.failed_units")
+        if payload.get("type") == "GridTimeout":
+            timing.add("grid.timeouts")
+        if not collect:
+            raise reconstruct_error(payload)
+        results[index] = failure
+        _collected_failures.append(failure)
+
+    if count <= 1 or len(pending) <= 1:
+        for index, task in sorted(pending.items()):
+            watch = timing.stopwatch()
+            try:
+                with _unit_deadline(timeout):
+                    value = task.run()
+            except Exception as exc:  # noqa: BLE001
+                record_failure(index, error_payload(exc), watch.seconds, 1)
+                continue
+            record_ok(index, value, watch.seconds)
+        return results
+
+    workers = min(count, len(pending))
     timing.add(f"grid.{label}.workers", workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(task.fn, *task.args, **task.kwargs) for task in tasks
-        ]
-        # gather in submission order — deterministic regardless of which
-        # worker finishes first
-        return [future.result() for future in futures]
+    attempts = {index: 0 for index in pending}
+    backoff = opts.backoff
+    while pending:
+        for index in pending:
+            attempts[index] += 1
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        index_of = {
+            pool.submit(_run_unit, task.fn, task.args, task.kwargs, timeout): i
+            for i, task in sorted(pending.items())
+        }
+        broken = False
+        try:
+            for future in as_completed(index_of):
+                index = index_of[future]
+                try:
+                    status, payload, wall_s = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    continue  # the sibling futures resolve immediately too
+                if status == "ok":
+                    record_ok(index, payload, wall_s)
+                else:
+                    record_failure(index, payload, wall_s, attempts[index])
+                del pending[index]
+        except BaseException:
+            # failures="raise", KeyboardInterrupt, ... — don't wait for
+            # stragglers, the journal already holds everything completed
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=not broken, cancel_futures=broken)
+        if broken and pending:
+            timing.add(f"grid.{label}.pool_rebuilds")
+            timing.add("grid.pool_rebuilds")
+            for index in sorted(pending):
+                if attempts[index] > opts.retries:
+                    record_failure(
+                        index, dict(_CRASH_PAYLOAD), 0.0, attempts[index]
+                    )
+                    del pending[index]
+                else:
+                    timing.add(f"grid.{label}.retries")
+                    timing.add("grid.retried_units")
+            if pending:
+                time.sleep(backoff)
+                backoff = min(backoff * 2, 5.0)
+    return results

@@ -1,16 +1,24 @@
 """Run the whole evaluation and render a report.
 
-``python -m repro.eval.report [--scale S] [--jobs N]`` regenerates every
-table and figure (the content of EXPERIMENTS.md) in one run.  Scaled-down
-problem sizes keep the full sweep fast; pass ``--scale 1.0`` for the
-classic Livermore sizes.
+``python -m repro.eval.report [--scale S] [--jobs N] [--timeout T]
+[--resume JOURNAL]`` regenerates every table and figure (the content of
+EXPERIMENTS.md) in one run.  Scaled-down problem sizes keep the full
+sweep fast; pass ``--scale 1.0`` for the classic Livermore sizes.
 
-The harness is performance-instrumented: independent (kernel × strategy ×
-target) work units fan out across a process pool (``--jobs``/``REPRO_JOBS``;
-``--jobs 1`` is the deterministic serial fallback — table values and
-checksums are identical at any job count), and a machine-readable
-``BENCH_eval.json`` records wall time per section, simulator throughput,
-and target-cache hit counts so later PRs have a perf trajectory to
+The harness is performance-instrumented and fault-tolerant: independent
+(kernel × strategy × target) work units fan out across a process pool
+(``--jobs``/``REPRO_JOBS``; ``--jobs 1`` is the deterministic serial
+fallback — table values and checksums are identical at any job count),
+each unit runs under an optional wall-clock budget
+(``--timeout``/``REPRO_UNIT_TIMEOUT``), crashed workers are retried with
+a rebuilt pool, and failed units render as FAILED cells instead of
+aborting the run (the process still exits nonzero so CI notices).  With
+``--resume JOURNAL`` (or ``REPRO_JOURNAL``) completed units checkpoint
+into a JSONL journal and a re-run after an interruption re-executes only
+the missing or failed units — the resumed tables are byte-identical to a
+single-shot run.  A machine-readable ``BENCH_eval.json`` records wall
+time per section, simulator throughput, target-cache hit counts and the
+failure/retry/resume tallies so later PRs have a perf trajectory to
 regress against.
 """
 
@@ -18,8 +26,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
+from dataclasses import dataclass, field
 
+from repro.eval import grid
 from repro.eval.ablation import (
     ablation_delay_fill,
     ablation_heuristic,
@@ -33,7 +44,8 @@ from repro.eval.claims import (
     claim_strategy_speedup,
 )
 from repro.eval.figure7 import figure7
-from repro.eval.grid import resolve_jobs
+from repro.eval.grid import GridFailure, GridOptions, resolve_jobs, resolve_timeout
+from repro.eval.journal import Journal
 from repro.eval.table1 import table1
 from repro.eval.table2 import table2
 from repro.eval.table3 import table3
@@ -48,14 +60,51 @@ SEED_SERIAL_SECONDS = 194.7
 SEED_SCALE = 0.3
 
 
+@dataclass
+class ReportResult:
+    """Everything one report run produced: the rendered text, the grid
+    failures that degraded it (empty on a clean run), and the
+    machine-readable benchmark payload."""
+
+    text: str
+    failures: list[GridFailure] = field(default_factory=list)
+    bench: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __str__(self) -> str:
+        return self.text
+
+
 def generate_report(
     scale: float = 0.3,
     jobs: int | None = None,
     bench_path: str | None = None,
-) -> str:
+    timeout: float | None = None,
+    resume: str | None = None,
+) -> ReportResult:
+    """Run every experiment; never raises for a failed work unit.
+
+    ``resume`` names a journal file: completed units are checkpointed
+    there and reused by the next run.  ``timeout`` bounds each unit's
+    wall clock.  Inspect ``.failures`` (and exit nonzero) on a degraded
+    run.
+    """
     jobs = resolve_jobs(jobs)
+    timeout = resolve_timeout(timeout)
+    journal = (
+        Journal(resume, config={"scale": scale, "kind": "report"})
+        if resume
+        else None
+    )
+    options = GridOptions(
+        jobs=jobs, timeout=timeout, failures="collect", journal=journal
+    )
     timing.reset()
     timing.enable()
+    grid.reset_failures()
     sections: list[str] = []
     section_seconds: dict[str, float] = {}
 
@@ -67,13 +116,16 @@ def generate_report(
 
     start = time.time()
     section(
-        "Table 1 — machine description statistics", lambda: table1(jobs=jobs)
+        "Table 1 — machine description statistics",
+        lambda: table1(options=options),
     )
     section("Table 2 — system source code size", table2)
     section("Table 3 — compile time and dilation", lambda: table3(repeat=2))
 
     measure_start = time.time()
-    table4_data = table4_measure(scale=scale, cache=True, jobs=jobs)
+    table4_data = table4_measure(
+        scale=scale, cache=True, options=options
+    )
     measure_seconds = time.time() - measure_start
     section(
         f"Table 4 — Livermore Loops (scale={scale})",
@@ -83,11 +135,14 @@ def generate_report(
     section("Figure 7 — i860 dual-operation schedule", figure7)
 
     def c1() -> str:
-        claim = claim_strategy_speedup(scale=scale, jobs=jobs)
+        claim = claim_strategy_speedup(scale=scale, options=options)
         lines = [
             f"  workload {kid or 'unrolled-hydro'}: postpass/ips={ips:.3f}  "
             f"postpass/rase={rase:.3f}"
             for kid, (ips, rase) in sorted(claim.per_kernel.items())
+        ]
+        lines += [
+            f"  FAILED: {failure.summary()}" for failure in claim.failures
         ]
         return (
             "\n".join(lines)
@@ -98,12 +153,17 @@ def generate_report(
     section("Claim C1 — IPS/RASE vs Postpass on computation-intensive code", c1)
 
     def c3() -> str:
-        baseline_claim = claim_rase_vs_unscheduled(scale=scale, jobs=jobs)
+        baseline_claim = claim_rase_vs_unscheduled(scale=scale, options=options)
+        lines = [
+            f"  K{kid}: {ratio:.3f}"
+            for kid, ratio in sorted(baseline_claim.per_kernel.items())
+        ]
+        lines += [
+            f"  FAILED: {failure.summary()}"
+            for failure in baseline_claim.failures
+        ]
         return (
-            "\n".join(
-                f"  K{kid}: {ratio:.3f}"
-                for kid, ratio in sorted(baseline_claim.per_kernel.items())
-            )
+            "\n".join(lines)
             + f"\n  geomean speedup: {baseline_claim.geomean_speedup:.3f}"
         )
 
@@ -123,7 +183,9 @@ def generate_report(
 
     def a1() -> str:
         dual = ablation_temporal_dual()
-        rows = ablation_temporal(kernel_ids=(1, 3, 7), scale=scale, jobs=jobs)
+        rows = ablation_temporal(
+            kernel_ids=(1, 3, 7), scale=scale, options=options
+        )
         return (
             f"dual-operation-rich fragment: eap={dual.baseline_cycles} "
             f"monolithic={dual.variant_cycles} "
@@ -136,7 +198,9 @@ def generate_report(
     section(
         "Ablation A2 — maximum-distance heuristic vs FIFO",
         lambda: render(
-            ablation_heuristic(kernel_ids=(1, 6, 7), scale=scale, jobs=jobs),
+            ablation_heuristic(
+                kernel_ids=(1, 6, 7), scale=scale, options=options
+            ),
             "kernel-loop cycles",
             "fifo",
         ),
@@ -145,25 +209,39 @@ def generate_report(
     section(
         "Ablation A3 — GH82 delay-slot filling vs nops",
         lambda: render(
-            ablation_delay_fill(kernel_ids=(1, 5, 12), scale=scale, jobs=jobs),
+            ablation_delay_fill(
+                kernel_ids=(1, 5, 12), scale=scale, options=options
+            ),
             "kernel-loop cycles",
             "nops",
         ),
     )
+
+    failures = grid.collected_failures()
+    if failures:
+        lines = "\n".join(f"  {failure.summary()}" for failure in failures)
+        sections.append(
+            f"{'=' * 72}\nFailures — {len(failures)} work unit(s) did not "
+            f"complete\n{'=' * 72}\n{lines}\n"
+        )
 
     total_seconds = time.time() - start
     sections.append(
         f"total evaluation time: {total_seconds:.1f}s (jobs={jobs})\n"
     )
 
+    bench = _bench_payload(
+        scale, jobs, total_seconds, section_seconds, table4_data, failures
+    )
     if bench_path:
-        bench = _bench_payload(
-            scale, jobs, total_seconds, section_seconds, table4_data
-        )
         with open(bench_path, "w") as handle:
             json.dump(bench, handle, indent=2, sort_keys=True)
             handle.write("\n")
-    return "\n".join(sections)
+    if journal is not None:
+        journal.close()
+    return ReportResult(
+        text="\n".join(sections), failures=failures, bench=bench
+    )
 
 
 def _bench_payload(
@@ -172,8 +250,9 @@ def _bench_payload(
     total_seconds: float,
     section_seconds: dict[str, float],
     table4_data,
+    failures: list[GridFailure],
 ) -> dict:
-    """The machine-readable BENCH_eval.json payload (schema v1)."""
+    """The machine-readable BENCH_eval.json payload (schema v2)."""
     runs = [
         run
         for by_strategy in table4_data.runs.values()
@@ -183,7 +262,7 @@ def _bench_payload(
     sim_cycles = sum(run.actual_cycles for run in runs)
     snapshot = timing.snapshot()
     payload = {
-        "schema": 1,
+        "schema": 2,
         "scale": scale,
         "jobs": jobs,
         "wall_seconds": {
@@ -210,6 +289,14 @@ def _bench_payload(
             "misses": timing.counter("target_cache.miss"),
             "bypasses": timing.counter("target_cache.bypass"),
         },
+        "fault_tolerance": {
+            "failed_units": len(failures),
+            "timeouts": timing.counter("grid.timeouts"),
+            "retried_units": timing.counter("grid.retried_units"),
+            "pool_rebuilds": timing.counter("grid.pool_rebuilds"),
+            "resumed_units": timing.counter("grid.resumed_units"),
+            "failed_keys": sorted(failure.key for failure in failures),
+        },
         "counters": snapshot["counters"],
         "phases": snapshot["phases"],
         "baseline": {
@@ -225,16 +312,58 @@ def _bench_payload(
     return payload
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+def add_report_arguments(parser: argparse.ArgumentParser) -> None:
+    """The report flags, shared by this module's CLI and ``repro report``."""
     parser.add_argument("--scale", type=float, default=0.3)
     parser.add_argument(
         "--jobs",
         type=int,
         default=None,
-        help="parallel worker processes (default: REPRO_JOBS or cpu count; "
-        "1 = serial)",
+        help="parallel worker processes for the evaluation grid "
+        "(default: REPRO_JOBS or cpu count; 1 = serial)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-unit wall-clock budget in seconds "
+        "(default: REPRO_UNIT_TIMEOUT or unlimited)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="checkpoint completed units into this JSONL journal and "
+        "reuse any units it already holds (default: REPRO_JOURNAL)",
+    )
+
+
+def run_report_command(arguments, bench_default: str | None) -> int:
+    """Shared driver: run the report, print it, exit nonzero on failures."""
+    import os
+
+    resume = arguments.resume or os.environ.get("REPRO_JOURNAL") or None
+    bench_out = getattr(arguments, "bench_out", bench_default)
+    result = generate_report(
+        scale=arguments.scale,
+        jobs=arguments.jobs,
+        bench_path=bench_out or None,
+        timeout=arguments.timeout,
+        resume=resume,
+    )
+    print(result.text)
+    if result.failures:
+        print(
+            f"report degraded: {len(result.failures)} work unit(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_report_arguments(parser)
     parser.add_argument(
         "--bench-out",
         default="BENCH_eval.json",
@@ -242,14 +371,8 @@ def main() -> None:
         "('' to disable)",
     )
     arguments = parser.parse_args()
-    print(
-        generate_report(
-            scale=arguments.scale,
-            jobs=arguments.jobs,
-            bench_path=arguments.bench_out or None,
-        )
-    )
+    return run_report_command(arguments, "BENCH_eval.json")
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -87,15 +87,25 @@ def description_stats(target_name: str) -> DescriptionStats:
     return stats
 
 
-def table1(targets=("m88000", "r2000", "i860"), jobs: int | None = None) -> str:
+def table1(
+    targets=("m88000", "r2000", "i860"),
+    jobs: int | None = None,
+    options=None,
+) -> str:
     """Render the reproduced Table 1."""
-    from repro.eval.grid import GridTask, run_grid
+    from repro.eval.grid import GridFailure, GridTask, run_grid
 
-    stats = run_grid(
-        [GridTask(description_stats, (name,)) for name in targets],
+    results = run_grid(
+        [
+            GridTask(f"table1/{name}", description_stats, (name,))
+            for name in targets
+        ],
         jobs=jobs,
         label="table1",
+        options=options,
     )
+    stats = [s for s in results if not isinstance(s, GridFailure)]
+    failed = [s for s in results if isinstance(s, GridFailure)]
     table = TextTable(
         ["Section / item"] + [s.target for s in stats],
         title="Table 1: Maril machine description statistics",
@@ -115,4 +125,9 @@ def table1(targets=("m88000", "r2000", "i860"), jobs: int | None = None) -> str:
     ]
     for label, attr in rows:
         table.add_row(label, *[getattr(s, attr) for s in stats])
-    return str(table)
+    text = str(table)
+    if failed:
+        text += "\nFAILED targets:\n" + "\n".join(
+            f"  {failure.summary()}" for failure in failed
+        )
+    return text

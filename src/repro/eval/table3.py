@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import repro
 from repro.backend.codegen import CodeGenerator
 from repro.frontend import compile_to_il
+from repro.options import CompileOptions
 from repro.program import link
 from repro.utils.tables import TextTable
 from repro.workloads import PROGRAM_SUITE
@@ -65,7 +66,10 @@ def measure(targets=("r2000", "i860"), repeat: int = 1) -> Table3Data:
                 executables = []
                 for program in PROGRAM_SUITE:
                     generator = CodeGenerator(
-                        target, strategy=real_strategy, schedule=schedule
+                        target,
+                        CompileOptions(
+                            strategy=real_strategy, schedule=schedule
+                        ),
                     )
                     machine_program = generator.compile_il(
                         compile_to_il(program.source)

@@ -8,14 +8,19 @@ therefore exclude cache misses and cross-block stalls).  The shape to
 reproduce: ratios >= 1, varying per kernel, and consistent across the
 three strategies for each kernel; means in the same band as the paper's
 1.06.
+
+Under a fault-tolerant grid (``GridOptions(failures="collect")``) a unit
+that times out or crashes leaves a FAILED cell in its (kernel, strategy)
+slot rather than aborting the table; strategy means are computed over
+the surviving kernels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.eval.common import STRATEGIES, KernelRun, grid_run_kernel
-from repro.eval.grid import GridTask, run_grid
+from repro.eval.common import STRATEGIES, KernelRun, grid_run_kernel, kernel_key
+from repro.eval.grid import GridFailure, GridOptions, GridTask, run_grid
 from repro.utils.stats import arithmetic_mean, harmonic_mean
 from repro.utils.tables import TextTable
 from repro.workloads import LIVERMORE_KERNELS
@@ -25,6 +30,8 @@ from repro.workloads import LIVERMORE_KERNELS
 class Table4Data:
     #: runs[kernel_id][strategy]
     runs: dict[int, dict[str, KernelRun]] = field(default_factory=dict)
+    #: failures[(kernel_id, strategy)] — units that produced no KernelRun
+    failures: dict[tuple[int, str], GridFailure] = field(default_factory=dict)
 
     @property
     def unmatched_blocks(self) -> int:
@@ -41,14 +48,17 @@ class Table4Data:
     def ratio(self, kernel_id: int, strategy: str) -> float:
         return self.runs[kernel_id][strategy].ratio
 
+    def _complete(self, strategy: str) -> list[int]:
+        return [k for k in sorted(self.runs) if strategy in self.runs[k]]
+
     def mean_cycles(self, strategy: str) -> float:
         return arithmetic_mean(
-            self.cycles(k, strategy) for k in sorted(self.runs)
+            self.cycles(k, strategy) for k in self._complete(strategy)
         )
 
     def mean_ratio(self, strategy: str) -> float:
         return harmonic_mean(
-            self.ratio(k, strategy) for k in sorted(self.runs)
+            self.ratio(k, strategy) for k in self._complete(strategy)
         )
 
 
@@ -58,10 +68,15 @@ def measure(
     scale: float = 1.0,
     cache: bool = True,
     jobs: int | None = None,
+    options: GridOptions | None = None,
 ) -> Table4Data:
     specs = kernels or LIVERMORE_KERNELS
+    labels = [
+        (spec.id, strategy) for spec in specs for strategy in STRATEGIES
+    ]
     units = [
         GridTask(
+            kernel_key("table4", target, strategy, spec.id),
             grid_run_kernel,
             (spec.id, target, strategy),
             {"scale": scale, "cache": cache},
@@ -69,10 +84,13 @@ def measure(
         for spec in specs
         for strategy in STRATEGIES
     ]
-    results = run_grid(units, jobs=jobs, label="table4")
+    results = run_grid(units, jobs=jobs, label="table4", options=options)
     data = Table4Data()
-    for run in results:
-        data.runs.setdefault(run.kernel_id, {})[run.strategy] = run
+    for (kernel_id, strategy), outcome in zip(labels, results):
+        if isinstance(outcome, GridFailure):
+            data.failures[(kernel_id, strategy)] = outcome
+        else:
+            data.runs.setdefault(kernel_id, {})[strategy] = outcome
     return data
 
 
@@ -82,9 +100,15 @@ def table4(
     scale: float = 1.0,
     cache: bool = True,
     jobs: int | None = None,
+    options: GridOptions | None = None,
 ) -> str:
     data = measure(
-        target=target, kernels=kernels, scale=scale, cache=cache, jobs=jobs
+        target=target,
+        kernels=kernels,
+        scale=scale,
+        cache=cache,
+        jobs=jobs,
+        options=options,
     )
     return render(data, target=target)
 
@@ -105,20 +129,45 @@ def render(data: Table4Data, target: str = "r2000") -> str:
             f"{target} — simulated kilocycles and actual/estimated ratio"
         ),
     )
-    for kernel_id in sorted(data.runs):
-        cells = [kernel_id]
+    kernel_ids = sorted(
+        set(data.runs) | {kernel_id for kernel_id, _ in data.failures}
+    )
+    for kernel_id in kernel_ids:
+        cells: list = [kernel_id]
+        by_strategy = data.runs.get(kernel_id, {})
         for strategy in STRATEGIES:
-            cells.append(f"{data.cycles(kernel_id, strategy) / 1000:.1f}")
+            if strategy in by_strategy:
+                cells.append(f"{data.cycles(kernel_id, strategy) / 1000:.1f}")
+            else:
+                cells.append("FAILED")
         for strategy in STRATEGIES:
-            cells.append(f"{data.ratio(kernel_id, strategy):.2f}")
+            if strategy in by_strategy:
+                cells.append(f"{data.ratio(kernel_id, strategy):.2f}")
+            else:
+                cells.append("-")
         table.add_row(*cells)
     means = ["mean"]
     for strategy in STRATEGIES:
-        means.append(f"{data.mean_cycles(strategy) / 1000:.1f}")
+        survivors = data._complete(strategy)
+        means.append(
+            f"{data.mean_cycles(strategy) / 1000:.1f}" if survivors else "-"
+        )
     for strategy in STRATEGIES:
-        means.append(f"{data.mean_ratio(strategy):.2f}")
+        survivors = data._complete(strategy)
+        means.append(
+            f"{data.mean_ratio(strategy):.2f}" if survivors else "-"
+        )
     table.add_row(*means)
     text = str(table)
+    if data.failures:
+        lines = "\n".join(
+            f"  {failure.summary()}"
+            for _, failure in sorted(data.failures.items())
+        )
+        text += (
+            f"\nFAILED units ({len(data.failures)}; means cover the "
+            f"surviving kernels only):\n{lines}"
+        )
     if data.unmatched_blocks:
         text += (
             f"\nWARNING: {data.unmatched_blocks} profiled block(s) had no "

@@ -1,0 +1,95 @@
+"""Consolidated option records for the public API.
+
+:class:`CompileOptions` replaces the keyword list that ``compile_c`` and
+:class:`~repro.backend.codegen.CodeGenerator` had been accreting
+(``strategy``, ``heuristic``, ``schedule``, ``fill_delay_slots``,
+``memory_size``, ...).  It is frozen — an options value can be shared
+between threads, used as a dict key, and journalled — and every layer of
+the back end threads the *same* object through instead of re-plumbing
+individual keywords.
+
+The legacy keywords still work on ``compile_c``/``CodeGenerator`` through
+a deprecation shim that converts them to a ``CompileOptions`` and emits a
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import MarionError
+
+#: sentinel distinguishing "keyword not passed" from any real value
+UNSET = object()
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Everything that shapes one compilation, in one frozen record.
+
+    * ``strategy`` — code generation strategy: ``postpass``, ``ips`` or
+      ``rase``;
+    * ``heuristic`` — list scheduling priority: ``maxdist`` or ``fifo``;
+    * ``schedule`` — ``False`` selects the unscheduled (local-only)
+      baseline: program order, delay slots nop-filled;
+    * ``fill_delay_slots`` — run the Gross-Hennessy delay-slot filling
+      extension after the strategy;
+    * ``memory_size`` — bytes of simulated memory the linker lays the
+      program into.
+    """
+
+    strategy: str = "postpass"
+    heuristic: str = "maxdist"
+    schedule: bool = True
+    fill_delay_slots: bool = False
+    memory_size: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("postpass", "ips", "rase"):
+            raise MarionError(
+                f"unknown strategy {self.strategy!r}; "
+                "known: postpass, ips, rase"
+            )
+        if self.heuristic not in ("maxdist", "fifo"):
+            # ValueError, matching the scheduler's own rejection of an
+            # unknown heuristic name
+            raise ValueError(
+                f"unknown heuristic {self.heuristic!r}; known: maxdist, fifo"
+            )
+
+    def replace(self, **changes) -> "CompileOptions":
+        """A copy with the given fields changed (frozen-friendly)."""
+        return dataclasses.replace(self, **changes)
+
+
+def merge_legacy_kwargs(
+    options: "CompileOptions | str | None",
+    legacy: dict,
+    *,
+    where: str,
+    warn,
+) -> "CompileOptions":
+    """Resolve the (options, legacy-keywords) call styles to one record.
+
+    ``legacy`` maps keyword name to value for every keyword the caller
+    actually passed (values equal to :data:`UNSET` are dropped here).  A
+    bare string in ``options`` position is treated as the old positional
+    ``strategy`` argument.  ``warn`` is called with the deprecation
+    message when any legacy spelling is used.
+    """
+    passed = {k: v for k, v in legacy.items() if v is not UNSET}
+    if isinstance(options, str):  # old positional strategy argument
+        passed.setdefault("strategy", options)
+        options = None
+    if passed:
+        warn(
+            f"{where}: the {', '.join(sorted(passed))} keyword(s) are "
+            "deprecated; pass options=CompileOptions(...) instead"
+        )
+        if options is not None:
+            raise TypeError(
+                f"{where}: pass either options= or legacy keywords, not both"
+            )
+        return CompileOptions(**passed)
+    return options if options is not None else CompileOptions()

@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.backend.insts import MachineInstr
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SimulationTimeout
 from repro.program import Executable
 from repro.sim.cache import DirectMappedCache
 from repro.sim.executor import SemanticsCompiler
@@ -91,9 +91,16 @@ class Simulator:
         args: tuple = (),
         arg_types: tuple | None = None,
         max_instructions: int = 50_000_000,
+        max_cycles: int | None = None,
         trace=None,
     ) -> SimResult:
         """Run ``function``.
+
+        ``max_cycles``, if given, is a watchdog: the run raises
+        :class:`SimulationTimeout` (carrying function/pc/cycle context)
+        once the pipeline cycle count passes the budget, so a runaway
+        kernel becomes a catchable failure instead of a hang.  With
+        timing off the instruction count stands in for cycles.
 
         ``trace``, if given, is called as ``trace(pc, instr, cycle)`` after
         every executed instruction (cycle is 0 when timing is off) — a
@@ -120,7 +127,8 @@ class Simulator:
             reg = cwvm.arg_register(type_name, index)
             if reg is None:
                 raise SimulationError(
-                    f"no argument register for {type_name} argument #{index + 1}"
+                    f"no argument register for {type_name} argument #{index + 1}",
+                    function=function,
                 )
             state.write_reg(reg, type_name, value)
         if cwvm.gp is not None:
@@ -142,15 +150,36 @@ class Simulator:
         block_starts = self._block_starts
         pipeline_issue = pipeline.issue if pipeline else None
         wall_start = time.perf_counter() if timing.ENABLED else 0.0
+        # the watchdog is checked every 256 instructions so its cost on
+        # the hot path is one extra branch per instruction
+        watchdog = max_cycles is not None
 
         while pc != _HALT:
             if pc < 0 or pc >= program_size:
-                raise SimulationError(f"pc {pc} outside program")
+                raise SimulationError(
+                    f"pc {pc} outside program",
+                    function=function,
+                    pc=pc,
+                    cycle=pipeline.cycles if pipeline else executed,
+                )
             instr = instrs[pc]
             if executed >= max_instructions:
                 raise SimulationError(
-                    f"exceeded {max_instructions} instructions (infinite loop?)"
+                    f"exceeded {max_instructions} instructions (infinite loop?)",
+                    function=function,
+                    pc=pc,
+                    cycle=pipeline.cycles if pipeline else executed,
                 )
+            if watchdog and not (executed & 255):
+                current = pipeline.cycles if pipeline else executed
+                if current > max_cycles:
+                    raise SimulationTimeout(
+                        f"simulation exceeded {max_cycles} cycles",
+                        max_cycles=max_cycles,
+                        function=function,
+                        pc=pc,
+                        cycle=current,
+                    )
             effect = closures[pc](state, mem_log)
             executed += 1
             if pc in block_starts:
@@ -185,16 +214,29 @@ class Simulator:
                     pipeline.transfer(instr, issue_cycle)
                 pc = exe.labels.get(effect[1])
                 if pc is None:
-                    raise SimulationError(f"undefined label {effect[1]!r}")
+                    raise SimulationError(
+                        f"undefined label {effect[1]!r}",
+                        function=function,
+                        cycle=pipeline.cycles if pipeline else executed,
+                    )
             elif kind == "call":
                 if cwvm.retaddr is None:
-                    raise SimulationError("call without a %retaddr register")
+                    raise SimulationError(
+                        "call without a %retaddr register",
+                        function=function,
+                        pc=pc,
+                        cycle=pipeline.cycles if pipeline else executed,
+                    )
                 state.write_reg(cwvm.retaddr, "int", pc + 1)
                 if pipeline:
                     pipeline.transfer(instr, issue_cycle)
                 pc = exe.labels.get(effect[1])
                 if pc is None:
-                    raise SimulationError(f"undefined function {effect[1]!r}")
+                    raise SimulationError(
+                        f"undefined function {effect[1]!r}",
+                        function=function,
+                        cycle=pipeline.cycles if pipeline else executed,
+                    )
             elif kind == "ret":
                 target_pc = self._execute_delay_slots(
                     instr, pc, state, pipeline, block_counts
@@ -204,7 +246,12 @@ class Simulator:
                     pipeline.transfer(instr, issue_cycle)
                 pc = state.read_reg(cwvm.retaddr, "int")
             else:
-                raise SimulationError(f"unknown control effect {effect!r}")
+                raise SimulationError(
+                    f"unknown control effect {effect!r}",
+                    function=function,
+                    pc=pc,
+                    cycle=pipeline.cycles if pipeline else executed,
+                )
 
         if timing.ENABLED:
             timing.add_seconds("sim.run", time.perf_counter() - wall_start)
@@ -241,7 +288,8 @@ class Simulator:
             effect = self.closures[slot_pc](state, mem_log)
             if effect is not None:
                 raise SimulationError(
-                    "control instruction in a delay slot is not supported"
+                    "control instruction in a delay slot is not supported",
+                    pc=slot_pc,
                 )
             if pipeline:
                 pipeline.issue(self.executable.instrs[slot_pc], mem_log)
@@ -265,7 +313,13 @@ def run_program(
     cache: DirectMappedCache | None = None,
     model_timing: bool = True,
     max_instructions: int = 50_000_000,
+    max_cycles: int | None = None,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     simulator = Simulator(executable, cache=cache, model_timing=model_timing)
-    return simulator.run(function, args, max_instructions=max_instructions)
+    return simulator.run(
+        function,
+        args,
+        max_instructions=max_instructions,
+        max_cycles=max_cycles,
+    )

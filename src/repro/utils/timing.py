@@ -93,6 +93,33 @@ def counter(name: str) -> int:
     return _recorder.counters.get(name, 0)
 
 
+class Stopwatch:
+    """A tiny always-on wall-clock timer.
+
+    Unlike :func:`phase`/:func:`add_seconds`, a stopwatch measures even
+    when instrumentation is disabled — the fault-tolerant grid stamps
+    every unit result and journal record with its wall time regardless
+    of whether the perf recorder is on.
+    """
+
+    __slots__ = ("start",)
+
+    def __init__(self) -> None:
+        self.start = time.perf_counter()
+
+    @property
+    def seconds(self) -> float:
+        return time.perf_counter() - self.start
+
+    def restart(self) -> None:
+        self.start = time.perf_counter()
+
+
+def stopwatch() -> Stopwatch:
+    """Start and return a new :class:`Stopwatch`."""
+    return Stopwatch()
+
+
 def snapshot() -> dict:
     """A JSON-ready copy of everything recorded so far."""
     return {

@@ -2,11 +2,15 @@
 fallback, job-count resolution, and — the property everything else
 rests on — identical table rows at jobs=1 and jobs=4."""
 
-import os
-
 import pytest
 
-from repro.eval.grid import GridTask, resolve_jobs, run_grid
+from repro.eval.grid import (
+    GridOptions,
+    GridTask,
+    resolve_jobs,
+    resolve_timeout,
+    run_grid,
+)
 from repro.eval.table4 import measure as table4_measure
 from repro.workloads import kernel_by_id
 
@@ -19,13 +23,17 @@ def _fail(x):
     raise RuntimeError(f"unit {x} failed")
 
 
+def _tasks(values):
+    return [GridTask(f"square/{i}", _square, (i,)) for i in values]
+
+
 def test_run_grid_serial_preserves_order():
-    results = run_grid([GridTask(_square, (i,)) for i in range(6)], jobs=1)
+    results = run_grid(_tasks(range(6)), jobs=1)
     assert results == [0, 1, 4, 9, 16, 25]
 
 
 def test_run_grid_parallel_preserves_submission_order():
-    results = run_grid([GridTask(_square, (i,)) for i in range(8)], jobs=4)
+    results = run_grid(_tasks(range(8)), jobs=4)
     assert results == [i * i for i in range(8)]
 
 
@@ -36,12 +44,26 @@ def test_run_grid_accepts_tuples_and_callables():
     assert results == [9, "bare"]
 
 
+def test_run_grid_rejects_duplicate_keys():
+    with pytest.raises(ValueError, match="duplicate grid key"):
+        run_grid(
+            [GridTask("same", _square, (1,)), GridTask("same", _square, (2,))],
+            jobs=1,
+        )
+
+
+def test_grid_task_key_comes_first():
+    with pytest.raises(TypeError, match="key"):
+        GridTask(_square, ("not-a-key",))  # pre-1.1 argument order
+
+
 def test_run_grid_propagates_worker_exception():
     with pytest.raises(RuntimeError, match="unit 2 failed"):
-        run_grid([GridTask(_fail, (2,))], jobs=1)
+        run_grid([GridTask("fail/2", _fail, (2,))], jobs=1)
     with pytest.raises(RuntimeError, match="unit 5 failed"):
         run_grid(
-            [GridTask(_square, (1,)), GridTask(_fail, (5,))], jobs=2
+            [GridTask("sq/1", _square, (1,)), GridTask("fail/5", _fail, (5,))],
+            jobs=2,
         )
 
 
@@ -66,6 +88,27 @@ def test_resolve_jobs_floor(monkeypatch):
     assert resolve_jobs(0) == 1
     assert resolve_jobs(-3) == 1
     assert resolve_jobs(None) >= 1
+
+
+def test_resolve_timeout_env(monkeypatch):
+    monkeypatch.setenv("REPRO_UNIT_TIMEOUT", "2.5")
+    assert resolve_timeout(None) == 2.5
+    assert resolve_timeout(9.0) == 9.0
+    monkeypatch.setenv("REPRO_UNIT_TIMEOUT", "")
+    assert resolve_timeout(None) is None
+    monkeypatch.setenv("REPRO_UNIT_TIMEOUT", "soon")
+    with pytest.raises(ValueError, match="REPRO_UNIT_TIMEOUT"):
+        resolve_timeout(None)
+
+
+def test_resolve_timeout_nonpositive_means_unlimited():
+    assert resolve_timeout(0) is None
+    assert resolve_timeout(-1.0) is None
+
+
+def test_grid_options_validates_failure_mode():
+    with pytest.raises(ValueError, match="failures"):
+        GridOptions(failures="ignore")
 
 
 def test_jobs_parity_on_livermore_subset():
