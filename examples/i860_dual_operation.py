@@ -62,7 +62,7 @@ def main() -> None:
     print(figure7())
 
     # 2. a dual-operation-rich loop: how dense is the packing?
-    executable = repro.compile_c(KERNEL, "i860", strategy="postpass")
+    executable = repro.compile_c(KERNEL, "i860", repro.CompileOptions(strategy="postpass"))
     result = repro.simulate(executable, "run", args=(128,))
     packed, total = packed_cycles(executable, "fma_loop")
     print()

@@ -49,7 +49,7 @@ def main() -> None:
           f"{len(target.cwvm.allocable)} allocable registers)")
 
     for strategy in ("postpass", "ips", "rase"):
-        executable = repro.compile_c(SOURCE, target, strategy=strategy)
+        executable = repro.compile_c(SOURCE, target, repro.CompileOptions(strategy=strategy))
         result = repro.simulate(executable, "main_entry", args=(128,))
         print(
             f"{strategy:9s}: result={result.return_value['double']:14.6f}  "
@@ -57,7 +57,7 @@ def main() -> None:
         )
 
     # show the scheduled assembly of the hot function (postpass)
-    executable = repro.compile_c(SOURCE, target, strategy="postpass")
+    executable = repro.compile_c(SOURCE, target, repro.CompileOptions(strategy="postpass"))
     print()
     print(format_mfunction(executable.machine_program.function("smooth")))
 

@@ -141,7 +141,7 @@ def main() -> None:
 
     print(f"{'machine':16s} {'cycles':>8s} {'instructions':>13s}  result")
     for target in (riscx, single):
-        executable = repro.compile_c(SOURCE, target, strategy="ips")
+        executable = repro.compile_c(SOURCE, target, repro.CompileOptions(strategy="ips"))
         result = repro.simulate(executable, "saxpy", args=(96,))
         print(
             f"{target.name:16s} {result.cycles:8d} {result.instructions:13d}"

@@ -24,7 +24,7 @@ def measure(target_name: str) -> None:
     print(f"{'strategy':10s} {'cycles':>8s} {'code size':>10s} {'spills':>7s}")
     for strategy in ("postpass", "ips", "rase"):
         executable = repro.compile_c(
-            UNROLLED_HYDRO, target_name, strategy=strategy
+            UNROLLED_HYDRO, target_name, repro.CompileOptions(strategy=strategy)
         )
         stats = executable.machine_program.stats["kernel"]
         result = repro.simulate(executable, "bench", args=(1, 256))

@@ -37,8 +37,15 @@ from repro.errors import (
 )
 from repro.frontend import compile_to_il
 from repro.machine.target import TargetMachine
+import repro.obs as obs
 from repro.maril import parse_maril
-from repro.options import UNSET, CompileOptions, merge_legacy_kwargs
+from repro.obs import Trace, current_trace, tracing
+from repro.options import (
+    UNSET,
+    CompileOptions,
+    SimOptions,
+    merge_legacy_kwargs,
+)
 from repro.program import Executable, link
 from repro.sim import DirectMappedCache, SimResult, Simulator, run_program
 from repro.targets import TARGET_NAMES, clear_target_cache, load_target
@@ -55,21 +62,25 @@ __all__ = [
     "JournalError",
     "MachineProgram",
     "MarionError",
+    "SimOptions",
     "SimResult",
     "SimulationError",
     "SimulationTimeout",
     "Simulator",
     "TARGET_NAMES",
     "TargetMachine",
+    "Trace",
     "build_target",
     "clear_target_cache",
     "compile_c",
     "compile_to_il",
+    "current_trace",
     "link",
     "load_target",
     "parse_maril",
     "run_program",
     "simulate",
+    "tracing",
     "__version__",
 ]
 
@@ -113,13 +124,16 @@ def compile_c(
     if isinstance(target, str):
         target = load_target(target)
     timing.add("compile.calls")
-    with timing.phase("compile.frontend"):
-        il_program = compile_to_il(source)
-    generator = CodeGenerator(target, options)
-    with timing.phase("compile.codegen"):
-        machine_program = generator.compile_il(il_program)
-    with timing.phase("compile.link"):
-        executable = link(machine_program, memory_size=options.memory_size)
+    with obs.span(
+        "compile_c", target=target.name, strategy=options.strategy
+    ):
+        with timing.phase("compile.frontend"), obs.span("frontend"):
+            il_program = compile_to_il(source)
+        generator = CodeGenerator(target, options)
+        with timing.phase("compile.codegen"):
+            machine_program = generator.compile_il(il_program)
+        with timing.phase("compile.link"), obs.span("link"):
+            executable = link(machine_program, memory_size=options.memory_size)
     executable.machine_program = machine_program  # keep stats reachable
     return executable
 
@@ -129,21 +143,41 @@ def simulate(
     function: str,
     args: tuple = (),
     arg_types: tuple | None = None,
-    cache: DirectMappedCache | None = None,
-    model_timing: bool = True,
-    max_instructions: int = 50_000_000,
-    max_cycles: int | None = None,
+    options: SimOptions | None = None,
+    *,
+    cache=UNSET,
+    model_timing=UNSET,
+    max_instructions=UNSET,
+    max_cycles=UNSET,
 ) -> SimResult:
     """Run one function of a linked executable under the pipeline model.
 
-    ``max_cycles`` arms the simulator watchdog: the run raises
-    :class:`SimulationTimeout` once the cycle count passes the budget.
+    All knobs live on one frozen :class:`SimOptions` record::
+
+        repro.simulate(exe, "main", (10,), options=repro.SimOptions(
+            cache=True, max_cycles=1_000_000))
+
+    ``SimOptions(max_cycles=...)`` arms the simulator watchdog (the run
+    raises :class:`SimulationTimeout` once the cycle count passes the
+    budget); ``SimOptions(trace=True)`` attributes every stall cycle to
+    a hazard kind in ``SimResult.cycle_breakdown``.  The pre-1.1 keyword
+    spellings (``cache=``, ``model_timing=``, ``max_instructions=``,
+    ``max_cycles=``) still work but emit a :class:`DeprecationWarning`
+    and cannot be combined with ``options=``.
     """
-    simulator = Simulator(executable, cache=cache, model_timing=model_timing)
-    return simulator.run(
-        function,
-        args,
-        arg_types=arg_types,
-        max_instructions=max_instructions,
-        max_cycles=max_cycles,
+    options = merge_legacy_kwargs(
+        options,
+        {
+            "cache": cache,
+            "model_timing": model_timing,
+            "max_instructions": max_instructions,
+            "max_cycles": max_cycles,
+        },
+        where="simulate",
+        warn=lambda message: _warnings.warn(
+            message, DeprecationWarning, stacklevel=4
+        ),
+        factory=SimOptions,
     )
+    simulator = Simulator(executable, options)
+    return simulator.run(function, args, arg_types=arg_types)

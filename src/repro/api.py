@@ -1,0 +1,60 @@
+"""The canonical public API, in one import.
+
+``import repro`` re-exports the same names for convenience; this module
+is the *stable contract* — everything here is documented in
+``docs/api.md``, covered by the deprecation policy, and safe to build
+against.  Anything reachable only through submodule paths
+(``repro.backend...``, ``repro.sim.pipeline...``) is internal and may
+change between minor versions.
+"""
+
+from repro import compile_c, simulate
+from repro.backend.codegen import CodeGenerator, MachineProgram
+from repro.cgg import build_target
+from repro.errors import (
+    GridTimeout,
+    JournalError,
+    MarionError,
+    SimulationError,
+    SimulationTimeout,
+)
+from repro.frontend import compile_to_il
+from repro.machine.target import TargetMachine
+from repro.maril import parse_maril
+from repro.obs import Span, Trace, current_trace, span, tracing
+from repro.options import CompileOptions, SimOptions
+from repro.program import Executable, link
+from repro.sim import DirectMappedCache, SimResult, Simulator, run_program
+from repro.targets import TARGET_NAMES, clear_target_cache, load_target
+
+__all__ = [
+    "CodeGenerator",
+    "CompileOptions",
+    "DirectMappedCache",
+    "Executable",
+    "GridTimeout",
+    "JournalError",
+    "MachineProgram",
+    "MarionError",
+    "SimOptions",
+    "SimResult",
+    "SimulationError",
+    "SimulationTimeout",
+    "Simulator",
+    "Span",
+    "TARGET_NAMES",
+    "TargetMachine",
+    "Trace",
+    "build_target",
+    "clear_target_cache",
+    "compile_c",
+    "compile_to_il",
+    "current_trace",
+    "link",
+    "load_target",
+    "parse_maril",
+    "run_program",
+    "simulate",
+    "span",
+    "tracing",
+]

@@ -1,9 +1,17 @@
-"""Textual assembly output (for examples, docs and debugging)."""
+"""Textual assembly output (for examples, docs and debugging).
+
+The ``explain`` mode annotates the listing with the final schedule's
+observability data (``MBlock.issue_cycles`` / ``MBlock.stall_events``,
+recorded by the strategies' last scheduling pass): every instruction
+carries its issue cycle, and committed stall slots appear as comment
+lines at the point in the stream where the scheduler gave up a cycle —
+``repro compile --explain-schedule`` prints this form.
+"""
 
 from __future__ import annotations
 
 from repro.backend.codegen import MachineProgram
-from repro.backend.mfunc import MFunction
+from repro.backend.mfunc import MBlock, MFunction
 
 
 def format_instr(instr) -> str:
@@ -14,16 +22,50 @@ def format_instr(instr) -> str:
     return text
 
 
-def format_mfunction(fn: MFunction) -> str:
+def _reason_histogram(events) -> str:
+    counts: dict[str, int] = {}
+    for _cycle, reason in events:
+        counts[reason] = counts.get(reason, 0) + 1
+    return ", ".join(
+        f"{reason} x{count}" for reason, count in sorted(counts.items())
+    )
+
+
+def _format_block_explained(block: MBlock) -> list[str]:
+    """A block's listing with issue cycles and stall commentary."""
+    lines = []
+    head = f"{block.label}:"
+    if block.stall_events:
+        head = f"{head:<40} ; stalls: {_reason_histogram(block.stall_events)}"
+    lines.append(head)
+    remaining = sorted(block.stall_events)
+    for instr in block.instrs:
+        cycle = block.issue_cycles.get(instr.id)
+        while remaining and cycle is not None and remaining[0][0] < cycle:
+            at, reason = remaining.pop(0)
+            lines.append(f"        ; -- stall @{at}: {reason}")
+        text = format_instr(instr)
+        if cycle is not None:
+            text = f"{text:<48} ; @{cycle}"
+        lines.append(f"        {text}")
+    for at, reason in remaining:
+        lines.append(f"        ; -- stall @{at}: {reason}")
+    return lines
+
+
+def format_mfunction(fn: MFunction, explain: bool = False) -> str:
     """A function's labelled blocks as an assembly listing."""
     lines = [f"# function {fn.name} (frame {fn.frame_size} bytes)"]
     for block in fn.blocks:
-        lines.append(f"{block.label}:")
-        lines.extend(f"        {format_instr(i)}" for i in block.instrs)
+        if explain:
+            lines.extend(_format_block_explained(block))
+        else:
+            lines.append(f"{block.label}:")
+            lines.extend(f"        {format_instr(i)}" for i in block.instrs)
     return "\n".join(lines)
 
 
-def format_program(program: MachineProgram) -> str:
+def format_program(program: MachineProgram, explain: bool = False) -> str:
     """A whole compiled program: data directory plus every function."""
     header = [f"# target: {program.target.name}"]
     if program.globals:
@@ -32,6 +74,23 @@ def format_program(program: MachineProgram) -> str:
             f"#   {name}: {var.type}[{var.count}] ({var.size} bytes)"
             for name, var in program.globals.items()
         )
+    if explain:
+        header.append(
+            "# schedule explanation: '@N' = issue cycle in the final "
+            "per-block schedule; '-- stall' lines are committed nop slots"
+        )
+        for fn in program.functions:
+            stats = program.stats.get(fn.name)
+            if stats is not None and stats.stall_reasons:
+                reasons = ", ".join(
+                    f"{reason} x{count}"
+                    for reason, count in sorted(stats.stall_reasons.items())
+                )
+                header.append(
+                    f"#   {fn.name}: {stats.nop_slots} nop slots ({reasons})"
+                )
     parts = ["\n".join(header)]
-    parts.extend(format_mfunction(fn) for fn in program.functions)
+    parts.extend(
+        format_mfunction(fn, explain=explain) for fn in program.functions
+    )
     return "\n\n".join(parts)

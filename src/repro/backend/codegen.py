@@ -19,6 +19,7 @@ from repro.backend.strategies import get_strategy
 from repro.backend.strategies.base import StrategyStats
 from repro.il.function import GlobalVar, ILProgram
 from repro.machine.target import TargetMachine
+import repro.obs as obs
 from repro.options import UNSET, CompileOptions, merge_legacy_kwargs
 
 
@@ -85,12 +86,23 @@ class CodeGenerator:
         """Lower, select and run the strategy over every function."""
         out = MachineProgram(target=self.target, globals=dict(program.globals))
         for il_fn in program.functions:
-            lower_function(il_fn, self.target, program.globals)
-            mfn = self.selector.select_function(il_fn)
-            stats = self.strategy.run(mfn, self.target)
-            if self.fill_delay_slots:
-                fill_delay_slots(mfn, self.target)
-            remove_fallthrough_jumps(mfn)
+            with obs.span(
+                f"codegen:{il_fn.name}",
+                target=self.target.name,
+                strategy=self.strategy_name,
+            ):
+                with obs.span("lower", function=il_fn.name):
+                    lower_function(il_fn, self.target, program.globals)
+                with obs.span("select", function=il_fn.name):
+                    mfn = self.selector.select_function(il_fn)
+                with obs.span(
+                    f"strategy:{self.strategy_name}", function=mfn.name
+                ):
+                    stats = self.strategy.run(mfn, self.target)
+                if self.fill_delay_slots:
+                    with obs.span("delay_fill", function=mfn.name):
+                        fill_delay_slots(mfn, self.target)
+                remove_fallthrough_jumps(mfn)
             out.functions.append(mfn)
             out.stats[mfn.name] = stats
         return out

@@ -19,6 +19,12 @@ class MBlock:
     loop_depth: int = 0
     # per-block scheduler cost estimate (cycles), filled by strategies
     schedule_cost: int = 0
+    # final-pass schedule observability, filled by strategies: the issue
+    # cycle of every emitted instruction (instr.id -> cycle) and the
+    # committed stalls as (cycle, reason) events — what
+    # ``repro compile --explain-schedule`` annotates the assembly with
+    issue_cycles: dict[int, int] = field(default_factory=dict)
+    stall_events: list[tuple[int, str]] = field(default_factory=list)
 
     def append(self, instr: MachineInstr) -> None:
         self.instrs.append(instr)

@@ -31,6 +31,7 @@ from repro.machine.resources import commit, conflicts
 from repro.errors import SchedulingError
 from repro.il.node import PseudoReg
 from repro.machine.target import TargetMachine
+from repro.obs import stalls
 from repro.utils import timing
 
 
@@ -41,9 +42,25 @@ class ScheduleResult:
     instrs: list[MachineInstr]  # final order, including delay-slot nops
     cost: int  # estimated block execution cycles
     issue_cycle: dict[int, int] = field(default_factory=dict)  # instr.id -> cycle
+    #: every nop or issue delay this schedule commits, as (cycle, reason)
+    #: events in cycle order — idle cycles classified by the scheduler,
+    #: plus one ``branch_delay`` event per inserted delay-slot nop
+    stall_events: list[tuple[int, str]] = field(default_factory=list)
+    #: committed nop slots: idle cycles in the schedule plus inserted
+    #: delay-slot nops.  Always equals ``sum(self.stalls.values())`` —
+    #: both sides are derived independently and tested for conservation.
+    nop_slots: int = 0
 
     def cycle_of(self, instr: MachineInstr) -> int:
         return self.issue_cycle[instr.id]
+
+    @property
+    def stalls(self) -> dict[str, int]:
+        """Stall-reason histogram (reason code -> slot count)."""
+        out: dict[str, int] = {}
+        for _cycle, reason in self.stall_events:
+            out[reason] = out.get(reason, 0) + 1
+        return out
 
 
 class ListScheduler:
@@ -121,6 +138,10 @@ class _BlockScheduler:
         self.cycle_classes: frozenset | None = None  # intersection this cycle
         self.pending_temporal: dict[str, set[DagNode]] = {}
         self.order: list[DagNode] = []
+        #: idle cycles, classified as they happen: (cycle, reason code)
+        self.stall_events: list[tuple[int, str]] = []
+        #: node -> mnemonic of the producer whose edge set its earliest
+        self.earliest_cause: dict[DagNode, str] = {}
         self._setup_pressure()
 
     # -- register-pressure bookkeeping (IPS limit) ------------------------------
@@ -180,7 +201,12 @@ class _BlockScheduler:
         ) + 4 * len(self.nodes)
         while self.unscheduled > 0:
             self.cycle_classes = None
+            before = self.unscheduled
             self._issue_all_possible(cycle)
+            if self.unscheduled == before:
+                # an idle cycle: the hardware (or a nop) will fill it —
+                # classify why before moving the clock
+                self.stall_events.append((cycle, self._classify_stall(cycle)))
             cycle += 1
             guard += 1
             if guard > limit:
@@ -336,10 +362,13 @@ class _BlockScheduler:
             dst = edge.dst
             self.pred_count[dst] -= 1
             when = cycle + edge.latency
-            if dst in self.earliest:
-                self.earliest[dst] = max(self.earliest[dst], when)
-            else:
+            previous = self.earliest.get(dst)
+            if previous is None or when > previous:
                 self.earliest[dst] = when
+                if edge.latency > 0:
+                    # remember who the successor is now waiting on, so an
+                    # idle cycle can name its producer (latency(mnemonic))
+                    self.earliest_cause[dst] = node.instr.desc.mnemonic
             if self.pred_count[dst] == 0:
                 heapq.heappush(self.ready_heap, self._heap_key(dst))
             if edge.is_temporal and dst not in self.issue_cycle:
@@ -347,6 +376,66 @@ class _BlockScheduler:
         # this node is no longer pending anywhere
         for pending in self.pending_temporal.values():
             pending.discard(node)
+
+    # -- stall attribution --------------------------------------------------
+
+    def _classify_stall(self, cycle: int) -> str:
+        """Why did this cycle pass with nothing issued?
+
+        Runs only on idle cycles, so it can afford to re-derive the
+        scheduler's view: ready-but-blocked instructions name the hazard
+        that blocked them; otherwise the wait is a dependence latency
+        (named after the producer) or a genuinely empty ready list.
+        """
+        issue_cycle = self.issue_cycle
+        ready = [
+            n
+            for n in self.nodes
+            if n not in issue_cycle and self.pred_count[n] == 0
+        ]
+        if not ready:
+            return stalls.EMPTY_READY_LIST
+        runnable = [n for n in ready if self.earliest.get(n, 0) <= cycle]
+        # mirror _candidates' control holdback: a control waiting for the
+        # rest of the block is not the cause — the instructions it waits
+        # on are
+        pending_controls = [n for n in self.controls if n not in issue_cycle]
+        if pending_controls and self.unscheduled > len(pending_controls):
+            runnable = [n for n in runnable if not n.instr.is_branch_or_jump]
+        elif pending_controls:
+            first = pending_controls[0]
+            runnable = [
+                n
+                for n in runnable
+                if not n.instr.is_branch_or_jump or n is first
+            ]
+        if runnable:
+            node = min(runnable, key=lambda n: n.index)
+            return self._blocked_reason(node, cycle)
+        waiting = [n for n in ready if self.earliest.get(n, 0) > cycle]
+        if waiting:
+            node = min(waiting, key=lambda n: (self.earliest[n], n.index))
+            cause = self.earliest_cause.get(node)
+            return stalls.latency(cause) if cause else stalls.LATENCY
+        return stalls.EMPTY_READY_LIST
+
+    def _blocked_reason(self, node: DagNode, cycle: int) -> str:
+        """Mirror :meth:`_can_issue` and report the first failing check."""
+        resource_use = self.resource_use
+        for offset, need in enumerate(node.instr.desc.resource_vector):
+            usage = resource_use.get(cycle + offset, 0)
+            if conflicts(usage, need):
+                names = self.target.resources.conflict_names(usage, need)
+                return stalls.resource_conflict(names[0] if names else "?")
+        classes = node.instr.desc.classes
+        if classes and self.cycle_classes is not None:
+            if not (classes & self.cycle_classes):
+                return stalls.PACKING_CONFLICT
+        clock = node.instr.desc.affects_clock
+        if clock is not None:
+            if self.pending_temporal.get(clock, set()) - {node}:
+                return stalls.TEMPORAL_RULE1
+        return stalls.EMPTY_READY_LIST
 
     def _ordered_for_emission(self) -> list[DagNode]:
         """Emission order: by cycle, and *within* a cycle in dependence
@@ -394,6 +483,8 @@ class _BlockScheduler:
             issue_map[node.instr.id] = cycle
             last_cycle = max(last_cycle, cycle)
         cost = last_cycle + 1
+        events = list(self.stall_events)
+        nops_inserted = 0
         for control in self.controls:
             branch_cycle = self.issue_cycle[control]
             slots = abs(control.instr.desc.slots)
@@ -404,5 +495,17 @@ class _BlockScheduler:
                     nop.comment = "delay slot"
                     instrs.insert(position + slot, nop)
                     issue_map[nop.id] = branch_cycle + 1 + slot
+                    events.append((branch_cycle + 1 + slot, stalls.BRANCH_DELAY))
+                    nops_inserted += 1
             cost = max(cost, branch_cycle + 1 + slots)
-        return ScheduleResult(instrs, cost, issue_map)
+        events.sort(key=lambda event: event[0])
+        # conservation: nop slots are derived from the issue map, not from
+        # the event list — idle cycles up to the last issue, plus the nops
+        idle = (last_cycle + 1) - len(set(self.issue_cycle.values()))
+        return ScheduleResult(
+            instrs,
+            cost,
+            issue_map,
+            stall_events=events,
+            nop_slots=idle + nops_inserted,
+        )

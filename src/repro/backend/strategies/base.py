@@ -17,6 +17,8 @@ from repro.backend.regalloc import GraphColoringAllocator
 from repro.backend.scheduler import ListScheduler
 from repro.errors import MarionError
 from repro.machine.target import TargetMachine
+import repro.obs as obs
+from repro.obs import stalls
 from repro.options import CompileOptions
 
 STRATEGY_NAMES = ("postpass", "ips", "rase")
@@ -24,12 +26,18 @@ STRATEGY_NAMES = ("postpass", "ips", "rase")
 
 @dataclass
 class StrategyStats:
-    """Bookkeeping a strategy reports back (feeds Tables 3 and 4)."""
+    """Bookkeeping a strategy reports back (feeds Tables 3 and 4, and the
+    report's stall-attribution section)."""
 
     schedule_passes: int = 0
     spilled_pseudos: int = 0
     allocation_iterations: int = 0
     block_costs: dict[str, int] = field(default_factory=dict)
+    #: final-pass stall-reason histogram (reason code -> committed slots),
+    #: summed over the function's blocks; conserved against ``nop_slots``
+    stall_reasons: dict[str, int] = field(default_factory=dict)
+    #: final-pass committed nop slots (idle cycles + inserted delay nops)
+    nop_slots: int = 0
 
 
 class Strategy:
@@ -70,11 +78,17 @@ class Strategy:
         stats: StrategyStats,
         cost_overrides=None,
     ) -> None:
-        allocator = GraphColoringAllocator(target, cost_overrides=cost_overrides)
-        result = allocator.allocate(fn)
-        stats.spilled_pseudos += result.spilled_pseudos
-        stats.allocation_iterations += result.iterations
-        finish_function(fn, target, result.used_callee_save)
+        with obs.span("allocate", function=fn.name) as node:
+            allocator = GraphColoringAllocator(
+                target, cost_overrides=cost_overrides
+            )
+            result = allocator.allocate(fn)
+            stats.spilled_pseudos += result.spilled_pseudos
+            stats.allocation_iterations += result.iterations
+            finish_function(fn, target, result.used_callee_save)
+            if node is not None:
+                node.attrs["spilled"] = result.spilled_pseudos
+                node.attrs["iterations"] = result.iterations
 
     def schedule(
         self,
@@ -85,25 +99,46 @@ class Strategy:
         record_costs: bool = True,
         rewrite: bool = True,
     ) -> dict[str, int]:
-        """Schedule every block; optionally adopt the new order."""
+        """Schedule every block; optionally adopt the new order.
+
+        The ``record_costs`` pass is the *final* one — the schedule the
+        emitted code actually carries — so it is also the pass whose
+        stall attribution lands on the blocks (for
+        ``--explain-schedule``) and in ``stats.stall_reasons``.
+        """
         scheduler = ListScheduler(
             target,
             heuristic=self.heuristic,
             register_limit=register_limit,
         )
+        pass_kind = "final" if record_costs else (
+            "pressure-bounded" if register_limit is not None else "estimate"
+        )
         costs: dict[str, int] = {}
-        for block in fn.blocks:
-            if self.schedule_enabled:
-                result = scheduler.schedule_block(block.instrs)
-                if rewrite:
-                    block.instrs = result.instrs
-                costs[block.label] = result.cost
-            else:
-                # no-scheduler baseline: keep program order but still fill
-                # branch delay slots with nops (every MIPS-era assembler did)
-                if rewrite:
-                    self._fill_delay_slots(block, target)
-                costs[block.label] = self._unscheduled_cost(block, target)
+        with obs.span(
+            f"schedule[{pass_kind}]",
+            function=fn.name,
+            blocks=len(fn.blocks),
+            heuristic=self.heuristic,
+        ):
+            for block in fn.blocks:
+                if self.schedule_enabled:
+                    result = scheduler.schedule_block(block.instrs)
+                    if rewrite:
+                        block.instrs = result.instrs
+                    costs[block.label] = result.cost
+                    if record_costs:
+                        block.issue_cycles = dict(result.issue_cycle)
+                        block.stall_events = list(result.stall_events)
+                        stalls.merge_reasons(stats.stall_reasons, result.stalls)
+                        stats.nop_slots += result.nop_slots
+                else:
+                    # no-scheduler baseline: keep program order but still
+                    # fill branch delay slots with nops (every MIPS-era
+                    # assembler did)
+                    if rewrite:
+                        self._fill_delay_slots(block, target)
+                    costs[block.label] = self._unscheduled_cost(block, target)
         stats.schedule_passes += 1
         if record_costs:
             for label, cost in costs.items():

@@ -61,7 +61,9 @@ def _compile(arguments) -> repro.Executable:
 
 def cmd_compile(arguments) -> int:
     executable = _compile(arguments)
-    text = format_program(executable.machine_program)
+    text = format_program(
+        executable.machine_program, explain=arguments.explain_schedule
+    )
     if arguments.output:
         with open(arguments.output, "w") as handle:
             handle.write(text + "\n")
@@ -71,26 +73,71 @@ def cmd_compile(arguments) -> int:
 
 
 def cmd_run(arguments) -> int:
-    executable = _compile(arguments)
-    args = tuple(
-        float(a) if "." in a else int(a) for a in (arguments.args or [])
-    )
+    trace_path = arguments.trace
+    trace = repro.Trace(f"repro run {arguments.file}") if trace_path else None
     cache = DirectMappedCache() if arguments.cache else None
-    result = repro.simulate(
-        executable, arguments.entry, args=args, cache=cache
-    )
+    options = repro.SimOptions(cache=cache, trace=bool(trace_path))
+
+    def _go():
+        executable = _compile(arguments)
+        args = tuple(
+            float(a) if "." in a else int(a) for a in (arguments.args or [])
+        )
+        return repro.simulate(
+            executable, arguments.entry, args=args, options=options
+        )
+
+    if trace is not None:
+        with repro.tracing(trace):
+            result = _go()
+    else:
+        result = _go()
     print(f"result:       {result.return_value}")
     print(f"cycles:       {result.cycles}")
     print(f"instructions: {result.instructions}")
     print(f"loads/stores: {result.loads}/{result.stores}")
     if cache is not None:
         print(f"cache:        {result.cache_hits} hits, {result.cache_misses} misses")
+    if result.cycle_breakdown is not None:
+        shown = ", ".join(
+            f"{kind}={count}"
+            for kind, count in result.cycle_breakdown.items()
+            if count
+        )
+        print(f"stalls:       {result.stall_cycles} ({shown or 'none'})")
+    if trace is not None:
+        trace.write(trace_path, format=arguments.trace_format)
+        print(f"trace:        {trace_path} ({arguments.trace_format})")
     return 0
 
 
 def cmd_targets(arguments) -> int:
     from repro.eval.table1 import description_stats
 
+    if arguments.json:
+        import json
+
+        payload = []
+        for name in TARGET_NAMES:
+            target = repro.load_target(name)
+            stats = description_stats(name)
+            payload.append(
+                {
+                    "name": name,
+                    "register_classes": sorted(target.registers.sets),
+                    "resources": len(target.resources.names),
+                    "instructions": len(target.instructions),
+                    "description": {
+                        "instructions": stats.instructions,
+                        "clocks": stats.clocks,
+                        "class_elements": stats.elements,
+                        "glue_transformations": stats.glue_transformations,
+                        "funcs": stats.funcs,
+                    },
+                }
+            )
+        print(json.dumps(payload, indent=2))
+        return 0
     for name in TARGET_NAMES:
         stats = description_stats(name)
         print(
@@ -116,6 +163,12 @@ def main(argv=None) -> int:
     compile_parser = commands.add_parser("compile", help="compile C to assembly")
     compile_parser.add_argument("file")
     compile_parser.add_argument("-o", "--output", help="write assembly here")
+    compile_parser.add_argument(
+        "--explain-schedule",
+        action="store_true",
+        help="annotate the listing with issue cycles and stall reasons "
+        "from the final scheduling pass",
+    )
     _add_common(compile_parser)
     compile_parser.set_defaults(handler=cmd_compile)
 
@@ -128,10 +181,30 @@ def main(argv=None) -> int:
     run_parser.add_argument(
         "--cache", action="store_true", help="enable the data cache model"
     )
+    run_parser.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="record a compile+simulate trace (spans, counters, per-kind "
+        "stall cycles) and write it here",
+    )
+    run_parser.add_argument(
+        "--trace-format",
+        default="json",
+        choices=("json", "chrome"),
+        help="trace file format: plain JSON or Chrome trace_event "
+        "(load chrome://tracing or https://ui.perfetto.dev)",
+    )
     _add_common(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
     targets_parser = commands.add_parser("targets", help="list bundled targets")
+    targets_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing (name, register classes, resource "
+        "and instruction counts)",
+    )
     targets_parser.set_defaults(handler=cmd_targets)
 
     report_parser = commands.add_parser(

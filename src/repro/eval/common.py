@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import repro
 from repro.sim import DirectMappedCache, SimResult
@@ -32,6 +32,18 @@ class KernelRun:
     #: never part of a table value)
     compile_seconds: float = 0.0
     sim_seconds: float = 0.0
+    #: final-pass scheduler stall attribution, summed over the kernel's
+    #: functions (reason code -> committed nop slots) — free to collect,
+    #: so always filled
+    sched_stall_reasons: dict = field(default_factory=dict)
+    sched_nop_slots: int = 0
+    #: simulator hazard-kind cycle attribution, filled only when the run
+    #: used the accounting pipeline model (``run_kernel(breakdown=True)``)
+    cycle_breakdown: dict | None = None
+
+    @property
+    def stall_cycles(self) -> int:
+        return sum(self.cycle_breakdown.values()) if self.cycle_breakdown else 0
 
     @property
     def ratio(self) -> float:
@@ -93,8 +105,15 @@ def run_kernel(
     strategy: str,
     scale: float = 1.0,
     cache: bool = True,
+    breakdown: bool = False,
 ) -> KernelRun:
-    """Compile and simulate one Livermore kernel under one strategy."""
+    """Compile and simulate one Livermore kernel under one strategy.
+
+    ``breakdown=True`` simulates under the accounting pipeline model,
+    filling ``KernelRun.cycle_breakdown`` — about 12% slower in the
+    simulator, so Table 4's bulk measurement leaves it off and the
+    report's dedicated stall-attribution section turns it on.
+    """
     compile_start = time.perf_counter()
     executable = repro.compile_c(
         spec.source, target, repro.CompileOptions(strategy=strategy)
@@ -104,9 +123,18 @@ def run_kernel(
     n = max(4, int(n * scale))
     data_cache = DirectMappedCache() if cache else None
     sim_start = time.perf_counter()
-    result = repro.simulate(executable, "bench", args=(loop, n), cache=data_cache)
+    result = repro.simulate(
+        executable, "bench", args=(loop, n),
+        options=repro.SimOptions(cache=data_cache, trace=breakdown),
+    )
     sim_seconds = time.perf_counter() - sim_start
     estimate, unmatched = estimated_cycles_detailed(executable, result)
+    sched_reasons: dict[str, int] = {}
+    sched_nop_slots = 0
+    for stats in executable.machine_program.stats.values():
+        for reason, count in stats.stall_reasons.items():
+            sched_reasons[reason] = sched_reasons.get(reason, 0) + count
+        sched_nop_slots += stats.nop_slots
     return KernelRun(
         kernel_id=spec.id,
         strategy=strategy,
@@ -118,6 +146,9 @@ def run_kernel(
         unmatched_blocks=unmatched,
         compile_seconds=compile_seconds,
         sim_seconds=sim_seconds,
+        sched_stall_reasons=sched_reasons,
+        sched_nop_slots=sched_nop_slots,
+        cycle_breakdown=result.cycle_breakdown,
     )
 
 
@@ -127,8 +158,14 @@ def grid_run_kernel(
     strategy: str,
     scale: float = 1.0,
     cache: bool = True,
+    breakdown: bool = False,
 ) -> KernelRun:
     """Picklable :func:`run_kernel` wrapper for the process-pool grid."""
     return run_kernel(
-        kernel_by_id(kernel_id), target, strategy, scale=scale, cache=cache
+        kernel_by_id(kernel_id),
+        target,
+        strategy,
+        scale=scale,
+        cache=cache,
+        breakdown=breakdown,
     )

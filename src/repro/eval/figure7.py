@@ -25,7 +25,7 @@ double frag(double a, double z, double x, double b) {
 
 
 def figure7(strategy: str = "postpass") -> str:
-    executable = repro.compile_c(FRAGMENT, "i860", strategy=strategy)
+    executable = repro.compile_c(FRAGMENT, "i860", repro.CompileOptions(strategy=strategy))
     machine_program = executable.machine_program
     fn = machine_program.function("frag")
     target = machine_program.target
@@ -52,7 +52,7 @@ def figure7(strategy: str = "postpass") -> str:
 
 def dual_operation_count(strategy: str = "postpass") -> int:
     """How many cycles carry more than one operation (packing evidence)."""
-    executable = repro.compile_c(FRAGMENT, "i860", strategy=strategy)
+    executable = repro.compile_c(FRAGMENT, "i860", repro.CompileOptions(strategy=strategy))
     fn = executable.machine_program.function("frag")
     target = executable.machine_program.target
     scheduler = ListScheduler(target)

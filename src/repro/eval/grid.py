@@ -246,17 +246,28 @@ def _unit_deadline(seconds: float | None):
 def _run_unit(fn, args, kwargs, timeout):
     """Top-level worker entry: run one unit, report outcome as data.
 
-    Returns ``("ok", result, wall_s)`` or ``("err", payload, wall_s)``
-    where ``payload`` is an :func:`repro.errors.error_payload` — raising
-    across the pickle boundary would lose the taxonomy's detail fields.
+    Returns ``("ok", result, wall_s, metrics)`` or ``("err", payload,
+    wall_s, metrics)`` where ``payload`` is an
+    :func:`repro.errors.error_payload` — raising across the pickle
+    boundary would lose the taxonomy's detail fields — and ``metrics``
+    is the worker's per-unit :func:`repro.utils.timing.snapshot` (or
+    ``None`` with instrumentation off).  The recorder is reset at unit
+    entry so the snapshot is a clean delta: with the ``fork`` start
+    method a worker inherits the parent's accumulated counters, and a
+    reused pool process carries its previous units' — either would
+    double-count on merge.
     """
+    if timing.ENABLED:
+        timing.reset()
     watch = timing.stopwatch()
     try:
         with _unit_deadline(timeout):
             result = fn(*args, **kwargs)
     except Exception as exc:  # noqa: BLE001 — the whole point is containment
-        return ("err", error_payload(exc), watch.seconds)
-    return ("ok", result, watch.seconds)
+        metrics = timing.snapshot() if timing.ENABLED else None
+        return ("err", error_payload(exc), watch.seconds, metrics)
+    metrics = timing.snapshot() if timing.ENABLED else None
+    return ("ok", result, watch.seconds, metrics)
 
 
 # -- failure bookkeeping (parent process) ----------------------------------
@@ -389,10 +400,12 @@ def run_grid(
             for future in as_completed(index_of):
                 index = index_of[future]
                 try:
-                    status, payload, wall_s = future.result()
+                    status, payload, wall_s, metrics = future.result()
                 except BrokenProcessPool:
                     broken = True
                     continue  # the sibling futures resolve immediately too
+                if metrics is not None:
+                    timing.merge(metrics)
                 if status == "ok":
                     record_ok(index, payload, wall_s)
                 else:

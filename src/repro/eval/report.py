@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.eval import grid
+from repro.eval.attribution import measure_stalls, render_stalls
 from repro.eval.ablation import (
     ablation_delay_fill,
     ablation_heuristic,
@@ -134,6 +135,15 @@ def generate_report(
     section_seconds["Table 4"] += measure_seconds
     section("Figure 7 — i860 dual-operation schedule", figure7)
 
+    stall_start = time.time()
+    stall_data = measure_stalls(options=options)
+    stall_seconds = time.time() - stall_start
+    section(
+        "Stall attribution — where the cycles go, per target",
+        lambda: render_stalls(stall_data),
+    )
+    section_seconds["Stall attribution"] += stall_seconds
+
     def c1() -> str:
         claim = claim_strategy_speedup(scale=scale, options=options)
         lines = [
@@ -231,7 +241,13 @@ def generate_report(
     )
 
     bench = _bench_payload(
-        scale, jobs, total_seconds, section_seconds, table4_data, failures
+        scale,
+        jobs,
+        total_seconds,
+        section_seconds,
+        table4_data,
+        failures,
+        stall_data,
     )
     if bench_path:
         with open(bench_path, "w") as handle:
@@ -244,6 +260,31 @@ def generate_report(
     )
 
 
+def _stalls_payload(stall_data) -> dict:
+    """BENCH schema v3's ``stalls`` section: per (target, strategy), the
+    simulator hazard-kind cycle breakdown and the scheduler's stall-reason
+    histogram, each with its conservation identity spelled out."""
+    cells: dict = {}
+    for (target, strategy), run in (stall_data or {}).items():
+        if isinstance(run, GridFailure):
+            cells.setdefault(target, {})[strategy] = {"failed": run.summary()}
+            continue
+        breakdown = run.cycle_breakdown or {}
+        cells.setdefault(target, {})[strategy] = {
+            "cycles": run.actual_cycles,
+            "cycle_breakdown": dict(breakdown),
+            "stall_cycles": run.stall_cycles,
+            # every cycle of issue-point advance is attributed
+            "sim_conserved": sum(breakdown.values()) == run.actual_cycles - 1,
+            "sched_stall_reasons": dict(run.sched_stall_reasons),
+            "sched_nop_slots": run.sched_nop_slots,
+            "sched_conserved": (
+                sum(run.sched_stall_reasons.values()) == run.sched_nop_slots
+            ),
+        }
+    return cells
+
+
 def _bench_payload(
     scale: float,
     jobs: int,
@@ -251,8 +292,9 @@ def _bench_payload(
     section_seconds: dict[str, float],
     table4_data,
     failures: list[GridFailure],
+    stall_data=None,
 ) -> dict:
-    """The machine-readable BENCH_eval.json payload (schema v2)."""
+    """The machine-readable BENCH_eval.json payload (schema v3)."""
     runs = [
         run
         for by_strategy in table4_data.runs.values()
@@ -262,7 +304,7 @@ def _bench_payload(
     sim_cycles = sum(run.actual_cycles for run in runs)
     snapshot = timing.snapshot()
     payload = {
-        "schema": 2,
+        "schema": 3,
         "scale": scale,
         "jobs": jobs,
         "wall_seconds": {
@@ -297,6 +339,7 @@ def _bench_payload(
             "resumed_units": timing.counter("grid.resumed_units"),
             "failed_keys": sorted(failure.key for failure in failures),
         },
+        "stalls": _stalls_payload(stall_data),
         "counters": snapshot["counters"],
         "phases": snapshot["phases"],
         "baseline": {
@@ -336,6 +379,13 @@ def add_report_arguments(parser: argparse.ArgumentParser) -> None:
         help="checkpoint completed units into this JSONL journal and "
         "reuse any units it already holds (default: REPRO_JOURNAL)",
     )
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="report output: rendered text tables, or one JSON document "
+        "(the BENCH payload plus the rendered text and failure list)",
+    )
 
 
 def run_report_command(arguments, bench_default: str | None) -> int:
@@ -351,7 +401,23 @@ def run_report_command(arguments, bench_default: str | None) -> int:
         timeout=arguments.timeout,
         resume=resume,
     )
-    print(result.text)
+    if getattr(arguments, "format", "text") == "json":
+        print(
+            json.dumps(
+                {
+                    "ok": result.ok,
+                    "bench": result.bench,
+                    "failures": [
+                        failure.summary() for failure in result.failures
+                    ],
+                    "text": result.text,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(result.text)
     if result.failures:
         print(
             f"report degraded: {len(result.failures)} work unit(s) failed",

@@ -84,7 +84,7 @@ def measure(targets=("r2000", "i860"), repeat: int = 1) -> Table3Data:
             for program, executable in zip(PROGRAM_SUITE, executables):
                 result = repro.simulate(
                     executable, program.entry, args=program.args,
-                    model_timing=False,
+                    options=repro.SimOptions(model_timing=False),
                 )
                 executed += result.instructions
                 generated += executable.instruction_count()

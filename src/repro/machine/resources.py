@@ -131,6 +131,23 @@ class ResourceTable:
                 out.append(name)
         return out
 
+    def conflict_names(self, usage: int, need: Need) -> list[str]:
+        """The resources in ``need`` that collide with the committed
+        ``usage`` word — the names behind a :func:`conflicts` verdict
+        (stall attribution reads these; the hot paths never do)."""
+        out = self.unmask(usage & need.mask)
+        for first_bit, capacity, count in need.pools:
+            busy = (usage >> first_bit) & ((1 << capacity) - 1)
+            if busy.bit_count() + count > capacity:
+                for name in self.names:
+                    if (
+                        self.bits[name] == first_bit
+                        and self.capacities[name] == capacity
+                    ):
+                        out.append(name)
+                        break
+        return out
+
 
 def scalar_masks(vector: ResourceVector) -> tuple[int, ...] | None:
     """Per-cycle composite masks for a pool-free vector, else ``None``.

@@ -1,0 +1,96 @@
+"""The stall taxonomy: why a cycle was lost.
+
+Two instruments share this vocabulary:
+
+* the **list scheduler** classifies every nop or issue delay it commits
+  (an idle cycle in the schedule, or an inserted delay-slot nop) with a
+  *reason code* — these accumulate into
+  :class:`~repro.backend.strategies.base.StrategyStats` and annotate the
+  assembly under ``repro compile --explain-schedule``;
+* the **pipeline model** charges every cycle the dynamic instruction
+  stream's issue point advances to a *hazard kind* — these come back as
+  ``SimResult.cycle_breakdown``.
+
+Both taxonomies are conserved by construction: scheduler reason counts
+sum to the schedule's nop slots (idle cycles + inserted nops), and the
+simulator breakdown sums to the run's total stall cycles
+(``cycles - 1``).  Tests assert both identities per target.
+"""
+
+from __future__ import annotations
+
+# -- scheduler stall reasons (static schedule) ------------------------------
+
+#: a ready instruction could not issue: a resource it needs is committed.
+#: Parameterized form: ``resource_conflict(ALU)``.
+RESOURCE_CONFLICT = "resource_conflict"
+#: every unissued instruction is waiting on a dependence-edge delay.
+#: Parameterized form: ``latency(lw)`` — the producer's mnemonic.
+LATENCY = "latency"
+#: an inserted delay-slot nop behind a control transfer (section 4.4)
+BRANCH_DELAY = "branch_delay"
+#: nothing is ready and nothing is waiting on a latency — the dependence
+#: structure alone (e.g. a held-back control) left the cycle empty
+EMPTY_READY_LIST = "empty_ready_list"
+#: a ready instruction's packing classes do not intersect the cycle's
+PACKING_CONFLICT = "packing_conflict"
+#: Rule 1 (section 4.6): the instruction affects a clock with a pending
+#: temporal destination
+TEMPORAL_RULE1 = "temporal_rule1"
+
+
+def resource_conflict(resource: str) -> str:
+    """The reason code for a conflict on a named resource."""
+    return f"{RESOURCE_CONFLICT}({resource})"
+
+
+def latency(producer_mnemonic: str) -> str:
+    """The reason code for a dependence delay behind ``producer``."""
+    return f"{LATENCY}({producer_mnemonic})"
+
+
+def reason_family(reason: str) -> str:
+    """``resource_conflict(ALU)`` -> ``resource_conflict`` (for roll-ups)."""
+    return reason.split("(", 1)[0]
+
+
+def merge_reasons(into: dict[str, int], reasons: dict[str, int]) -> None:
+    """Accumulate one reason histogram into another, in place."""
+    for reason, count in reasons.items():
+        into[reason] = into.get(reason, 0) + count
+
+
+# -- simulator hazard kinds (dynamic stream) --------------------------------
+
+#: fetch redirect after a taken control transfer (branch latency)
+BRANCH = "branch"
+#: register interlock behind a non-load producer's latency
+#: (on the i860 this includes the fp-pipeline advance results)
+LATENCY_KIND = "latency"
+#: register interlock behind a load's result
+LOAD_USE = "load_use"
+#: the portion of a load interlock added by a data-cache miss
+CACHE_MISS = "cache_miss"
+#: temporal-register interlock: an explicitly advanced pipeline's clock
+#: (i860 fp pipelines) had not ticked yet
+FP_ADVANCE = "fp_advance"
+#: load/store ordering (the model serializes memory operations)
+MEMORY_ORDER = "memory_order"
+#: structural hazard: a resource the instruction needs is committed;
+#: includes issue-slot serialization (~one cycle per instruction on a
+#: single-issue machine), so it dominates by design
+RESOURCE = "resource"
+#: dual-issue packing classes failed to intersect (i860)
+PACKING = "packing"
+
+#: every hazard kind the pipeline model can charge, in display order
+SIM_STALL_KINDS = (
+    RESOURCE,
+    LATENCY_KIND,
+    LOAD_USE,
+    CACHE_MISS,
+    FP_ADVANCE,
+    MEMORY_ORDER,
+    BRANCH,
+    PACKING,
+)

@@ -63,33 +63,67 @@ class CompileOptions:
         return dataclasses.replace(self, **changes)
 
 
+@dataclass(frozen=True)
+class SimOptions:
+    """Everything that shapes one simulation run, in one frozen record.
+
+    * ``cache`` — data-cache model: ``None``/``False`` for no cache,
+      ``True`` for a default-geometry
+      :class:`~repro.sim.cache.DirectMappedCache`, or a ready-built cache
+      instance (resolved inside the simulator, so this module stays
+      import-light);
+    * ``model_timing`` — run the cycle-level pipeline model (``False``
+      executes functionally and reports instruction counts as cycles);
+    * ``max_instructions`` — functional-execution fuse (infinite loops);
+    * ``max_cycles`` — optional watchdog: the run raises
+      :class:`~repro.errors.SimulationTimeout` past this cycle budget;
+    * ``trace`` — use the accounting pipeline model, which attributes
+      every stall cycle to a hazard kind and fills
+      ``SimResult.cycle_breakdown``.
+    """
+
+    cache: object = None
+    model_timing: bool = True
+    max_instructions: int = 50_000_000
+    max_cycles: int | None = None
+    trace: bool = False
+
+    def replace(self, **changes) -> "SimOptions":
+        """A copy with the given fields changed (frozen-friendly)."""
+        return dataclasses.replace(self, **changes)
+
+
 def merge_legacy_kwargs(
-    options: "CompileOptions | str | None",
+    options,
     legacy: dict,
     *,
     where: str,
     warn,
-) -> "CompileOptions":
+    factory=CompileOptions,
+):
     """Resolve the (options, legacy-keywords) call styles to one record.
 
     ``legacy`` maps keyword name to value for every keyword the caller
     actually passed (values equal to :data:`UNSET` are dropped here).  A
     bare string in ``options`` position is treated as the old positional
-    ``strategy`` argument.  ``warn`` is called with the deprecation
-    message when any legacy spelling is used.
+    ``strategy`` argument (CompileOptions only).  ``warn`` is called with
+    the deprecation message when any legacy spelling is used.  ``factory``
+    selects the record type — :class:`CompileOptions` (default) or
+    :class:`SimOptions`.
     """
     passed = {k: v for k, v in legacy.items() if v is not UNSET}
-    if isinstance(options, str):  # old positional strategy argument
+    if factory is CompileOptions and isinstance(options, str):
+        # old positional strategy argument
         passed.setdefault("strategy", options)
         options = None
     if passed:
         warn(
             f"{where}: the {', '.join(sorted(passed))} keyword(s) are "
-            "deprecated; pass options=CompileOptions(...) instead"
+            f"deprecated; pass options={factory.__name__}(...) instead"
         )
         if options is not None:
             raise TypeError(
                 f"{where}: pass either options= or legacy keywords, not both"
             )
-        return CompileOptions(**passed)
-    return options if options is not None else CompileOptions()
+        return factory(**passed)
+    return options if options is not None else factory()

@@ -11,5 +11,13 @@ identifies as the main source of its actual/estimated gap in Table 4).
 
 from repro.sim.simulator import SimResult, Simulator, run_program
 from repro.sim.cache import DirectMappedCache
+from repro.sim.pipeline import AccountingPipelineModel, PipelineModel
 
-__all__ = ["Simulator", "SimResult", "run_program", "DirectMappedCache"]
+__all__ = [
+    "AccountingPipelineModel",
+    "DirectMappedCache",
+    "PipelineModel",
+    "SimResult",
+    "Simulator",
+    "run_program",
+]

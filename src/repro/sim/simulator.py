@@ -9,14 +9,17 @@ halts the run, and the result is read from the CWVM result register.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.backend.insts import MachineInstr
 from repro.errors import SimulationError, SimulationTimeout
+import repro.obs as obs
+from repro.options import UNSET, SimOptions, merge_legacy_kwargs
 from repro.program import Executable
 from repro.sim.cache import DirectMappedCache
 from repro.sim.executor import SemanticsCompiler
-from repro.sim.pipeline import PipelineModel
+from repro.sim.pipeline import AccountingPipelineModel, PipelineModel
 from repro.sim.state import MachineState
 from repro.utils import timing
 
@@ -36,12 +39,32 @@ class SimResult:
     cache_misses: int = 0
     #: dynamic entry count per block label (profiling, Tables 3/4)
     block_counts: dict[str, int] = field(default_factory=dict)
+    #: hazard kind -> attributed stall cycles, filled when the run used
+    #: ``SimOptions(trace=True)``; every cycle of issue-point advance is
+    #: attributed, so the values sum to ``cycles - 1``
+    cycle_breakdown: dict[str, int] | None = None
+
+    @property
+    def stall_cycles(self) -> int:
+        """Total attributed stall cycles (0 when no breakdown was kept)."""
+        if not self.cycle_breakdown:
+            return 0
+        return sum(self.cycle_breakdown.values())
 
     @property
     def dilation(self) -> float:
         """Instructions executed per instruction generated — set by callers
         that know the static code size (Table 3)."""
         return getattr(self, "_dilation", 0.0)
+
+
+def _resolve_cache(cache) -> DirectMappedCache | None:
+    """``SimOptions.cache`` -> a cache instance or ``None``."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return DirectMappedCache()
+    return cache
 
 
 class Simulator:
@@ -51,13 +74,25 @@ class Simulator:
     def __init__(
         self,
         executable: Executable,
-        cache: DirectMappedCache | None = None,
-        model_timing: bool = True,
+        options: SimOptions | None = None,
+        *,
+        cache=UNSET,
+        model_timing=UNSET,
     ):
+        options = merge_legacy_kwargs(
+            options,
+            {"cache": cache, "model_timing": model_timing},
+            where="Simulator",
+            warn=lambda message: warnings.warn(
+                message, DeprecationWarning, stacklevel=3
+            ),
+            factory=SimOptions,
+        )
         self.executable = executable
         self.target = executable.target
-        self.cache = cache
-        self.model_timing = model_timing
+        self.options = options
+        self.cache = _resolve_cache(options.cache)
+        self.model_timing = options.model_timing
         # the instruction closures and block map depend only on the linked
         # program, so they are compiled once and shared by every Simulator
         # built over the same executable (the eval harness simulates each
@@ -90,27 +125,92 @@ class Simulator:
         function: str,
         args: tuple = (),
         arg_types: tuple | None = None,
-        max_instructions: int = 50_000_000,
-        max_cycles: int | None = None,
-        trace=None,
+        options: SimOptions | None = None,
+        *,
+        max_instructions=UNSET,
+        max_cycles=UNSET,
+        trace=UNSET,
+        watch=None,
     ) -> SimResult:
-        """Run ``function``.
+        """Run ``function`` under one :class:`SimOptions` record.
 
-        ``max_cycles``, if given, is a watchdog: the run raises
-        :class:`SimulationTimeout` (carrying function/pc/cycle context)
-        once the pipeline cycle count passes the budget, so a runaway
-        kernel becomes a catchable failure instead of a hang.  With
-        timing off the instruction count stands in for cycles.
+        ``options``, if given, replaces the record the simulator was
+        built with for this run (cache, timing model, limits and trace
+        flag all come from it).  ``SimOptions(max_cycles=...)`` arms the
+        watchdog: the run raises :class:`SimulationTimeout` (carrying
+        function/pc/cycle context) once the pipeline cycle count passes
+        the budget; with timing off the instruction count stands in for
+        cycles.  ``SimOptions(trace=True)`` selects the accounting
+        pipeline model and fills ``SimResult.cycle_breakdown``.
 
-        ``trace``, if given, is called as ``trace(pc, instr, cycle)`` after
-        every executed instruction (cycle is 0 when timing is off) — a
-        debugging hook for watching generated code execute."""
+        ``watch``, if given, is called as ``watch(pc, instr, cycle)``
+        after every executed instruction (cycle is 0 when timing is off)
+        — a debugging hook for watching generated code execute.  The
+        pre-1.1 spellings (``max_instructions=``/``max_cycles=``
+        keywords, ``trace=`` for the watch callback) still work behind a
+        :class:`DeprecationWarning`.
+        """
+        run_options = options if options is not None else self.options
+        legacy = {}
+        if max_instructions is not UNSET:
+            legacy["max_instructions"] = max_instructions
+        if max_cycles is not UNSET:
+            legacy["max_cycles"] = max_cycles
+        if legacy:
+            warnings.warn(
+                f"Simulator.run: the {', '.join(sorted(legacy))} keyword(s)"
+                " are deprecated; pass options=SimOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            run_options = run_options.replace(**legacy)
+        if trace is not UNSET:
+            warnings.warn(
+                "Simulator.run: the trace= callback keyword is renamed"
+                " watch=; pass options=SimOptions(trace=True) for stall"
+                " accounting",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            watch = trace
+        cache = self.cache if options is None else _resolve_cache(
+            run_options.cache
+        )
+        with obs.span(
+            f"simulate:{function}", target=self.target.name
+        ) as node:
+            result = self._run(function, args, arg_types, run_options, cache, watch)
+            if node is not None:
+                node.attrs["cycles"] = result.cycles
+                node.attrs["instructions"] = result.instructions
+            if result.cycle_breakdown:
+                for kind, count in result.cycle_breakdown.items():
+                    if count:
+                        obs.count(f"sim.stall.{kind}", count)
+        return result
+
+    def _run(
+        self,
+        function: str,
+        args: tuple,
+        arg_types: tuple | None,
+        options: SimOptions,
+        cache: DirectMappedCache | None,
+        watch,
+    ) -> SimResult:
+        max_instructions = options.max_instructions
+        max_cycles = options.max_cycles
         exe = self.executable
         state = MachineState(self.target.registers, exe.initial_memory())
         cwvm = self.target.cwvm
-        if self.cache is not None:
-            self.cache.reset()
-        pipeline = PipelineModel(self.target, self.cache) if self.model_timing else None
+        if cache is not None:
+            cache.reset()
+        if not options.model_timing:
+            pipeline = None
+        elif options.trace:
+            pipeline = AccountingPipelineModel(self.target, cache)
+        else:
+            pipeline = PipelineModel(self.target, cache)
 
         # calling convention setup
         stack_top = exe.memory_size - 64
@@ -197,8 +297,8 @@ class Simulator:
                 issue_cycle = 0
             if mem_log:
                 del mem_log[:]
-            if trace is not None:
-                trace(pc, instr, issue_cycle)
+            if watch is not None:
+                watch(pc, instr, issue_cycle)
 
             if effect is None:
                 pc += 1
@@ -265,9 +365,14 @@ class Simulator:
             instructions=executed,
             loads=loads,
             stores=stores,
-            cache_hits=self.cache.hits if self.cache else 0,
-            cache_misses=self.cache.misses if self.cache else 0,
+            cache_hits=cache.hits if cache else 0,
+            cache_misses=cache.misses if cache else 0,
             block_counts=block_counts,
+            cycle_breakdown=(
+                pipeline.cycle_breakdown
+                if isinstance(pipeline, AccountingPipelineModel)
+                else None
+            ),
         )
         result.return_value = self._read_result(state)
         return result
@@ -310,16 +415,27 @@ def run_program(
     executable: Executable,
     function: str,
     args: tuple = (),
-    cache: DirectMappedCache | None = None,
-    model_timing: bool = True,
-    max_instructions: int = 50_000_000,
-    max_cycles: int | None = None,
+    options: SimOptions | None = None,
+    *,
+    cache=UNSET,
+    model_timing=UNSET,
+    max_instructions=UNSET,
+    max_cycles=UNSET,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
-    simulator = Simulator(executable, cache=cache, model_timing=model_timing)
-    return simulator.run(
-        function,
-        args,
-        max_instructions=max_instructions,
-        max_cycles=max_cycles,
+    options = merge_legacy_kwargs(
+        options,
+        {
+            "cache": cache,
+            "model_timing": model_timing,
+            "max_instructions": max_instructions,
+            "max_cycles": max_cycles,
+        },
+        where="run_program",
+        warn=lambda message: warnings.warn(
+            message, DeprecationWarning, stacklevel=3
+        ),
+        factory=SimOptions,
     )
+    simulator = Simulator(executable, options)
+    return simulator.run(function, args)

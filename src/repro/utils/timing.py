@@ -1,10 +1,12 @@
-"""Lightweight phase timers and counters for the performance layer.
+"""Ambient process metrics: a thin adapter over :mod:`repro.obs`.
 
-The evaluation harness (and anything else that wants a perf trace) turns
-instrumentation on with :func:`enable`; the hot paths it is wired into —
-:func:`repro.compile_c`, the list scheduler and the simulator — guard
-every record with a single module-level boolean so the disabled cost is
-one attribute load and a branch.
+This module keeps the lightweight phase-timer/counter API the hot paths
+were built against (PR 1), but the recorder behind it is now an
+:class:`repro.obs.trace.Trace` — one process-wide trace holding only
+aggregates.  The evaluation harness turns instrumentation on with
+:func:`enable`; hot paths guard every record with the module-level
+``ENABLED`` boolean so the disabled cost stays one attribute load and a
+branch.
 
 Usage::
 
@@ -16,34 +18,25 @@ Usage::
     timing.add("target_cache.hit")
     print(timing.snapshot())
 
-Counters and phase timings are process-local: worker processes of the
-parallel harness each keep their own recorder, so aggregate numbers in
-``BENCH_eval.json`` either come from the parent process or are carried
-back explicitly in result rows (see ``repro/eval/common.py``).
+Relationship to :mod:`repro.obs`: an obs :class:`~repro.obs.trace.Trace`
+scopes one *activity* and is activated per-context; this module is the
+*process-wide* metrics sink that ``BENCH_eval.json`` reads.  Counters
+and phase timings are process-local: worker processes of the parallel
+harness each keep their own recorder, and the grid carries each worker's
+:func:`snapshot` back for the parent to :func:`merge`.
 """
 
 from __future__ import annotations
 
 import time
-from collections import defaultdict
 from contextlib import contextmanager
+
+from repro.obs.trace import Trace
 
 #: instrumentation master switch — read directly by hot paths
 ENABLED = False
 
-
-class Recorder:
-    """Accumulates phase wall times, call counts and event counters."""
-
-    __slots__ = ("phase_seconds", "phase_calls", "counters")
-
-    def __init__(self) -> None:
-        self.phase_seconds: dict[str, float] = defaultdict(float)
-        self.phase_calls: dict[str, int] = defaultdict(int)
-        self.counters: dict[str, int] = defaultdict(int)
-
-
-_recorder = Recorder()
+_recorder = Trace("timing")
 
 
 def enable(on: bool = True) -> None:
@@ -59,7 +52,12 @@ def enabled() -> bool:
 def reset() -> None:
     """Drop all recorded data (the enabled flag is left alone)."""
     global _recorder
-    _recorder = Recorder()
+    _recorder = Trace("timing")
+
+
+def recorder() -> Trace:
+    """The process-wide aggregate recorder (an obs Trace)."""
+    return _recorder
 
 
 @contextmanager
@@ -72,25 +70,28 @@ def phase(name: str):
     try:
         yield
     finally:
-        _recorder.phase_seconds[name] += time.perf_counter() - start
-        _recorder.phase_calls[name] += 1
+        _recorder.add_seconds(name, time.perf_counter() - start)
 
 
 def add(name: str, amount: int = 1) -> None:
     """Bump a named counter (no-op when disabled)."""
     if ENABLED:
-        _recorder.counters[name] += amount
+        _recorder.count(name, amount)
 
 
 def add_seconds(name: str, seconds: float) -> None:
     """Credit wall time to a phase without the context-manager overhead."""
     if ENABLED:
-        _recorder.phase_seconds[name] += seconds
-        _recorder.phase_calls[name] += 1
+        _recorder.add_seconds(name, seconds)
 
 
 def counter(name: str) -> int:
     return _recorder.counters.get(name, 0)
+
+
+def merge(summary: dict) -> None:
+    """Fold a worker's :func:`snapshot` into this process's recorder."""
+    _recorder.merge_summary(summary)
 
 
 class Stopwatch:
@@ -122,13 +123,4 @@ def stopwatch() -> Stopwatch:
 
 def snapshot() -> dict:
     """A JSON-ready copy of everything recorded so far."""
-    return {
-        "phases": {
-            name: {
-                "seconds": round(seconds, 6),
-                "calls": _recorder.phase_calls.get(name, 0),
-            }
-            for name, seconds in sorted(_recorder.phase_seconds.items())
-        },
-        "counters": dict(sorted(_recorder.counters.items())),
-    }
+    return _recorder.summary()

@@ -111,9 +111,9 @@ def test_end_to_end_correct_and_not_slower(target, strategy):
         return s;
     }
     """
-    plain = repro.compile_c(src, target, strategy=strategy)
+    plain = repro.compile_c(src, target, repro.CompileOptions(strategy=strategy))
     filled = repro.compile_c(
-        src, target, strategy=strategy, fill_delay_slots=True
+        src, target, repro.CompileOptions(strategy=strategy, fill_delay_slots=True)
     )
     result_plain = repro.simulate(plain, "f", args=(40,))
     result_filled = repro.simulate(filled, "f", args=(40,))
@@ -131,7 +131,7 @@ def test_fills_reduce_nop_count():
     }
     """
     plain = repro.compile_c(src, "r2000")
-    filled = repro.compile_c(src, "r2000", fill_delay_slots=True)
+    filled = repro.compile_c(src, "r2000", repro.CompileOptions(fill_delay_slots=True))
 
     def nops(executable):
         return sum(1 for i in executable.instrs if i.is_nop)

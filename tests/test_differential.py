@@ -77,7 +77,7 @@ def test_random_expression_matches_python(expr, a, b, target):
     text, reference = expr
     source = f"int f(int a, int b) {{ return {text}; }}"
     executable = repro.compile_c(source, target)
-    result = repro.simulate(executable, "f", args=(a, b), model_timing=False)
+    result = repro.simulate(executable, "f", args=(a, b), options=repro.SimOptions(model_timing=False))
     assert result.return_value["int"] == _wrap32(reference(a, b))
 
 
@@ -134,8 +134,8 @@ def loop_program(draw):
 @settings(max_examples=25, deadline=None)
 def test_random_loop_matches_python(program, n, strategy):
     source, reference = program
-    executable = repro.compile_c(source, "r2000", strategy=strategy)
-    result = repro.simulate(executable, "f", args=(n,), model_timing=False)
+    executable = repro.compile_c(source, "r2000", repro.CompileOptions(strategy=strategy))
+    result = repro.simulate(executable, "f", args=(n,), options=repro.SimOptions(model_timing=False))
     assert result.return_value["int"] == reference(n)
 
 
@@ -176,5 +176,5 @@ def test_random_double_expression_bit_exact(expr, x, target):
     text, reference = expr
     source = f"double f(double x) {{ double y = 0.5; return {text}; }}"
     executable = repro.compile_c(source, target)
-    result = repro.simulate(executable, "f", args=(x,), model_timing=False)
+    result = repro.simulate(executable, "f", args=(x,), options=repro.SimOptions(model_timing=False))
     assert result.return_value["double"] == reference(x, 0.5)

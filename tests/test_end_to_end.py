@@ -9,7 +9,7 @@ STRATEGIES = ["postpass", "ips", "rase"]
 
 
 def run(source, fn, args, target="r2000", strategy="postpass", kind="int"):
-    exe = repro.compile_c(source, target, strategy=strategy)
+    exe = repro.compile_c(source, target, repro.CompileOptions(strategy=strategy))
     return repro.simulate(exe, fn, args=args).return_value[kind]
 
 
@@ -278,7 +278,7 @@ def test_m88000_writeback_contention_correct(strategy):
         return s;
     }
     """
-    exe = repro.compile_c(src, "m88000", strategy=strategy)
+    exe = repro.compile_c(src, "m88000", repro.CompileOptions(strategy=strategy))
     result = repro.simulate(exe, "f", args=(16,))
     isum, s = 0, 0.0
     for i in range(16):

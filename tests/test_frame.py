@@ -101,7 +101,7 @@ def test_prologue_epilogue_symmetry_end_to_end(toyp):
         return a[0] + a[1];
     }
     """
-    exe = repro.compile_c(src, "toyp", strategy="postpass")
+    exe = repro.compile_c(src, "toyp", repro.CompileOptions(strategy="postpass"))
     mp = exe.machine_program
     f = mp.function("f")
     assert f.frame_size > 0
@@ -126,6 +126,6 @@ def test_frame_pointer_restored_across_calls(toyp):
         return local[0] * 100 + local[1];
     }
     """
-    exe = repro.compile_c(src, "toyp", strategy="ips")
+    exe = repro.compile_c(src, "toyp", repro.CompileOptions(strategy="ips"))
     result = repro.simulate(exe, "f", args=(3,))
     assert result.return_value["int"] == 6 * 100 + 8

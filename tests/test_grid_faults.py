@@ -286,7 +286,7 @@ def test_simulation_timeout_carries_context():
         spec.source, "r2000", repro.CompileOptions(strategy="postpass")
     )
     with pytest.raises(SimulationTimeout) as info:
-        repro.simulate(exe, "bench", args=spec.args, max_cycles=2000)
+        repro.simulate(exe, "bench", args=spec.args, options=repro.SimOptions(max_cycles=2000))
     timeout = info.value
     assert timeout.function == "bench"
     assert timeout.max_cycles == 2000

@@ -72,7 +72,7 @@ def test_loops_fall_through_into_body():
     }
     """
     exe = repro.compile_c(src, "r2000")
-    result = repro.simulate(exe, "f", args=(10,), model_timing=False)
+    result = repro.simulate(exe, "f", args=(10,), options=repro.SimOptions(model_timing=False))
     assert result.return_value["int"] == 45
     fn = exe.machine_program.function("f")
     # the head block ends in a conditional branch (to the exit), with no
@@ -93,7 +93,7 @@ def test_layout_cleanup_shrinks_code_and_time():
     }
     """
     exe = repro.compile_c(src, "r2000")
-    result = repro.simulate(exe, "f", args=(30,), model_timing=False)
+    result = repro.simulate(exe, "f", args=(30,), options=repro.SimOptions(model_timing=False))
     expected = 0
     for i in range(30):
         expected = expected + i if i % 3 == 0 else expected - 1

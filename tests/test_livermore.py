@@ -16,10 +16,10 @@ _SMALL = 48
 
 @pytest.mark.parametrize("spec", LIVERMORE_KERNELS, ids=lambda s: f"k{s.id}")
 def test_kernel_matches_reference_r2000(spec):
-    exe = repro.compile_c(spec.source, "r2000", strategy="postpass")
+    exe = repro.compile_c(spec.source, "r2000", repro.CompileOptions(strategy="postpass"))
     loop, n = spec.args
     n = min(n, _SMALL)
-    result = repro.simulate(exe, "bench", args=(loop, n), model_timing=False)
+    result = repro.simulate(exe, "bench", args=(loop, n), options=repro.SimOptions(model_timing=False))
     expected = spec.reference(loop, n)
     assert math.isclose(
         result.return_value["double"], expected, rel_tol=1e-9, abs_tol=1e-9
@@ -30,10 +30,10 @@ def test_kernel_matches_reference_r2000(spec):
 @pytest.mark.parametrize("kernel_id", [1, 5, 13])
 def test_kernels_under_prepass_strategies(kernel_id, strategy):
     spec = kernel_by_id(kernel_id)
-    exe = repro.compile_c(spec.source, "r2000", strategy=strategy)
+    exe = repro.compile_c(spec.source, "r2000", repro.CompileOptions(strategy=strategy))
     loop, n = spec.args
     n = min(n, _SMALL)
-    result = repro.simulate(exe, "bench", args=(loop, n), model_timing=False)
+    result = repro.simulate(exe, "bench", args=(loop, n), options=repro.SimOptions(model_timing=False))
     expected = spec.reference(loop, n)
     assert math.isclose(
         result.return_value["double"], expected, rel_tol=1e-9, abs_tol=1e-9
@@ -43,8 +43,8 @@ def test_kernels_under_prepass_strategies(kernel_id, strategy):
 @pytest.mark.parametrize("target", ["m88000", "i860", "toyp"])
 def test_kernel1_on_other_targets(target):
     spec = kernel_by_id(1)
-    exe = repro.compile_c(spec.source, target, strategy="postpass")
-    result = repro.simulate(exe, "bench", args=(1, _SMALL), model_timing=False)
+    exe = repro.compile_c(spec.source, target, repro.CompileOptions(strategy="postpass"))
+    result = repro.simulate(exe, "bench", args=(1, _SMALL), options=repro.SimOptions(model_timing=False))
     expected = spec.reference(1, _SMALL)
     assert math.isclose(result.return_value["double"], expected, rel_tol=1e-9)
 
@@ -53,7 +53,7 @@ def test_kernel3_full_size_exact():
     spec = kernel_by_id(3)
     exe = repro.compile_c(spec.source, "r2000")
     loop, n = spec.args
-    result = repro.simulate(exe, "bench", args=(loop, n), model_timing=False)
+    result = repro.simulate(exe, "bench", args=(loop, n), options=repro.SimOptions(model_timing=False))
     assert result.return_value["double"] == spec.reference(loop, n)
 
 
@@ -63,8 +63,8 @@ def test_recurrence_kernel_is_order_sensitive():
     dependence would change the result."""
     spec = kernel_by_id(5)
     for strategy in ("postpass", "ips", "rase"):
-        exe = repro.compile_c(spec.source, "r2000", strategy=strategy)
-        result = repro.simulate(exe, "bench", args=(1, 64), model_timing=False)
+        exe = repro.compile_c(spec.source, "r2000", repro.CompileOptions(strategy=strategy))
+        result = repro.simulate(exe, "bench", args=(1, 64), options=repro.SimOptions(model_timing=False))
         assert math.isclose(
             result.return_value["double"], spec.reference(1, 64), rel_tol=1e-12
         )

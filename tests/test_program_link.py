@@ -12,7 +12,9 @@ def compile_mp(source, target="toyp", strategy="postpass"):
     from repro.backend.codegen import CodeGenerator
     from repro.frontend import compile_to_il
 
-    generator = CodeGenerator(repro.load_target(target), strategy=strategy)
+    generator = CodeGenerator(
+        repro.load_target(target), repro.CompileOptions(strategy=strategy)
+    )
     return generator.compile_il(compile_to_il(source))
 
 

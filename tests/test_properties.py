@@ -138,7 +138,7 @@ def test_compiled_sum_matches_python(values, rotate):
     }}
     """
     exe = repro.compile_c(src, "r2000")
-    got = repro.simulate(exe, "f", model_timing=False).return_value["int"]
+    got = repro.simulate(exe, "f", options=repro.SimOptions(model_timing=False)).return_value["int"]
     expected = 0
     for v in values:
         expected = _wrap32(expected + v)
@@ -163,6 +163,6 @@ def test_double_roundtrip_through_memory_and_calls(x):
 def test_wrapping_arithmetic_matches_c(a, b):
     src = "int f(int a, int b) { return a + b * 3 - (a ^ b); }"
     exe = repro.compile_c(src, "toyp")
-    got = repro.simulate(exe, "f", args=(a, b), model_timing=False)
+    got = repro.simulate(exe, "f", args=(a, b), options=repro.SimOptions(model_timing=False))
     expected = _wrap32(a + _wrap32(b * 3) - (a ^ b))
     assert got.return_value["int"] == expected

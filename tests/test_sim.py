@@ -141,7 +141,7 @@ def test_infinite_loop_guard():
     src = "int f(void) { while (1) { } return 0; }"
     exe = repro.compile_c(src, "toyp")
     with pytest.raises(SimulationError, match="instructions"):
-        repro.simulate(exe, "f", max_instructions=10_000, model_timing=False)
+        repro.simulate(exe, "f", options=repro.SimOptions(max_instructions=10_000, model_timing=False))
 
 
 def test_timing_charges_latency_stalls(toyp):
@@ -165,7 +165,7 @@ def test_cache_misses_slow_execution():
     }
     """
     exe = repro.compile_c(src, "r2000")
-    cold = repro.simulate(exe, "f", args=(256,), cache=DirectMappedCache(size=1024))
+    cold = repro.simulate(exe, "f", args=(256,), options=repro.SimOptions(cache=DirectMappedCache(size=1024)))
     warm = repro.simulate(exe, "f", args=(256,))
     assert cold.return_value["double"] == warm.return_value["double"]
     assert cold.cache_misses > 0
@@ -186,7 +186,7 @@ def test_load_store_counters():
 def test_block_profile_counts_loop_iterations():
     src = "int f(int n) { int i; int s = 0; for (i = 0; i < n; i++) { s += i; } return s; }"
     exe = repro.compile_c(src, "toyp")
-    result = repro.simulate(exe, "f", args=(10,), model_timing=False)
+    result = repro.simulate(exe, "f", args=(10,), options=repro.SimOptions(model_timing=False))
     assert result.return_value["int"] == 45
     # some block was entered exactly 10 times (the loop body)
     assert 10 in result.block_counts.values()
@@ -195,8 +195,8 @@ def test_block_profile_counts_loop_iterations():
 def test_dilation_numerator_is_dynamic_count():
     src = "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += 1; } return s; }"
     exe = repro.compile_c(src, "toyp")
-    small = repro.simulate(exe, "f", args=(2,), model_timing=False)
-    large = repro.simulate(exe, "f", args=(50,), model_timing=False)
+    small = repro.simulate(exe, "f", args=(2,), options=repro.SimOptions(model_timing=False))
+    large = repro.simulate(exe, "f", args=(50,), options=repro.SimOptions(model_timing=False))
     assert large.instructions > small.instructions
 
 
@@ -222,7 +222,7 @@ def test_trace_hook_sees_every_instruction():
     exe = repro.compile_c(src, "toyp")
     events = []
     sim = repro.Simulator(exe)
-    result = sim.run("f", (5,), trace=lambda pc, i, c: events.append((pc, str(i), c)))
+    result = sim.run("f", (5,), watch=lambda pc, i, c: events.append((pc, str(i), c)))
     assert result.return_value["int"] == 11
     # the trace covers the non-delay-slot instructions, in issue order
     assert len(events) >= result.instructions - 2

@@ -33,7 +33,7 @@ def expected(n):
 @pytest.mark.parametrize("strategy", STRATEGY_NAMES)
 @pytest.mark.parametrize("target", ["toyp", "r2000", "m88000", "i860"])
 def test_all_strategies_all_targets_correct(strategy, target):
-    exe = repro.compile_c(SRC, target, strategy=strategy)
+    exe = repro.compile_c(SRC, target, repro.CompileOptions(strategy=strategy))
     result = repro.simulate(exe, "work", args=(24,))
     assert result.return_value["double"] == pytest.approx(expected(24), rel=1e-12)
 
@@ -47,7 +47,7 @@ def test_schedule_pass_counts():
     """Postpass schedules once, IPS twice, RASE three times."""
     counts = {}
     for strategy in STRATEGY_NAMES:
-        exe = repro.compile_c(SRC, "r2000", strategy=strategy)
+        exe = repro.compile_c(SRC, "r2000", repro.CompileOptions(strategy=strategy))
         stats = exe.machine_program.stats["work"]
         counts[strategy] = stats.schedule_passes
     assert counts["postpass"] == 1
@@ -56,7 +56,7 @@ def test_schedule_pass_counts():
 
 
 def test_block_costs_recorded():
-    exe = repro.compile_c(SRC, "r2000", strategy="postpass")
+    exe = repro.compile_c(SRC, "r2000", repro.CompileOptions(strategy="postpass"))
     stats = exe.machine_program.stats["work"]
     assert stats.block_costs
     assert all(cost >= 0 for cost in stats.block_costs.values())
@@ -70,21 +70,21 @@ def test_prepass_strategies_beat_postpass_on_big_blocks():
 
     cycles = {}
     for strategy in STRATEGY_NAMES:
-        exe = repro.compile_c(UNROLLED_HYDRO, "r2000", strategy=strategy)
+        exe = repro.compile_c(UNROLLED_HYDRO, "r2000", repro.CompileOptions(strategy=strategy))
         cycles[strategy] = _marginal_cycles(exe, 1, 128)
     assert cycles["ips"] < cycles["postpass"]
     assert cycles["rase"] < cycles["postpass"]
 
 
 def test_scheduling_disabled_still_correct():
-    exe = repro.compile_c(SRC, "r2000", strategy="postpass", schedule=False)
+    exe = repro.compile_c(SRC, "r2000", repro.CompileOptions(strategy="postpass", schedule=False))
     result = repro.simulate(exe, "work", args=(16,))
     assert result.return_value["double"] == pytest.approx(expected(16), rel=1e-12)
 
 
 def test_scheduling_improves_over_unscheduled():
-    exe_on = repro.compile_c(SRC, "r2000", strategy="postpass")
-    exe_off = repro.compile_c(SRC, "r2000", strategy="postpass", schedule=False)
+    exe_on = repro.compile_c(SRC, "r2000", repro.CompileOptions(strategy="postpass"))
+    exe_off = repro.compile_c(SRC, "r2000", repro.CompileOptions(strategy="postpass", schedule=False))
     on = repro.simulate(exe_on, "work", args=(48,))
     off = repro.simulate(exe_off, "work", args=(48,))
     assert on.cycles <= off.cycles

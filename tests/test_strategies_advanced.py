@@ -78,10 +78,10 @@ def test_rase_adopts_relaxed_schedule_order():
     }
     """
     target = repro.load_target("r2000")
-    postpass = CodeGenerator(target, strategy="postpass").compile_il(
+    postpass = CodeGenerator(target, repro.CompileOptions(strategy="postpass")).compile_il(
         compile_to_il(src)
     )
-    rase = CodeGenerator(target, strategy="rase").compile_il(compile_to_il(src))
+    rase = CodeGenerator(target, repro.CompileOptions(strategy="rase")).compile_il(compile_to_il(src))
     assert postpass.stats["f"].schedule_passes == 1
     assert rase.stats["f"].schedule_passes == 3
 
@@ -102,7 +102,7 @@ def test_strategies_on_superscalar_description():
     """
     results = {}
     for strategy in ("postpass", "ips", "rase"):
-        exe = repro.compile_c(src, target, strategy=strategy)
+        exe = repro.compile_c(src, target, repro.CompileOptions(strategy=strategy))
         results[strategy] = repro.simulate(exe, "f", args=(15,))
     values = {r.return_value["int"] for r in results.values()}
     assert len(values) == 1  # all strategies agree
@@ -111,7 +111,7 @@ def test_strategies_on_superscalar_description():
 def test_heuristic_flag_propagates():
     src = "int f(int a) { return a + 1; }"
     for heuristic in ("maxdist", "fifo"):
-        exe = repro.compile_c(src, "toyp", heuristic=heuristic)
+        exe = repro.compile_c(src, "toyp", repro.CompileOptions(heuristic=heuristic))
         assert repro.simulate(exe, "f", args=(4,)).return_value["int"] == 5
     with pytest.raises(ValueError, match="heuristic"):
-        repro.compile_c(src, "toyp", heuristic="bogus")
+        repro.compile_c(src, "toyp", repro.CompileOptions(heuristic="bogus"))

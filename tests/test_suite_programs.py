@@ -11,8 +11,8 @@ from repro.workloads import PROGRAM_SUITE
 @pytest.mark.parametrize("program", PROGRAM_SUITE, ids=lambda p: p.name)
 @pytest.mark.parametrize("target", ["r2000", "i860"])
 def test_suite_program_correct(program, target):
-    exe = repro.compile_c(program.source, target, strategy="postpass")
-    result = repro.simulate(exe, program.entry, args=program.args, model_timing=False)
+    exe = repro.compile_c(program.source, target, repro.CompileOptions(strategy="postpass"))
+    result = repro.simulate(exe, program.entry, args=program.args, options=repro.SimOptions(model_timing=False))
     expected = program.reference(*program.args)
     if isinstance(expected, float):
         got = result.return_value["double"]
@@ -26,7 +26,7 @@ def test_quicksort_randomized_against_python():
     exe = repro.compile_c(intsort.source, "r2000")
     for n in (5, 17, 63, 200):
         got = repro.simulate(
-            exe, "intsort_main", args=(n,), model_timing=False
+            exe, "intsort_main", args=(n,), options=repro.SimOptions(model_timing=False)
         ).return_value["int"]
         assert got == intsort.reference(n)
 
@@ -36,6 +36,6 @@ def test_interpreter_computes_sum_of_squares():
     exe = repro.compile_c(interp.source, "r2000")
     for k in (0, 1, 7, 40):
         got = repro.simulate(
-            exe, "interp_main", args=(k,), model_timing=False
+            exe, "interp_main", args=(k,), options=repro.SimOptions(model_timing=False)
         ).return_value["int"]
         assert got == sum(i * i for i in range(1, k + 1))

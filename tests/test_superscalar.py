@@ -141,7 +141,7 @@ def test_whole_program_on_superscalar(superscalar):
         return s * 1000 + t;
     }
     """
-    exe = repro.compile_c(src, superscalar, strategy="ips")
+    exe = repro.compile_c(src, superscalar, repro.CompileOptions(strategy="ips"))
     result = repro.simulate(exe, "f", args=(20,))
     expected = sum(i * 3 for i in range(20)) * 1000 + sum(range(20))
     assert result.return_value["int"] == expected

@@ -54,7 +54,7 @@ def test_fresh_instances_are_independent():
 
 
 def _compile_text(target, source, strategy):
-    executable = repro.compile_c(source, target, strategy=strategy)
+    executable = repro.compile_c(source, target, repro.CompileOptions(strategy=strategy))
     return format_program(executable.machine_program)
 
 
@@ -81,6 +81,6 @@ def test_cached_target_structure_stable_across_compiles():
     target = load_target("i860")
     instruction_count = len(target.instructions)
     register_sets = sorted(target.registers.sets)
-    repro.compile_c(PROGRAM_B, target, strategy="postpass")
+    repro.compile_c(PROGRAM_B, target, repro.CompileOptions(strategy="postpass"))
     assert len(target.instructions) == instruction_count
     assert sorted(target.registers.sets) == register_sets

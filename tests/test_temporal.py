@@ -169,7 +169,7 @@ def test_functional_correctness_of_packed_pipeline(i860):
         return a * b + c * d;
     }
     """
-    exe = repro.compile_c(src, "i860", strategy="postpass")
+    exe = repro.compile_c(src, "i860", repro.CompileOptions(strategy="postpass"))
     result = repro.simulate(exe, "f", args=(3.0, 5.0, 7.0, 11.0))
     assert result.return_value["double"] == 3.0 * 5.0 + 7.0 * 11.0
 
@@ -183,7 +183,7 @@ def test_temporal_state_is_ephemeral_between_ops(i860):
     double f(double a, double b) { return a * b; }
     double g(double a, double b) { return (a * b) * (a + b); }
     """
-    exe = repro.compile_c(src, "i860", strategy="ips")
+    exe = repro.compile_c(src, "i860", repro.CompileOptions(strategy="ips"))
     one = repro.simulate(exe, "g", args=(2.0, 4.0))
     two = repro.simulate(exe, "g", args=(2.0, 4.0))
     assert one.return_value["double"] == two.return_value["double"] == 48.0
@@ -194,7 +194,7 @@ def test_selector_emits_chained_multiply_add(i860):
     import repro
 
     src = "double f(double a, double b, double c) { return a * b + c; }"
-    exe = repro.compile_c(src, "i860", strategy="postpass")
+    exe = repro.compile_c(src, "i860", repro.CompileOptions(strategy="postpass"))
     names = [i.desc.mnemonic for i in exe.instrs]
     assert "A1M" in names
     assert "FWBM" not in names
@@ -214,7 +214,7 @@ def test_chained_and_unchained_agree(i860):
         return s;
     }
     """
-    exe = repro.compile_c(src, "i860", strategy="ips")
+    exe = repro.compile_c(src, "i860", repro.CompileOptions(strategy="ips"))
     result = repro.simulate(exe, "f", args=(24,))
     expected = 0.0
     w = [i * 0.25 for i in range(24)]
