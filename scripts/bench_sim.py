@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Simulator-only microbenchmark: per-target instr/s + block-cache stats.
+
+Compiles one Livermore kernel per target, simulates it, and reports the
+functional execution rate and the block-timing cache hit rate — so
+simulator performance is trackable independently of the full report
+(whose wall clock also includes compilation and table assembly).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sim.py
+    PYTHONPATH=src python scripts/bench_sim.py --targets r2000 --scale 0.2 \\
+        --assert-hit-rate 0.90        # CI perf smoke
+    PYTHONPATH=src python scripts/bench_sim.py --compare   # fast vs reference
+
+``--compare`` runs every unit under both timing paths, verifies the
+cycle counts and cache stats are bit-identical, and prints the speedup.
+``--assert-hit-rate`` exits nonzero when any unit's block-cache hit rate
+falls below the threshold.  ``--json`` emits machine-readable results.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import repro
+from repro.sim import DirectMappedCache
+from repro.workloads import kernel_by_id
+
+ALL_TARGETS = ("toyp", "r2000", "m88000", "i860")
+
+
+def bench_unit(target, kernel_id, strategy, scale, fast):
+    spec = kernel_by_id(kernel_id)
+    executable = repro.compile_c(
+        spec.source, target, repro.CompileOptions(strategy=strategy)
+    )
+    loop, n = spec.args
+    n = max(4, int(n * scale))
+    start = time.perf_counter()
+    result = repro.simulate(
+        executable,
+        "bench",
+        args=(loop, n),
+        options=repro.SimOptions(
+            cache=DirectMappedCache(), fast_timing=fast
+        ),
+    )
+    seconds = time.perf_counter() - start
+    lookups = result.block_cache_hits + result.block_cache_misses
+    return {
+        "target": target,
+        "kernel": kernel_id,
+        "strategy": strategy,
+        "fast_timing": fast,
+        "seconds": round(seconds, 4),
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "instr_per_s": round(result.instructions / seconds),
+        "block_cache_hits": result.block_cache_hits,
+        "block_cache_misses": result.block_cache_misses,
+        "hit_rate": (
+            round(result.block_cache_hits / lookups, 4) if lookups else 0.0
+        ),
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--targets",
+        default=",".join(ALL_TARGETS),
+        help="comma-separated target list (default: all four)",
+    )
+    parser.add_argument("--kernel", type=int, default=1, help="Livermore kernel id")
+    parser.add_argument("--strategy", default="postpass")
+    parser.add_argument("--scale", type=float, default=0.2, help="iteration scale")
+    parser.add_argument(
+        "--assert-hit-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="exit 1 if any unit's block-cache hit rate is below RATE",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the reference path; verify bit-identical, print speedup",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+    args = parser.parse_args(argv)
+
+    targets = [t.strip() for t in args.targets.split(",") if t.strip()]
+    rows = []
+    failed = False
+    for target in targets:
+        row = bench_unit(target, args.kernel, args.strategy, args.scale, True)
+        if args.compare:
+            reference = bench_unit(
+                target, args.kernel, args.strategy, args.scale, False
+            )
+            row["reference_seconds"] = reference["seconds"]
+            row["speedup"] = round(
+                reference["seconds"] / max(row["seconds"], 1e-9), 2
+            )
+            for field in ("cycles", "cache_hits", "cache_misses"):
+                if row[field] != reference[field]:
+                    row["mismatch"] = field
+                    failed = True
+        if (
+            args.assert_hit_rate is not None
+            and row["hit_rate"] < args.assert_hit_rate
+        ):
+            row["below_threshold"] = True
+            failed = True
+        rows.append(row)
+
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        for row in rows:
+            line = (
+                f"{row['target']:8s} K{row['kernel']}/{row['strategy']}: "
+                f"{row['instr_per_s'] / 1e6:5.2f}M instr/s "
+                f"({row['instructions']} instrs, {row['seconds']:.3f}s), "
+                f"block-cache hit rate {row['hit_rate']:.4f} "
+                f"({row['block_cache_hits']}/{row['block_cache_hits'] + row['block_cache_misses']})"
+            )
+            if "speedup" in row:
+                line += f", {row['speedup']}x vs reference"
+            if "mismatch" in row:
+                line += f"  !! MISMATCH in {row['mismatch']}"
+            if row.get("below_threshold"):
+                line += "  !! hit rate below threshold"
+            print(line)
+
+    if failed:
+        if args.assert_hit_rate is not None:
+            print(
+                f"FAIL: block-cache hit rate below {args.assert_hit_rate}"
+                " (or fast/reference mismatch)",
+                file=sys.stderr,
+            )
+        else:
+            print("FAIL: fast/reference mismatch", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

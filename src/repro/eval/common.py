@@ -40,6 +40,10 @@ class KernelRun:
     #: simulator hazard-kind cycle attribution, filled only when the run
     #: used the accounting pipeline model (``run_kernel(breakdown=True)``)
     cycle_breakdown: dict | None = None
+    #: block-timing cache lookups (both zero when the run took the
+    #: reference interleaved path, e.g. ``breakdown=True``)
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
 
     @property
     def stall_cycles(self) -> int:
@@ -149,6 +153,8 @@ def run_kernel(
         sched_stall_reasons=sched_reasons,
         sched_nop_slots=sched_nop_slots,
         cycle_breakdown=result.cycle_breakdown,
+        block_cache_hits=result.block_cache_hits,
+        block_cache_misses=result.block_cache_misses,
     )
 
 

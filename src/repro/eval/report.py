@@ -294,7 +294,7 @@ def _bench_payload(
     failures: list[GridFailure],
     stall_data=None,
 ) -> dict:
-    """The machine-readable BENCH_eval.json payload (schema v3)."""
+    """The machine-readable BENCH_eval.json payload (schema v4)."""
     runs = [
         run
         for by_strategy in table4_data.runs.values()
@@ -303,8 +303,11 @@ def _bench_payload(
     sim_seconds = sum(run.sim_seconds for run in runs)
     sim_cycles = sum(run.actual_cycles for run in runs)
     snapshot = timing.snapshot()
+    block_hits = timing.counter("sim.block_cache.hit")
+    block_misses = timing.counter("sim.block_cache.miss")
+    block_lookups = block_hits + block_misses
     payload = {
-        "schema": 3,
+        "schema": 4,
         "scale": scale,
         "jobs": jobs,
         "wall_seconds": {
@@ -325,6 +328,23 @@ def _bench_payload(
                 sum(run.compile_seconds for run in runs), 3
             ),
             "unmatched_profile_blocks": table4_data.unmatched_blocks,
+        },
+        "sim": {
+            "run_seconds": round(
+                snapshot["phases"]
+                .get("sim.run", {})
+                .get("seconds", 0.0),
+                3,
+            ),
+            "block_cache": {
+                "hits": block_hits,
+                "misses": block_misses,
+                "hit_rate": (
+                    round(block_hits / block_lookups, 4)
+                    if block_lookups
+                    else None
+                ),
+            },
         },
         "target_cache": {
             "hits": timing.counter("target_cache.hit"),

@@ -16,12 +16,21 @@ a deprecation shim that converts them to a ``CompileOptions`` and emits a
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 
 from repro.errors import MarionError
 
 #: sentinel distinguishing "keyword not passed" from any real value
 UNSET = object()
+
+#: process-wide default for :attr:`SimOptions.fast_timing`, read once at
+#: import.  ``REPRO_FAST_TIMING=0`` forces the reference interleaved
+#: timing path for every run that does not set the field explicitly —
+#: CI's cross-validation job runs the suite under both values.
+_FAST_TIMING_DEFAULT = os.environ.get(
+    "REPRO_FAST_TIMING", "1"
+).lower() not in ("0", "false", "off", "no")
 
 
 @dataclass(frozen=True)
@@ -79,7 +88,16 @@ class SimOptions:
       :class:`~repro.errors.SimulationTimeout` past this cycle budget;
     * ``trace`` — use the accounting pipeline model, which attributes
       every stall cycle to a hazard kind and fills
-      ``SimResult.cycle_breakdown``.
+      ``SimResult.cycle_breakdown``;
+    * ``fast_timing`` — consult the pipeline model through the memoized
+      block-timing cache (:mod:`repro.sim.blockcache`), which returns
+      bit-identical cycle counts while skipping the per-instruction
+      hazard walk for repeated basic blocks.  The simulator falls back
+      to the reference interleaved path automatically whenever the run
+      needs per-instruction timing: ``trace=True`` (the accounting model
+      attributes every cycle), an armed ``max_cycles`` watchdog (its
+      raise point is cycle-exact), or a ``watch=`` callback (it receives
+      per-instruction issue cycles).
     """
 
     cache: object = None
@@ -87,6 +105,7 @@ class SimOptions:
     max_instructions: int = 50_000_000
     max_cycles: int | None = None
     trace: bool = False
+    fast_timing: bool = _FAST_TIMING_DEFAULT
 
     def replace(self, **changes) -> "SimOptions":
         """A copy with the given fields changed (frozen-friendly)."""

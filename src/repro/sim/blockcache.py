@@ -1,0 +1,299 @@
+"""Memoized block-timing fast path (the simulator's segment cache).
+
+The Livermore kernels re-execute the same handful of basic blocks for
+thousands of iterations, and after warmup the pipeline hazard state
+repeats: the same straight-line *segment*, entered with the same
+relative hazard state and the same pattern of data-cache load misses,
+always costs the same number of cycles and leaves the same relative
+hazard state behind.  The fast path exploits this.  Functional
+execution (register and memory semantics plus the
+:class:`~repro.sim.cache.DirectMappedCache` model) still runs every
+iteration, but instead of walking :meth:`PipelineModel.issue` per
+instruction the simulator accumulates per-segment events and consults a
+timing cache keyed by::
+
+    (entry_pc, end_pc, transfer_pc, load-miss bitmask, entry digest)
+
+A segment is a maximal dynamically straight-line run: from one entry
+point up to (and including) the first *taken* control transfer and its
+delay slots, or up to :data:`SEGMENT_CAP` instructions.  Given the key,
+the executed pc sequence is exactly ``entry_pc..end_pc`` (untaken
+conditional branches return no control effect, so they stay inside a
+segment), which is what makes the replay reconstructible without
+recording instruction streams.
+
+The *digest* canonicalizes everything :meth:`PipelineModel.issue` and
+:meth:`PipelineModel.transfer` can observe, relative to the entry issue
+cycle: producer ready times (aged out once they can no longer
+interlock), temporal (EAP) producers, resource-ring occupancy at and
+beyond the issue point, packing-class commitments, the memory-ordering
+watermarks and the branch-redirect floor.  Two states with equal
+digests are indistinguishable to every future issue, so a cached
+``(cycle delta, exit digest)`` substitutes for the replay exactly —
+steady-state loop iterations reduce to one dictionary probe per block.
+
+On a cache miss the segment is *replayed* through a real
+:class:`PipelineModel` materialized from the entry digest; the data
+cache is replaced by a scripted stand-in feeding back the hit/miss
+outcomes the functional side already observed, so the real cache model
+is consulted exactly once per access.  ``tests/test_block_timing.py``
+holds the fast path bit-identical to the reference interleaved model
+across the whole target × strategy grid.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+
+from repro.sim.pipeline import _RING_MASK, PipelineModel
+
+#: digest of a pristine pipeline — the state every run starts in
+EMPTY_DIGEST = (0, (), (), (), (), -1, 0)
+
+#: a segment is force-closed after this many instructions, so one-shot
+#: straight-line code cannot grow unbounded keys or event lists
+SEGMENT_CAP = 2048
+
+#: the table stops admitting new entries past this size (lookups still
+#: hit; further misses replay uncached) — a backstop against degenerate
+#: keying, e.g. a workload whose miss masks never repeat
+MAX_ENTRIES = 1 << 16
+
+
+def target_max_latency(target) -> int:
+    """An upper bound on any producer→consumer latency of ``target``.
+
+    A producer that issued more than this many cycles before the issue
+    point can never interlock again, so the digest ages it out — which
+    is what makes steady-state loop iterations digest-equal."""
+    cached = getattr(target, "_sim_max_latency", None)
+    if cached is None:
+        cached = 1
+        for desc in target.instructions.values():
+            if desc.latency > cached:
+                cached = desc.latency
+        for rule in target.aux_rules.values():
+            if rule.latency > cached:
+                cached = rule.latency
+        target._sim_max_latency = cached
+    return cached
+
+
+def state_digest(model: PipelineModel, max_latency: int) -> tuple:
+    """Canonicalize ``model``'s timing state relative to its issue point.
+
+    Components that cannot affect any future :meth:`PipelineModel.issue`
+    are normalized away: producers and temporal producers older than
+    ``max_latency``, ring occupancy and packing classes below the issue
+    point, a redirect floor already passed, and memory-ordering
+    watermarks that can no longer delay anything.  Every surviving cycle
+    is encoded relative to ``model.last_issue``.
+    """
+    base = model.last_issue
+    redirect = model.redirect_floor - base
+    if redirect < 0:
+        redirect = 0
+    horizon = base - max_latency
+    producers = sorted(
+        (
+            (unit, entry[0] - base, entry[1])
+            for unit, entry in model.producers.items()
+            if entry[0] > horizon
+        ),
+        key=itemgetter(0),
+    )
+    temporals = sorted(
+        (name, entry[0] - base, entry[1])
+        for name, entry in model.temporal_producers.items()
+        if entry[0] > horizon
+    )
+    ring = []
+    ring_cycle = model.ring_cycle
+    ring_mask = model.ring_mask
+    for at in range(base, model._frontier + 1):
+        slot = at & _RING_MASK
+        if ring_cycle[slot] == at and ring_mask[slot]:
+            ring.append((at - base, ring_mask[slot]))
+    classes = sorted(
+        (cycle - base, kinds)
+        for cycle, kinds in model.cycle_classes.items()
+        if cycle >= base
+    )
+    store = model.last_store_issue - base
+    load = model.last_load_issue - base
+    return (
+        redirect,
+        tuple(producers),
+        tuple(temporals),
+        tuple(ring),
+        tuple(classes),
+        store if store >= 0 else -1,
+        load if load > 0 else 0,
+    )
+
+
+def load_state(model: PipelineModel, digest: tuple, base: int) -> None:
+    """Materialize ``digest`` into ``model`` at absolute cycle ``base``.
+
+    Only valid for bases at or beyond every absolute cycle the model has
+    ever touched — the fast path's bases grow monotonically within a
+    run, so a stale resource-ring slot can never alias a materialized
+    cycle (its tag is always smaller)."""
+    redirect, producers, temporals, ring, classes, store, load = digest
+    model.last_issue = base
+    model.redirect_floor = base + redirect
+    model.producers = {
+        unit: (base + rel, token) for unit, rel, token in producers
+    }
+    model.temporal_producers = {
+        name: (base + rel, mnemonic) for name, rel, mnemonic in temporals
+    }
+    frontier = -1
+    ring_cycle = model.ring_cycle
+    ring_mask = model.ring_mask
+    for rel, mask in ring:
+        at = base + rel
+        slot = at & _RING_MASK
+        ring_cycle[slot] = at
+        ring_mask[slot] = mask
+        if rel > frontier:
+            frontier = rel
+    model.cycle_classes = {base + rel: kinds for rel, kinds in classes}
+    if classes and classes[-1][0] > frontier:
+        frontier = classes[-1][0]
+    model._frontier = base + frontier if frontier >= 0 else base - 1
+    model._horizon = base
+    # stale watermarks materialize just below the issue point: the
+    # ordering constraints they impose on cycles >= base are identical
+    # to any older value's, and updates overwrite them the same way
+    model.last_store_issue = base + store if store >= 0 else base - 1
+    model.last_load_issue = base + load
+
+
+class _ScriptedCache:
+    """Replay stand-in for the data cache: feeds back the hit/miss
+    outcomes the functional side already observed, in access order, so a
+    replayed segment never touches (or double-counts in) the real cache
+    model."""
+
+    __slots__ = ("miss_penalty", "_script", "_next")
+
+    def __init__(self, miss_penalty: int):
+        self.miss_penalty = miss_penalty
+        self._script: list = []
+        self._next = 0
+
+    def load(self, script: list) -> None:
+        self._script = script
+        self._next = 0
+
+    def access(self, address: int) -> bool:
+        hit = self._script[self._next]
+        self._next += 1
+        return hit
+
+
+class BlockTimingCache:
+    """The ``(segment, entry digest, miss mask) -> (cycle delta, exit
+    digest)`` memo, plus the replay machinery behind its misses.
+
+    One instance is shared by every fast-path run over one (executable,
+    miss-penalty) pair, so warmup paid by one simulation benefits the
+    next.  Digests are interned to small integer ids: table keys and the
+    virtual pipeline state carry only ints, so a steady-state lookup
+    never re-hashes the (large) digest tuples."""
+
+    EMPTY_ID = 0
+
+    def __init__(
+        self,
+        target,
+        instrs,
+        miss_penalty: int | None,
+        static: dict | None = None,
+    ):
+        self.scripted = (
+            _ScriptedCache(miss_penalty) if miss_penalty is not None else None
+        )
+        self.pipeline = PipelineModel(target, self.scripted, static=static)
+        self.max_latency = target_max_latency(target)
+        self.instrs = instrs
+        self.digests: list[tuple] = [EMPTY_DIGEST]
+        self._digest_ids: dict[tuple, int] = {EMPTY_DIGEST: 0}
+        self.table: dict[tuple, tuple[int, int]] = {}
+        self.hits = 0
+        self.misses = 0
+        #: first absolute cycle no replay has ever touched — each run
+        #: materializes at ``begin_run() + virtual cycle`` so ring tags
+        #: from an earlier run can never alias a later, lower base
+        self._next_base = 0
+
+    def begin_run(self) -> int:
+        """The absolute-cycle offset a new run must add to its virtual
+        cycle counter before materializing states on this cache."""
+        return self._next_base
+
+    def close(
+        self,
+        entry: int,
+        end: int,
+        transfer: int,
+        miss_mask: int,
+        events: list,
+        entry_id: int,
+        base: int,
+    ) -> tuple[int, int]:
+        """Finish one segment; returns ``(cycle delta, exit digest id)``.
+
+        ``events`` is the segment's memory-access record, one
+        ``(pc, is_write, hit)`` triple per access in execution order; it
+        is only consulted when the lookup misses and the segment must be
+        replayed.  ``base`` is the absolute issue cycle at segment entry.
+        """
+        key = (entry, end, transfer, miss_mask, entry_id)
+        record = self.table.get(key)
+        if record is not None:
+            self.hits += 1
+            return record
+        self.misses += 1
+        record = self._replay(entry, end, transfer, events, entry_id, base)
+        if len(self.table) < MAX_ENTRIES:
+            self.table[key] = record
+        return record
+
+    def _replay(
+        self, entry: int, end: int, transfer: int, events, entry_id, base
+    ) -> tuple[int, int]:
+        model = self.pipeline
+        load_state(model, self.digests[entry_id], base)
+        scripted = self.scripted
+        if scripted is not None:
+            scripted.load([hit for _pc, _w, hit in events])
+        instrs = self.instrs
+        issue = model.issue
+        position = 0
+        count = len(events)
+        transfer_cycle = 0
+        mem_log: list = []
+        for pc in range(entry, end + 1):
+            del mem_log[:]
+            while position < count and events[position][0] == pc:
+                mem_log.append((0, events[position][1], 0))
+                position += 1
+            cycle = issue(instrs[pc], mem_log)
+            if pc == transfer:
+                transfer_cycle = cycle
+        if transfer >= 0:
+            model.transfer(instrs[transfer], transfer_cycle)
+        top = model._frontier
+        if model.last_issue > top:
+            top = model.last_issue
+        if top + 1 > self._next_base:
+            self._next_base = top + 1
+        digest = state_digest(model, self.max_latency)
+        exit_id = self._digest_ids.get(digest)
+        if exit_id is None:
+            exit_id = len(self.digests)
+            self.digests.append(digest)
+            self._digest_ids[digest] = exit_id
+        return (model.last_issue - base, exit_id)

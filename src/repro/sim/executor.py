@@ -9,7 +9,12 @@ enough for the Livermore kernels.
 A closure returns a control effect (``('goto', label)``, ``('call',
 label)``, ``('ret',)``) or ``None`` and appends ``(address, is_write,
 size)`` records to the memory log the caller provides (the pipeline model
-uses them for cache simulation and memory ordering).
+uses them for cache simulation and memory ordering).  The *order* of
+records within one instruction is part of the contract: the fast timing
+path (:mod:`repro.sim.blockcache`) records per-access cache outcomes
+during functional execution and feeds them back positionally when a
+segment is replayed, so closures must log accesses in the same order the
+semantics perform them.
 """
 
 from __future__ import annotations

@@ -61,7 +61,12 @@ class _Decoded:
 class PipelineModel:
     """Charges cycles to a dynamic instruction stream (one per run)."""
 
-    def __init__(self, target: TargetMachine, cache: DirectMappedCache | None = None):
+    def __init__(
+        self,
+        target: TargetMachine,
+        cache: DirectMappedCache | None = None,
+        static: dict | None = None,
+    ):
         self.target = target
         self.registers = target.registers
         self.cache = cache
@@ -79,8 +84,12 @@ class PipelineModel:
         #: highest cycle holding any committed resource or packing class —
         #: cycles beyond it cannot conflict, so hazard scans stop there
         self._frontier = -1
-        #: instr.id -> _Decoded
-        self._static: dict[int, _Decoded] = {}
+        #: instr.id -> _Decoded.  ``static`` lets callers share one decode
+        #: table across model instances (the simulator hoists it to the
+        #: executable so repeated runs stop re-decoding the program); the
+        #: table is only shareable between models of the *same* class —
+        #: the accounting subclass stores a different ``lat_memo`` shape.
+        self._static: dict[int, _Decoded] = {} if static is None else static
         #: producer mnemonic -> latency (temporal reads)
         self._mnemonic_latency: dict[str, int] = {}
 
@@ -355,8 +364,13 @@ class AccountingPipelineModel(PipelineModel):
     two models' timing in lock-step.
     """
 
-    def __init__(self, target: TargetMachine, cache: DirectMappedCache | None = None):
-        super().__init__(target, cache)
+    def __init__(
+        self,
+        target: TargetMachine,
+        cache: DirectMappedCache | None = None,
+        static: dict | None = None,
+    ):
+        super().__init__(target, cache, static)
         from repro.obs import stalls as _stalls
 
         self._kinds = _stalls

@@ -17,6 +17,7 @@ from repro.errors import SimulationError, SimulationTimeout
 import repro.obs as obs
 from repro.options import UNSET, SimOptions, merge_legacy_kwargs
 from repro.program import Executable
+from repro.sim.blockcache import SEGMENT_CAP, BlockTimingCache
 from repro.sim.cache import DirectMappedCache
 from repro.sim.executor import SemanticsCompiler
 from repro.sim.pipeline import AccountingPipelineModel, PipelineModel
@@ -43,6 +44,11 @@ class SimResult:
     #: ``SimOptions(trace=True)``; every cycle of issue-point advance is
     #: attributed, so the values sum to ``cycles - 1``
     cycle_breakdown: dict[str, int] | None = None
+    #: block-timing cache lookups this run (both zero when the run used
+    #: the reference interleaved path — trace/watch/max_cycles fallback,
+    #: ``fast_timing=False``, or timing off)
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
 
     @property
     def stall_cycles(self) -> int:
@@ -119,6 +125,16 @@ class Simulator:
             decoded = (closures, block_of, frozenset(executable.labels.values()))
             executable._sim_decode = decoded
         self.closures, self.block_of, self._block_starts = decoded
+        # the pipeline decode tables are likewise per-program: one dict
+        # for the base model (shared with the block-timing replay model)
+        # and one for the accounting model, whose latency memo stores a
+        # different shape — sharing them across runs stops every new
+        # Simulator/_run from re-decoding the whole program
+        pipe_static = getattr(executable, "_pipe_static", None)
+        if pipe_static is None:
+            pipe_static = ({}, {})
+            executable._pipe_static = pipe_static
+        self._pipe_static = pipe_static
 
     def run(
         self,
@@ -176,43 +192,48 @@ class Simulator:
         cache = self.cache if options is None else _resolve_cache(
             run_options.cache
         )
+        # the memoized block-timing path needs nothing observed per
+        # instruction; anything that does — per-cycle stall attribution,
+        # a cycle-exact watchdog raise, a watch callback fed issue
+        # cycles — takes the reference interleaved path
+        fast = (
+            run_options.fast_timing
+            and run_options.model_timing
+            and not run_options.trace
+            and run_options.max_cycles is None
+            and watch is None
+        )
         with obs.span(
             f"simulate:{function}", target=self.target.name
         ) as node:
-            result = self._run(function, args, arg_types, run_options, cache, watch)
+            if fast:
+                result = self._run_fast(
+                    function, args, arg_types, run_options, cache
+                )
+            else:
+                result = self._run(
+                    function, args, arg_types, run_options, cache, watch
+                )
             if node is not None:
                 node.attrs["cycles"] = result.cycles
                 node.attrs["instructions"] = result.instructions
+            if result.block_cache_hits:
+                obs.count("sim.block_cache.hit", result.block_cache_hits)
+            if result.block_cache_misses:
+                obs.count("sim.block_cache.miss", result.block_cache_misses)
             if result.cycle_breakdown:
                 for kind, count in result.cycle_breakdown.items():
                     if count:
                         obs.count(f"sim.stall.{kind}", count)
         return result
 
-    def _run(
-        self,
-        function: str,
-        args: tuple,
-        arg_types: tuple | None,
-        options: SimOptions,
-        cache: DirectMappedCache | None,
-        watch,
-    ) -> SimResult:
-        max_instructions = options.max_instructions
-        max_cycles = options.max_cycles
+    def _init_state(
+        self, function: str, args: tuple, arg_types: tuple | None
+    ) -> MachineState:
+        """Fresh machine state with the calling convention applied."""
         exe = self.executable
         state = MachineState(self.target.registers, exe.initial_memory())
         cwvm = self.target.cwvm
-        if cache is not None:
-            cache.reset()
-        if not options.model_timing:
-            pipeline = None
-        elif options.trace:
-            pipeline = AccountingPipelineModel(self.target, cache)
-        else:
-            pipeline = PipelineModel(self.target, cache)
-
-        # calling convention setup
         stack_top = exe.memory_size - 64
         state.write_reg(cwvm.sp, "int", stack_top)
         state.write_reg(cwvm.fp, "int", stack_top)
@@ -237,6 +258,54 @@ class Simulator:
             state.write_reg(cwvm.retaddr, "int", _HALT)
         for reg, value in cwvm.hard_registers.items():
             state.write_reg(reg, "int", value)
+        return state
+
+    def _block_cache(
+        self, cache: DirectMappedCache | None
+    ) -> BlockTimingCache:
+        """The per-(executable, miss-penalty) block-timing cache."""
+        caches = getattr(self.executable, "_block_timing", None)
+        if caches is None:
+            caches = {}
+            self.executable._block_timing = caches
+        key = cache.miss_penalty if cache is not None else None
+        block_cache = caches.get(key)
+        if block_cache is None:
+            block_cache = BlockTimingCache(
+                self.target,
+                self.executable.instrs,
+                key,
+                static=self._pipe_static[0],
+            )
+            caches[key] = block_cache
+        return block_cache
+
+    def _run(
+        self,
+        function: str,
+        args: tuple,
+        arg_types: tuple | None,
+        options: SimOptions,
+        cache: DirectMappedCache | None,
+        watch,
+    ) -> SimResult:
+        max_instructions = options.max_instructions
+        max_cycles = options.max_cycles
+        exe = self.executable
+        state = self._init_state(function, args, arg_types)
+        cwvm = self.target.cwvm
+        if cache is not None:
+            cache.reset()
+        if not options.model_timing:
+            pipeline = None
+        elif options.trace:
+            pipeline = AccountingPipelineModel(
+                self.target, cache, static=self._pipe_static[1]
+            )
+        else:
+            pipeline = PipelineModel(
+                self.target, cache, static=self._pipe_static[0]
+            )
 
         pc = exe.entry(function)
         executed = 0
@@ -373,6 +442,232 @@ class Simulator:
                 if isinstance(pipeline, AccountingPipelineModel)
                 else None
             ),
+        )
+        result.return_value = self._read_result(state)
+        return result
+
+    def _run_fast(
+        self,
+        function: str,
+        args: tuple,
+        arg_types: tuple | None,
+        options: SimOptions,
+        cache: DirectMappedCache | None,
+    ) -> SimResult:
+        """The memoized block-timing path (see :mod:`repro.sim.blockcache`).
+
+        Functional execution is unchanged — every instruction's closure
+        still runs, and the data-cache model is consulted once per memory
+        access in reference order — but the pipeline model is consulted
+        per *segment* through :class:`BlockTimingCache` instead of per
+        instruction.  The timing state between segments is just an
+        interned digest id plus a virtual cycle counter."""
+        max_instructions = options.max_instructions
+        exe = self.executable
+        state = self._init_state(function, args, arg_types)
+        cwvm = self.target.cwvm
+        if cache is not None:
+            cache.reset()
+        block_cache = self._block_cache(cache)
+        # materialization bases must never decrease across runs sharing
+        # this cache (stale resource-ring tags would alias), so every
+        # absolute base is offset by the cache's high-water mark
+        base_offset = block_cache.begin_run()
+        close = block_cache.close
+        start_hits = block_cache.hits
+        start_misses = block_cache.misses
+
+        pc = exe.entry(function)
+        executed = 0
+        loads = stores = 0
+        block_counts: dict[str, int] = {}
+        mem_log: list = []
+        instrs = exe.instrs
+        program_size = len(instrs)
+        closures = self.closures
+        block_of = self.block_of
+        block_starts = self._block_starts
+        wall_start = time.perf_counter() if timing.ENABLED else 0.0
+
+        entry_id = BlockTimingCache.EMPTY_ID
+        virtual_issue = 0
+        seg_entry = pc
+        seg_len = 0
+        events: list = []
+        miss_mask = 0
+        load_bit = 1
+
+        while pc != _HALT:
+            if pc < 0 or pc >= program_size:
+                raise SimulationError(
+                    f"pc {pc} outside program",
+                    function=function,
+                    pc=pc,
+                    cycle=virtual_issue + 1,
+                )
+            instr = instrs[pc]
+            if executed >= max_instructions:
+                raise SimulationError(
+                    f"exceeded {max_instructions} instructions (infinite loop?)",
+                    function=function,
+                    pc=pc,
+                    cycle=virtual_issue + 1,
+                )
+            effect = closures[pc](state, mem_log)
+            executed += 1
+            seg_len += 1
+            if pc in block_starts:
+                label = block_of[pc]
+                block_counts[label] = block_counts.get(label, 0) + 1
+            if mem_log:
+                for address, is_write, _size in mem_log:
+                    if is_write:
+                        stores += 1
+                        hit = cache is None or cache.access(address)
+                    else:
+                        loads += 1
+                        if cache is None:
+                            hit = True
+                        else:
+                            hit = cache.access(address)
+                            if not hit:
+                                miss_mask |= load_bit
+                        load_bit <<= 1
+                    events.append((pc, is_write, hit))
+                del mem_log[:]
+
+            if effect is None:
+                pc += 1
+                if seg_len >= SEGMENT_CAP:
+                    delta, entry_id = close(
+                        seg_entry, pc - 1, -1, miss_mask, events,
+                        entry_id, base_offset + virtual_issue,
+                    )
+                    virtual_issue += delta
+                    seg_entry = pc
+                    seg_len = 0
+                    del events[:]
+                    miss_mask = 0
+                    load_bit = 1
+                continue
+
+            kind = effect[0]
+            if kind == "goto" or kind == "ret":
+                end = pc
+                slots = abs(instr.desc.slots)
+                for slot in range(slots):
+                    slot_pc = pc + 1 + slot
+                    if slot_pc >= program_size:
+                        break
+                    slot_effect = closures[slot_pc](state, mem_log)
+                    if slot_effect is not None:
+                        raise SimulationError(
+                            "control instruction in a delay slot is not"
+                            " supported",
+                            pc=slot_pc,
+                        )
+                    if mem_log:
+                        # delay-slot accesses hit the cache and shape the
+                        # miss mask, but (matching the reference path)
+                        # are not counted in loads/stores
+                        for address, is_write, _size in mem_log:
+                            if is_write:
+                                hit = cache is None or cache.access(address)
+                            else:
+                                if cache is None:
+                                    hit = True
+                                else:
+                                    hit = cache.access(address)
+                                    if not hit:
+                                        miss_mask |= load_bit
+                                load_bit <<= 1
+                            events.append((slot_pc, is_write, hit))
+                        del mem_log[:]
+                    end = slot_pc
+                executed += slots
+                delta, entry_id = close(
+                    seg_entry, end, pc, miss_mask, events,
+                    entry_id, base_offset + virtual_issue,
+                )
+                virtual_issue += delta
+                seg_len = 0
+                del events[:]
+                miss_mask = 0
+                load_bit = 1
+                if kind == "goto":
+                    pc = exe.labels.get(effect[1])
+                    if pc is None:
+                        raise SimulationError(
+                            f"undefined label {effect[1]!r}",
+                            function=function,
+                            cycle=virtual_issue + 1,
+                        )
+                else:
+                    pc = state.read_reg(cwvm.retaddr, "int")
+                seg_entry = pc
+            elif kind == "call":
+                if cwvm.retaddr is None:
+                    raise SimulationError(
+                        "call without a %retaddr register",
+                        function=function,
+                        pc=pc,
+                        cycle=virtual_issue + 1,
+                    )
+                state.write_reg(cwvm.retaddr, "int", pc + 1)
+                delta, entry_id = close(
+                    seg_entry, pc, pc, miss_mask, events,
+                    entry_id, base_offset + virtual_issue,
+                )
+                virtual_issue += delta
+                seg_len = 0
+                del events[:]
+                miss_mask = 0
+                load_bit = 1
+                pc = exe.labels.get(effect[1])
+                if pc is None:
+                    raise SimulationError(
+                        f"undefined function {effect[1]!r}",
+                        function=function,
+                        cycle=virtual_issue + 1,
+                    )
+                seg_entry = pc
+            else:
+                raise SimulationError(
+                    f"unknown control effect {effect!r}",
+                    function=function,
+                    pc=pc,
+                    cycle=virtual_issue + 1,
+                )
+
+        if seg_len:
+            # defensive: a run normally ends via ret (which closes its
+            # segment), but flush anything outstanding
+            delta, entry_id = close(
+                seg_entry, seg_entry + seg_len - 1, -1, miss_mask, events,
+                entry_id, base_offset + virtual_issue,
+            )
+            virtual_issue += delta
+
+        cycles = virtual_issue + 1
+        hits = block_cache.hits - start_hits
+        misses = block_cache.misses - start_misses
+        if timing.ENABLED:
+            timing.add_seconds("sim.run", time.perf_counter() - wall_start)
+            timing.add("sim.instructions", executed)
+            timing.add("sim.cycles", cycles)
+            timing.add("sim.block_cache.hit", hits)
+            timing.add("sim.block_cache.miss", misses)
+        result = SimResult(
+            return_value=None,
+            cycles=cycles,
+            instructions=executed,
+            loads=loads,
+            stores=stores,
+            cache_hits=cache.hits if cache else 0,
+            cache_misses=cache.misses if cache else 0,
+            block_counts=block_counts,
+            block_cache_hits=hits,
+            block_cache_misses=misses,
         )
         result.return_value = self._read_result(state)
         return result

@@ -1,0 +1,265 @@
+"""Cross-validation and unit tests for the memoized block-timing path.
+
+The fast path (:mod:`repro.sim.blockcache`) must be *bit-identical* to
+the reference interleaved execute+time loop — not approximately equal —
+so the core of this file simulates the same compiled kernels under both
+paths and compares every observable field.  CI runs the whole test
+module twice, once with ``REPRO_FAST_TIMING=1`` and once with ``=0``,
+so the process-wide default cannot mask a broken explicit flag.
+"""
+
+import pytest
+
+from repro.backend.insts import Imm, Reg
+from repro.errors import MarionError, SimulationTimeout
+from repro.machine.registers import PhysReg
+from repro.sim.blockcache import (
+    EMPTY_DIGEST,
+    BlockTimingCache,
+    load_state,
+    state_digest,
+    target_max_latency,
+)
+from repro.sim.cache import DirectMappedCache
+from repro.sim.pipeline import PipelineModel
+
+from tests.helpers import build as instr
+
+import repro
+from repro.workloads import kernel_by_id
+
+TARGETS = ("toyp", "r2000", "m88000", "i860")
+STRATEGIES = ("postpass", "ips", "rase")
+
+#: every observable a fast run must reproduce bit-for-bit
+COMPARED_FIELDS = (
+    "cycles",
+    "instructions",
+    "loads",
+    "stores",
+    "cache_hits",
+    "cache_misses",
+    "block_counts",
+    "return_value",
+)
+
+
+def _simulate(executable, spec, *, fast, scale=0.03, cache=True, **extra):
+    loop, n = spec.args
+    n = max(4, int(n * scale))
+    options = repro.SimOptions(
+        cache=DirectMappedCache() if cache else None,
+        fast_timing=fast,
+        **extra,
+    )
+    return repro.simulate(executable, "bench", args=(loop, n), options=options)
+
+
+def _compile(spec, target, strategy):
+    try:
+        return repro.compile_c(
+            spec.source, target, repro.CompileOptions(strategy=strategy)
+        )
+    except MarionError as error:
+        pytest.skip(f"{target}/{strategy} does not compile K{spec.id}: {error}")
+
+
+# -- cross-validation ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("target", TARGETS)
+def test_fast_path_bit_identical_k1(target, strategy):
+    spec = kernel_by_id(1)
+    executable = _compile(spec, target, strategy)
+    fast = _simulate(executable, spec, fast=True)
+    reference = _simulate(executable, spec, fast=False)
+    for field in COMPARED_FIELDS:
+        assert getattr(fast, field) == getattr(reference, field), field
+    # the fast run actually took the fast path, the reference did not
+    assert fast.block_cache_hits + fast.block_cache_misses > 0
+    assert reference.block_cache_hits == reference.block_cache_misses == 0
+
+
+@pytest.mark.parametrize("target", ("r2000", "i860"))
+def test_fast_path_bit_identical_k7(target):
+    # K7 (equation of state) has a wider loop body than K1 — more live
+    # producers across the back edge, a harder digest case
+    spec = kernel_by_id(7)
+    executable = _compile(spec, target, "postpass")
+    fast = _simulate(executable, spec, fast=True)
+    reference = _simulate(executable, spec, fast=False)
+    for field in COMPARED_FIELDS:
+        assert getattr(fast, field) == getattr(reference, field), field
+
+
+@pytest.mark.parametrize("target", ("toyp", "i860"))
+def test_fast_path_bit_identical_without_cache(target):
+    spec = kernel_by_id(1)
+    executable = _compile(spec, target, "postpass")
+    fast = _simulate(executable, spec, fast=True, cache=False)
+    reference = _simulate(executable, spec, fast=False, cache=False)
+    for field in COMPARED_FIELDS:
+        assert getattr(fast, field) == getattr(reference, field), field
+
+
+def test_steady_state_hit_rate():
+    # the whole point: after warmup, loop iterations hit the memo
+    spec = kernel_by_id(1)
+    executable = _compile(spec, "r2000", "postpass")
+    result = _simulate(executable, spec, fast=True, scale=0.05)
+    lookups = result.block_cache_hits + result.block_cache_misses
+    assert lookups > 0
+    assert result.block_cache_hits / lookups >= 0.90
+
+
+def test_repeated_runs_share_the_memo():
+    # the cache is per (executable, miss penalty): a second run over the
+    # same executable starts warm
+    spec = kernel_by_id(1)
+    executable = _compile(spec, "toyp", "postpass")
+    first = _simulate(executable, spec, fast=True)
+    second = _simulate(executable, spec, fast=True)
+    assert second.cycles == first.cycles
+    assert second.block_cache_misses < first.block_cache_misses
+
+
+# -- fallback rules -----------------------------------------------------------
+
+
+def test_trace_true_falls_back_to_accounting_model():
+    spec = kernel_by_id(1)
+    executable = _compile(spec, "toyp", "postpass")
+    traced = _simulate(executable, spec, fast=True, trace=True)
+    fast = _simulate(executable, spec, fast=True)
+    # the traced run used the reference path (full stall attribution)...
+    assert traced.block_cache_hits == traced.block_cache_misses == 0
+    assert traced.cycle_breakdown is not None
+    assert sum(traced.cycle_breakdown.values()) == traced.cycles - 1
+    # ...and both paths agree on the cycle count
+    assert traced.cycles == fast.cycles
+
+
+def test_max_cycles_watchdog_falls_back_and_still_fires():
+    spec = kernel_by_id(1)
+    executable = _compile(spec, "toyp", "postpass")
+    with pytest.raises(SimulationTimeout):
+        _simulate(executable, spec, fast=True, max_cycles=100)
+
+
+def test_watch_callback_falls_back():
+    spec = kernel_by_id(1)
+    executable = _compile(spec, "toyp", "postpass")
+    loop, n = spec.args
+    seen = []
+    simulator = repro.Simulator(
+        executable, repro.SimOptions(fast_timing=True)
+    )
+    result = simulator.run(
+        "bench",
+        args=(loop, 4),
+        watch=lambda pc, ins, cycle: seen.append(cycle),
+    )
+    # the callback received real per-instruction issue cycles, which the
+    # memoized path cannot produce
+    assert result.block_cache_hits == result.block_cache_misses == 0
+    assert len(seen) > 0 and seen[-1] <= result.cycles
+
+
+# -- digest unit tests --------------------------------------------------------
+
+
+def test_digest_ages_out_stale_producers(toyp):
+    """Two states that differ only in long-retired producers digest equal."""
+    max_latency = target_max_latency(toyp)
+    nop_like = instr(
+        toyp, "addi", Reg(PhysReg("r", 2)), Reg(PhysReg("r", 6)), Imm(1)
+    )
+    write = instr(
+        toyp, "addi", Reg(PhysReg("r", 3)), Reg(PhysReg("r", 6)), Imm(2)
+    )
+    a = PipelineModel(toyp)
+    b = PipelineModel(toyp)
+    # model a writes r3 early, model b never does; then both run enough
+    # unrelated instructions for the write to retire
+    a.issue(write, [])
+    for _ in range(max_latency + 4):
+        a.issue(nop_like, [])
+        b.issue(nop_like, [])
+    b.issue(nop_like, [])  # align issue counts loosely; digests are relative
+    da = state_digest(a, max_latency)
+    db = state_digest(b, max_latency)
+    assert da == db
+
+
+def test_digest_distinguishes_live_producers(toyp):
+    """A producer still inside its latency window must change the digest."""
+    max_latency = target_max_latency(toyp)
+    load = instr(toyp, "ld", Reg(PhysReg("r", 2)), Reg(PhysReg("r", 6)), Imm(0))
+    other = instr(
+        toyp, "addi", Reg(PhysReg("r", 3)), Reg(PhysReg("r", 6)), Imm(1)
+    )
+    a = PipelineModel(toyp)
+    b = PipelineModel(toyp)
+    a.issue(load, [(4096, False, 4)])  # r2 pending in a
+    b.issue(other, [])  # r3 pending in b
+    assert state_digest(a, max_latency) != state_digest(b, max_latency)
+
+
+def test_digest_roundtrip_is_lossless(toyp):
+    """materialize(digest) must digest back to the same value at any base."""
+    max_latency = target_max_latency(toyp)
+    model = PipelineModel(toyp)
+    load = instr(toyp, "ld", Reg(PhysReg("r", 2)), Reg(PhysReg("r", 6)), Imm(0))
+    fadd = instr(
+        toyp,
+        "fadd.d",
+        Reg(PhysReg("d", 1)),
+        Reg(PhysReg("d", 2)),
+        Reg(PhysReg("d", 3)),
+    )
+    model.issue(load, [(4096, False, 4)])
+    model.issue(fadd, [])
+    digest = state_digest(model, max_latency)
+    for base in (2, 100, 5000):
+        fresh = PipelineModel(toyp)
+        load_state(fresh, digest, base)
+        assert fresh.last_issue == base
+        assert state_digest(fresh, max_latency) == digest
+
+
+def test_empty_digest_matches_fresh_model(toyp):
+    """A pristine model must be digest-equal to ``EMPTY_DIGEST`` — the
+    fast path seeds every run with it."""
+    model = PipelineModel(toyp)
+    assert state_digest(model, target_max_latency(toyp)) == EMPTY_DIGEST
+
+
+def test_equal_digests_predict_equal_futures(toyp):
+    """The memo's soundness condition: equal digests → every future
+    instruction sequence costs the same from either state."""
+    max_latency = target_max_latency(toyp)
+    load = instr(toyp, "ld", Reg(PhysReg("r", 2)), Reg(PhysReg("r", 6)), Imm(0))
+    use = instr(toyp, "addi", Reg(PhysReg("r", 3)), Reg(PhysReg("r", 2)), Imm(1))
+    model = PipelineModel(toyp)
+    model.issue(load, [(4096, False, 4)])
+    digest = state_digest(model, max_latency)
+    clone = PipelineModel(toyp)
+    load_state(clone, digest, model.last_issue)
+    # the pending load interlock must carry over: the consumer stalls the
+    # same number of cycles in the materialized copy
+    c_model = model.issue(use, []) - model.last_issue
+    c_clone = clone.issue(use, []) - clone.last_issue
+    assert c_model == c_clone
+
+
+def test_table_backstop_caps_admissions(toyp):
+    cache = BlockTimingCache(toyp, [], None)
+    cache.table = {i: (0, 0) for i in range(1 << 16)}
+    before = len(cache.table)
+    nop_like = instr(
+        toyp, "addi", Reg(PhysReg("r", 2)), Reg(PhysReg("r", 6)), Imm(1)
+    )
+    cache.instrs = [nop_like]
+    cache.close(0, 0, -1, 0, [], cache.EMPTY_ID, cache.begin_run())
+    assert len(cache.table) == before  # full table admits nothing new
