@@ -12,9 +12,15 @@ Usage::
     PYTHONPATH=src python scripts/bench_sim.py --targets r2000 --scale 0.2 \\
         --assert-hit-rate 0.90        # CI perf smoke
     PYTHONPATH=src python scripts/bench_sim.py --compare   # fast vs reference
+    PYTHONPATH=src python scripts/bench_sim.py --compare-jit \\
+        --assert-jit-speedup 1.2      # CI JIT perf smoke
 
 ``--compare`` runs every unit under both timing paths, verifies the
 cycle counts and cache stats are bit-identical, and prints the speedup.
+``--compare-jit`` runs every unit with the segment JIT on and off,
+verifies the results are bit-identical, and prints instr/s both ways
+plus the deopt count; ``--assert-jit-speedup RATIO`` exits nonzero when
+any unit's JIT speedup falls below RATIO (or any segment deopted).
 ``--assert-hit-rate`` exits nonzero when any unit's block-cache hit rate
 falls below the threshold.  ``--json`` emits machine-readable results.
 """
@@ -31,7 +37,10 @@ from repro.workloads import kernel_by_id
 ALL_TARGETS = ("toyp", "r2000", "m88000", "i860")
 
 
-def bench_unit(target, kernel_id, strategy, scale, fast):
+def bench_unit(target, kernel_id, strategy, scale, fast, jit=True):
+    # a fresh compile per run: the block-timing memo and JIT code cache
+    # live on the executable, so reuse would let one run's warmup bleed
+    # into the other's wall clock
     spec = kernel_by_id(kernel_id)
     executable = repro.compile_c(
         spec.source, target, repro.CompileOptions(strategy=strategy)
@@ -44,7 +53,7 @@ def bench_unit(target, kernel_id, strategy, scale, fast):
         "bench",
         args=(loop, n),
         options=repro.SimOptions(
-            cache=DirectMappedCache(), fast_timing=fast
+            cache=DirectMappedCache(), fast_timing=fast, jit=jit
         ),
     )
     seconds = time.perf_counter() - start
@@ -65,6 +74,11 @@ def bench_unit(target, kernel_id, strategy, scale, fast):
         ),
         "cache_hits": result.cache_hits,
         "cache_misses": result.cache_misses,
+        "checksum": result.return_value["double"],
+        "jit": jit,
+        "jit_segments": result.jit_segments,
+        "jit_hits": result.jit_hits,
+        "jit_deopts": result.jit_deopts,
     }
 
 
@@ -90,6 +104,20 @@ def main(argv=None):
         action="store_true",
         help="also run the reference path; verify bit-identical, print speedup",
     )
+    parser.add_argument(
+        "--compare-jit",
+        action="store_true",
+        help="also run with the segment JIT off; verify bit-identical, "
+        "print instr/s both ways and the deopt count",
+    )
+    parser.add_argument(
+        "--assert-jit-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="with --compare-jit: exit 1 if any unit's JIT speedup is "
+        "below RATIO, no segment compiled, or any deopt occurred",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON")
     args = parser.parse_args(argv)
 
@@ -110,6 +138,30 @@ def main(argv=None):
                 if row[field] != reference[field]:
                     row["mismatch"] = field
                     failed = True
+        if args.compare_jit:
+            interp = bench_unit(
+                target, args.kernel, args.strategy, args.scale, True,
+                jit=False,
+            )
+            row["interp_seconds"] = interp["seconds"]
+            row["interp_instr_per_s"] = interp["instr_per_s"]
+            row["jit_speedup"] = round(
+                interp["seconds"] / max(row["seconds"], 1e-9), 2
+            )
+            for field in (
+                "instructions", "cycles", "cache_hits", "cache_misses",
+                "checksum",
+            ):
+                if row[field] != interp[field]:
+                    row["mismatch"] = field
+                    failed = True
+            if args.assert_jit_speedup is not None and (
+                row["jit_speedup"] < args.assert_jit_speedup
+                or row["jit_segments"] == 0
+                or row["jit_deopts"] != 0
+            ):
+                row["below_jit_threshold"] = True
+                failed = True
         if (
             args.assert_hit_rate is not None
             and row["hit_rate"] < args.assert_hit_rate
@@ -131,21 +183,38 @@ def main(argv=None):
             )
             if "speedup" in row:
                 line += f", {row['speedup']}x vs reference"
+            if "jit_speedup" in row:
+                line += (
+                    f", jit {row['jit_speedup']}x vs interp "
+                    f"({row['interp_instr_per_s'] / 1e6:.2f}M instr/s off, "
+                    f"{row['jit_segments']} segments, "
+                    f"{row['jit_deopts']} deopts)"
+                )
+            elif row["jit_segments"]:
+                line += (
+                    f", jit: {row['jit_segments']} segments, "
+                    f"{row['jit_hits']} hits, {row['jit_deopts']} deopts"
+                )
             if "mismatch" in row:
                 line += f"  !! MISMATCH in {row['mismatch']}"
             if row.get("below_threshold"):
                 line += "  !! hit rate below threshold"
+            if row.get("below_jit_threshold"):
+                line += "  !! jit speedup below threshold (or deopt)"
             print(line)
 
     if failed:
+        reasons = []
         if args.assert_hit_rate is not None:
-            print(
-                f"FAIL: block-cache hit rate below {args.assert_hit_rate}"
-                " (or fast/reference mismatch)",
-                file=sys.stderr,
+            reasons.append(
+                f"block-cache hit rate below {args.assert_hit_rate}"
             )
-        else:
-            print("FAIL: fast/reference mismatch", file=sys.stderr)
+        if args.assert_jit_speedup is not None:
+            reasons.append(
+                f"jit speedup below {args.assert_jit_speedup} or deopt"
+            )
+        reasons.append("jit/fast/reference mismatch")
+        print("FAIL: " + " / ".join(reasons), file=sys.stderr)
         return 1
     return 0
 

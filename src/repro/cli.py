@@ -45,6 +45,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="fill branch delay slots with useful work (GH82 extension)",
     )
+    parser.add_argument(
+        "--jit",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="segment JIT for functional simulation (default: on, or the "
+        "REPRO_JIT environment override; bit-identical either way)",
+    )
 
 
 def _compile(arguments) -> repro.Executable:
@@ -77,6 +84,8 @@ def cmd_run(arguments) -> int:
     trace = repro.Trace(f"repro run {arguments.file}") if trace_path else None
     cache = DirectMappedCache() if arguments.cache else None
     options = repro.SimOptions(cache=cache, trace=bool(trace_path))
+    if arguments.jit is not None:
+        options = options.replace(jit=arguments.jit)
 
     def _go():
         executable = _compile(arguments)
@@ -98,6 +107,11 @@ def cmd_run(arguments) -> int:
     print(f"loads/stores: {result.loads}/{result.stores}")
     if cache is not None:
         print(f"cache:        {result.cache_hits} hits, {result.cache_misses} misses")
+    if result.jit_segments or result.jit_hits or result.jit_deopts:
+        print(
+            f"jit:          {result.jit_segments} segments compiled, "
+            f"{result.jit_hits} dispatch hits, {result.jit_deopts} deopts"
+        )
     if result.cycle_breakdown is not None:
         shown = ", ".join(
             f"{kind}={count}"

@@ -44,6 +44,11 @@ class KernelRun:
     #: reference interleaved path, e.g. ``breakdown=True``)
     block_cache_hits: int = 0
     block_cache_misses: int = 0
+    #: segment-JIT activity (all zero when the JIT is off or the run
+    #: took the reference interleaved path)
+    jit_segments: int = 0
+    jit_hits: int = 0
+    jit_deopts: int = 0
 
     @property
     def stall_cycles(self) -> int:
@@ -155,6 +160,9 @@ def run_kernel(
         cycle_breakdown=result.cycle_breakdown,
         block_cache_hits=result.block_cache_hits,
         block_cache_misses=result.block_cache_misses,
+        jit_segments=result.jit_segments,
+        jit_hits=result.jit_hits,
+        jit_deopts=result.jit_deopts,
     )
 
 

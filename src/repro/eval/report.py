@@ -294,7 +294,7 @@ def _bench_payload(
     failures: list[GridFailure],
     stall_data=None,
 ) -> dict:
-    """The machine-readable BENCH_eval.json payload (schema v4)."""
+    """The machine-readable BENCH_eval.json payload (schema v5)."""
     runs = [
         run
         for by_strategy in table4_data.runs.values()
@@ -307,7 +307,7 @@ def _bench_payload(
     block_misses = timing.counter("sim.block_cache.miss")
     block_lookups = block_hits + block_misses
     payload = {
-        "schema": 4,
+        "schema": 5,
         "scale": scale,
         "jobs": jobs,
         "wall_seconds": {
@@ -344,6 +344,11 @@ def _bench_payload(
                     if block_lookups
                     else None
                 ),
+            },
+            "jit": {
+                "segments": timing.counter("sim.jit.segments"),
+                "hits": timing.counter("sim.jit.hit"),
+                "deopts": timing.counter("sim.jit.deopt"),
             },
         },
         "target_cache": {

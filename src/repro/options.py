@@ -32,6 +32,13 @@ _FAST_TIMING_DEFAULT = os.environ.get(
     "REPRO_FAST_TIMING", "1"
 ).lower() not in ("0", "false", "off", "no")
 
+#: process-wide default for :attr:`SimOptions.jit`, read once at import.
+#: ``REPRO_JIT=0`` keeps every run on the closure interpreter — CI's
+#: cross-validation job runs the differential suite under both values.
+_JIT_DEFAULT = os.environ.get(
+    "REPRO_JIT", "1"
+).lower() not in ("0", "false", "off", "no")
+
 
 @dataclass(frozen=True)
 class CompileOptions:
@@ -97,7 +104,14 @@ class SimOptions:
       needs per-instruction timing: ``trace=True`` (the accounting model
       attributes every cycle), an armed ``max_cycles`` watchdog (its
       raise point is cycle-exact), or a ``watch=`` callback (it receives
-      per-instruction issue cycles).
+      per-instruction issue cycles);
+    * ``jit`` — compile hot straight-line segments to specialized Python
+      (:mod:`repro.sim.jit`) once they cross the warmup threshold.
+      Bit-identical to the interpreter (guarded deopt re-executes
+      anything uncovered); only active on the fast-timing path, so runs
+      that need per-instruction observation (``trace=True``, ``watch=``,
+      ``max_cycles``) are automatically interpreted.  ``REPRO_JIT=0``
+      turns it off process-wide.
     """
 
     cache: object = None
@@ -106,6 +120,7 @@ class SimOptions:
     max_cycles: int | None = None
     trace: bool = False
     fast_timing: bool = _FAST_TIMING_DEFAULT
+    jit: bool = _JIT_DEFAULT
 
     def replace(self, **changes) -> "SimOptions":
         """A copy with the given fields changed (frozen-friendly)."""

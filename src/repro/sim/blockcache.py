@@ -39,6 +39,13 @@ outcomes the functional side already observed, so the real cache model
 is consulted exactly once per access.  ``tests/test_block_timing.py``
 holds the fast path bit-identical to the reference interleaved model
 across the whole target × strategy grid.
+
+The segment JIT (:mod:`repro.sim.jit`) compiles hot segments' functional
+side to flat Python but leaves this timing contract untouched: a
+compiled segment produces the same ``(entry_pc, end_pc, transfer_pc,
+miss mask)`` close key and the same positionally-ordered event list the
+interpreter would, so JIT-executed and interpreted iterations share one
+timing cache and are indistinguishable to the replay.
 """
 
 from __future__ import annotations
@@ -58,6 +65,28 @@ SEGMENT_CAP = 2048
 #: hit; further misses replay uncached) — a backstop against degenerate
 #: keying, e.g. a workload whose miss masks never repeat
 MAX_ENTRIES = 1 << 16
+
+
+def decode_blocks(executable):
+    """Block structure of a linked program, for dynamic block profiling.
+
+    Returns ``(block_of, block_starts)``: the label of the block each
+    instruction index belongs to, and the frozen set of block-start
+    indices.  Shared by the simulator loops and the segment JIT so both
+    attribute dynamic block counts identically."""
+    block_of: list[str] = []
+    by_index = sorted(executable.labels.items(), key=lambda item: item[1])
+    position = 0
+    current = ""
+    for label, index in by_index:
+        while position < index:
+            block_of.append(current)
+            position += 1
+        current = label
+    while position < len(executable.instrs):
+        block_of.append(current)
+        position += 1
+    return block_of, frozenset(executable.labels.values())
 
 
 def target_max_latency(target) -> int:

@@ -19,6 +19,7 @@ semantics perform them.
 
 from __future__ import annotations
 
+import operator
 import struct
 
 from repro.backend.insts import Imm, Lab, MachineInstr, Reg
@@ -56,6 +57,39 @@ def _int_mod(a: int, b: int) -> int:
 def _promote(a: str, b: str) -> str:
     order = {"int": 0, "float": 1, "double": 2}
     return a if order[a] >= order[b] else b
+
+
+# operator tables hoisted to module level (built once, not per compiled
+# expression) with _wrap32/_int_div prebound as default arguments so the
+# interpreter path does no module-global lookups per executed step
+_REL_TABLE = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_INT_TABLE = {
+    "+": lambda a, b, _w=_wrap32: _w(a + b),
+    "-": lambda a, b, _w=_wrap32: _w(a - b),
+    "*": lambda a, b, _w=_wrap32: _w(a * b),
+    "/": _int_div,
+    "%": _int_mod,
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+    "<<": lambda a, b, _w=_wrap32: _w(a << (b & 31)),
+    ">>": lambda a, b: a >> (b & 31),
+}
+
+_FLOAT_TABLE = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
 
 
 class SemanticsCompiler:
@@ -203,8 +237,9 @@ class SemanticsCompiler:
                     _value=value,
                     _pack=_DOUBLE.pack,
                     _unpack=_PAIR.unpack,
+                    _float=float,
                 ):
-                    lo, hi = _unpack(_pack(float(_value(state, mem_log))))
+                    lo, hi = _unpack(_pack(_float(_value(state, mem_log))))
                     state_units = state.units
                     state_units[_u0] = lo
                     state_units[_u1] = hi
@@ -219,16 +254,19 @@ class SemanticsCompiler:
                     _value=value,
                     _pack=_FLOAT.pack,
                     _unpack=_WORD.unpack,
+                    _float=float,
                 ):
                     state.units[_u0] = _unpack(
-                        _pack(float(_value(state, mem_log)))
+                        _pack(_float(_value(state, mem_log)))
                     )[0]
                     return None
 
                 return write_float
 
-            def write_int(state, mem_log, _u0=units[0], _value=value):
-                state.units[_u0] = int(_value(state, mem_log)) & 0xFFFFFFFF
+            def write_int(
+                state, mem_log, _u0=units[0], _value=value, _int=int
+            ):
+                state.units[_u0] = _int(_value(state, mem_log)) & 0xFFFFFFFF
                 return None
 
             return write_int
@@ -363,11 +401,13 @@ class SemanticsCompiler:
         if expr.op == "-":
             if type_name == "int":
                 return (
-                    lambda s, m, _o=operand: _wrap32(-_o(s, m))
+                    lambda s, m, _o=operand, _w=_wrap32: _w(-_o(s, m))
                 ), "int"
             return (lambda s, m, _o=operand: -_o(s, m)), type_name
         if expr.op == "~":
-            return (lambda s, m, _o=operand: _wrap32(~_o(s, m))), "int"
+            return (
+                lambda s, m, _o=operand, _w=_wrap32: _w(~_o(s, m))
+            ), "int"
         if expr.op == "!":
             return (lambda s, m, _o=operand: 0 if _o(s, m) else 1), "int"
         raise SimulationError(f"unknown unary operator {expr.op}")
@@ -384,18 +424,8 @@ class SemanticsCompiler:
                 return (a > b) - (a < b)
 
             return cmp, "int"
-        if op in ("==", "!=", "<", "<=", ">", ">="):
-            import operator
-
-            table = {
-                "==": operator.eq,
-                "!=": operator.ne,
-                "<": operator.lt,
-                "<=": operator.le,
-                ">": operator.gt,
-                ">=": operator.ge,
-            }
-            relation = table[op]
+        relation = _REL_TABLE.get(op)
+        if relation is not None:
             return (
                 lambda s, m, _l=left, _r=right, _rel=relation: 1
                 if _rel(_l(s, m), _r(s, m))
@@ -403,32 +433,12 @@ class SemanticsCompiler:
             ), "int"
 
         if common == "int":
-            import operator
-
-            int_table = {
-                "+": lambda a, b: _wrap32(a + b),
-                "-": lambda a, b: _wrap32(a - b),
-                "*": lambda a, b: _wrap32(a * b),
-                "/": _int_div,
-                "%": _int_mod,
-                "&": operator.and_,
-                "|": operator.or_,
-                "^": operator.xor,
-                "<<": lambda a, b: _wrap32(a << (b & 31)),
-                ">>": lambda a, b: a >> (b & 31),
-            }
-            fn = int_table.get(op)
+            fn = _INT_TABLE.get(op)
             if fn is None:
                 raise SimulationError(f"unknown int operator {op}")
             return (lambda s, m, _l=left, _r=right, _f=fn: _f(_l(s, m), _r(s, m))), "int"
 
-        float_table = {
-            "+": lambda a, b: a + b,
-            "-": lambda a, b: a - b,
-            "*": lambda a, b: a * b,
-            "/": lambda a, b: a / b,
-        }
-        fn = float_table.get(op)
+        fn = _FLOAT_TABLE.get(op)
         if fn is None:
             raise SimulationError(f"operator {op} is not defined on {common}")
 
@@ -444,13 +454,19 @@ class SemanticsCompiler:
         name = expr.name
         arg, arg_type = self._compile_expr(expr.args[0], instr, None)
         if name == "int":
-            return (lambda s, m, _a=arg: _wrap32(int(_a(s, m)))), "int"
+            return (
+                lambda s, m, _a=arg, _w=_wrap32, _int=int: _w(_int(_a(s, m)))
+            ), "int"
         if name in ("float", "double"):
-            return (lambda s, m, _a=arg: float(_a(s, m))), name
+            return (lambda s, m, _a=arg, _float=float: _float(_a(s, m))), name
         if name == "high":
-            return (lambda s, m, _a=arg: (int(_a(s, m)) >> 16) & 0xFFFF), "int"
+            return (
+                lambda s, m, _a=arg, _int=int: (_int(_a(s, m)) >> 16) & 0xFFFF
+            ), "int"
         if name == "low":
-            return (lambda s, m, _a=arg: int(_a(s, m)) & 0xFFFF), "int"
+            return (
+                lambda s, m, _a=arg, _int=int: _int(_a(s, m)) & 0xFFFF
+            ), "int"
         if name == "eval":
             return arg, arg_type
         raise SimulationError(f"unknown builtin {name}")

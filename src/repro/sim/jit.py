@@ -1,0 +1,1106 @@
+"""Block-level JIT: hot straight-line segments compiled to flat Python.
+
+The closure interpreter (:mod:`repro.sim.executor`) pays per-operand
+closure dispatch, register-unit packing/unpacking and mem-log
+bookkeeping on every executed instruction.  The Livermore kernels spend
+essentially all dynamic instructions in a handful of loop bodies, so
+once a segment entry (the same ``(entry_pc, ...)`` unit the block-timing
+memo keys on in :meth:`Simulator._run_fast`) has been dispatched
+:data:`JIT_WARMUP` times, :class:`SegmentTranslator` walks the segment's
+Maril semantics trees and emits one flat Python function for the whole
+straight-line region via source generation + ``compile()``/``exec``.
+
+Inside the generated function:
+
+* integer and double registers live in Python locals across the whole
+  segment — loaded once at entry, stored back only at the exits (and
+  only the views the path actually wrote);
+* float-typed and aliased register units stay as raw 32-bit words, with
+  the same prebound ``struct`` codecs the interpreter uses, so every
+  value is bit-identical — including NaN payloads (floats are never
+  held as typed locals because the f32<->f64 conversion can quiet a
+  signaling NaN);
+* memory accesses perform the data-cache access, miss-mask and
+  event-list bookkeeping inline, in exactly the positional order the
+  closure contract requires (``executor.py`` module docstring), so the
+  block-timing replay sees an indistinguishable event stream;
+* conditional branches become early returns; the tail control transfer
+  (and its delay slots) is compiled into the exit itself.  The caller
+  receives ``(end_pc, transfer_pc, kind, label, executed, loads,
+  stores, miss_mask, load_bit)`` and performs the segment close;
+* a segment whose taken transfer targets its *own entry* (an innermost
+  loop) is *chained*: the body is wrapped in ``while 1`` and the
+  back-edge, instead of returning, invokes the caller's per-iteration
+  close callback and jumps back to the top — registers stay in Python
+  locals across every iteration, and the flush/return/dispatch/reload
+  round trip happens once per loop, not once per iteration.  Such
+  functions raise division errors inline rather than deopting (a
+  mid-loop deopt would discard committed register state that only
+  lives in locals), and every exit flushes the union of all views the
+  body can write (a previous iteration may have taken any path).
+
+Anything the translator does not cover — temporal registers, invalid
+double pairings, control in a delay slot, unallocated operands — is
+refused statically (:class:`Uncompilable`) and that entry permanently
+stays on the interpreter.  Division guards that trip *before* the first
+non-undoable side effect (a real cache access or a memory write) raise
+:class:`JitDeopt`: the caller undoes the block-count increments the
+compiled prefix made, clears the (still unconsumed) event list, and
+re-executes the segment interpreted, which then raises the exact
+interpreter error.  Past the first side effect the generated code raises
+the interpreter's :class:`~repro.errors.SimulationError` directly with
+the same message.  An entry that deopts :data:`MAX_DEOPTS` times is
+blacklisted back to the interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.backend.insts import Imm, Lab, MachineInstr, Reg
+from repro.backend.values import fold_halves
+from repro.errors import SimulationError
+from repro.machine.registers import PhysReg
+from repro.maril import ast
+from repro.sim.blockcache import SEGMENT_CAP, decode_blocks
+from repro.sim.executor import (
+    _DOUBLE,
+    _FLOAT,
+    _PAIR,
+    _WORD,
+    SemanticsCompiler,
+    _int_div,
+    _int_mod,
+    _promote,
+    _wrap32,
+)
+
+#: dispatches of one segment entry before it is compiled
+try:
+    JIT_WARMUP = int(os.environ.get("REPRO_JIT_WARMUP", "16"))
+except ValueError:  # pragma: no cover - defensive
+    JIT_WARMUP = 16
+
+#: guard failures before a compiled entry is blacklisted
+MAX_DEOPTS = 8
+
+_INT_MAX = 2**31 - 1
+
+_INT_OPS = frozenset("+ - * / % & | ^ << >>".split())
+_FLOAT_OPS = frozenset("+ - * /".split())
+_REL_OPS = frozenset("== != < <= > >=".split())
+
+
+class Uncompilable(Exception):
+    """Static refusal: this segment stays on the closure interpreter."""
+
+
+class JitDeopt(Exception):
+    """A runtime guard failed before any non-undoable side effect.
+
+    ``bc_undo`` lists the block labels whose dynamic counts the compiled
+    prefix already incremented; the caller decrements them and re-runs
+    the segment interpreted."""
+
+    def __init__(self, bc_undo: tuple[str, ...] = ()):
+        super().__init__("jit guard failed")
+        self.bc_undo = bc_undo
+
+
+# names prebound into every generated function's globals; the generated
+# code never does a dotted or module-global lookup on its hot path
+_BASE_ENV = {
+    "_w32": _wrap32,
+    "_idiv": _int_div,
+    "_imod": _int_mod,
+    "_SE": SimulationError,
+    "_pk_d": _DOUBLE.pack,
+    "_upk_d": _DOUBLE.unpack,
+    "_pk_f": _FLOAT.pack,
+    "_upk_f": _FLOAT.unpack,
+    "_pk_w": _WORD.pack,
+    "_upk_w": _WORD.unpack,
+    "_pk_p": _PAIR.pack,
+    "_upk_p": _PAIR.unpack,
+    "_upkm_i": struct.Struct("<i").unpack_from,
+    "_pkm_i": struct.Struct("<i").pack_into,
+    "_upkm_d": struct.Struct("<d").unpack_from,
+    "_pkm_d": struct.Struct("<d").pack_into,
+    "_upkm_f": struct.Struct("<f").unpack_from,
+    "_pkm_f": struct.Struct("<f").pack_into,
+    "int": int,
+    "float": float,
+}
+
+_CONTROL_STMTS = (
+    ast.CondGotoStmt,
+    ast.GotoStmt,
+    ast.CallStmt,
+    ast.RetStmt,
+)
+_UNCONDITIONAL = (ast.GotoStmt, ast.CallStmt, ast.RetStmt)
+
+
+def _stmts_of(instr: MachineInstr) -> list[ast.Stmt]:
+    return [
+        stmt
+        for stmt in instr.desc.semantics
+        if not isinstance(stmt, ast.EmptyStmt)
+    ]
+
+
+def _control_of(stmts: list[ast.Stmt]) -> ast.Stmt | None:
+    """The instruction's single trailing control statement, or ``None``.
+
+    The interpreter runs every statement and keeps the last non-``None``
+    effect; a control statement anywhere but last (or more than one)
+    would need that generality, so such instructions are refused."""
+    controls = [
+        index
+        for index, stmt in enumerate(stmts)
+        if isinstance(stmt, _CONTROL_STMTS)
+    ]
+    if not controls:
+        return None
+    if len(controls) > 1 or controls[0] != len(stmts) - 1:
+        raise Uncompilable("control statement not in tail position")
+    return stmts[-1]
+
+
+class SegmentTranslator:
+    """Translates straight-line segments of one executable to Python."""
+
+    def __init__(self, executable):
+        self.executable = executable
+        self.target = executable.target
+        self.instrs = executable.instrs
+        self.compiler = SemanticsCompiler(executable.target)
+        self.block_of, self.block_starts = decode_blocks(executable)
+
+    def translate(self, entry: int, cached: bool):
+        """Compile the segment at ``entry``; ``(function, max_executed)``.
+
+        Raises :class:`Uncompilable` when any instruction on the trace
+        uses a construct the translator does not cover."""
+        trace, tail = self._trace(entry)
+        codegen = _SegmentCodegen(self, entry, trace, tail, cached)
+        return codegen.build()
+
+    def _trace(self, entry: int):
+        """Static straight-line walk: pcs up to (and including) the first
+        unconditional transfer, the segment cap, or the program end."""
+        pcs: list[int] = []
+        pc = entry
+        program_size = len(self.instrs)
+        while pc < program_size and len(pcs) < SEGMENT_CAP:
+            control = _control_of(_stmts_of(self.instrs[pc]))
+            pcs.append(pc)
+            if isinstance(control, _UNCONDITIONAL):
+                return pcs, control
+            pc += 1
+        return pcs, None
+
+    def slot_pcs(self, pc: int, instr: MachineInstr) -> list[int]:
+        program_size = len(self.instrs)
+        return [
+            pc + 1 + slot
+            for slot in range(abs(instr.desc.slots))
+            if pc + 1 + slot < program_size
+        ]
+
+
+class _SegmentCodegen:
+    """One segment -> one generated function (scan, decide, emit)."""
+
+    def __init__(self, translator, entry, trace, tail, cached):
+        self.tr = translator
+        self.entry = entry
+        self.trace = trace
+        self.tail = tail
+        self.cached = cached
+        # scan results
+        self.touched: set[tuple[int, int]] = set()
+        self.view_types: dict[tuple, set[str]] = {}
+        self.unit_views: dict[tuple[int, int], set[tuple]] = {}
+        # decided representations
+        self.typed: dict[tuple, str] = {}
+        # emit state
+        self.lines: list[str] = []
+        self.indent = 1
+        self.tmp_count = 0
+        self.written: dict[tuple, None] = {}
+        self.entry_reads: set[tuple] = set()
+        self.effects = False
+        self.bc_trail: list[str] = []
+        self.loads = 0
+        self.stores = 0
+        self.max_exec = 0
+        self.consts: dict[str, object] = {}
+        # transfer pcs whose target label resolves back to the entry:
+        # these back-edges are chained into an in-function loop
+        self.loop_exits: set[int] = set()
+        self.looping = False
+
+    # -- driver ---------------------------------------------------------------
+
+    def build(self):
+        self._scan()
+        self._decide()
+        source = self._emit()
+        name = f"_jit_{self.entry}_{'c' if self.cached else 'n'}"
+        env = dict(_BASE_ENV)
+        env.update(self.consts)
+        code = compile(source, f"<jit:{name}>", "exec")
+        exec(code, env)
+        fn = env[name]
+        fn._jit_source = source
+        return fn, self.max_exec
+
+    # -- scan: collect register views and refuse what we don't cover ----------
+
+    def _scan(self) -> None:
+        instrs = self.tr.instrs
+        for pc in self.trace:
+            instr = instrs[pc]
+            stmts = _stmts_of(instr)
+            control = _control_of(stmts)
+            for stmt in stmts[:-1] if control is not None else stmts:
+                self._scan_stmt(stmt, instr)
+            if isinstance(control, ast.CondGotoStmt):
+                self._scan_expr(control.condition, instr, "int")
+                self._label_of(control.target, instr)
+                self._scan_slots(pc, instr)
+            elif isinstance(control, (ast.GotoStmt, ast.CallStmt)):
+                self._label_of(control.target, instr)
+                if isinstance(control, ast.CallStmt):
+                    if self.tr.target.cwvm.retaddr is None:
+                        raise Uncompilable("call without a %retaddr register")
+                else:
+                    self._scan_slots(pc, instr)
+            elif isinstance(control, ast.RetStmt):
+                self._scan_slots(pc, instr)
+
+    def _scan_slots(self, pc: int, instr: MachineInstr) -> None:
+        for slot_pc in self.tr.slot_pcs(pc, instr):
+            slot_stmts = _stmts_of(self.tr.instrs[slot_pc])
+            if _control_of(slot_stmts) is not None:
+                raise Uncompilable("control instruction in a delay slot")
+            for stmt in slot_stmts:
+                self._scan_stmt(stmt, self.tr.instrs[slot_pc])
+
+    def _label_of(self, target: ast.Expr, instr: MachineInstr) -> str:
+        if not isinstance(target, ast.OperandRef):
+            raise Uncompilable("branch target is not an operand")
+        operand = instr.operands[target.index - 1]
+        if not isinstance(operand, Lab):
+            raise Uncompilable("branch target operand is not a label")
+        return operand.name
+
+    def _move_units(self, stmt: ast.AssignStmt, instr: MachineInstr):
+        """The (dst_units, src_units) of a raw register-to-register move,
+        or ``None`` — mirrors the interpreter's ``copy_units`` fast path
+        exactly (same conditions, same raw-bits semantics)."""
+        if not (
+            isinstance(stmt.target, ast.OperandRef)
+            and isinstance(stmt.value, ast.OperandRef)
+        ):
+            return None
+        dst_operand = instr.operands[stmt.target.index - 1]
+        src_operand = instr.operands[stmt.value.index - 1]
+        if not (
+            isinstance(dst_operand, Reg)
+            and isinstance(src_operand, Reg)
+            and isinstance(dst_operand.reg, PhysReg)
+            and isinstance(src_operand.reg, PhysReg)
+        ):
+            return None
+        registers = self.tr.target.registers
+        dst_units = registers.units_of(dst_operand.reg)
+        src_units = registers.units_of(src_operand.reg)
+        if len(dst_units) != len(src_units):
+            return None
+        return dst_units, src_units
+
+    def _reg_view(self, instr: MachineInstr, position: int):
+        """(units, type, view_key) of a register operand access."""
+        operand = instr.operands[position]
+        if not isinstance(operand, Reg) or not isinstance(
+            operand.reg, PhysReg
+        ):
+            raise Uncompilable("unallocated or non-register operand")
+        type_name = self.tr.compiler._operand_type(instr, position)
+        units = self.tr.target.registers.units_of(operand.reg)
+        if type_name == "double":
+            if len(units) != 2:
+                raise Uncompilable("invalid double register pairing")
+            return units, type_name, (units[0], units[1])
+        return units, type_name, (units[0],)
+
+    def _record_view(self, key: tuple, type_name: str) -> None:
+        self.view_types.setdefault(key, set()).add(type_name)
+        for unit in key:
+            self.touched.add(unit)
+            self.unit_views.setdefault(unit, set()).add(key)
+
+    def _scan_stmt(self, stmt: ast.Stmt, instr: MachineInstr) -> None:
+        if isinstance(stmt, ast.AssignStmt):
+            move = self._move_units(stmt, instr)
+            if move is not None:
+                for unit in move[0] + move[1]:
+                    self.touched.add(unit)
+                return
+            target = stmt.target
+            if isinstance(target, ast.OperandRef):
+                _units, type_name, key = self._reg_view(
+                    instr, target.index - 1
+                )
+                self._record_view(key, type_name)
+                self._scan_expr(stmt.value, instr, type_name)
+                return
+            if isinstance(target, ast.MemRef):
+                self._scan_expr(target.address, instr, "int")
+                self._scan_expr(stmt.value, instr, None)
+                return
+            # NameRef (temporal register) or anything else
+            raise Uncompilable(f"cannot compile assignment to {target}")
+        raise Uncompilable(f"cannot compile statement {stmt}")
+
+    def _scan_expr(
+        self, expr: ast.Expr, instr: MachineInstr, expected: str | None
+    ) -> str:
+        if isinstance(expr, ast.OperandRef):
+            operand = instr.operands[expr.index - 1]
+            if isinstance(operand, Imm):
+                value = fold_halves(operand.value)
+                if not isinstance(value, (int, float)):
+                    raise Uncompilable("unresolved immediate")
+                return "int"
+            _units, type_name, key = self._reg_view(instr, expr.index - 1)
+            self._record_view(key, type_name)
+            return type_name
+        if isinstance(expr, ast.IntLit):
+            return "int"
+        if isinstance(expr, ast.FloatLit):
+            return "double"
+        if isinstance(expr, ast.MemRef):
+            if expected is None:
+                raise Uncompilable("memory read with unknown width")
+            self._scan_expr(expr.address, instr, "int")
+            return expected
+        if isinstance(expr, ast.Unary):
+            operand_type = self._scan_expr(expr.operand, instr, expected)
+            if expr.op == "-":
+                return operand_type
+            if expr.op in ("~", "!"):
+                return "int"
+            raise Uncompilable(f"unknown unary operator {expr.op}")
+        if isinstance(expr, ast.Binary):
+            left = self._scan_expr(expr.left, instr, expected)
+            right = self._scan_expr(expr.right, instr, expected)
+            if expr.op == "::" or expr.op in _REL_OPS:
+                return "int"
+            common = _promote(left, right)
+            if common == "int":
+                if expr.op not in _INT_OPS:
+                    raise Uncompilable(f"unknown int operator {expr.op}")
+                return "int"
+            if expr.op not in _FLOAT_OPS:
+                raise Uncompilable(f"operator {expr.op} not on {common}")
+            return common
+        if isinstance(expr, ast.BuiltinCall):
+            arg_type = self._scan_expr(expr.args[0], instr, None)
+            if expr.name in ("int", "high", "low"):
+                return "int"
+            if expr.name in ("float", "double"):
+                return expr.name
+            if expr.name == "eval":
+                return arg_type
+            raise Uncompilable(f"unknown builtin {expr.name}")
+        # NameRef (temporal register) or anything else
+        raise Uncompilable(f"cannot compile expression {expr}")
+
+    # -- decide: which views become typed locals -------------------------------
+
+    def _decide(self) -> None:
+        """A view becomes a typed local iff it is the *only* view of every
+        unit it covers and its single type is safely representable (int as
+        a signed Python int, double as a Python float — the ``<d`` codec
+        is a lossless memcpy both ways).  Float views stay raw because the
+        f32<->f64 conversion is not bit-stable for signaling NaNs.  Every
+        other touched unit is held as a raw 32-bit word local."""
+        for key, types in self.view_types.items():
+            if len(types) != 1:
+                continue
+            type_name = next(iter(types))
+            if type_name not in ("int", "double"):
+                continue
+            if all(self.unit_views.get(unit) == {key} for unit in key):
+                self.typed[key] = type_name
+        typed_units = {unit for key in self.typed for unit in key}
+        self.raw = sorted(self.touched - typed_units)
+
+    # -- emit helpers ----------------------------------------------------------
+
+    def _line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def _tmp(self) -> str:
+        self.tmp_count += 1
+        return f"t{self.tmp_count}"
+
+    @staticmethod
+    def _uname(unit) -> str:
+        return f"u{unit[0]}_{unit[1]}"
+
+    @staticmethod
+    def _iname(key) -> str:
+        return f"i{key[0][0]}_{key[0][1]}"
+
+    @staticmethod
+    def _dname(key) -> str:
+        return f"d{key[0][0]}_{key[0][1]}"
+
+    def _mark_written(self, kind: str, key) -> None:
+        self.written[(kind, key)] = None
+
+    def _need(self, kind: str, key) -> None:
+        """Record a read of a view local that happens before any write on
+        the current path: exactly these views get an entry load (write-only
+        and write-before-read views start uninitialized, which is fine
+        because the flush set only ever contains written views)."""
+        if (kind, key) not in self.written:
+            self.entry_reads.add((kind, key))
+
+    @staticmethod
+    def _wrap(code: str) -> str:
+        """Branch-free inline 32-bit signed wrap — the same value
+        ``executor._wrap32`` computes, without the per-op call."""
+        return f"((({code}) + 2147483648 & 4294967295) - 2147483648)"
+
+    def _deopt_name(self) -> str:
+        name = f"_D{len(self.consts)}"
+        self.consts[name] = JitDeopt(tuple(self.bc_trail))
+        return name
+
+    def _guard_zero(self, var: str, message: str) -> None:
+        """Division guard: deopt while still undoable, else raise the
+        interpreter's exact error inline."""
+        if self.effects:
+            self._line(f"if {var} == 0: raise _SE({message!r})")
+        else:
+            self._line(f"if {var} == 0: raise {self._deopt_name()}")
+
+    def _emit_bc(self, pc: int) -> None:
+        if pc in self.tr.block_starts:
+            label = self.tr.block_of[pc]
+            self._line(f"bc[{label!r}] = bcg({label!r}, 0) + 1")
+            self.bc_trail.append(label)
+
+    def _bounds_check(self, addr: str, size: int) -> None:
+        self._line(
+            f"if {addr} < 0 or {addr} + {size} > ml:"
+            f" raise _SE('memory access at %d outside [0, %d)' % ({addr}, ml))"
+        )
+
+    # -- emit: expressions -----------------------------------------------------
+
+    def _expr(
+        self,
+        expr: ast.Expr,
+        instr: MachineInstr,
+        expected: str | None,
+        pc: int,
+        slot: bool,
+    ):
+        """Returns ``(code, static_type, wrapped)``; ``wrapped`` promises
+        the value is a Python int already in signed 32-bit range, so
+        redundant ``_wrap32(int(...))`` conversions can be skipped."""
+        if isinstance(expr, ast.OperandRef):
+            operand = instr.operands[expr.index - 1]
+            if isinstance(operand, Imm):
+                value = fold_halves(operand.value)
+                wrapped = (
+                    isinstance(value, int)
+                    and not isinstance(value, bool)
+                    and -(2**31) <= value <= _INT_MAX
+                )
+                return f"({value!r})", "int", wrapped
+            return self._emit_reg_read(instr, expr.index - 1)
+        if isinstance(expr, ast.IntLit):
+            value = expr.value
+            wrapped = -(2**31) <= value <= _INT_MAX
+            return f"({value!r})", "int", wrapped
+        if isinstance(expr, ast.FloatLit):
+            return f"({expr.value!r})", "double", False
+        if isinstance(expr, ast.MemRef):
+            return self._emit_mem_read(expr, instr, expected, pc, slot)
+        if isinstance(expr, ast.Unary):
+            return self._emit_unary(expr, instr, expected, pc, slot)
+        if isinstance(expr, ast.Binary):
+            return self._emit_binary(expr, instr, expected, pc, slot)
+        if isinstance(expr, ast.BuiltinCall):
+            return self._emit_builtin(expr, instr, pc, slot)
+        raise Uncompilable(f"cannot compile expression {expr}")
+
+    def _emit_reg_read(self, instr: MachineInstr, position: int):
+        units, type_name, key = self._reg_view(instr, position)
+        if type_name == "double":
+            if key in self.typed:
+                self._need("double", key)
+                return self._dname(key), "double", False
+            self._need("raw", units[0])
+            self._need("raw", units[1])
+            lo, hi = self._uname(units[0]), self._uname(units[1])
+            return f"_upk_d(_pk_p({lo}, {hi}))[0]", "double", False
+        if type_name == "float":
+            self._need("raw", units[0])
+            word = self._uname(units[0])
+            return f"_upk_f(_pk_w({word}))[0]", "float", False
+        if key in self.typed:
+            self._need("int", key)
+            return self._iname(key), "int", True
+        self._need("raw", units[0])
+        word = self._uname(units[0])
+        return (
+            f"({word} - 4294967296 if {word} > 2147483647 else {word})",
+            "int",
+            True,
+        )
+
+    def _emit_mem_read(self, expr, instr, expected, pc, slot):
+        if expected is None:
+            raise Uncompilable("memory read with unknown width")
+        addr_code, _, _ = self._expr(expr.address, instr, "int", pc, slot)
+        addr = self._tmp()
+        self._line(f"{addr} = {addr_code}")
+        self._bounds_check(addr, 8 if expected == "double" else 4)
+        if self.cached:
+            hit = self._tmp()
+            self._line(f"{hit} = access({addr})")
+            self._line(f"if not {hit}: mm |= lb")
+            self._line("lb <<= 1")
+            self._line(f"ea(({pc}, False, {hit}))")
+            self.effects = True
+        else:
+            self._line("lb <<= 1")
+            self._line(f"ea(({pc}, False, True))")
+        if not slot:
+            self.loads += 1
+        value = self._tmp()
+        unpack = {"double": "_upkm_d", "float": "_upkm_f"}.get(
+            expected, "_upkm_i"
+        )
+        self._line(f"{value} = {unpack}(mem, {addr})[0]")
+        return value, expected, expected == "int"
+
+    def _emit_unary(self, expr, instr, expected, pc, slot):
+        code, type_name, wrapped = self._expr(
+            expr.operand, instr, expected, pc, slot
+        )
+        if expr.op == "-":
+            if type_name == "int":
+                return self._wrap(f"-({code})"), "int", True
+            return f"(-({code}))", type_name, False
+        if expr.op == "~":
+            return self._wrap(f"~({code})"), "int", True
+        if expr.op == "!":
+            return f"(0 if {code} else 1)", "int", True
+        raise Uncompilable(f"unknown unary operator {expr.op}")
+
+    def _emit_binary(self, expr, instr, expected, pc, slot):
+        lcode, ltype, lwrapped = self._expr(
+            expr.left, instr, expected, pc, slot
+        )
+        rcode, rtype, rwrapped = self._expr(
+            expr.right, instr, expected, pc, slot
+        )
+        op = expr.op
+        if op == "::":
+            left, right = self._tmp(), self._tmp()
+            self._line(f"{left} = {lcode}")
+            self._line(f"{right} = {rcode}")
+            return (
+                f"(({left} > {right}) - ({left} < {right}))",
+                "int",
+                True,
+            )
+        if op in _REL_OPS:
+            return f"(1 if ({lcode}) {op} ({rcode}) else 0)", "int", True
+        common = _promote(ltype, rtype)
+        if common == "int":
+            if op == "+":
+                return self._wrap(f"({lcode}) + ({rcode})"), "int", True
+            if op == "-":
+                return self._wrap(f"({lcode}) - ({rcode})"), "int", True
+            if op == "*":
+                return self._wrap(f"({lcode}) * ({rcode})"), "int", True
+            if op == "&":
+                return f"(({lcode}) & ({rcode}))", "int", lwrapped and rwrapped
+            if op == "|":
+                return f"(({lcode}) | ({rcode}))", "int", lwrapped and rwrapped
+            if op == "^":
+                return f"(({lcode}) ^ ({rcode}))", "int", lwrapped and rwrapped
+            if op == "<<":
+                return (
+                    self._wrap(f"({lcode}) << (({rcode}) & 31)"),
+                    "int",
+                    True,
+                )
+            if op == ">>":
+                return f"(({lcode}) >> (({rcode}) & 31))", "int", lwrapped
+            if op in ("/", "%"):
+                left, right = self._tmp(), self._tmp()
+                self._line(f"{left} = {lcode}")
+                self._line(f"{right} = {rcode}")
+                self._guard_zero(right, "integer division by zero")
+                fn = "_idiv" if op == "/" else "_imod"
+                return f"{fn}({left}, {right})", "int", False
+            raise Uncompilable(f"unknown int operator {op}")
+        if op in ("+", "-", "*"):
+            return f"(({lcode}) {op} ({rcode}))", common, False
+        if op == "/":
+            left, right = self._tmp(), self._tmp()
+            self._line(f"{left} = {lcode}")
+            self._line(f"{right} = {rcode}")
+            self._guard_zero(right, "floating divide by zero")
+            return f"({left} / {right})", common, False
+        raise Uncompilable(f"operator {op} not on {common}")
+
+    def _emit_builtin(self, expr, instr, pc, slot):
+        code, arg_type, wrapped = self._expr(
+            expr.args[0], instr, None, pc, slot
+        )
+        name = expr.name
+        if name == "int":
+            if wrapped:
+                return code, "int", True
+            # a static int is already a Python int: only the range wrap
+            # is needed (int(x) is the identity the interpreter applies)
+            inner = code if arg_type == "int" else f"int({code})"
+            return self._wrap(inner), "int", True
+        if name in ("float", "double"):
+            if arg_type in ("float", "double"):
+                return code, name, False
+            return f"float({code})", name, False
+        if name == "high":
+            inner = code if arg_type == "int" else f"int({code})"
+            return f"((({inner}) >> 16) & 65535)", "int", True
+        if name == "low":
+            inner = code if arg_type == "int" else f"int({code})"
+            return f"(({inner}) & 65535)", "int", True
+        if name == "eval":
+            return code, arg_type, wrapped
+        raise Uncompilable(f"unknown builtin {name}")
+
+    # -- emit: statements ------------------------------------------------------
+
+    def _emit_stmt(self, stmt, instr, pc, slot):
+        if isinstance(stmt, ast.AssignStmt):
+            move = self._move_units(stmt, instr)
+            if move is not None:
+                self._emit_move(*move)
+                return
+            target = stmt.target
+            if isinstance(target, ast.OperandRef):
+                self._emit_reg_write(stmt, instr, pc, slot)
+                return
+            if isinstance(target, ast.MemRef):
+                self._emit_mem_write(stmt, instr, pc, slot)
+                return
+        raise Uncompilable(f"cannot compile statement {stmt}")
+
+    def _read_unit_bits(self, unit) -> str:
+        """Current 32-bit word of ``unit`` under its representation."""
+        for key, type_name in self.typed.items():
+            if unit not in key:
+                continue
+            if type_name == "int":
+                self._need("int", key)
+                return f"({self._iname(key)} & 4294967295)"
+            self._need("double", key)
+            half = key.index(unit)
+            return f"_upk_p(_pk_d({self._dname(key)}))[{half}]"
+        self._need("raw", unit)
+        return self._uname(unit)
+
+    def _write_unit_bits(self, unit, bits: str) -> None:
+        for key, type_name in self.typed.items():
+            if unit not in key:
+                continue
+            if type_name == "int":
+                word = self._tmp()
+                self._line(f"{word} = {bits}")
+                self._line(
+                    f"{self._iname(key)} = {word} - 4294967296"
+                    f" if {word} > 2147483647 else {word}"
+                )
+                self._mark_written("int", key)
+            else:
+                self._need("double", key)  # the untouched half is read
+                name = self._dname(key)
+                halves = [
+                    bits if key[index] == unit
+                    else f"_upk_p(_pk_d({name}))[{index}]"
+                    for index in range(2)
+                ]
+                self._line(
+                    f"{name} = _upk_d(_pk_p({halves[0]}, {halves[1]}))[0]"
+                )
+                self._mark_written("double", key)
+            return
+        self._line(f"{self._uname(unit)} = {bits}")
+        self._mark_written("raw", unit)
+
+    def _emit_move(self, dst_units, src_units) -> None:
+        """Raw register move; like the interpreter's ``copy_units`` the
+        copy is sequential unit by unit (overlapping pairs observe the
+        partially-updated destination)."""
+        dkey, skey = tuple(dst_units), tuple(src_units)
+        if (
+            len(dkey) == 2
+            and self.typed.get(dkey) == "double"
+            and self.typed.get(skey) == "double"
+        ):
+            if dkey != skey:
+                self._need("double", skey)
+                self._line(f"{self._dname(dkey)} = {self._dname(skey)}")
+                self._mark_written("double", dkey)
+            return
+        for dst, src in zip(dst_units, src_units):
+            if dst == src:
+                continue
+            self._write_unit_bits(dst, self._read_unit_bits(src))
+
+    def _emit_reg_write(self, stmt, instr, pc, slot) -> None:
+        position = stmt.target.index - 1
+        units, type_name, key = self._reg_view(instr, position)
+        vcode, vtype, vwrapped = self._expr(
+            stmt.value, instr, type_name, pc, slot
+        )
+        if type_name == "double":
+            conv = (
+                vcode if vtype in ("float", "double") else f"float({vcode})"
+            )
+            if key in self.typed:
+                self._line(f"{self._dname(key)} = {conv}")
+                self._mark_written("double", key)
+            else:
+                lo, hi = self._uname(units[0]), self._uname(units[1])
+                self._line(f"{lo}, {hi} = _upk_p(_pk_d({conv}))")
+                self._mark_written("raw", units[0])
+                self._mark_written("raw", units[1])
+            return
+        if type_name == "float":
+            conv = (
+                vcode if vtype in ("float", "double") else f"float({vcode})"
+            )
+            self._line(f"{self._uname(units[0])} = _upk_w(_pk_f({conv}))[0]")
+            self._mark_written("raw", units[0])
+            return
+        if key in self.typed:
+            if vtype == "int" and vwrapped:
+                self._line(f"{self._iname(key)} = {vcode}")
+            else:
+                inner = vcode if vtype == "int" else f"int({vcode})"
+                self._line(f"{self._iname(key)} = {self._wrap(inner)}")
+            self._mark_written("int", key)
+            return
+        if vtype == "int":
+            self._line(f"{self._uname(units[0])} = ({vcode}) & 4294967295")
+        else:
+            self._line(
+                f"{self._uname(units[0])} = int({vcode}) & 4294967295"
+            )
+        self._mark_written("raw", units[0])
+
+    def _emit_mem_write(self, stmt, instr, pc, slot) -> None:
+        addr_code, _, _ = self._expr(
+            stmt.target.address, instr, "int", pc, slot
+        )
+        addr = self._tmp()
+        self._line(f"{addr} = {addr_code}")
+        # the store's log record (and so its cache access) precedes the
+        # value expression's loads, matching the closure's append order
+        if self.cached:
+            self._line(f"ea(({pc}, True, access({addr})))")
+            self.effects = True
+        else:
+            self._line(f"ea(({pc}, True, True))")
+        if not slot:
+            self.stores += 1
+        vcode, vtype, vwrapped = self._expr(stmt.value, instr, None, pc, slot)
+        self._bounds_check(addr, 8 if vtype == "double" else 4)
+        if vtype == "double":
+            self._line(f"_pkm_d(mem, {addr}, {vcode})")
+        elif vtype == "float":
+            self._line(f"_pkm_f(mem, {addr}, float({vcode}))")
+        else:
+            if vwrapped:
+                signed = vcode
+            else:
+                signed = self._wrap(
+                    vcode if vtype == "int" else f"int({vcode})"
+                )
+            self._line(f"_pkm_i(mem, {addr}, {signed})")
+        self.effects = True
+
+    # -- emit: exits -----------------------------------------------------------
+
+    def _flush(self) -> None:
+        for kind, key in self.written:
+            if kind == "raw":
+                self._line(f"u[{key!r}] = {self._uname(key)}")
+            elif kind == "int":
+                self._line(f"u[{key[0]!r}] = {self._iname(key)} & 4294967295")
+            else:
+                self._line(
+                    f"u[{key[0]!r}], u[{key[1]!r}] ="
+                    f" _upk_p(_pk_d({self._dname(key)}))"
+                )
+
+    def _emit_exit(self, end, transfer, kind, label, executed) -> None:
+        self._flush()
+        if executed > self.max_exec:
+            self.max_exec = executed
+        self._line(
+            f"return ({end}, {transfer}, {kind}, {label!r},"
+            f" {executed}, {self.loads}, {self.stores}, mm, lb)"
+        )
+
+    def _emit_slots(self, pc: int, instr: MachineInstr) -> int:
+        """Delay-slot bodies for a taken exit; returns the segment end pc.
+        Slot accesses hit the cache and shape the miss mask and events,
+        but are not counted in loads/stores (matching ``_run_fast``)."""
+        end = pc
+        for slot_pc in self.tr.slot_pcs(pc, instr):
+            for stmt in _stmts_of(self.tr.instrs[slot_pc]):
+                self._emit_stmt(stmt, self.tr.instrs[slot_pc], slot_pc, True)
+            end = slot_pc
+        return end
+
+    # -- emit: the function ----------------------------------------------------
+
+    def _find_loop_exits(self) -> None:
+        """Back-edges to the segment's own entry — chained in-function."""
+        labels = self.tr.executable.labels
+        for pc in self.trace:
+            instr = self.tr.instrs[pc]
+            control = _control_of(_stmts_of(instr))
+            if isinstance(control, (ast.CondGotoStmt, ast.GotoStmt)):
+                label = self._label_of(control.target, instr)
+                if labels.get(label) == self.entry:
+                    self.loop_exits.add(pc)
+        self.looping = bool(self.loop_exits)
+
+    def _emit_loop_exit(self, pc: int, instr, index: int) -> None:
+        """A chained back-edge: close the iteration through the caller's
+        callback and loop in-function while it allows, otherwise flush
+        and hand control back (kind 4: everything already accounted)."""
+        end = self._emit_slots(pc, instr)
+        executed = index + 1 + abs(instr.desc.slots)
+        if executed > self.max_exec:
+            self.max_exec = executed
+        self._line(
+            f"if lc({end}, {pc}, {executed},"
+            f" {self.loads}, {self.stores}, mm):"
+        )
+        self.indent += 1
+        self._line("mm = 0")
+        self._line("lb = 1")
+        self._line("continue")
+        self.indent -= 1
+        self._flush()
+        self._line("return (0, 0, 4, None, 0, 0, 0, 0, 1)")
+
+    def _emit(self) -> str:
+        name = f"_jit_{self.entry}_{'c' if self.cached else 'n'}"
+        self.lines = [f"def {name}(state, access, ea, bc, mm, lb, lc):"]
+        self._line("u = state.units")
+        self._line("mem = state.memory")
+        self._line("ml = len(mem)")
+        self._line("bcg = bc.get")
+        # entry loads are inserted here once the body has been emitted and
+        # self.entry_reads says which views are read before being written
+        prologue_at = len(self.lines)
+        self._find_loop_exits()
+        if self.looping:
+            # iterations past the first run on register state that only
+            # lives in locals: a deopt could not restore it, so guards
+            # raise the interpreter's error inline instead (bit-identical
+            # message, same observable effect)...
+            self.effects = True
+            # ...and any exit may be reached after an iteration that took
+            # a different path, so every exit flushes — and therefore
+            # every entry loads — every view the body can touch
+            for key, type_name in self.typed.items():
+                self._mark_written(type_name, key)
+                self.entry_reads.add((type_name, key))
+            for unit in self.raw:
+                self._mark_written("raw", unit)
+                self.entry_reads.add(("raw", unit))
+            self._line("while 1:")
+            self.indent += 1
+
+        instrs = self.tr.instrs
+        for index, pc in enumerate(self.trace):
+            instr = instrs[pc]
+            stmts = _stmts_of(instr)
+            control = _control_of(stmts)
+            for stmt in stmts[:-1] if control is not None else stmts:
+                self._emit_stmt(stmt, instr, pc, False)
+            if isinstance(control, ast.CondGotoStmt):
+                cond_code, _, _ = self._expr(
+                    control.condition, instr, "int", pc, False
+                )
+                cond = self._tmp()
+                self._line(f"{cond} = {cond_code}")
+                self._emit_bc(pc)
+                label = self._label_of(control.target, instr)
+                self._line(f"if {cond} != 0:")
+                self.indent += 1
+                snapshot = (
+                    dict(self.written),
+                    self.effects,
+                    list(self.bc_trail),
+                )
+                if pc in self.loop_exits:
+                    self._emit_loop_exit(pc, instr, index)
+                else:
+                    end = self._emit_slots(pc, instr)
+                    self._emit_exit(
+                        end, pc, 1, label,
+                        index + 1 + abs(instr.desc.slots),
+                    )
+                self.written, self.effects, self.bc_trail = (
+                    dict(snapshot[0]), snapshot[1], list(snapshot[2])
+                )
+                self.indent -= 1
+            elif isinstance(control, ast.GotoStmt):
+                self._emit_bc(pc)
+                if pc in self.loop_exits:
+                    self._emit_loop_exit(pc, instr, index)
+                else:
+                    end = self._emit_slots(pc, instr)
+                    label = self._label_of(control.target, instr)
+                    self._emit_exit(
+                        end, pc, 1, label, index + 1 + abs(instr.desc.slots)
+                    )
+            elif isinstance(control, ast.RetStmt):
+                self._emit_bc(pc)
+                end = self._emit_slots(pc, instr)
+                self._emit_exit(
+                    end, pc, 2, None, index + 1 + abs(instr.desc.slots)
+                )
+            elif isinstance(control, ast.CallStmt):
+                self._emit_bc(pc)
+                self._flush()
+                retaddr = self.tr.target.cwvm.retaddr
+                unit = self.tr.target.registers.units_of(retaddr)[0]
+                self._line(f"u[{unit!r}] = {(pc + 1) & 0xFFFFFFFF}")
+                label = self._label_of(control.target, instr)
+                if index + 1 > self.max_exec:
+                    self.max_exec = index + 1
+                self._line(
+                    f"return ({pc}, {pc}, 3, {label!r}, {index + 1},"
+                    f" {self.loads}, {self.stores}, mm, lb)"
+                )
+            else:
+                self._emit_bc(pc)
+        if self.tail is None:
+            last = self.trace[-1]
+            self._emit_exit(last, -1, 0, None, len(self.trace))
+        self.lines[prologue_at:prologue_at] = self._entry_loads()
+        return "\n".join(self.lines) + "\n"
+
+    def _entry_loads(self) -> list[str]:
+        """Loads for exactly the views the body reads before writing."""
+        loads = []
+        if self.entry_reads:
+            loads.append("    ug = u.get")
+        for unit in self.raw:
+            if ("raw", unit) in self.entry_reads:
+                loads.append(f"    {self._uname(unit)} = ug({unit!r}, 0)")
+        for key in sorted(self.typed):
+            type_name = self.typed[key]
+            if (type_name, key) not in self.entry_reads:
+                continue
+            if type_name == "int":
+                iname = self._iname(key)
+                loads.append(f"    {iname} = ug({key[0]!r}, 0)")
+                loads.append(
+                    f"    if {iname} > 2147483647: {iname} -= 4294967296"
+                )
+            else:
+                loads.append(
+                    f"    {self._dname(key)} = _upk_d(_pk_p("
+                    f"ug({key[0]!r}, 0), ug({key[1]!r}, 0)))[0]"
+                )
+        return loads
+
+
+class SegmentJIT:
+    """Per-executable JIT manager: warmup counting, the compiled-function
+    tables (one per data-cache presence, since the bookkeeping differs),
+    deopt blacklisting, and lifetime counters.  Shared by every
+    :class:`~repro.sim.simulator.Simulator` over one executable, so
+    warmup and translation amortize across runs."""
+
+    def __init__(self, executable, warmup: int | None = None):
+        self.translator = SegmentTranslator(executable)
+        self.warmup = JIT_WARMUP if warmup is None else warmup
+        self._tables: tuple[dict, dict] = ({}, {})
+        self._dispatches: dict[int, int] = {}
+        self._deopt_counts: dict[int, int] = {}
+        self.compiled = 0
+        self.uncompilable = 0
+        self.deopts = 0
+        self.hits = 0
+
+    def functions(self, cached: bool) -> dict:
+        """entry pc -> ``(function, max_executed)`` | ``None`` (refused
+        or blacklisted — permanently interpreted)."""
+        return self._tables[1 if cached else 0]
+
+    def warm(self, entry: int, cached: bool):
+        """Count one dispatch of a not-yet-compiled entry; compile it
+        once it crosses the warmup threshold."""
+        count = self._dispatches.get(entry, 0) + 1
+        if count < self.warmup:
+            self._dispatches[entry] = count
+            return None
+        self._dispatches.pop(entry, None)
+        try:
+            record = self.translator.translate(entry, cached)
+            self.compiled += 1
+        except Uncompilable:
+            record = None
+            self.uncompilable += 1
+        self.functions(cached)[entry] = record
+        return record
+
+    def note_deopt(
+        self, entry: int, cached: bool, fault: JitDeopt, block_counts: dict
+    ) -> None:
+        """Undo the compiled prefix's block-count increments; blacklist
+        the entry after :data:`MAX_DEOPTS` guard failures."""
+        self.deopts += 1
+        for label in fault.bc_undo:
+            remaining = block_counts.get(label, 0) - 1
+            if remaining > 0:
+                block_counts[label] = remaining
+            else:
+                block_counts.pop(label, None)
+        count = self._deopt_counts.get(entry, 0) + 1
+        self._deopt_counts[entry] = count
+        if count >= MAX_DEOPTS:
+            self.functions(cached)[entry] = None
+
+    @property
+    def stats(self) -> dict:
+        return {
+            "compiled": self.compiled,
+            "uncompilable": self.uncompilable,
+            "deopts": self.deopts,
+            "hits": self.hits,
+        }

@@ -17,14 +17,28 @@ from repro.errors import SimulationError, SimulationTimeout
 import repro.obs as obs
 from repro.options import UNSET, SimOptions, merge_legacy_kwargs
 from repro.program import Executable
-from repro.sim.blockcache import SEGMENT_CAP, BlockTimingCache
+from repro.sim.blockcache import SEGMENT_CAP, BlockTimingCache, decode_blocks
 from repro.sim.cache import DirectMappedCache
 from repro.sim.executor import SemanticsCompiler
+from repro.sim.jit import JitDeopt, SegmentJIT
 from repro.sim.pipeline import AccountingPipelineModel, PipelineModel
 from repro.sim.state import MachineState
 from repro.utils import timing
 
 _HALT = -1
+
+#: sentinel distinguishing "entry not yet considered" from a stored
+#: ``None`` (refused/blacklisted) in the JIT dispatch table
+_MISS = object()
+
+
+def _no_timing_close(
+    entry, end, transfer, miss_mask, events, entry_id, base,
+    _empty=BlockTimingCache.EMPTY_ID,
+):
+    """Segment close for ``model_timing=False`` fast runs: no pipeline
+    model is consulted, so every close is free and contributes nothing."""
+    return 0, _empty
 
 
 @dataclass
@@ -49,6 +63,12 @@ class SimResult:
     #: ``fast_timing=False``, or timing off)
     block_cache_hits: int = 0
     block_cache_misses: int = 0
+    #: segment-JIT activity this run (all zero when the run took the
+    #: reference path or ``SimOptions(jit=False)``): segments newly
+    #: compiled, compiled-segment dispatches, and guard deopts
+    jit_segments: int = 0
+    jit_hits: int = 0
+    jit_deopts: int = 0
 
     @property
     def stall_cycles(self) -> int:
@@ -108,21 +128,8 @@ class Simulator:
             compiler = SemanticsCompiler(self.target)
             closures = [compiler.compile_instr(i) for i in executable.instrs]
             # label of the block each instruction belongs to (for profiling)
-            block_of: list[str] = []
-            by_index = sorted(
-                executable.labels.items(), key=lambda item: item[1]
-            )
-            position = 0
-            current = ""
-            for label, index in by_index:
-                while position < index:
-                    block_of.append(current)
-                    position += 1
-                current = label
-            while position < len(executable.instrs):
-                block_of.append(current)
-                position += 1
-            decoded = (closures, block_of, frozenset(executable.labels.values()))
+            block_of, block_starts = decode_blocks(executable)
+            decoded = (closures, block_of, block_starts)
             executable._sim_decode = decoded
         self.closures, self.block_of, self._block_starts = decoded
         # the pipeline decode tables are likewise per-program: one dict
@@ -195,10 +202,11 @@ class Simulator:
         # the memoized block-timing path needs nothing observed per
         # instruction; anything that does — per-cycle stall attribution,
         # a cycle-exact watchdog raise, a watch callback fed issue
-        # cycles — takes the reference interleaved path
+        # cycles — takes the reference interleaved path.  Timing-off runs
+        # (model_timing=False) share the fast loop too, with the block
+        # close stubbed out, so they still dispatch the segment JIT.
         fast = (
             run_options.fast_timing
-            and run_options.model_timing
             and not run_options.trace
             and run_options.max_cycles is None
             and watch is None
@@ -221,6 +229,12 @@ class Simulator:
                 obs.count("sim.block_cache.hit", result.block_cache_hits)
             if result.block_cache_misses:
                 obs.count("sim.block_cache.miss", result.block_cache_misses)
+            if result.jit_segments:
+                obs.count("sim.jit.segments", result.jit_segments)
+            if result.jit_hits:
+                obs.count("sim.jit.hit", result.jit_hits)
+            if result.jit_deopts:
+                obs.count("sim.jit.deopt", result.jit_deopts)
             if result.cycle_breakdown:
                 for kind, count in result.cycle_breakdown.items():
                     if count:
@@ -259,6 +273,15 @@ class Simulator:
         for reg, value in cwvm.hard_registers.items():
             state.write_reg(reg, "int", value)
         return state
+
+    def _segment_jit(self) -> SegmentJIT:
+        """The per-executable segment JIT (warmup counts and compiled
+        functions amortize across every run of the program)."""
+        jit = getattr(self.executable, "_segment_jit", None)
+        if jit is None:
+            jit = SegmentJIT(self.executable)
+            self.executable._segment_jit = jit
+        return jit
 
     def _block_cache(
         self, cache: DirectMappedCache | None
@@ -468,14 +491,22 @@ class Simulator:
         cwvm = self.target.cwvm
         if cache is not None:
             cache.reset()
-        block_cache = self._block_cache(cache)
-        # materialization bases must never decrease across runs sharing
-        # this cache (stale resource-ring tags would alias), so every
-        # absolute base is offset by the cache's high-water mark
-        base_offset = block_cache.begin_run()
-        close = block_cache.close
-        start_hits = block_cache.hits
-        start_misses = block_cache.misses
+        if options.model_timing:
+            block_cache = self._block_cache(cache)
+            # materialization bases must never decrease across runs
+            # sharing this cache (stale resource-ring tags would alias),
+            # so every absolute base is offset by the high-water mark
+            base_offset = block_cache.begin_run()
+            close = block_cache.close
+            start_hits = block_cache.hits
+            start_misses = block_cache.misses
+        else:
+            # functional-only run: same loop (and segment JIT), but the
+            # segment close never consults a pipeline model
+            block_cache = None
+            base_offset = 0
+            close = _no_timing_close
+            start_hits = start_misses = 0
 
         pc = exe.entry(function)
         executed = 0
@@ -488,6 +519,14 @@ class Simulator:
         block_of = self.block_of
         block_starts = self._block_starts
         wall_start = time.perf_counter() if timing.ENABLED else 0.0
+        # ret reads the %retaddr register on every function return; the
+        # unit lookup and sign fix are hoisted out of state.read_reg
+        units_get = state.units.get
+        ret_unit = (
+            self.target.registers.units_of(cwvm.retaddr)[0]
+            if cwvm.retaddr is not None
+            else None
+        )
 
         entry_id = BlockTimingCache.EMPTY_ID
         virtual_issue = 0
@@ -497,6 +536,42 @@ class Simulator:
         miss_mask = 0
         load_bit = 1
 
+        # segment-JIT dispatch state: compiled functions only ever run at
+        # a fresh segment boundary (seg_len == 0 and pc == seg_entry), so
+        # the accumulated events/miss-mask they receive are empty/zero
+        jit = self._segment_jit() if options.jit else None
+        jit_cached = cache is not None
+        jit_table = jit.functions(jit_cached) if jit is not None else None
+        cache_access = cache.access if cache is not None else None
+        events_append = events.append
+        jit_hits_run = 0
+        jit_compiled_before = jit.compiled if jit is not None else 0
+        jit_deopts_before = jit.deopts if jit is not None else 0
+        # no single segment pass can execute more than this many
+        # instructions, so stopping the in-function loop this far below
+        # the fuse is always safe (the precise per-record bound is then
+        # re-checked at the next dispatch)
+        loop_fuse = max_instructions - (SEGMENT_CAP + 64)
+
+        def loop_close(end, transfer, exec_delta, load_delta, store_delta, mm):
+            """Per-iteration close for chained self-loop segments: the
+            compiled function calls this at each taken back-edge instead
+            of returning, keeping its register locals live.  Returns
+            whether the function may run another full iteration."""
+            nonlocal executed, loads, stores
+            nonlocal virtual_issue, entry_id, jit_hits_run
+            executed += exec_delta
+            loads += load_delta
+            stores += store_delta
+            jit_hits_run += 1
+            delta, entry_id = close(
+                seg_entry, end, transfer, mm, events, entry_id,
+                base_offset + virtual_issue,
+            )
+            virtual_issue += delta
+            del events[:]
+            return executed <= loop_fuse
+
         while pc != _HALT:
             if pc < 0 or pc >= program_size:
                 raise SimulationError(
@@ -505,7 +580,6 @@ class Simulator:
                     pc=pc,
                     cycle=virtual_issue + 1,
                 )
-            instr = instrs[pc]
             if executed >= max_instructions:
                 raise SimulationError(
                     f"exceeded {max_instructions} instructions (infinite loop?)",
@@ -513,6 +587,92 @@ class Simulator:
                     pc=pc,
                     cycle=virtual_issue + 1,
                 )
+            if seg_len == 0 and jit_table is not None and pc == seg_entry:
+                record = jit_table.get(pc, _MISS)
+                if record is _MISS:
+                    record = jit.warm(pc, jit_cached)
+                if record is not None and (
+                    executed + record[1] <= max_instructions
+                ):
+                    try:
+                        (
+                            seg_end, transfer, jit_kind, jit_label, exec_delta,
+                            load_delta, store_delta, miss_mask, load_bit,
+                        ) = record[0](
+                            state, cache_access, events_append,
+                            block_counts, miss_mask, load_bit, loop_close,
+                        )
+                    except JitDeopt as guard:
+                        # the guard fired before any cache access or
+                        # memory write: undo the block counts, drop the
+                        # (unconsumed) events, and fall through to the
+                        # interpreter, which re-executes the segment and
+                        # raises the real error
+                        jit.note_deopt(pc, jit_cached, guard, block_counts)
+                        del events[:]
+                        miss_mask = 0
+                        load_bit = 1
+                    else:
+                        if jit_kind == 4:
+                            # a chained loop ran to the fuse guard: every
+                            # iteration was closed and accounted by
+                            # loop_close, and the unpack above already
+                            # reset miss_mask/load_bit
+                            pc = seg_entry
+                            continue
+                        jit_hits_run += 1
+                        executed += exec_delta
+                        loads += load_delta
+                        stores += store_delta
+                        if jit_kind == 0:
+                            # fallthrough end: the segment stays open
+                            pc = seg_end + 1
+                            seg_len = exec_delta
+                            if seg_len >= SEGMENT_CAP:
+                                delta, entry_id = close(
+                                    seg_entry, seg_end, -1, miss_mask,
+                                    events, entry_id,
+                                    base_offset + virtual_issue,
+                                )
+                                virtual_issue += delta
+                                seg_entry = pc
+                                seg_len = 0
+                                del events[:]
+                                miss_mask = 0
+                                load_bit = 1
+                            continue
+                        delta, entry_id = close(
+                            seg_entry, seg_end, transfer, miss_mask,
+                            events, entry_id, base_offset + virtual_issue,
+                        )
+                        virtual_issue += delta
+                        seg_len = 0
+                        del events[:]
+                        miss_mask = 0
+                        load_bit = 1
+                        if jit_kind == 2:
+                            if ret_unit is not None:
+                                word = units_get(ret_unit, 0)
+                                pc = (
+                                    word - 4294967296
+                                    if word > 2147483647
+                                    else word
+                                )
+                            else:
+                                pc = state.read_reg(cwvm.retaddr, "int")
+                        else:
+                            pc = exe.labels.get(jit_label)
+                            if pc is None:
+                                noun = (
+                                    "label" if jit_kind == 1 else "function"
+                                )
+                                raise SimulationError(
+                                    f"undefined {noun} {jit_label!r}",
+                                    function=function,
+                                    cycle=virtual_issue + 1,
+                                )
+                        seg_entry = pc
+                        continue
             effect = closures[pc](state, mem_log)
             executed += 1
             seg_len += 1
@@ -554,7 +714,7 @@ class Simulator:
             kind = effect[0]
             if kind == "goto" or kind == "ret":
                 end = pc
-                slots = abs(instr.desc.slots)
+                slots = abs(instrs[pc].desc.slots)
                 for slot in range(slots):
                     slot_pc = pc + 1 + slot
                     if slot_pc >= program_size:
@@ -602,6 +762,9 @@ class Simulator:
                             function=function,
                             cycle=virtual_issue + 1,
                         )
+                elif ret_unit is not None:
+                    word = units_get(ret_unit, 0)
+                    pc = word - 4294967296 if word > 2147483647 else word
                 else:
                     pc = state.read_reg(cwvm.retaddr, "int")
                 seg_entry = pc
@@ -648,15 +811,29 @@ class Simulator:
             )
             virtual_issue += delta
 
-        cycles = virtual_issue + 1
-        hits = block_cache.hits - start_hits
-        misses = block_cache.misses - start_misses
+        if block_cache is not None:
+            cycles = virtual_issue + 1
+            hits = block_cache.hits - start_hits
+            misses = block_cache.misses - start_misses
+        else:
+            # timing off: the instruction count stands in for cycles,
+            # exactly as on the reference path
+            cycles = executed
+            hits = misses = 0
+        jit_segments = jit_deopts = 0
+        if jit is not None:
+            jit.hits += jit_hits_run
+            jit_segments = jit.compiled - jit_compiled_before
+            jit_deopts = jit.deopts - jit_deopts_before
         if timing.ENABLED:
             timing.add_seconds("sim.run", time.perf_counter() - wall_start)
             timing.add("sim.instructions", executed)
             timing.add("sim.cycles", cycles)
             timing.add("sim.block_cache.hit", hits)
             timing.add("sim.block_cache.miss", misses)
+            timing.add("sim.jit.segments", jit_segments)
+            timing.add("sim.jit.hit", jit_hits_run)
+            timing.add("sim.jit.deopt", jit_deopts)
         result = SimResult(
             return_value=None,
             cycles=cycles,
@@ -668,6 +845,9 @@ class Simulator:
             block_counts=block_counts,
             block_cache_hits=hits,
             block_cache_misses=misses,
+            jit_segments=jit_segments,
+            jit_hits=jit_hits_run,
+            jit_deopts=jit_deopts,
         )
         result.return_value = self._read_result(state)
         return result

@@ -1,0 +1,350 @@
+"""Cross-validation and unit tests for the segment JIT.
+
+The JIT path (:mod:`repro.sim.jit`) must be *bit-identical* to the
+closure interpreter — cycles, checksums, memory/cache statistics and
+dynamic block counts, not approximately equal — so the core of this
+file simulates the same compiled kernels with the JIT on and off and
+compares every observable field.  CI runs the whole module twice, once
+with ``REPRO_JIT=1`` and once with ``=0``, so the process-wide default
+cannot mask a broken explicit flag.
+"""
+
+import pytest
+
+import repro
+from repro.errors import MarionError, SimulationError
+from repro.sim.cache import DirectMappedCache
+from repro.sim.jit import JIT_WARMUP, MAX_DEOPTS, SegmentJIT
+from repro.workloads import kernel_by_id
+
+TARGETS = ("toyp", "r2000", "m88000", "i860")
+STRATEGIES = ("postpass", "ips", "rase")
+
+#: every observable a JIT run must reproduce bit-for-bit.  The
+#: block-timing stats are included deliberately: identical hit counts
+#: mean the JIT produced the same segment close keys and the same
+#: positional event stream as the interpreter.
+COMPARED_FIELDS = (
+    "cycles",
+    "instructions",
+    "loads",
+    "stores",
+    "cache_hits",
+    "cache_misses",
+    "block_counts",
+    "return_value",
+    "block_cache_hits",
+    "block_cache_misses",
+)
+
+#: low warmup so the scaled-down test kernels still compile their loops
+WARMUP = 2
+
+
+def _compile(spec, target, strategy):
+    try:
+        return repro.compile_c(
+            spec.source, target, repro.CompileOptions(strategy=strategy)
+        )
+    except MarionError as error:
+        pytest.skip(f"{target}/{strategy} does not compile K{spec.id}: {error}")
+
+
+def _simulate(executable, spec, *, jit, scale=0.03, cache=True, **extra):
+    loop, n = spec.args
+    n = max(4, int(n * scale))
+    options = repro.SimOptions(
+        cache=DirectMappedCache() if cache else None, jit=jit, **extra
+    )
+    return repro.simulate(executable, "bench", args=(loop, n), options=options)
+
+
+def _differential(spec, target, strategy, *, cache=True, scale=0.03):
+    """Interpreted then JIT run of one kernel; both results.
+
+    The block-timing memo and the JIT state live on the executable, so
+    the memo is dropped between the runs (otherwise the second run sees
+    more memo hits) and the JIT is seeded fresh with a low warmup."""
+    executable = _compile(spec, target, strategy)
+    reference = _simulate(executable, spec, jit=False, cache=cache, scale=scale)
+    if hasattr(executable, "_block_timing"):
+        del executable._block_timing
+    executable._segment_jit = SegmentJIT(executable, warmup=WARMUP)
+    jitted = _simulate(executable, spec, jit=True, cache=cache, scale=scale)
+    return reference, jitted
+
+
+# -- cross-validation ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("target", TARGETS)
+def test_jit_bit_identical_k1(target, strategy):
+    spec = kernel_by_id(1)
+    reference, jitted = _differential(spec, target, strategy)
+    for field in COMPARED_FIELDS:
+        assert getattr(jitted, field) == getattr(reference, field), field
+    # the JIT run actually executed compiled segments; the reference
+    # run never touched the JIT
+    assert jitted.jit_hits > 0
+    assert jitted.jit_segments > 0
+    assert reference.jit_segments == reference.jit_hits == 0
+
+
+@pytest.mark.parametrize("target", ("r2000", "i860"))
+def test_jit_bit_identical_k7(target):
+    # K7 (equation of state) has a wider loop body than K1: more views
+    # per segment, and on i860 temporal (EAP) sub-operations that the
+    # translator must refuse without perturbing the interpreted result
+    spec = kernel_by_id(7)
+    reference, jitted = _differential(spec, target, "postpass")
+    for field in COMPARED_FIELDS:
+        assert getattr(jitted, field) == getattr(reference, field), field
+    assert jitted.jit_hits > 0
+
+
+@pytest.mark.parametrize("target", ("toyp", "i860"))
+def test_jit_bit_identical_without_cache(target):
+    # the no-cache table elides the access()/miss-mask bookkeeping, so
+    # it is a distinct generated function that needs its own validation
+    spec = kernel_by_id(1)
+    reference, jitted = _differential(spec, target, "postpass", cache=False)
+    for field in COMPARED_FIELDS:
+        assert getattr(jitted, field) == getattr(reference, field), field
+    assert jitted.jit_hits > 0
+
+
+@pytest.mark.parametrize("target", ("r2000", "m88000"))
+def test_jit_bit_identical_with_timing_off(target):
+    # model_timing=False runs share the fast loop (and the JIT) with the
+    # block close stubbed out; cycles must equal the instruction count
+    # exactly as on the reference path
+    spec = kernel_by_id(1)
+    reference, jitted = _differential(
+        spec, target, "postpass", cache=True, scale=0.03
+    )
+    executable = _compile(spec, target, "postpass")
+    loop, n = spec.args
+    n = max(4, int(n * 0.03))
+    off = repro.simulate(
+        executable, "bench", args=(loop, n),
+        options=repro.SimOptions(
+            cache=DirectMappedCache(), jit=False, model_timing=False
+        ),
+    )
+    executable._segment_jit = SegmentJIT(executable, warmup=WARMUP)
+    on = repro.simulate(
+        executable, "bench", args=(loop, n),
+        options=repro.SimOptions(
+            cache=DirectMappedCache(), jit=True, model_timing=False
+        ),
+    )
+    assert on.jit_hits > 0
+    for field in COMPARED_FIELDS:
+        assert getattr(on, field) == getattr(off, field), field
+    assert on.cycles == on.instructions == reference.instructions
+
+
+def test_i860_temporal_segments_stay_interpreted():
+    # temporal registers are refused statically: some i860 segments must
+    # come back Uncompilable, and those entries pin to the interpreter
+    spec = kernel_by_id(7)
+    executable = _compile(spec, "i860", "postpass")
+    executable._segment_jit = SegmentJIT(executable, warmup=WARMUP)
+    _simulate(executable, spec, jit=True)
+    jit = executable._segment_jit
+    assert jit.uncompilable > 0
+    assert None in jit.functions(True).values()
+
+
+# -- deopt paths --------------------------------------------------------------
+
+DIV_TRAP = """
+int divloop(int n, int m) {
+  int s; int i;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + 100 / (m - i);
+  }
+  return s;
+}
+"""
+
+#: the division lives in a hot *callee*: a non-looping segment (entry
+#: to ret) whose guard can still deopt.  The self-loop in DIV_TRAP is
+#: chained in-function, so its guard raises the interpreter's error
+#: inline instead (see test_chained_loop_raises_inline).
+DIV_TRAP_CALL = """
+int divide(int a, int b) { return a / b; }
+int divcall(int n, int m) {
+  int s; int i;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + divide(100, m - i); }
+  return s;
+}
+"""
+
+
+def _compile_source(source, target="r2000"):
+    return repro.compile_c(source, target, repro.CompileOptions())
+
+
+def _run_divloop(executable, n, m, jit):
+    return repro.simulate(
+        executable, "divloop", args=(n, m),
+        options=repro.SimOptions(jit=jit),
+    )
+
+
+def test_div_by_zero_deopts_with_identical_error():
+    # the divisor hits zero long after warmup: the compiled callee's
+    # guard trips before any side effect, the deopt re-executes the
+    # segment interpreted, and the error the caller sees is exactly the
+    # interpreter's
+    executable = _compile_source(DIV_TRAP_CALL)
+    executable._segment_jit = SegmentJIT(executable, warmup=WARMUP)
+    with pytest.raises(SimulationError, match="integer division by zero"):
+        repro.simulate(
+            executable, "divcall", args=(50, 30),
+            options=repro.SimOptions(jit=True),
+        )
+    assert executable._segment_jit.deopts >= 1
+    reference = _compile_source(DIV_TRAP_CALL)
+    with pytest.raises(SimulationError, match="integer division by zero"):
+        repro.simulate(
+            reference, "divcall", args=(50, 30),
+            options=repro.SimOptions(jit=False),
+        )
+
+
+def test_chained_loop_raises_inline():
+    # a self-loop segment is chained in-function, so its division guard
+    # raises the interpreter's exact error inline, without deopting
+    executable = _compile_source(DIV_TRAP)
+    executable._segment_jit = SegmentJIT(executable, warmup=WARMUP)
+    with pytest.raises(SimulationError, match="integer division by zero"):
+        _run_divloop(executable, 50, 30, True)
+    assert executable._segment_jit.deopts == 0
+    reference = _compile_source(DIV_TRAP)
+    with pytest.raises(SimulationError, match="integer division by zero"):
+        _run_divloop(reference, 50, 30, False)
+
+
+def test_deopt_undoes_partial_block_counts():
+    # a divisor that never hits zero: the guard stays quiet and the JIT
+    # agrees with the interpreter on dynamic block counts and the result
+    executable = _compile_source(DIV_TRAP)
+    reference = _run_divloop(executable, 40, 100, False)
+    executable._segment_jit = SegmentJIT(executable, warmup=WARMUP)
+    jitted = _run_divloop(executable, 40, 100, True)
+    assert jitted.jit_hits > 0
+    assert jitted.block_counts == reference.block_counts
+    assert jitted.return_value == reference.return_value
+
+
+def test_repeated_deopts_blacklist_the_entry():
+    executable = _compile_source(DIV_TRAP_CALL)
+    executable._segment_jit = SegmentJIT(executable, warmup=1)
+    jit = executable._segment_jit
+
+    def run():
+        return repro.simulate(
+            executable, "divcall", args=(30, 10),
+            options=repro.SimOptions(jit=True),
+        )
+
+    for _ in range(MAX_DEOPTS):
+        with pytest.raises(SimulationError):
+            run()
+    assert jit.deopts == MAX_DEOPTS
+    assert None in jit.functions(False).values()
+    # blacklisted: further runs stay interpreted, same error, no growth
+    with pytest.raises(SimulationError, match="integer division by zero"):
+        run()
+    assert jit.deopts == MAX_DEOPTS
+
+
+# -- warmup threshold ---------------------------------------------------------
+
+HOT_LOOP = """
+int hot(int n) {
+  int s; int i;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + i; }
+  return s;
+}
+"""
+
+
+def _run_hot(executable, n, **extra):
+    return repro.simulate(
+        executable, "hot", args=(n,),
+        options=repro.SimOptions(jit=True, **extra),
+    )
+
+
+def test_cold_entries_are_not_compiled():
+    executable = _compile_source(HOT_LOOP)
+    executable._segment_jit = SegmentJIT(executable, warmup=1000)
+    result = _run_hot(executable, 100)
+    assert result.jit_segments == 0
+    assert result.jit_hits == 0
+
+
+def test_entries_compile_at_the_threshold():
+    executable = _compile_source(HOT_LOOP)
+    executable._segment_jit = SegmentJIT(executable, warmup=5)
+    result = _run_hot(executable, 100)
+    assert result.jit_segments > 0
+    assert result.jit_hits > 0
+
+
+def test_warmup_accumulates_across_runs():
+    # the SegmentJIT lives on the executable: dispatch counts from one
+    # run carry into the next, so repeated short runs still warm up
+    executable = _compile_source(HOT_LOOP)
+    executable._segment_jit = SegmentJIT(executable, warmup=25)
+    first = _run_hot(executable, 15)
+    assert first.jit_segments == 0
+    second = _run_hot(executable, 15)
+    assert second.jit_segments > 0
+    # and compiled code persists: a third run dispatches straight into it
+    third = _run_hot(executable, 15)
+    assert third.jit_segments == 0
+    assert third.jit_hits > 0
+
+
+def test_default_warmup_matches_env_override():
+    assert JIT_WARMUP >= 1  # sanity: the env override parses to an int
+
+
+# -- interaction with other simulator modes -----------------------------------
+
+
+def test_jit_inactive_on_the_reference_timing_path():
+    # the JIT is a fast-path feature: reference interleaved timing
+    # (fast_timing=False) never dispatches it
+    executable = _compile_source(HOT_LOOP)
+    executable._segment_jit = SegmentJIT(executable, warmup=1)
+    result = _run_hot(executable, 100, fast_timing=False)
+    assert result.jit_segments == 0
+    assert result.jit_hits == 0
+
+
+def test_jit_inactive_under_trace():
+    # trace=True selects the accounting pipeline model (per-instruction
+    # attribution), which implies the reference path
+    executable = _compile_source(HOT_LOOP)
+    executable._segment_jit = SegmentJIT(executable, warmup=1)
+    result = _run_hot(executable, 100, trace=True)
+    assert result.jit_hits == 0
+    assert result.cycle_breakdown is not None
+
+
+def test_jit_off_reports_zero_counters():
+    executable = _compile_source(HOT_LOOP)
+    result = repro.simulate(
+        executable, "hot", args=(100,),
+        options=repro.SimOptions(jit=False),
+    )
+    assert result.jit_segments == result.jit_hits == result.jit_deopts == 0
