@@ -21,27 +21,44 @@ cycle counts and cache stats are bit-identical, and prints the speedup.
 verifies the results are bit-identical, and prints instr/s both ways
 plus the deopt count; ``--assert-jit-speedup RATIO`` exits nonzero when
 any unit's JIT speedup falls below RATIO (or any segment deopted).
-``--assert-hit-rate`` exits nonzero when any unit's block-cache hit rate
-falls below the threshold.  ``--json`` emits machine-readable results.
+``--compare-cache`` times each unit cold (fresh artifact-cache tmpdir,
+wall includes the compile) and then warm (in-process memos dropped, so
+target/executable/JIT/timing all come off the disk), verifies the warm
+results are bit-identical, and prints the speedup;
+``--assert-warm-speedup RATIO`` exits nonzero when any unit's warm
+speedup falls below RATIO, the warm run still translated JIT segments,
+or the results differ.  ``--assert-hit-rate`` exits nonzero when any
+unit's block-cache hit rate falls below the threshold.  ``--json``
+emits machine-readable results.
+
+Except under ``--compare-cache``, the artifact cache is disabled for
+the whole benchmark so repeated units measure real work, not pickle
+loads.
 """
 
 import argparse
 import json
 import sys
+import tempfile
 import time
 
 import repro
+from repro.cache import configure as configure_cache
 from repro.sim import DirectMappedCache
+from repro.targets import clear_target_cache
 from repro.workloads import kernel_by_id
 
 ALL_TARGETS = ("toyp", "r2000", "m88000", "i860")
 
 
-def bench_unit(target, kernel_id, strategy, scale, fast, jit=True):
+def bench_unit(
+    target, kernel_id, strategy, scale, fast, jit=True, time_compile=False
+):
     # a fresh compile per run: the block-timing memo and JIT code cache
     # live on the executable, so reuse would let one run's warmup bleed
     # into the other's wall clock
     spec = kernel_by_id(kernel_id)
+    compile_start = time.perf_counter()
     executable = repro.compile_c(
         spec.source, target, repro.CompileOptions(strategy=strategy)
     )
@@ -56,7 +73,8 @@ def bench_unit(target, kernel_id, strategy, scale, fast, jit=True):
             cache=DirectMappedCache(), fast_timing=fast, jit=jit
         ),
     )
-    seconds = time.perf_counter() - start
+    end = time.perf_counter()
+    seconds = end - (compile_start if time_compile else start)
     lookups = result.block_cache_hits + result.block_cache_misses
     return {
         "target": target,
@@ -80,6 +98,36 @@ def bench_unit(target, kernel_id, strategy, scale, fast, jit=True):
         "jit_hits": result.jit_hits,
         "jit_deopts": result.jit_deopts,
     }
+
+
+def cache_compare_unit(target, kernel_id, strategy, scale):
+    """Cold-vs-warm wall for one unit against a fresh cache directory.
+
+    The cold pass pays the CGG (on first target use), the kernel
+    compile, JIT warmup and timing replays; dropping the in-process
+    memos then forces the warm pass through the disk artifacts exactly
+    like a new process."""
+    root = tempfile.mkdtemp(prefix=f"bench-cache-{target}-")
+    configure_cache(root=root, enabled=True)
+    clear_target_cache()
+    cold = bench_unit(
+        target, kernel_id, strategy, scale, True, time_compile=True
+    )
+    clear_target_cache()
+    row = bench_unit(
+        target, kernel_id, strategy, scale, True, time_compile=True
+    )
+    row["cold_seconds"] = cold["seconds"]
+    row["warm_seconds"] = row["seconds"]
+    row["cache_speedup"] = round(
+        cold["seconds"] / max(row["seconds"], 1e-9), 2
+    )
+    for field in (
+        "instructions", "cycles", "cache_hits", "cache_misses", "checksum",
+    ):
+        if row[field] != cold[field]:
+            row["mismatch"] = field
+    return row
 
 
 def main(argv=None):
@@ -118,13 +166,48 @@ def main(argv=None):
         help="with --compare-jit: exit 1 if any unit's JIT speedup is "
         "below RATIO, no segment compiled, or any deopt occurred",
     )
+    parser.add_argument(
+        "--compare-cache",
+        action="store_true",
+        help="time each unit cold (fresh artifact-cache dir, compile "
+        "included) and warm (everything off the disk); verify "
+        "bit-identical, print the speedup",
+    )
+    parser.add_argument(
+        "--assert-warm-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="with --compare-cache: exit 1 if any unit's warm speedup is "
+        "below RATIO, the warm run translated JIT segments, or results "
+        "differ",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON")
     args = parser.parse_args(argv)
+
+    if not args.compare_cache:
+        # repeated units must measure real work, not pickle loads
+        configure_cache(enabled=False)
 
     targets = [t.strip() for t in args.targets.split(",") if t.strip()]
     rows = []
     failed = False
     for target in targets:
+        if args.compare_cache:
+            row = cache_compare_unit(
+                target, args.kernel, args.strategy, args.scale
+            )
+            if "mismatch" in row:
+                failed = True
+            if args.assert_warm_speedup is not None and (
+                row["cache_speedup"] < args.assert_warm_speedup
+                or row["jit_segments"] != 0
+                or "mismatch" in row
+            ):
+                row["below_warm_threshold"] = True
+                failed = True
+            rows.append(row)
+            continue
         row = bench_unit(target, args.kernel, args.strategy, args.scale, True)
         if args.compare:
             reference = bench_unit(
@@ -183,6 +266,12 @@ def main(argv=None):
             )
             if "speedup" in row:
                 line += f", {row['speedup']}x vs reference"
+            if "cache_speedup" in row:
+                line += (
+                    f", cache {row['cache_speedup']}x warm vs cold "
+                    f"({row['cold_seconds']:.3f}s -> "
+                    f"{row['warm_seconds']:.3f}s)"
+                )
             if "jit_speedup" in row:
                 line += (
                     f", jit {row['jit_speedup']}x vs interp "
@@ -201,6 +290,8 @@ def main(argv=None):
                 line += "  !! hit rate below threshold"
             if row.get("below_jit_threshold"):
                 line += "  !! jit speedup below threshold (or deopt)"
+            if row.get("below_warm_threshold"):
+                line += "  !! warm speedup below threshold (or rework)"
             print(line)
 
     if failed:
@@ -213,7 +304,12 @@ def main(argv=None):
             reasons.append(
                 f"jit speedup below {args.assert_jit_speedup} or deopt"
             )
-        reasons.append("jit/fast/reference mismatch")
+        if args.assert_warm_speedup is not None:
+            reasons.append(
+                f"warm speedup below {args.assert_warm_speedup} or "
+                "warm-run rework"
+            )
+        reasons.append("jit/fast/reference/cache mismatch")
         print("FAIL: " + " / ".join(reasons), file=sys.stderr)
         return 1
     return 0

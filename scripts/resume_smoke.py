@@ -16,15 +16,15 @@ Usage: PYTHONPATH=src python scripts/resume_smoke.py [SCALE]
 """
 
 import os
-import re
 import signal
 import subprocess
 import sys
 import tempfile
 import time
 
+from repro.eval.report import deterministic_sections
+
 SCALE = sys.argv[1] if len(sys.argv) > 1 else "0.05"
-NONDETERMINISTIC = ("Table 3", "Claim C2")
 
 
 def report_command(jobs, journal=None):
@@ -35,20 +35,6 @@ def report_command(jobs, journal=None):
     if journal:
         command += ["--resume", journal]
     return command
-
-
-def deterministic_sections(text):
-    """The report minus its wall-clock content, as {title: body}."""
-    # the total-time footer is not its own section; strip it wherever
-    # it lands
-    text = re.sub(r"(?m)^total evaluation time: .*\n", "", text)
-    parts = re.split(r"={72}\n(.+)\n={72}\n", text)
-    sections = dict(zip(parts[1::2], parts[2::2]))
-    return {
-        title: body
-        for title, body in sections.items()
-        if not title.startswith(NONDETERMINISTIC)
-    }
 
 
 def journal_records(path):

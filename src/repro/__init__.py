@@ -26,6 +26,7 @@ The public surface:
 
 import warnings as _warnings
 
+import repro.cache as _artifact_cache
 from repro.backend.codegen import CodeGenerator, MachineProgram
 from repro.cgg import build_target
 from repro.errors import (
@@ -124,6 +125,19 @@ def compile_c(
     if isinstance(target, str):
         target = load_target(target)
     timing.add("compile.calls")
+    # artifact cache (exe layer): executables are content-addressed by
+    # (target identity, source text, options).  Only targets that came
+    # through the cached load path carry a content_key — a hand-built
+    # TargetMachine compiles uncached, by construction.
+    store = _artifact_cache.get_cache()
+    exe_key = None
+    target_key = getattr(target, "content_key", None)
+    if store.enabled and target_key:
+        exe_key = store.key("exe", target_key, source, repr(options))
+        cached_exe = store.get("exe", exe_key)
+        if isinstance(cached_exe, Executable):
+            return cached_exe
+    timing.add("compile.compiled")
     with obs.span(
         "compile_c", target=target.name, strategy=options.strategy
     ):
@@ -135,6 +149,9 @@ def compile_c(
         with timing.phase("compile.link"), obs.span("link"):
             executable = link(machine_program, memory_size=options.memory_size)
     executable.machine_program = machine_program  # keep stats reachable
+    if exe_key is not None:
+        executable.content_key = exe_key
+        store.put("exe", exe_key, executable)
     return executable
 
 

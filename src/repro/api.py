@@ -10,6 +10,8 @@ change between minor versions.
 
 from repro import compile_c, simulate
 from repro.backend.codegen import CodeGenerator, MachineProgram
+from repro.cache import ArtifactCache, get_cache
+from repro.cache import configure as configure_cache
 from repro.cgg import build_target
 from repro.errors import (
     GridTimeout,
@@ -28,6 +30,7 @@ from repro.sim import DirectMappedCache, SimResult, Simulator, run_program
 from repro.targets import TARGET_NAMES, clear_target_cache, load_target
 
 __all__ = [
+    "ArtifactCache",
     "CodeGenerator",
     "CompileOptions",
     "DirectMappedCache",
@@ -49,7 +52,9 @@ __all__ = [
     "clear_target_cache",
     "compile_c",
     "compile_to_il",
+    "configure_cache",
     "current_trace",
+    "get_cache",
     "link",
     "load_target",
     "parse_maril",

@@ -1,0 +1,155 @@
+"""The on-disk half of the artifact cache: a checksummed file store.
+
+One artifact is one file at ``root/<layer>/<key[:2]>/<key>.bin`` holding
+a small header followed by a pickle::
+
+    MAGIC (10 bytes) | sha256(body) (32 bytes) | body (pickle)
+
+Publication is atomic: the blob is written to a temp file in the final
+directory and ``os.replace``-d into place, so a concurrent reader never
+observes a torn artifact — it sees either the old file, the new file, or
+no file.  Reads verify the magic and the body checksum; anything that
+fails (truncation, bit rot, a foreign file) is deleted on sight and
+reported as corrupt, which the caller treats as a clean miss.
+
+The store knows nothing about keys or caching policy — key derivation
+(content hashing, the code-version salt) lives in
+:class:`repro.cache.ArtifactCache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: format marker; bump the trailing digit when the blob layout changes
+MAGIC = b"REPRO-AC1\n"
+
+_DIGEST_BYTES = 32
+
+#: read statuses
+HIT = "hit"
+MISS = "miss"
+CORRUPT = "corrupt"
+
+
+class FileStore:
+    """Checksummed pickle files under one root directory."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+
+    def path_for(self, layer: str, key: str) -> Path:
+        """Where the artifact for ``key`` lives (two-level fan-out so no
+        directory accumulates tens of thousands of entries)."""
+        return self.root / layer / key[:2] / f"{key}.bin"
+
+    def read(self, layer: str, key: str) -> tuple[str, object]:
+        """``(status, value)`` — status is :data:`HIT`, :data:`MISS` or
+        :data:`CORRUPT`; value is only meaningful on a hit.  Corrupt
+        entries are unlinked so they cannot fail twice."""
+        path = self.path_for(layer, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return MISS, None
+        value, ok = self._decode(blob)
+        if not ok:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return CORRUPT, None
+        return HIT, value
+
+    @staticmethod
+    def _decode(blob: bytes) -> tuple[object, bool]:
+        header = len(MAGIC) + _DIGEST_BYTES
+        if len(blob) < header or not blob.startswith(MAGIC):
+            return None, False
+        digest = blob[len(MAGIC) : header]
+        body = blob[header:]
+        if hashlib.sha256(body).digest() != digest:
+            return None, False
+        try:
+            return pickle.loads(body), True
+        except Exception:
+            # the checksum passed but the pickle does not load (e.g. an
+            # artifact written under a different code layout without a
+            # salt bump) — treat exactly like corruption
+            return None, False
+
+    def write(self, layer: str, key: str, value: object) -> int:
+        """Serialize and atomically publish ``value``; returns the blob
+        size in bytes.  Raises whatever :func:`pickle.dumps` raises for
+        unpicklable values — the caller decides whether that is fatal."""
+        body = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = MAGIC + hashlib.sha256(body).digest() + body
+        path = self.path_for(layer, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".bin"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return len(blob)
+
+    def invalidate(self, layer: str, key: str) -> bool:
+        """Remove one artifact; True if a file was actually deleted."""
+        try:
+            self.path_for(layer, key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Delete every artifact under the root; returns files removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for directory, _subdirs, files in os.walk(self.root, topdown=False):
+            for name in files:
+                try:
+                    os.unlink(os.path.join(directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+            if Path(directory) != self.root:
+                try:
+                    os.rmdir(directory)
+                except OSError:
+                    pass
+        return removed
+
+    def layer_stats(self) -> dict[str, dict[str, int]]:
+        """Per-layer ``{"files": n, "bytes": n}`` from a directory walk."""
+        stats: dict[str, dict[str, int]] = {}
+        if not self.root.is_dir():
+            return stats
+        for layer_dir in sorted(self.root.iterdir()):
+            if not layer_dir.is_dir():
+                continue
+            files = 0
+            size = 0
+            for directory, _subdirs, names in os.walk(layer_dir):
+                for name in names:
+                    if not name.endswith(".bin") or name.startswith(".tmp-"):
+                        continue
+                    files += 1
+                    try:
+                        size += os.path.getsize(os.path.join(directory, name))
+                    except OSError:
+                        pass
+            stats[layer_dir.name] = {"files": files, "bytes": size}
+        return stats

@@ -5,7 +5,8 @@ Commands:
 * ``compile FILE.c`` — compile to assembly text (choose target/strategy);
 * ``run FILE.c --entry FN [--args ...]`` — compile, link, simulate;
 * ``targets`` — list the bundled targets with description statistics;
-* ``report`` — regenerate the paper's tables and figures.
+* ``report`` — regenerate the paper's tables and figures;
+* ``cache`` — inspect or clear the persistent artifact cache.
 """
 
 from __future__ import annotations
@@ -168,6 +169,37 @@ def cmd_report(arguments) -> int:
     return run_report_command(arguments, bench_default=None)
 
 
+def cmd_cache(arguments) -> int:
+    from repro.cache import get_cache
+
+    store = get_cache()
+    if arguments.cache_command == "path":
+        print(store.root)
+        return 0
+    if arguments.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifact(s) from {store.root}")
+        return 0
+    # stats
+    stats = store.stats()
+    if arguments.json:
+        import json
+
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    state = "enabled" if stats["enabled"] else "DISABLED (REPRO_CACHE=0)"
+    print(f"root:  {stats['root']}  [{state}, salt {stats['salt']}]")
+    layers = stats["layers"]
+    if not layers:
+        print("empty")
+    for layer, entry in sorted(layers.items()):
+        print(
+            f"{layer:8s} {entry['files']:5d} artifact(s), "
+            f"{entry['bytes'] / 1024:.1f} KiB"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Marion retargetable code generator"
@@ -236,6 +268,24 @@ def main(argv=None) -> int:
         help="write a machine-readable BENCH_eval.json here",
     )
     report_parser.set_defaults(handler=cmd_report)
+
+    cache_parser = commands.add_parser(
+        "cache",
+        help="the persistent artifact cache (REPRO_CACHE_DIR overrides "
+        "the ~/.cache/repro default; REPRO_CACHE=0 disables it)",
+    )
+    cache_commands = cache_parser.add_subparsers(
+        dest="cache_command", required=True
+    )
+    stats_parser = cache_commands.add_parser(
+        "stats", help="per-layer artifact counts and sizes"
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true", help="machine-readable statistics"
+    )
+    cache_commands.add_parser("clear", help="delete every cached artifact")
+    cache_commands.add_parser("path", help="print the cache directory")
+    cache_parser.set_defaults(handler=cmd_cache)
 
     arguments = parser.parse_args(argv)
     return arguments.handler(arguments)

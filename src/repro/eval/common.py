@@ -7,6 +7,7 @@ import warnings
 from dataclasses import dataclass, field
 
 import repro
+from repro.cache import get_cache
 from repro.sim import DirectMappedCache, SimResult
 from repro.utils import timing
 from repro.workloads import kernel_by_id
@@ -49,6 +50,10 @@ class KernelRun:
     jit_segments: int = 0
     jit_hits: int = 0
     jit_deopts: int = 0
+    #: artifact-cache activity during this unit: hit/miss/write deltas
+    #: of the process-wide :class:`~repro.cache.ArtifactCache` (``None``
+    #: in journals written before the cache existed)
+    artifact_cache: dict | None = None
 
     @property
     def stall_cycles(self) -> int:
@@ -123,6 +128,8 @@ def run_kernel(
     simulator, so Table 4's bulk measurement leaves it off and the
     report's dedicated stall-attribution section turns it on.
     """
+    store = get_cache()
+    counters_before = store.counters()
     compile_start = time.perf_counter()
     executable = repro.compile_c(
         spec.source, target, repro.CompileOptions(strategy=strategy)
@@ -137,6 +144,11 @@ def run_kernel(
         options=repro.SimOptions(cache=data_cache, trace=breakdown),
     )
     sim_seconds = time.perf_counter() - sim_start
+    counters_after = store.counters()
+    cache_delta = {
+        name: counters_after[name] - counters_before[name]
+        for name in counters_after
+    }
     estimate, unmatched = estimated_cycles_detailed(executable, result)
     sched_reasons: dict[str, int] = {}
     sched_nop_slots = 0
@@ -163,6 +175,7 @@ def run_kernel(
         jit_segments=result.jit_segments,
         jit_hits=result.jit_hits,
         jit_deopts=result.jit_deopts,
+        artifact_cache=cache_delta,
     )
 
 

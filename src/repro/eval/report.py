@@ -26,10 +26,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
+import tempfile
 import time
 from dataclasses import dataclass, field
 
+from repro.cache import configure as configure_cache, get_cache
 from repro.eval import grid
 from repro.eval.attribution import measure_stalls, render_stalls
 from repro.eval.ablation import (
@@ -59,6 +62,28 @@ from repro.utils import timing
 #: the speedup figure in BENCH_eval.json
 SEED_SERIAL_SECONDS = 194.7
 SEED_SCALE = 0.3
+
+#: report sections whose body is wall-clock measurement (compile-time
+#: tables) — legitimately different between otherwise identical runs,
+#: so determinism comparisons (resume smoke, cold/warm cache smoke)
+#: exclude them
+NONDETERMINISTIC_SECTIONS = ("Table 3", "Claim C2")
+
+_SECTION_SPLIT = re.compile(r"={72}\n(.+)\n={72}\n")
+
+
+def deterministic_sections(text: str) -> dict[str, str]:
+    """``{title: body}`` of a rendered report, with the wall-clock
+    content (timing tables, the total-time footer) stripped — two runs
+    over the same inputs must agree on exactly these."""
+    text = re.sub(r"(?m)^total evaluation time: .*\n", "", text)
+    parts = _SECTION_SPLIT.split(text)
+    sections = dict(zip(parts[1::2], parts[2::2]))
+    return {
+        title: body
+        for title, body in sections.items()
+        if not title.startswith(NONDETERMINISTIC_SECTIONS)
+    }
 
 
 @dataclass
@@ -260,6 +285,59 @@ def generate_report(
     )
 
 
+def generate_cache_compare(
+    scale: float = 0.3,
+    jobs: int | None = None,
+    bench_path: str | None = None,
+    timeout: float | None = None,
+    cache_root: str | None = None,
+) -> ReportResult:
+    """Cold/warm artifact-cache comparison: the full report twice
+    against one cache directory (a fresh tmpdir unless ``cache_root`` is
+    given), with every in-process memo dropped in between so the warm
+    run — and the workers it forks — must go through the disk.
+
+    Returns the *warm* run's result; its bench payload gains a
+    ``cache_compare`` section with both walls, and a table mismatch
+    between the runs is surfaced as a failure (nonzero exit).
+    """
+    from repro.eval import ablation
+    from repro.targets import clear_target_cache
+
+    root = cache_root or tempfile.mkdtemp(prefix="repro-cache-compare-")
+    configure_cache(root=root, enabled=True)
+    cold = generate_report(
+        scale=scale, jobs=jobs, bench_path=None, timeout=timeout
+    )
+    clear_target_cache()
+    ablation._I860_VARIANTS.clear()
+    warm = generate_report(
+        scale=scale, jobs=jobs, bench_path=None, timeout=timeout
+    )
+    identical = deterministic_sections(cold.text) == deterministic_sections(
+        warm.text
+    )
+    cold_wall = cold.bench["wall_seconds"]["total"]
+    warm_wall = warm.bench["wall_seconds"]["total"]
+    warm.bench["cache_compare"] = {
+        "cache_root": str(root),
+        "cold_wall_seconds": cold_wall,
+        "warm_wall_seconds": warm_wall,
+        "speedup": (
+            round(cold_wall / warm_wall, 2) if warm_wall > 0 else None
+        ),
+        "identical_tables": identical,
+        "warm_cgg_builds": warm.bench["compile"]["cgg_builds"],
+        "warm_kernel_compiles": warm.bench["compile"]["compiled"],
+    }
+    warm.failures = cold.failures + warm.failures
+    if bench_path:
+        with open(bench_path, "w") as handle:
+            json.dump(warm.bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return warm
+
+
 def _stalls_payload(stall_data) -> dict:
     """BENCH schema v3's ``stalls`` section: per (target, strategy), the
     simulator hazard-kind cycle breakdown and the scheduler's stall-reason
@@ -294,7 +372,7 @@ def _bench_payload(
     failures: list[GridFailure],
     stall_data=None,
 ) -> dict:
-    """The machine-readable BENCH_eval.json payload (schema v5)."""
+    """The machine-readable BENCH_eval.json payload (schema v6)."""
     runs = [
         run
         for by_strategy in table4_data.runs.values()
@@ -306,8 +384,9 @@ def _bench_payload(
     block_hits = timing.counter("sim.block_cache.hit")
     block_misses = timing.counter("sim.block_cache.miss")
     block_lookups = block_hits + block_misses
+    store = get_cache()
     payload = {
-        "schema": 5,
+        "schema": 6,
         "scale": scale,
         "jobs": jobs,
         "wall_seconds": {
@@ -355,6 +434,28 @@ def _bench_payload(
             "hits": timing.counter("target_cache.hit"),
             "misses": timing.counter("target_cache.miss"),
             "bypasses": timing.counter("target_cache.bypass"),
+            "disk_hits": timing.counter("target_cache.disk_hit"),
+        },
+        "artifact_cache": {
+            "enabled": store.enabled,
+            "root": str(store.root),
+            "hits": timing.counter("cache.hit"),
+            "misses": timing.counter("cache.miss"),
+            "writes": timing.counter("cache.write"),
+            "corrupt": timing.counter("cache.corrupt"),
+            "layers": {
+                layer: {
+                    "hits": timing.counter(f"cache.{layer}.hit"),
+                    "misses": timing.counter(f"cache.{layer}.miss"),
+                    "writes": timing.counter(f"cache.{layer}.write"),
+                }
+                for layer in ("target", "exe", "jit", "timing")
+            },
+        },
+        "compile": {
+            "calls": timing.counter("compile.calls"),
+            "compiled": timing.counter("compile.compiled"),
+            "cgg_builds": timing.counter("cgg.builds"),
         },
         "fault_tolerance": {
             "failed_units": len(failures),
@@ -411,6 +512,14 @@ def add_report_arguments(parser: argparse.ArgumentParser) -> None:
         help="report output: rendered text tables, or one JSON document "
         "(the BENCH payload plus the rendered text and failure list)",
     )
+    parser.add_argument(
+        "--cache-compare",
+        action="store_true",
+        help="run the report twice against a fresh artifact-cache "
+        "directory (cold, then warm with in-process memos dropped) and "
+        "record both walls in the bench payload; fails if the warm "
+        "tables are not byte-identical",
+    )
 
 
 def run_report_command(arguments, bench_default: str | None) -> int:
@@ -419,13 +528,21 @@ def run_report_command(arguments, bench_default: str | None) -> int:
 
     resume = arguments.resume or os.environ.get("REPRO_JOURNAL") or None
     bench_out = getattr(arguments, "bench_out", bench_default)
-    result = generate_report(
-        scale=arguments.scale,
-        jobs=arguments.jobs,
-        bench_path=bench_out or None,
-        timeout=arguments.timeout,
-        resume=resume,
-    )
+    if getattr(arguments, "cache_compare", False):
+        result = generate_cache_compare(
+            scale=arguments.scale,
+            jobs=arguments.jobs,
+            bench_path=bench_out or None,
+            timeout=arguments.timeout,
+        )
+    else:
+        result = generate_report(
+            scale=arguments.scale,
+            jobs=arguments.jobs,
+            bench_path=bench_out or None,
+            timeout=arguments.timeout,
+            resume=resume,
+        )
     if getattr(arguments, "format", "text") == "json":
         print(
             json.dumps(
@@ -446,6 +563,13 @@ def run_report_command(arguments, bench_default: str | None) -> int:
     if result.failures:
         print(
             f"report degraded: {len(result.failures)} work unit(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    compare = result.bench.get("cache_compare")
+    if compare is not None and not compare["identical_tables"]:
+        print(
+            "cache-compare: warm tables differ from the cold run",
             file=sys.stderr,
         )
         return 1

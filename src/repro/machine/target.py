@@ -84,6 +84,10 @@ class TargetMachine:
     pattern_order: list = field(default_factory=list)
     funcs: dict[str, Callable] = field(default_factory=dict)
     description: ast.Description | None = None
+    #: artifact-cache identity (sha256 hex) of (variant name, Maril
+    #: source), set by :func:`repro.targets.load_target` when the cache
+    #: is enabled; downstream keys (executables) chain off it
+    content_key: str | None = None
 
     def instruction(self, mnemonic: str) -> InstrDesc:
         """The first descriptor with this mnemonic (see also

@@ -29,6 +29,18 @@ GP_BIAS = 0x7FF0
 _SIZES = {"int": 4, "float": 4, "double": 8}
 
 
+#: runtime state the simulator hangs off an executable; none of it is
+#: part of the program (and some of it — the semantics closures — cannot
+#: pickle), so serialization strips it and a fresh process rebuilds or
+#: cache-preloads it on first simulation
+_TRANSIENT_ATTRS = (
+    "_sim_decode",
+    "_pipe_static",
+    "_segment_jit",
+    "_block_timing",
+)
+
+
 @dataclass
 class Executable:
     """A linked program the simulator can run."""
@@ -43,6 +55,19 @@ class Executable:
     memory_size: int = 1 << 20
     data_end: int = DATA_BASE
     gp_base: int = DATA_BASE + GP_BIAS
+    #: artifact-cache identity (sha256 hex) of (target, source, options),
+    #: set by ``compile_c`` when the cache is enabled; ``None`` for
+    #: executables linked outside the cached path
+    content_key: str | None = None
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for name in _TRANSIENT_ATTRS:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     def instruction_count(self) -> int:
         return len(self.instrs)

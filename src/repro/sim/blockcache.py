@@ -252,6 +252,8 @@ class BlockTimingCache:
         self.table: dict[tuple, tuple[int, int]] = {}
         self.hits = 0
         self.misses = 0
+        #: a new entry was admitted since the last artifact-cache persist
+        self.dirty = False
         #: first absolute cycle no replay has ever touched — each run
         #: materializes at ``begin_run() + virtual cycle`` so ring tags
         #: from an earlier run can never alias a later, lower base
@@ -288,7 +290,42 @@ class BlockTimingCache:
         record = self._replay(entry, end, transfer, events, entry_id, base)
         if len(self.table) < MAX_ENTRIES:
             self.table[key] = record
+            self.dirty = True
         return record
+
+    # -- artifact-cache serialization ------------------------------------
+
+    def export(self) -> dict:
+        """A picklable snapshot of the memo: the interned digest list
+        and the keyed table (entry digests are ids — indices into the
+        digest list — so the snapshot is self-contained)."""
+        return {"digests": list(self.digests), "table": dict(self.table)}
+
+    def preload(self, payload: dict) -> bool:
+        """Adopt an :meth:`export` snapshot wholesale; only valid on a
+        virgin cache (no lookups yet).  Returns False (and changes
+        nothing) when the payload fails its sanity checks — the cache
+        then just warms up normally."""
+        if self.table or len(self.digests) != 1:
+            return False
+        try:
+            digests = [tuple(digest) for digest in payload["digests"]]
+            table = dict(payload["table"])
+        except (KeyError, TypeError):
+            return False
+        if not digests or digests[0] != EMPTY_DIGEST:
+            return False
+        for key, record in table.items():
+            if len(key) != 5 or len(record) != 2:
+                return False
+            if not (0 <= key[4] < len(digests) and 0 <= record[1] < len(digests)):
+                return False
+        self.digests = digests
+        self._digest_ids = {
+            digest: index for index, digest in enumerate(digests)
+        }
+        self.table = table
+        return True
 
     def _replay(
         self, entry: int, end: int, transfer: int, events, entry_id, base

@@ -255,6 +255,13 @@ class _SegmentCodegen:
         exec(code, env)
         fn = env[name]
         fn._jit_source = source
+        # everything a fresh process needs to re-materialize this
+        # function without re-translating: the consts are all JitDeopt
+        # instances, recorded by their undo lists (see _materialize)
+        fn._jit_name = name
+        fn._jit_consts = {
+            cname: value.bc_undo for cname, value in self.consts.items()
+        }
         return fn, self.max_exec
 
     # -- scan: collect register views and refuse what we don't cover ----------
@@ -1050,12 +1057,20 @@ class SegmentJIT:
         self.translator = SegmentTranslator(executable)
         self.warmup = JIT_WARMUP if warmup is None else warmup
         self._tables: tuple[dict, dict] = ({}, {})
+        #: artifact-cache payloads not yet materialized: entry pc ->
+        #: exported record, consumed lazily at first dispatch so a
+        #: preload never eagerly ``compile()``s thousands of segments
+        self._pending: tuple[dict, dict] = ({}, {})
         self._dispatches: dict[int, int] = {}
         self._deopt_counts: dict[int, int] = {}
         self.compiled = 0
         self.uncompilable = 0
+        self.preloaded = 0
         self.deopts = 0
         self.hits = 0
+        #: something export() would return changed since the last
+        #: persist — a fresh translation, refusal or blacklisting
+        self.dirty = False
 
     def functions(self, cached: bool) -> dict:
         """entry pc -> ``(function, max_executed)`` | ``None`` (refused
@@ -1064,7 +1079,16 @@ class SegmentJIT:
 
     def warm(self, entry: int, cached: bool):
         """Count one dispatch of a not-yet-compiled entry; compile it
-        once it crosses the warmup threshold."""
+        once it crosses the warmup threshold.  Entries preloaded from
+        the artifact cache skip warmup: the generated source is
+        re-``compile()``d on the spot (counted in ``preloaded``, not
+        ``compiled`` — no translation work happened)."""
+        pending = self._pending[1 if cached else 0]
+        if entry in pending:
+            record = self._materialize(pending.pop(entry))
+            self.preloaded += 1
+            self.functions(cached)[entry] = record
+            return record
         count = self._dispatches.get(entry, 0) + 1
         if count < self.warmup:
             self._dispatches[entry] = count
@@ -1077,6 +1101,7 @@ class SegmentJIT:
             record = None
             self.uncompilable += 1
         self.functions(cached)[entry] = record
+        self.dirty = True
         return record
 
     def note_deopt(
@@ -1095,12 +1120,73 @@ class SegmentJIT:
         self._deopt_counts[entry] = count
         if count >= MAX_DEOPTS:
             self.functions(cached)[entry] = None
+            self.dirty = True
+
+    # -- artifact-cache serialization ------------------------------------
+
+    @staticmethod
+    def _materialize(record):
+        """Rebuild a ``(function, max_executed)`` record from its
+        exported form — the inverse of what :meth:`export` captures."""
+        if record is None:
+            return None
+        name, source, consts, max_exec = record
+        env = dict(_BASE_ENV)
+        for cname, bc_undo in consts.items():
+            env[cname] = JitDeopt(tuple(bc_undo))
+        code = compile(source, f"<jit:{name}>", "exec")
+        exec(code, env)
+        fn = env[name]
+        fn._jit_source = source
+        fn._jit_name = name
+        fn._jit_consts = dict(consts)
+        return fn, max_exec
+
+    def export(self) -> dict:
+        """A picklable snapshot of every decided entry: ``(cached,
+        entry) -> None`` (refused/blacklisted) or ``(name, source,
+        consts, max_executed)``.  Pending preloads the process never
+        dispatched are passed through so a partial warm run does not
+        shrink the stored artifact."""
+        out: dict = {}
+        for flag in (0, 1):
+            for entry, record in self._tables[flag].items():
+                if record is None:
+                    out[(flag, entry)] = None
+                else:
+                    fn, max_exec = record
+                    out[(flag, entry)] = (
+                        fn._jit_name,
+                        fn._jit_source,
+                        dict(fn._jit_consts),
+                        max_exec,
+                    )
+            for entry, record in self._pending[flag].items():
+                out.setdefault((flag, entry), record)
+        return out
+
+    def preload(self, payload: dict) -> int:
+        """Stage an :meth:`export` payload; returns entries staged.
+        Entries this process already decided are left alone."""
+        staged = 0
+        for item, record in payload.items():
+            try:
+                flag, entry = item
+                table_index = 1 if flag else 0
+            except (TypeError, ValueError):
+                continue
+            if entry in self._tables[table_index]:
+                continue
+            self._pending[table_index][entry] = record
+            staged += 1
+        return staged
 
     @property
     def stats(self) -> dict:
         return {
             "compiled": self.compiled,
             "uncompilable": self.uncompilable,
+            "preloaded": self.preloaded,
             "deopts": self.deopts,
             "hits": self.hits,
         }

@@ -13,6 +13,7 @@ import warnings
 from dataclasses import dataclass, field
 
 from repro.backend.insts import MachineInstr
+import repro.cache as artifact_cache
 from repro.errors import SimulationError, SimulationTimeout
 import repro.obs as obs
 from repro.options import UNSET, SimOptions, merge_legacy_kwargs
@@ -239,7 +240,45 @@ class Simulator:
                 for kind, count in result.cycle_breakdown.items():
                     if count:
                         obs.count(f"sim.stall.{kind}", count)
+        if fast:
+            self._persist_sim_artifacts()
         return result
+
+    def _artifact_key(self, layer: str, *extra) -> str | None:
+        """Artifact-cache key for this executable's simulator state, or
+        ``None`` when the executable did not come through the cached
+        compile path (hand-linked programs stay uncached)."""
+        base = getattr(self.executable, "content_key", None)
+        if not base:
+            return None
+        store = artifact_cache.get_cache()
+        if not store.enabled:
+            return None
+        return store.key(layer, base, *extra)
+
+    def _persist_sim_artifacts(self) -> None:
+        """Publish JIT code and timing digests that changed this run, so
+        the *next process* starts with them warm (layers 3 and 4 of
+        :mod:`repro.cache`).  Dirty flags keep steady-state runs free of
+        filesystem traffic."""
+        exe = self.executable
+        jit = getattr(exe, "_segment_jit", None)
+        if jit is not None and jit.dirty:
+            key = self._artifact_key("jit")
+            if key is not None and artifact_cache.get_cache().put(
+                "jit", key, jit.export()
+            ):
+                jit.dirty = False
+        caches = getattr(exe, "_block_timing", None)
+        if caches:
+            for miss_penalty, block_cache in caches.items():
+                if not block_cache.dirty:
+                    continue
+                key = self._artifact_key("timing", repr(miss_penalty))
+                if key is not None and artifact_cache.get_cache().put(
+                    "timing", key, block_cache.export()
+                ):
+                    block_cache.dirty = False
 
     def _init_state(
         self, function: str, args: tuple, arg_types: tuple | None
@@ -276,17 +315,26 @@ class Simulator:
 
     def _segment_jit(self) -> SegmentJIT:
         """The per-executable segment JIT (warmup counts and compiled
-        functions amortize across every run of the program)."""
+        functions amortize across every run of the program).  On first
+        attach, previously generated code is staged from the artifact
+        cache — entries skip warmup and re-``compile()`` lazily."""
         jit = getattr(self.executable, "_segment_jit", None)
         if jit is None:
             jit = SegmentJIT(self.executable)
+            key = self._artifact_key("jit")
+            if key is not None:
+                payload = artifact_cache.get_cache().get("jit", key)
+                if isinstance(payload, dict):
+                    jit.preload(payload)
             self.executable._segment_jit = jit
         return jit
 
     def _block_cache(
         self, cache: DirectMappedCache | None
     ) -> BlockTimingCache:
-        """The per-(executable, miss-penalty) block-timing cache."""
+        """The per-(executable, miss-penalty) block-timing cache; on
+        first attach the memo table is preloaded from the artifact
+        cache, so a fresh process replays ~nothing."""
         caches = getattr(self.executable, "_block_timing", None)
         if caches is None:
             caches = {}
@@ -300,6 +348,13 @@ class Simulator:
                 key,
                 static=self._pipe_static[0],
             )
+            artifact_key = self._artifact_key("timing", repr(key))
+            if artifact_key is not None:
+                payload = artifact_cache.get_cache().get(
+                    "timing", artifact_key
+                )
+                if isinstance(payload, dict):
+                    block_cache.preload(payload)
             caches[key] = block_cache
         return block_cache
 

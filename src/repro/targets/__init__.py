@@ -14,10 +14,20 @@ per process: repeated ``load_target("r2000")`` calls return the *same*
 mutates a target (enforced by ``tests/test_target_cache.py``).  Pass
 ``fresh=True`` to bypass the cache and get a private instance — useful
 when an experiment wants to monkeypatch a description in place.
+
+On top of the in-process memo sits the persistent artifact cache
+(:mod:`repro.cache`): the built target is pickled under a content key
+derived from the variant name and its Maril source text, so a *new
+process* unpickles ~50 KB instead of re-running the CGG.  ``fresh=True``
+bypasses and invalidates both layers — the disk entry is deleted and the
+private instance is written nowhere.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
+from repro.cache import get_cache
 from repro.errors import MarionError
 from repro.machine.target import TargetMachine
 from repro.utils import timing
@@ -57,23 +67,85 @@ def _build(name: str) -> TargetMachine:
         return builder()
 
 
+def _target_key(variant: str, source: str) -> str:
+    """Disk-cache key for a built target: variant name + Maril source
+    (the code-version salt rides inside :meth:`ArtifactCache.key`)."""
+    return get_cache().key("target", variant, source)
+
+
+def _disk_load(variant: str, source: str) -> TargetMachine | None:
+    """The pickled target for (variant, source), or None on a miss."""
+    store = get_cache()
+    if not store.enabled:
+        return None
+    key = _target_key(variant, source)
+    target = store.get("target", key)
+    if target is None:
+        return None
+    if not isinstance(target, TargetMachine) or target.name != variant:
+        # a key collision or foreign artifact — rebuild cleanly
+        store.invalidate("target", key)
+        return None
+    timing.add("target_cache.disk_hit")
+    target.content_key = key
+    return target
+
+
+def _disk_store(variant: str, source: str, target: TargetMachine) -> None:
+    store = get_cache()
+    if not store.enabled:
+        return
+    key = _target_key(variant, source)
+    target.content_key = key
+    store.put("target", key, target)
+
+
+def load_cached_variant(
+    variant: str, source: str, builder: Callable[[], TargetMachine]
+) -> TargetMachine:
+    """Build-or-load a *named variant* through the disk layer only.
+
+    For targets outside the :data:`TARGET_NAMES` table (the ablation's
+    i860 EAP-off variant): no in-process memo here — callers keep their
+    own — but the CGG build is skipped when the disk artifact exists.
+    """
+    target = _disk_load(variant, source)
+    if target is not None:
+        return target
+    target = builder()
+    _disk_store(variant, source, target)
+    return target
+
+
 def load_target(name: str, fresh: bool = False) -> TargetMachine:
     """Build the named target from its Maril description.
 
     Cached per process: the description is parsed and CGG-built at most
-    once per name.  ``fresh=True`` bypasses the cache both ways (the
-    returned instance is not stored, and any cached instance is left
-    alone).
+    once per name, and the build is published to the persistent artifact
+    cache so later *processes* skip the CGG too.  ``fresh=True``
+    bypasses both cache layers and invalidates the disk entry (the
+    returned instance is private: it is stored nowhere, and any cached
+    in-process instance is left alone).
     """
     if fresh:
         timing.add("target_cache.bypass")
+        store = get_cache()
+        if store.enabled and name in TARGET_NAMES:
+            store.invalidate("target", _target_key(name, maril_source(name)))
         return _build(name)
     cached = _CACHE.get(name)
     if cached is not None:
         timing.add("target_cache.hit")
         return cached
     timing.add("target_cache.miss")
-    target = _build(name)
+    target = None
+    source = maril_source(name) if name in TARGET_NAMES else None
+    if source is not None:
+        target = _disk_load(name, source)
+    if target is None:
+        target = _build(name)
+        if source is not None:
+            _disk_store(name, source, target)
     _CACHE[name] = target
     return target
 

@@ -343,16 +343,22 @@ def _fmadr(ctx) -> None:
     )
 
 
-def _scalar(mnemonic: str):
+class _scalar:
     """Ablation variant: the escape emits one scalar (non-pipelined)
-    instruction instead of the explicitly-advanced sub-operation sequence."""
+    instruction instead of the explicitly-advanced sub-operation
+    sequence.  A class rather than a closure so the built target stays
+    picklable for the artifact cache."""
 
-    def emit(ctx) -> None:
+    def __init__(self, mnemonic: str):
+        self.mnemonic = mnemonic
+
+    def __call__(self, ctx) -> None:
         ctx.emit(
-            mnemonic, ctx.reg_operand(0), ctx.reg_operand(1), ctx.reg_operand(2)
+            self.mnemonic,
+            ctx.reg_operand(0),
+            ctx.reg_operand(1),
+            ctx.reg_operand(2),
         )
-
-    return emit
 
 
 def build_i860(eap: bool = True) -> TargetMachine:

@@ -1,4 +1,16 @@
-"""Shared fixtures: targets are expensive to build, so cache per session."""
+"""Shared fixtures: targets are expensive to build, so cache per session.
+
+The persistent artifact cache (:mod:`repro.cache`) is forced OFF for the
+suite: several tests assert exact warmup/miss counts that disk-preloaded
+JIT or timing state would violate, and a shared ``~/.cache/repro`` must
+never leak state into (or out of) a test run.  Tests that exercise the
+cache itself opt back in with ``repro.cache.configure(root=tmp_path,
+enabled=True)``.
+"""
+
+import os
+
+os.environ["REPRO_CACHE"] = "0"
 
 import pytest
 
