@@ -83,7 +83,39 @@ __all__ = [
     "simulate",
     "tracing",
     "__version__",
+    # evaluation grid (lazy: see __getattr__)
+    "Executor",
+    "FailureCollector",
+    "GridFailure",
+    "GridOptions",
+    "GridTask",
+    "run_grid",
 ]
+
+#: grid names resolve lazily (PEP 562): importing ``repro.eval`` pulls
+#: in the table modules, which import this package back — a module-level
+#: import here would deadlock the package init on itself
+_GRID_EXPORTS = {
+    "run_grid": "repro.eval.grid",
+    "GridTask": "repro.eval.grid",
+    "GridOptions": "repro.eval.grid",
+    "GridFailure": "repro.eval.grid",
+    "FailureCollector": "repro.eval.grid",
+    "Executor": "repro.eval.executors",
+}
+
+
+def __getattr__(name: str):
+    module_name = _GRID_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips this hook
+    return value
 
 
 def compile_c(

@@ -13,6 +13,22 @@ from repro.backend.codegen import CodeGenerator, MachineProgram
 from repro.cache import ArtifactCache, get_cache
 from repro.cache import configure as configure_cache
 from repro.cgg import build_target
+from repro.eval.executors import (
+    Executor,
+    ExecutorProbe,
+    InprocessAsyncExecutor,
+    LocalPoolExecutor,
+    SocketExecutor,
+    UnitEvent,
+)
+from repro.eval.grid import (
+    FailureCollector,
+    GridFailure,
+    GridOptions,
+    GridTask,
+    run_grid,
+)
+from repro.eval.journal import Journal
 from repro.errors import (
     GridTimeout,
     JournalError,
@@ -35,8 +51,19 @@ __all__ = [
     "CompileOptions",
     "DirectMappedCache",
     "Executable",
+    "Executor",
+    "ExecutorProbe",
+    "FailureCollector",
+    "GridFailure",
+    "GridOptions",
+    "GridTask",
     "GridTimeout",
+    "InprocessAsyncExecutor",
+    "Journal",
     "JournalError",
+    "LocalPoolExecutor",
+    "SocketExecutor",
+    "UnitEvent",
     "MachineProgram",
     "MarionError",
     "SimOptions",
@@ -58,6 +85,7 @@ __all__ = [
     "link",
     "load_target",
     "parse_maril",
+    "run_grid",
     "run_program",
     "simulate",
     "span",

@@ -6,6 +6,7 @@ Commands:
 * ``run FILE.c --entry FN [--args ...]`` — compile, link, simulate;
 * ``targets`` — list the bundled targets with description statistics;
 * ``report`` — regenerate the paper's tables and figures;
+* ``worker --connect HOST:PORT`` — join a multi-host evaluation grid;
 * ``cache`` — inspect or clear the persistent artifact cache.
 """
 
@@ -169,6 +170,12 @@ def cmd_report(arguments) -> int:
     return run_report_command(arguments, bench_default=None)
 
 
+def cmd_worker(arguments) -> int:
+    from repro.eval.executors import worker_main
+
+    return worker_main(arguments.connect)
+
+
 def cmd_cache(arguments) -> int:
     from repro.cache import get_cache
 
@@ -268,6 +275,21 @@ def main(argv=None) -> int:
         help="write a machine-readable BENCH_eval.json here",
     )
     report_parser.set_defaults(handler=cmd_report)
+
+    worker_parser = commands.add_parser(
+        "worker",
+        help="join a SocketExecutor grid as a remote worker",
+        description="Connect to a running evaluation-grid coordinator "
+        "(repro report --executor socket:HOST:PORT) and execute work "
+        "units until told to shut down.",
+    )
+    worker_parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to connect to",
+    )
+    worker_parser.set_defaults(handler=cmd_worker)
 
     cache_parser = commands.add_parser(
         "cache",

@@ -22,7 +22,9 @@ from repro.eval.table4 import table4
 from repro.eval.figure7 import figure7
 from repro.eval.claims import claim_strategy_speedup, claim_compile_time_ordering
 from repro.eval.ablation import ablation_temporal, ablation_heuristic
+from repro.eval.executors import Executor
 from repro.eval.grid import (
+    FailureCollector,
     GridFailure,
     GridOptions,
     GridTask,
@@ -33,6 +35,8 @@ from repro.eval.grid import (
 from repro.eval.journal import Journal
 
 __all__ = [
+    "Executor",
+    "FailureCollector",
     "GridFailure",
     "GridOptions",
     "GridTask",

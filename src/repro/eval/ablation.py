@@ -30,7 +30,13 @@ from dataclasses import dataclass
 
 import repro
 from repro.backend.codegen import CodeGenerator
-from repro.eval.grid import GridFailure, GridOptions, GridTask, run_grid
+from repro.eval.grid import (
+    GridFailure,
+    GridOptions,
+    GridTask,
+    run_grid,
+    with_jobs,
+)
 from repro.frontend import compile_to_il
 from repro.options import CompileOptions
 from repro.program import link
@@ -145,9 +151,8 @@ def ablation_temporal(
             )
             for kid in ids
         ],
-        jobs=jobs,
+        with_jobs(options, jobs),
         label="ablation_temporal",
-        options=options,
     )
 
 
@@ -201,9 +206,8 @@ def ablation_heuristic(
             )
             for kid in ids
         ],
-        jobs=jobs,
+        with_jobs(options, jobs),
         label="ablation_heuristic",
-        options=options,
     )
 
 
@@ -246,9 +250,8 @@ def ablation_delay_fill(
             )
             for kid in ids
         ],
-        jobs=jobs,
+        with_jobs(options, jobs),
         label="ablation_delay_fill",
-        options=options,
     )
 
 

@@ -48,7 +48,7 @@ def measure_stalls(
         for target in targets
         for strategy in strategies
     ]
-    results = run_grid(tasks, label="stalls", options=options)
+    results = run_grid(tasks, options, label="stalls")
     out = {}
     index = 0
     for target in targets:

@@ -29,7 +29,13 @@ import math
 from dataclasses import dataclass, field
 
 import repro
-from repro.eval.grid import GridFailure, GridOptions, GridTask, run_grid
+from repro.eval.grid import (
+    GridFailure,
+    GridOptions,
+    GridTask,
+    run_grid,
+    with_jobs,
+)
 from repro.eval.table3 import measure as measure_table3
 from repro.workloads import LIVERMORE_KERNELS, kernel_by_id
 
@@ -124,9 +130,8 @@ def claim_strategy_speedup(
             )
             for kid in ids
         ],
-        jobs=jobs,
+        with_jobs(options, jobs),
         label="claim_c1",
-        options=options,
     )
     per_kernel: dict[int, tuple[float, float]] = {}
     failures = [r for r in results if isinstance(r, GridFailure)]
@@ -190,9 +195,8 @@ def claim_rase_vs_unscheduled(
             )
             for spec in LIVERMORE_KERNELS
         ],
-        jobs=jobs,
+        with_jobs(options, jobs),
         label="claim_c3",
-        options=options,
     )
     failures = [r for r in results if isinstance(r, GridFailure)]
     measured = [r for r in results if not isinstance(r, GridFailure)]

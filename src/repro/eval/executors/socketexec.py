@@ -1,0 +1,615 @@
+"""The multi-host backend: length-framed pickle over TCP, stdlib only.
+
+``SocketExecutor`` opens a listening socket and hands work units to any
+worker that connects — workers it spawned itself (``spawn=N`` launches
+``repro worker --connect HOST:PORT`` subprocesses) and workers started
+by hand on other machines against the same address.  The wire format is
+deliberately small:
+
+* every frame is an 8-byte big-endian length followed by a pickle;
+* a worker opens with ``{"kind": "hello", "pid", "host"}`` and receives
+  ``{"kind": "config", "cache": {root, enabled, salt}, "timing": bool}``
+  so it points its artifact cache at the coordinator's and mirrors the
+  instrumentation switch;
+* tasks go out as ``{"kind": "task", "key", "fn": "module:qualname",
+  "args", "kwargs", "timeout"}`` — the callable travels *by name* and
+  the args carry artifact-cache keys, so a warm worker pulls targets
+  and executables from the content-addressed cache instead of receiving
+  megabytes of pickled state per unit;
+* results come back as ``{"kind": "result", "key", "status", "value",
+  "wall_s", "metrics", "pid"}`` and surface as
+  :class:`~repro.eval.executors.base.UnitEvent`.
+
+Fault model: a worker that disconnects mid-unit orphans its in-flight
+keys; the executor requeues them for the surviving workers
+(``grid.adopted_units``) until a key exhausts ``retries``, at which
+point it becomes a ``WorkerCrash`` event.  Spawned workers are
+relaunched while work remains outstanding; externally connected workers
+are the operator's to restart.  Paired with the grid's journal (which
+records each completion with the worker that produced it), this is the
+journal-as-coordination story: a killed worker costs only the units it
+had in flight, because everything it finished is already fsync'd.
+
+Pickle over TCP executes arbitrary code by design — bind stays on
+``127.0.0.1`` unless the operator explicitly opts into a trusted
+network interface.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pickle
+import queue
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+from repro.errors import error_payload
+from repro.eval.executors.base import (
+    CRASH_PAYLOAD,
+    Executor,
+    ExecutorProbe,
+    UnitEvent,
+    run_unit,
+)
+from repro.utils import timing
+
+#: refuse frames beyond this many bytes (a corrupt length prefix would
+#: otherwise ask for an absurd allocation)
+MAX_FRAME = 1 << 30
+
+_LEN = struct.Struct(">Q")
+
+
+def send_msg(sock: socket.socket, obj) -> None:
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket):
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if length > MAX_FRAME:
+        raise ConnectionError(f"frame of {length} bytes exceeds MAX_FRAME")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def callable_ref(fn) -> str:
+    """``module:qualname`` for a module-level callable (grid unit fns
+    are importable by contract — the local pool pickles them the same
+    way)."""
+    return f"{fn.__module__}:{fn.__qualname__}"
+
+
+def resolve_callable(ref: str):
+    module_name, _, qualname = ref.partition(":")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """``HOST:PORT`` or ``PORT`` (host defaults to 127.0.0.1)."""
+    host, _, port = spec.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"bad worker address {spec!r}, want HOST:PORT") from None
+
+
+class _Worker:
+    """Coordinator-side handle for one connected worker."""
+
+    def __init__(self, name: str, sock: socket.socket, proc=None):
+        self.name = name
+        self.sock = sock
+        self.proc = proc  # Popen when we spawned it, else None
+        self.inflight: dict[str, float] = {}  # key -> dispatch time
+        self.alive = True
+        self.send_lock = threading.Lock()
+
+    def send(self, obj) -> None:
+        with self.send_lock:
+            send_msg(self.sock, obj)
+
+
+class SocketExecutor(Executor):
+    backend = "socket"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn: int = 0,
+        retries: int = 2,
+        connect_timeout: float = 60.0,
+    ):
+        self.retries = retries
+        self.connect_timeout = connect_timeout
+        self._lock = threading.RLock()
+        self._events: queue.Queue = queue.Queue()
+        self._workers: dict[str, _Worker] = {}
+        self._pending: list[str] = []
+        self._tasks: dict = {}  # key -> (task, timeout)
+        self._attempts: dict[str, int] = {}
+        self._copies: dict[str, int] = {}
+        self._spawned: list = []
+        self._seq = 0
+        self._closed = False
+        self._started_at = time.monotonic()
+        self._last_worker_at = self._started_at
+
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, port))
+        self._server.listen(64)
+        self.host, self.port = self._server.getsockname()[:2]
+        self.spawn = max(0, int(spawn))
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="socketexec-accept", daemon=True
+        )
+        self._accept_thread.start()
+        for _ in range(self.spawn):
+            self._spawn_worker()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn_worker(self):
+        env = dict(os.environ)
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        )
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--connect", self.address],
+            env=env,
+        )
+        self._spawned.append(proc)
+        return proc
+
+    def _accept_loop(self):
+        while True:
+            try:
+                conn, _addr = self._server.accept()
+            except OSError:
+                return  # server socket closed
+            threading.Thread(
+                target=self._serve_worker, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_worker(self, conn: socket.socket):
+        try:
+            hello = recv_msg(conn)
+            if not isinstance(hello, dict) or hello.get("kind") != "hello":
+                conn.close()
+                return
+        except (ConnectionError, OSError, pickle.UnpicklingError, EOFError):
+            conn.close()
+            return
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            from repro.cache import get_cache
+
+            cache = get_cache()
+            cache_cfg = {
+                "root": str(cache.root),
+                "enabled": cache.enabled,
+                "salt": cache.salt,
+            }
+        except Exception:
+            cache_cfg = None
+        with self._lock:
+            self._seq += 1
+            name = (
+                f"w{self._seq}-{hello.get('host', '?')}-pid{hello.get('pid', 0)}"
+            )
+            worker = _Worker(name, conn, proc=None)
+            # claim ownership of one of our pending spawned processes so
+            # worker death knows whether a respawn is ours to do
+            pid = hello.get("pid")
+            for proc in self._spawned:
+                if proc.pid == pid:
+                    worker.proc = proc
+                    break
+        # the config frame goes out *before* the worker is registered:
+        # once it is visible to _pump, a concurrent submit could put a
+        # task frame on the wire ahead of the config
+        try:
+            worker.send({"kind": "config", "cache": cache_cfg, "timing": timing.ENABLED})
+        except OSError:
+            self._drop_worker(worker)
+            return
+        with self._lock:
+            if self._closed:
+                worker.alive = False
+            else:
+                self._workers[name] = worker
+                self._last_worker_at = time.monotonic()
+                self._pump()
+        if not worker.alive:
+            try:
+                worker.send({"kind": "shutdown"})
+            except OSError:
+                pass
+            conn.close()
+            return
+        self._reader_loop(worker)
+
+    def _reader_loop(self, worker: _Worker):
+        while True:
+            try:
+                msg = recv_msg(worker.sock)
+            except (ConnectionError, OSError, pickle.UnpicklingError, EOFError):
+                self._drop_worker(worker)
+                return
+            if not isinstance(msg, dict):
+                continue
+            if msg.get("kind") == "result":
+                self._on_result(worker, msg)
+
+    def _on_result(self, worker: _Worker, msg: dict):
+        key = msg.get("key", "")
+        with self._lock:
+            worker.inflight.pop(key, None)
+            attempts = self._attempts.get(key, 1)
+            self._finish_copy(key)
+            # enqueue under the lock: next_event's nothing-outstanding
+            # check must never observe the gap between "no longer in
+            # flight" and "event available"
+            self._events.put(
+                UnitEvent(
+                    key=key,
+                    status=msg.get("status", "err"),
+                    value=msg.get("value"),
+                    wall_s=float(msg.get("wall_s", 0.0)),
+                    metrics=msg.get("metrics"),
+                    attempts=attempts,
+                    worker=worker.name,
+                )
+            )
+            self._pump()
+
+    def _drop_worker(self, worker: _Worker):
+        with self._lock:
+            if not worker.alive:
+                return
+            worker.alive = False
+            self._workers.pop(worker.name, None)
+            orphans = sorted(worker.inflight)
+            worker.inflight.clear()
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+            for key in orphans:
+                attempts = self._attempts.get(key, 1)
+                if attempts > self.retries:
+                    self._copies[key] = 1
+                    self._finish_copy(key)
+                    self._events.put(
+                        UnitEvent(
+                            key, "err", dict(CRASH_PAYLOAD), 0.0, None, attempts
+                        )
+                    )
+                else:
+                    timing.add("grid.adopted_units")
+                    self._copies[key] = self._copies.get(key, 1) - 1
+                    self._pending.append(key)
+            respawn = (
+                worker.proc is not None
+                and not self._closed
+                and bool(self._pending or self._outstanding())
+            )
+            if respawn:
+                self._spawn_worker()
+            self._pump()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _outstanding(self) -> int:
+        return sum(len(w.inflight) for w in self._workers.values())
+
+    def _pump(self):
+        """Assign pending keys to idle workers (callers hold the lock).
+        One unit per worker at a time — workers execute serially, and
+        single-assignment keeps orphan adoption and the straggler
+        estimate exact."""
+        if not self._pending:
+            return
+        for worker in list(self._workers.values()):
+            if not self._pending:
+                return
+            if not worker.alive or worker.inflight:
+                continue
+            key = self._pending.pop(0)
+            entry = self._tasks.get(key)
+            if entry is None:
+                continue
+            task, timeout = entry
+            self._attempts[key] = self._attempts.get(key, 0) + 1
+            worker.inflight[key] = time.monotonic()
+            try:
+                worker.send(
+                    {
+                        "kind": "task",
+                        "key": key,
+                        "fn": callable_ref(task.fn),
+                        "args": task.args,
+                        "kwargs": task.kwargs,
+                        "timeout": timeout,
+                    }
+                )
+            except OSError:
+                # undo the dispatch and let _drop_worker requeue cleanly
+                self._attempts[key] -= 1
+                worker.inflight.pop(key, None)
+                self._pending.insert(0, key)
+                self._drop_worker(worker)
+                return
+
+    def submit(self, task, timeout: float | None = None) -> str:
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        with self._lock:
+            self._tasks[task.key] = (task, timeout)
+            self._copies[task.key] = self._copies.get(task.key, 0) + 1
+            self._pending.append(task.key)
+            self._pump()
+        return task.key
+
+    def _finish_copy(self, key: str) -> None:
+        remaining = self._copies.get(key, 1) - 1
+        if remaining <= 0:
+            self._copies.pop(key, None)
+            self._tasks.pop(key, None)
+            self._attempts.pop(key, None)
+        else:
+            self._copies[key] = remaining
+
+    # -- events ------------------------------------------------------------
+
+    def next_event(self, timeout: float | None = None) -> UnitEvent | None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait = 0.1
+            if deadline is not None:
+                wait = min(wait, deadline - time.monotonic())
+                if wait <= 0:
+                    return None
+            try:
+                return self._events.get(timeout=max(wait, 0.005))
+            except queue.Empty:
+                pass
+            with self._lock:
+                if not self._pending and not self._outstanding():
+                    if self._events.empty():
+                        return None
+                    continue
+                starved = (
+                    not self._workers
+                    and time.monotonic() - self._last_worker_at
+                    > self.connect_timeout
+                )
+                if starved:
+                    # no worker has (re)connected within the budget:
+                    # everything queued dies as a crash, not a hang
+                    for key in sorted(set(self._pending)):
+                        attempts = self._attempts.get(key, 1)
+                        self._copies[key] = 1
+                        self._finish_copy(key)
+                        self._events.put(
+                            UnitEvent(
+                                key,
+                                "err",
+                                dict(CRASH_PAYLOAD),
+                                0.0,
+                                None,
+                                attempts,
+                            )
+                        )
+                    self._pending.clear()
+
+    # -- control -----------------------------------------------------------
+
+    def cancel(self, key: str) -> bool:
+        with self._lock:
+            before = len(self._pending)
+            self._pending = [k for k in self._pending if k != key]
+            dropped = before - len(self._pending)
+            for _ in range(dropped):
+                self._finish_copy(key)
+            return dropped > 0
+
+    def running(self) -> dict[str, float]:
+        now = time.monotonic()
+        elapsed: dict[str, float] = {}
+        with self._lock:
+            for worker in self._workers.values():
+                for key, started in worker.inflight.items():
+                    seconds = now - started
+                    elapsed[key] = max(seconds, elapsed.get(key, 0.0))
+        return elapsed
+
+    def probe(self) -> ExecutorProbe:
+        with self._lock:
+            workers = [w for w in self._workers.values() if w.alive]
+            idle = sum(1 for w in workers if not w.inflight)
+            in_flight = self._outstanding()
+            queued = len(self._pending)
+            return ExecutorProbe(
+                backend=self.backend,
+                workers=len(workers),
+                idle=idle,
+                queued=queued,
+                in_flight=in_flight,
+                healthy=bool(workers) or (not queued and not in_flight),
+                details={"address": self.address, "spawned": len(self._spawned)},
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+        for worker in workers:
+            try:
+                worker.send({"kind": "shutdown"})
+            except OSError:
+                pass
+        # Wake the accept thread and *join it before closing the server
+        # fd*.  A thread blocked in (or about to enter) accept() still
+        # holds the fd number; closing first would free the number for
+        # the next executor's server socket, and the stale thread could
+        # then steal that executor's worker connections.  shutdown()
+        # makes any in-flight or future accept() on this socket fail
+        # immediately, so the join is prompt.
+        try:
+            self._server.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        if self._accept_thread is not threading.current_thread():
+            self._accept_thread.join(timeout=5.0)
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        for proc in self._spawned:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=2.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+        with self._lock:
+            for worker in workers:
+                try:
+                    worker.sock.close()
+                except OSError:
+                    pass
+            self._workers.clear()
+            self._pending.clear()
+
+
+def worker_main(address: str) -> int:
+    """Entry point for ``repro worker --connect HOST:PORT``.
+
+    Connects, handshakes, then executes tasks one at a time on the main
+    thread (so :func:`~repro.eval.executors.base.unit_deadline` can arm
+    ``SIGALRM``) until the coordinator says shutdown or hangs up.
+    """
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    send_msg(
+        sock,
+        {"kind": "hello", "pid": os.getpid(), "host": socket.gethostname()},
+    )
+    def _apply_config(config: dict) -> None:
+        cache_cfg = config.get("cache")
+        if cache_cfg:
+            try:
+                from repro.cache import configure
+
+                configure(
+                    root=cache_cfg.get("root"),
+                    enabled=cache_cfg.get("enabled"),
+                    salt=cache_cfg.get("salt"),
+                )
+            except Exception:
+                pass  # cache stays environment-configured
+        if config.get("timing"):
+            timing.enable()
+
+    # the config frame is handled inside the main loop rather than as a
+    # fixed handshake step, so the worker never depends on frame order
+    try:
+        while True:
+            try:
+                msg = recv_msg(sock)
+            except (ConnectionError, OSError, EOFError):
+                return 0
+            if not isinstance(msg, dict):
+                continue
+            kind = msg.get("kind")
+            if kind == "shutdown":
+                return 0
+            if kind == "config":
+                _apply_config(msg)
+                continue
+            if kind != "task":
+                continue
+            key = msg.get("key", "")
+            try:
+                fn = resolve_callable(msg["fn"])
+            except Exception as exc:
+                reply = {
+                    "kind": "result",
+                    "key": key,
+                    "status": "err",
+                    "value": error_payload(exc),
+                    "wall_s": 0.0,
+                    "metrics": None,
+                    "pid": os.getpid(),
+                }
+                send_msg(sock, reply)
+                continue
+            status, value, wall_s, metrics = run_unit(
+                fn, msg.get("args", ()), msg.get("kwargs", {}), msg.get("timeout")
+            )
+            reply = {
+                "kind": "result",
+                "key": key,
+                "status": status,
+                "value": value,
+                "wall_s": wall_s,
+                "metrics": metrics,
+                "pid": os.getpid(),
+            }
+            try:
+                send_msg(sock, reply)
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                # the result would not cross the wire; report that instead
+                send_msg(
+                    sock,
+                    {
+                        "kind": "result",
+                        "key": key,
+                        "status": "err",
+                        "value": error_payload(exc),
+                        "wall_s": wall_s,
+                        "metrics": metrics,
+                        "pid": os.getpid(),
+                    },
+                )
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass

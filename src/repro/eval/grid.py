@@ -1,60 +1,102 @@
-"""Fault-tolerant parallel fan-out for the evaluation harness.
+"""Fault-tolerant fan-out for the evaluation harness — a façade over
+pluggable executors.
 
 The paper's evaluation is a grid of independent (kernel × strategy ×
-target) compile-and-simulate work units.  :func:`run_grid` fans a list of
-such units out across a :class:`~concurrent.futures.ProcessPoolExecutor`
-and returns the results **in submission order** regardless of completion
-order, so tables render identically at any job count.  With ``jobs=1``
-(or a single work unit) it degrades to a plain serial loop in the calling
-process — no pool, no pickling, bit-identical behaviour to the
-pre-parallel harness.
+target) compile-and-simulate work units.  :func:`run_grid` fans a list
+of such units out across an execution backend (see
+:mod:`repro.eval.executors`) and returns the results **in submission
+order** regardless of completion order, so tables render identically at
+any job count and on any backend.  With ``jobs=1`` (or a single work
+unit) it runs on the serial in-process backend — no pool, no pickling,
+bit-identical behaviour to the pre-parallel harness.
 
 Every unit is a keyed :class:`GridTask`; the key (a stable
 ``section/target/strategy/kernel`` string) names the unit in journals,
-failure cells and logs.  Robustness is layered on top of the parallel
-fan-out, all configured through one :class:`GridOptions` record:
+failure cells and logs.  The façade owns everything that must behave
+identically across backends, all configured through one
+:class:`GridOptions` record:
 
+* **backend selection** (``executor``): ``None`` picks the serial
+  in-process backend for one job/unit and a local process pool
+  otherwise; a spec string (``"local"``, ``"inprocess"``, ``"socket"``,
+  ``"socket:HOST:PORT"``) builds a backend owned (and closed) by this
+  call; an :class:`~repro.eval.executors.Executor` *instance* is used
+  as-is and left open, so one warm pool or socket fleet can serve many
+  grids;
 * **per-unit timeout** (``timeout`` / ``REPRO_UNIT_TIMEOUT``): each unit
   runs under a ``SIGALRM`` deadline in its worker and raises
   :class:`~repro.errors.GridTimeout` when it blows its wall-clock
   budget;
 * **crash containment** (``retries`` / ``backoff``): a worker lost to a
-  SIGKILL/segfault breaks the pool; the grid rebuilds the pool,
-  resubmits the units that never reported back, and only after
-  ``retries`` extra attempts turns the survivors into failures;
+  SIGKILL/segfault costs only its in-flight units — the backend retries
+  them (pool rebuild, or adoption by a surviving socket worker) and
+  only after ``retries`` extra attempts turns them into failures;
 * **structured failures** (``failures="collect"``): instead of raising
   in the parent, a failed unit yields a :class:`GridFailure` in its
   result slot, carrying the serialized ``repro.errors`` taxonomy
-  (type, message, function/pc/cycle details, traceback) across the
-  process boundary;
+  across the process boundary; collected failures land on the run's
+  :class:`FailureCollector` (``collector=``), not in module-global
+  state, so concurrent or nested grids cannot corrupt each other;
 * **checkpoint/resume** (``journal``): completed units are appended to a
-  :class:`~repro.eval.journal.Journal` and skipped on the next run.
+  :class:`~repro.eval.journal.Journal` (attributed to the worker that
+  ran them) and skipped on the next run;
+* **work-stealing** (``steal``): a unit whose wall clock exceeds
+  ``STEAL_FACTOR`` × the p90 of completed units is speculatively
+  resubmitted to an idle worker; the first completion event per key
+  wins and the loser is discarded, so results stay deterministic —
+  stealing changes *when* a value arrives, never *which* value fills
+  the slot;
+* **sharding** (``shard="K/N"``): only units whose key hashes to shard
+  ``K`` of ``N`` run; the rest get inert ``ShardSkipped`` placeholders
+  (not journalled, not collected).  N shard runs against one shared
+  journal, then a merge run, reproduce the full tables.
 
 Work units must be *top-level callables with picklable arguments and
-results* (the pool uses the default start method; on Linux that is
-``fork``, so a parent that has already warmed the target-build cache
-hands each worker a warm cache for free).
+results* (the local pool forks, so a parent that has already warmed the
+target-build cache hands each worker a warm cache for free; socket
+workers pull from the persistent artifact cache instead).
 
-The job count resolves, in order: the explicit ``jobs`` argument, the
+The job count resolves, in order: the explicit ``jobs`` option, the
 ``REPRO_JOBS`` environment variable, then ``os.cpu_count()``.
 """
 
 from __future__ import annotations
 
-import os
-import signal
-import threading
-import time
-from concurrent.futures import as_completed
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
-from dataclasses import dataclass, field, replace
+import hashlib
+import warnings
+from dataclasses import dataclass, field
+from dataclasses import replace as dataclasses_replace
 from typing import Any, Callable, Sequence
 
-from repro.errors import GridTimeout, error_payload, reconstruct_error
+from repro.errors import reconstruct_error
+from repro.eval.executors import (
+    CRASH_PAYLOAD,
+    Executor,
+    InprocessAsyncExecutor,
+    LocalPoolExecutor,
+    resolve_executor,
+    resolve_jobs,
+    resolve_timeout,
+    run_unit,
+    unit_deadline,
+)
 from repro.eval.journal import MISSING, Journal
+from repro.options import UNSET, merge_legacy_kwargs
 from repro.utils import timing
+
+# back-compat aliases: these lived here before the executor layer
+_run_unit = run_unit
+_unit_deadline = unit_deadline
+_CRASH_PAYLOAD = CRASH_PAYLOAD
+
+#: seconds between event polls — each poll is also a work-stealing tick
+POLL = 0.2
+#: completed-unit wall samples needed before the p90 estimate is trusted
+STEAL_MIN_SAMPLES = 5
+#: a unit is a straggler past ``STEAL_FACTOR`` × the p90 wall estimate
+STEAL_FACTOR = 1.5
+#: never steal units younger than this many seconds
+STEAL_FLOOR = 0.25
 
 
 @dataclass(frozen=True)
@@ -91,7 +133,7 @@ class GridFailure:
     ``failures="collect"``; renders as a FAILED cell in report tables.
     ``error_type``/``message``/``details`` carry the serialized
     ``repro.errors`` payload from the worker; ``attempts`` counts how
-    many times the unit ran (> 1 after pool rebuilds).
+    many times the unit ran (> 1 after crash retries).
     """
 
     key: str
@@ -121,6 +163,88 @@ class GridFailure:
         }
 
 
+class FailureCollector:
+    """Run-scoped accumulator for :class:`GridFailure` records.
+
+    Pass one via ``GridOptions(collector=...)`` (the report threads a
+    single collector through all of its sections); grids given no
+    collector fall back to a module default kept only for the
+    deprecated :func:`reset_failures`/:func:`collected_failures` pair.
+    """
+
+    def __init__(self) -> None:
+        self._failures: list[GridFailure] = []
+
+    def add(self, failure: GridFailure) -> None:
+        self._failures.append(failure)
+
+    def reset(self) -> None:
+        del self._failures[:]
+
+    def failures(self) -> list[GridFailure]:
+        return list(self._failures)
+
+    def __len__(self) -> int:
+        return len(self._failures)
+
+
+#: fallback collector behind the deprecated module-level functions
+_default_collector = FailureCollector()
+
+
+def reset_failures() -> None:
+    """Deprecated: failure collection is per-run now.
+
+    Build a :class:`FailureCollector`, pass it via
+    ``GridOptions(collector=...)`` and call ``.reset()`` on it instead;
+    the module-global collector this touches is shared by every grid in
+    the process, which is exactly the concurrent-corruption bug the
+    per-run collector fixes.
+    """
+    warnings.warn(
+        "reset_failures() is deprecated; use GridOptions(collector="
+        "FailureCollector()) and collector.reset()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _default_collector.reset()
+
+
+def collected_failures() -> list[GridFailure]:
+    """Deprecated: read ``collector.failures()`` on your run's
+    :class:`FailureCollector` instead (see :func:`reset_failures`)."""
+    warnings.warn(
+        "collected_failures() is deprecated; use GridOptions(collector="
+        "FailureCollector()) and collector.failures()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _default_collector.failures()
+
+
+def parse_shard(shard: str | None) -> tuple[int, int] | None:
+    """``"K/N"`` → ``(K, N)`` with ``1 <= K <= N``; ``None`` passes."""
+    if shard is None:
+        return None
+    try:
+        k_text, _, n_text = str(shard).partition("/")
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise ValueError(
+            f"bad shard spec {shard!r}: want 'K/N' (e.g. '2/4')"
+        ) from None
+    if n < 1 or not 1 <= k <= n:
+        raise ValueError(f"bad shard spec {shard!r}: want 1 <= K <= N")
+    return k, n
+
+
+def shard_owns(key: str, k: int, n: int) -> bool:
+    """Stable key→shard assignment: sha256, not ``hash()`` (which is
+    salted per process and would scatter units across runs)."""
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:4], "big") % n == k - 1
+
+
 @dataclass(frozen=True)
 class GridOptions:
     """Consolidated knobs for one grid run.
@@ -128,14 +252,21 @@ class GridOptions:
     * ``jobs`` — worker processes (``None``: ``REPRO_JOBS`` or cpu count);
     * ``timeout`` — per-unit wall-clock seconds (``None``:
       ``REPRO_UNIT_TIMEOUT`` or unlimited);
-    * ``retries`` — extra attempts for units lost to a broken pool;
-    * ``backoff`` — seconds to wait before rebuilding a broken pool
-      (doubles per rebuild);
+    * ``retries`` — extra attempts for units lost to a dead worker;
+    * ``backoff`` — seconds to wait before rebuilding a broken local
+      pool (doubles per rebuild);
     * ``failures`` — ``"raise"`` re-raises the first failure in the
       parent (the pre-1.1 behaviour); ``"collect"`` puts a
       :class:`GridFailure` in the unit's result slot and keeps going;
     * ``journal`` — a :class:`~repro.eval.journal.Journal` to checkpoint
-      completed units into and resume from.
+      completed units into and resume from;
+    * ``executor`` — ``None`` (auto), a backend spec string, or a live
+      :class:`~repro.eval.executors.Executor` to reuse across grids;
+    * ``shard`` — ``"K/N"`` to run only this run's slice of the grid;
+    * ``collector`` — the :class:`FailureCollector` receiving collected
+      failures (``None``: a process-wide default);
+    * ``steal`` — speculatively resubmit straggler units to idle
+      workers (deterministic: first event per key wins).
     """
 
     jobs: int | None = None
@@ -144,6 +275,10 @@ class GridOptions:
     backoff: float = 0.25
     failures: str = "raise"
     journal: Journal | None = None
+    executor: str | Executor | None = None
+    shard: str | None = None
+    collector: FailureCollector | None = None
+    steal: bool = True
 
     def __post_init__(self) -> None:
         if self.failures not in ("raise", "collect"):
@@ -151,40 +286,22 @@ class GridOptions:
                 f"GridOptions.failures must be 'raise' or 'collect', "
                 f"got {self.failures!r}"
             )
+        parse_shard(self.shard)  # validate eagerly
 
 
-def resolve_jobs(jobs: int | None = None) -> int:
-    """Resolve a job count: argument, else ``REPRO_JOBS``, else cpu count."""
-    if jobs is None:
-        env = os.environ.get("REPRO_JOBS", "").strip()
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"REPRO_JOBS must be an integer, got {env!r}"
-                ) from None
-        else:
-            jobs = os.cpu_count() or 1
-    return max(1, int(jobs))
+def with_jobs(
+    options: GridOptions | None, jobs: int | None
+) -> GridOptions:
+    """Fold a caller-level ``jobs`` override into an options record.
 
-
-def resolve_timeout(timeout: float | None = None) -> float | None:
-    """Resolve the per-unit timeout: argument, else ``REPRO_UNIT_TIMEOUT``.
-
-    ``None`` or a non-positive value means no deadline.
+    The internal migration shim for section entry points that keep a
+    ``jobs`` convenience parameter: :func:`run_grid` itself takes only
+    ``options`` now.
     """
-    if timeout is None:
-        env = os.environ.get("REPRO_UNIT_TIMEOUT", "").strip()
-        if not env:
-            return None
-        try:
-            timeout = float(env)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_UNIT_TIMEOUT must be a number, got {env!r}"
-            ) from None
-    return timeout if timeout and timeout > 0 else None
+    opts = options if options is not None else GridOptions()
+    if jobs is not None and jobs != opts.jobs:
+        opts = dataclasses_replace(opts, jobs=jobs)
+    return opts
 
 
 def derive_key(fn: Callable, args: tuple, kwargs: dict) -> str:
@@ -210,81 +327,6 @@ def _as_task(unit) -> GridTask:
     return GridTask(derive_key(fn, args, kwargs), fn, args, kwargs)
 
 
-# -- the per-unit wall-clock deadline (runs inside the worker) -------------
-
-
-@contextmanager
-def _unit_deadline(seconds: float | None):
-    """Arm a ``SIGALRM`` deadline around one unit, when the platform and
-    calling context allow it (main thread, Unix).  Pool workers execute
-    units on their main thread, so the deadline is armed there even when
-    the parent could not arm one for itself."""
-    usable = (
-        seconds is not None
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def _alarm(_signum, _frame):
-        raise GridTimeout(
-            f"work unit exceeded its {seconds:g}s wall-clock budget",
-            seconds=seconds,
-        )
-
-    previous = signal.signal(signal.SIGALRM, _alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-def _run_unit(fn, args, kwargs, timeout):
-    """Top-level worker entry: run one unit, report outcome as data.
-
-    Returns ``("ok", result, wall_s, metrics)`` or ``("err", payload,
-    wall_s, metrics)`` where ``payload`` is an
-    :func:`repro.errors.error_payload` — raising across the pickle
-    boundary would lose the taxonomy's detail fields — and ``metrics``
-    is the worker's per-unit :func:`repro.utils.timing.snapshot` (or
-    ``None`` with instrumentation off).  The recorder is reset at unit
-    entry so the snapshot is a clean delta: with the ``fork`` start
-    method a worker inherits the parent's accumulated counters, and a
-    reused pool process carries its previous units' — either would
-    double-count on merge.
-    """
-    if timing.ENABLED:
-        timing.reset()
-    watch = timing.stopwatch()
-    try:
-        with _unit_deadline(timeout):
-            result = fn(*args, **kwargs)
-    except Exception as exc:  # noqa: BLE001 — the whole point is containment
-        metrics = timing.snapshot() if timing.ENABLED else None
-        return ("err", error_payload(exc), watch.seconds, metrics)
-    metrics = timing.snapshot() if timing.ENABLED else None
-    return ("ok", result, watch.seconds, metrics)
-
-
-# -- failure bookkeeping (parent process) ----------------------------------
-
-#: failures collected by every run_grid call since the last reset — the
-#: report reads this to render its failure section and set its exit code
-_collected_failures: list[GridFailure] = []
-
-
-def reset_failures() -> None:
-    del _collected_failures[:]
-
-
-def collected_failures() -> list[GridFailure]:
-    return list(_collected_failures)
-
-
 def _make_failure(key, payload, wall_s, attempts) -> GridFailure:
     return GridFailure(
         key=key,
@@ -297,36 +339,69 @@ def _make_failure(key, payload, wall_s, attempts) -> GridFailure:
     )
 
 
-#: payload standing in for a unit whose worker died without reporting
-_CRASH_PAYLOAD = {
-    "type": "WorkerCrash",
-    "module": "repro.errors",
-    "message": "worker process died (killed or crashed) while running "
-    "this unit or its pool-mate",
-}
+def _resolve_backend(
+    opts: GridOptions, count: int, pending: int
+) -> tuple[Executor, bool]:
+    """The backend for this run and whether the run owns (closes) it."""
+    spec = opts.executor
+    if isinstance(spec, Executor):
+        return spec, False
+    if isinstance(spec, str):
+        return resolve_executor(spec, opts.jobs), True
+    if spec is not None:
+        raise TypeError(
+            f"GridOptions.executor must be None, a spec string, or an "
+            f"Executor, got {type(spec).__name__}"
+        )
+    if count <= 1 or pending <= 1:
+        return InprocessAsyncExecutor(), True
+    return (
+        LocalPoolExecutor(
+            workers=min(count, pending),
+            retries=opts.retries,
+            backoff=opts.backoff,
+        ),
+        True,
+    )
+
+
+def _percentile_90(samples: list) -> float:
+    ranked = sorted(samples)
+    return ranked[min(len(ranked) - 1, int(len(ranked) * 0.9))]
 
 
 def run_grid(
     units: Sequence,
-    jobs: int | None = None,
-    label: str = "grid",
     options: GridOptions | None = None,
+    *,
+    label: str = "grid",
+    jobs=UNSET,
 ) -> list:
     """Run every work unit; results come back in submission order.
 
     ``units`` may hold :class:`GridTask` instances, bare callables, or
-    ``(fn, args)`` / ``(fn, args, kwargs)`` tuples.  ``jobs=1`` runs the
+    ``(fn, args)`` / ``(fn, args, kwargs)`` tuples.  All configuration
+    rides on one :class:`GridOptions` record (backend, timeout, retries,
+    failure policy, journal, shard, stealing).  ``jobs=1`` runs the
     units serially in-process (the deterministic fallback); ``jobs>1``
-    submits them all to a process pool and gathers results by index.
+    fans out over the configured backend and gathers results by key.
 
-    Robustness knobs (timeout, retries, failure collection, journal)
-    ride on ``options`` — see :class:`GridOptions`.  With the default
-    ``failures="raise"`` a worker exception propagates to the caller
-    either way, reconstructed from its serialized payload.
+    The pre-executor ``jobs=`` keyword still works but emits a
+    :class:`DeprecationWarning` and cannot be combined with
+    ``options=``.
+
+    With the default ``failures="raise"`` a worker exception propagates
+    to the caller, reconstructed from its serialized payload.
     """
-    opts = options or GridOptions()
-    if jobs is not None:
-        opts = replace(opts, jobs=jobs)
+    opts = merge_legacy_kwargs(
+        options,
+        {"jobs": jobs},
+        where="run_grid",
+        warn=lambda message: warnings.warn(
+            message, DeprecationWarning, stacklevel=3
+        ),
+        factory=GridOptions,
+    )
     tasks = [_as_task(unit) for unit in units]
     seen: set[str] = set()
     for task in tasks:
@@ -337,6 +412,7 @@ def run_grid(
     timeout = resolve_timeout(opts.timeout)
     journal = opts.journal
     collect = opts.failures == "collect"
+    collector = opts.collector if opts.collector is not None else _default_collector
     timing.add(f"grid.{label}.units", len(tasks))
 
     results: list = [MISSING] * len(tasks)
@@ -352,10 +428,30 @@ def run_grid(
         timing.add(f"grid.{label}.resumed", resumed)
         timing.add("grid.resumed_units", resumed)
 
-    def record_ok(index: int, value, wall_s: float) -> None:
+    shard = parse_shard(opts.shard)
+    if shard is not None:
+        k, n = shard
+        skipped = 0
+        for index in sorted(pending):
+            task = pending[index]
+            if not shard_owns(task.key, k, n):
+                # an inert placeholder: not journalled, not collected —
+                # the merge run re-runs (or resumes) these units
+                results[index] = GridFailure(
+                    key=task.key,
+                    error_type="ShardSkipped",
+                    message=f"unit not owned by shard {k}/{n}",
+                )
+                del pending[index]
+                skipped += 1
+        if skipped:
+            timing.add(f"grid.{label}.shard_skipped", skipped)
+            timing.add("grid.shard_skipped", skipped)
+
+    def record_ok(index: int, value, wall_s: float, by: str = "") -> None:
         results[index] = value
         if journal is not None:
-            journal.record_ok(tasks[index].key, value, wall_s)
+            journal.record_ok(tasks[index].key, value, wall_s, by=by)
 
     def record_failure(index: int, payload, wall_s, attempts) -> None:
         task = tasks[index]
@@ -369,67 +465,117 @@ def run_grid(
         if not collect:
             raise reconstruct_error(payload)
         results[index] = failure
-        _collected_failures.append(failure)
+        collector.add(failure)
 
-    if count <= 1 or len(pending) <= 1:
-        for index, task in sorted(pending.items()):
-            watch = timing.stopwatch()
-            try:
-                with _unit_deadline(timeout):
-                    value = task.run()
-            except Exception as exc:  # noqa: BLE001
-                record_failure(index, error_payload(exc), watch.seconds, 1)
-                continue
-            record_ok(index, value, watch.seconds)
+    if not pending:
         return results
 
-    workers = min(count, len(pending))
-    timing.add(f"grid.{label}.workers", workers)
-    attempts = {index: 0 for index in pending}
-    backoff = opts.backoff
-    while pending:
-        for index in pending:
-            attempts[index] += 1
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
-        index_of = {
-            pool.submit(_run_unit, task.fn, task.args, task.kwargs, timeout): i
-            for i, task in sorted(pending.items())
-        }
-        broken = False
-        try:
-            for future in as_completed(index_of):
-                index = index_of[future]
-                try:
-                    status, payload, wall_s, metrics = future.result()
-                except BrokenProcessPool:
-                    broken = True
-                    continue  # the sibling futures resolve immediately too
-                if metrics is not None:
-                    timing.merge(metrics)
-                if status == "ok":
-                    record_ok(index, payload, wall_s)
-                else:
-                    record_failure(index, payload, wall_s, attempts[index])
-                del pending[index]
-        except BaseException:
-            # failures="raise", KeyboardInterrupt, ... — don't wait for
-            # stragglers, the journal already holds everything completed
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        pool.shutdown(wait=not broken, cancel_futures=broken)
-        if broken and pending:
-            timing.add(f"grid.{label}.pool_rebuilds")
-            timing.add("grid.pool_rebuilds")
-            for index in sorted(pending):
-                if attempts[index] > opts.retries:
-                    record_failure(
-                        index, dict(_CRASH_PAYLOAD), 0.0, attempts[index]
+    backend, owned = _resolve_backend(opts, count, len(pending))
+    if backend.backend != "inprocess":
+        probe = backend.probe()
+        timing.add(f"grid.{label}.workers", probe.workers or count)
+
+    # global fault counters are bumped inside the backends; snapshot them
+    # so their per-label slices stay in BENCH after the refactor
+    label_slices = {
+        "grid.pool_rebuilds": f"grid.{label}.pool_rebuilds",
+        "grid.retried_units": f"grid.{label}.retries",
+        "grid.adopted_units": f"grid.{label}.adopted",
+        "grid.stolen_units": f"grid.{label}.stolen",
+    }
+    before = (
+        {name: timing.counter(name) for name in label_slices}
+        if timing.ENABLED
+        else {}
+    )
+
+    outstanding: dict[str, int] = {}
+    try:
+        for index, task in sorted(pending.items()):
+            backend.submit(task, timeout)
+            outstanding[task.key] = index
+
+        walls: list[float] = []
+        stolen: set[str] = set()
+        while outstanding:
+            event = backend.next_event(timeout=POLL)
+            if event is None:
+                if opts.steal:
+                    _maybe_steal(
+                        backend, outstanding, pending, walls, stolen, timeout
                     )
-                    del pending[index]
-                else:
-                    timing.add(f"grid.{label}.retries")
-                    timing.add("grid.retried_units")
-            if pending:
-                time.sleep(backoff)
-                backoff = min(backoff * 2, 5.0)
+                continue
+            index = outstanding.pop(event.key, None)
+            if index is None:
+                continue  # stale: a steal loser or an aborted run's echo
+            if event.metrics is not None:
+                timing.merge(event.metrics)
+            walls.append(event.wall_s)
+            if event.key in stolen:
+                backend.cancel(event.key)  # drop the losing queued copy
+            if event.ok:
+                record_ok(index, event.value, event.wall_s, by=event.worker)
+            else:
+                record_failure(index, event.value, event.wall_s, event.attempts)
+    except BaseException:
+        # failures="raise", KeyboardInterrupt, ... — don't wait for
+        # stragglers, the journal already holds everything completed
+        for key in outstanding:
+            backend.cancel(key)
+        if not owned:
+            _drain(backend, outstanding)
+        raise
+    finally:
+        if timing.ENABLED:
+            for name, slice_name in label_slices.items():
+                delta = timing.counter(name) - before.get(name, 0)
+                if delta:
+                    timing.add(slice_name, delta)
+        if owned:
+            backend.close()
     return results
+
+
+def _maybe_steal(backend, outstanding, pending, walls, stolen, timeout):
+    """One work-stealing tick: at most one straggler is resubmitted.
+
+    Deterministic by construction: a stolen key yields two completion
+    events carrying the *same* deterministic unit value; the façade
+    keeps whichever arrives first and the result tables cannot tell.
+    """
+    if len(walls) < STEAL_MIN_SAMPLES:
+        return
+    probe = backend.probe()
+    if probe.idle <= 0:
+        return
+    threshold = max(_percentile_90(walls) * STEAL_FACTOR, STEAL_FLOOR)
+    tasks_by_key = {task.key: task for task in pending.values()}
+    for key, elapsed in sorted(
+        backend.running().items(), key=lambda item: -item[1]
+    ):
+        if elapsed <= threshold or key in stolen or key not in outstanding:
+            continue
+        task = tasks_by_key.get(key)
+        if task is None:
+            continue
+        backend.submit(task, timeout)
+        stolen.add(key)
+        timing.add("grid.stolen_units")
+        return
+
+
+def _drain(backend, outstanding, patience: float = 2.0):
+    """Best-effort cleanup when aborting a run on a *shared* backend:
+    soak up events for this run's keys so a later grid on the same
+    executor cannot mistake them for its own."""
+    import time as _time
+
+    deadline = _time.monotonic() + patience
+    while outstanding and _time.monotonic() < deadline:
+        event = backend.next_event(timeout=0.1)
+        if event is None:
+            probe = backend.probe()
+            if not probe.queued and not probe.in_flight:
+                return
+            continue
+        outstanding.pop(event.key, None)

@@ -18,7 +18,9 @@ Record schema (one JSON object per line):
     raises :class:`JournalError` instead of silently mixing runs.
 
 ``{"schema": 1, "key": K, "status": "ok", "wall_s": S, "result": R}``
-    A completed unit.  ``result`` uses the value codec below.
+    A completed unit.  ``result`` uses the value codec below.  Units
+    completed by a remote worker carry ``"by": WORKER`` naming it (the
+    field is omitted for in-process execution).
 
 ``{"schema": 1, "key": K, "status": "fail", "wall_s": S, "error": E,
 "attempts": N}``
@@ -170,6 +172,13 @@ class Journal:
         """The recorded result for ``key``, or :data:`MISSING`."""
         return self._done.get(key, MISSING)
 
+    def done_keys(self) -> set:
+        """Keys with a recorded success — what a joining worker must
+        not redo.  This is the grid's coordination substrate: any
+        process holding the journal can tell finished work from
+        orphaned work without talking to the worker that died."""
+        return set(self._done)
+
     def failed(self, key: str) -> dict | None:
         """The last failure record for ``key`` (no success since), if any."""
         return self._failed.get(key)
@@ -181,18 +190,24 @@ class Journal:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
-    def record_ok(self, key: str, result: Any, wall_s: float) -> None:
+    def record_ok(
+        self, key: str, result: Any, wall_s: float, by: str = ""
+    ) -> None:
         self._done[key] = result
         self._failed.pop(key, None)
-        self._append(
-            {
-                "schema": SCHEMA,
-                "key": key,
-                "status": "ok",
-                "wall_s": round(wall_s, 6),
-                "result": encode_value(result),
-            }
-        )
+        record = {
+            "schema": SCHEMA,
+            "key": key,
+            "status": "ok",
+            "wall_s": round(wall_s, 6),
+            "result": encode_value(result),
+        }
+        if by:
+            # which worker produced the value — forensics for multi-host
+            # runs; absent for in-process execution so serial journals
+            # stay byte-stable across the executor refactor
+            record["by"] = by
+        self._append(record)
 
     def record_failure(
         self, key: str, error: dict, wall_s: float, attempts: int = 1

@@ -6,9 +6,12 @@ EXPERIMENTS.md) in one run.  Scaled-down problem sizes keep the full
 sweep fast; pass ``--scale 1.0`` for the classic Livermore sizes.
 
 The harness is performance-instrumented and fault-tolerant: independent
-(kernel × strategy × target) work units fan out across a process pool
-(``--jobs``/``REPRO_JOBS``; ``--jobs 1`` is the deterministic serial
-fallback — table values and checksums are identical at any job count),
+(kernel × strategy × target) work units fan out across a pluggable
+execution backend (``--jobs``/``REPRO_JOBS`` over the local pool by
+default; ``--executor socket:HOST:PORT`` runs them on ``repro worker``
+processes anywhere on the network, ``--shard K/N`` splits one report
+across coordinators; ``--jobs 1`` is the deterministic serial fallback —
+table values and checksums are identical at any job count and backend),
 each unit runs under an optional wall-clock budget
 (``--timeout``/``REPRO_UNIT_TIMEOUT``), crashed workers are retried with
 a rebuilt pool, and failed units render as FAILED cells instead of
@@ -33,7 +36,6 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cache import configure as configure_cache, get_cache
-from repro.eval import grid
 from repro.eval.attribution import measure_stalls, render_stalls
 from repro.eval.ablation import (
     ablation_delay_fill,
@@ -48,7 +50,14 @@ from repro.eval.claims import (
     claim_strategy_speedup,
 )
 from repro.eval.figure7 import figure7
-from repro.eval.grid import GridFailure, GridOptions, resolve_jobs, resolve_timeout
+from repro.eval.executors import Executor, LocalPoolExecutor, resolve_executor
+from repro.eval.grid import (
+    FailureCollector,
+    GridFailure,
+    GridOptions,
+    resolve_jobs,
+    resolve_timeout,
+)
 from repro.eval.journal import Journal
 from repro.eval.table1 import table1
 from repro.eval.table2 import table2
@@ -110,13 +119,20 @@ def generate_report(
     bench_path: str | None = None,
     timeout: float | None = None,
     resume: str | None = None,
+    executor: str | Executor | None = None,
+    shard: str | None = None,
 ) -> ReportResult:
     """Run every experiment; never raises for a failed work unit.
 
     ``resume`` names a journal file: completed units are checkpointed
     there and reused by the next run.  ``timeout`` bounds each unit's
-    wall clock.  Inspect ``.failures`` (and exit nonzero) on a degraded
-    run.
+    wall clock.  ``executor`` picks the grid backend (a spec string like
+    ``"socket:0.0.0.0:7777"``, or a live Executor to reuse) — one
+    backend serves every section, so its workers stay warm from table to
+    table.  ``shard="K/N"`` runs only this run's slice of every grid;
+    point the shards at one shared journal and finish with an unsharded
+    resume run to merge.  Inspect ``.failures`` (and exit nonzero) on a
+    degraded run.
     """
     jobs = resolve_jobs(jobs)
     timeout = resolve_timeout(timeout)
@@ -125,12 +141,25 @@ def generate_report(
         if resume
         else None
     )
+    owned_executor: Executor | None = None
+    backend = executor
+    if isinstance(backend, str):
+        backend = owned_executor = resolve_executor(backend, jobs)
+    elif backend is None and jobs > 1:
+        # one pool for the whole report: workers persist across sections
+        backend = owned_executor = LocalPoolExecutor(workers=jobs)
+    collector = FailureCollector()
     options = GridOptions(
-        jobs=jobs, timeout=timeout, failures="collect", journal=journal
+        jobs=jobs,
+        timeout=timeout,
+        failures="collect",
+        journal=journal,
+        executor=backend,
+        shard=shard,
+        collector=collector,
     )
     timing.reset()
     timing.enable()
-    grid.reset_failures()
     sections: list[str] = []
     section_seconds: dict[str, float] = {}
 
@@ -252,7 +281,7 @@ def generate_report(
         ),
     )
 
-    failures = grid.collected_failures()
+    failures = collector.failures()
     if failures:
         lines = "\n".join(f"  {failure.summary()}" for failure in failures)
         sections.append(
@@ -265,6 +294,11 @@ def generate_report(
         f"total evaluation time: {total_seconds:.1f}s (jobs={jobs})\n"
     )
 
+    grid_info = {
+        "backend": backend.backend if backend is not None else "inprocess",
+        "workers": jobs,
+        "shard": shard,
+    }
     bench = _bench_payload(
         scale,
         jobs,
@@ -273,11 +307,14 @@ def generate_report(
         table4_data,
         failures,
         stall_data,
+        grid_info,
     )
     if bench_path:
         with open(bench_path, "w") as handle:
             json.dump(bench, handle, indent=2, sort_keys=True)
             handle.write("\n")
+    if owned_executor is not None:
+        owned_executor.close()
     if journal is not None:
         journal.close()
     return ReportResult(
@@ -291,6 +328,7 @@ def generate_cache_compare(
     bench_path: str | None = None,
     timeout: float | None = None,
     cache_root: str | None = None,
+    executor: str | None = None,
 ) -> ReportResult:
     """Cold/warm artifact-cache comparison: the full report twice
     against one cache directory (a fresh tmpdir unless ``cache_root`` is
@@ -306,13 +344,18 @@ def generate_cache_compare(
 
     root = cache_root or tempfile.mkdtemp(prefix="repro-cache-compare-")
     configure_cache(root=root, enabled=True)
+    # executor stays a *spec string* here: each run builds (and closes)
+    # a fresh backend, so the warm run's workers cannot inherit the cold
+    # run's in-process memos by fork
     cold = generate_report(
-        scale=scale, jobs=jobs, bench_path=None, timeout=timeout
+        scale=scale, jobs=jobs, bench_path=None, timeout=timeout,
+        executor=executor,
     )
     clear_target_cache()
     ablation._I860_VARIANTS.clear()
     warm = generate_report(
-        scale=scale, jobs=jobs, bench_path=None, timeout=timeout
+        scale=scale, jobs=jobs, bench_path=None, timeout=timeout,
+        executor=executor,
     )
     identical = deterministic_sections(cold.text) == deterministic_sections(
         warm.text
@@ -371,8 +414,9 @@ def _bench_payload(
     table4_data,
     failures: list[GridFailure],
     stall_data=None,
+    grid_info: dict | None = None,
 ) -> dict:
-    """The machine-readable BENCH_eval.json payload (schema v6)."""
+    """The machine-readable BENCH_eval.json payload (schema v7)."""
     runs = [
         run
         for by_strategy in table4_data.runs.values()
@@ -385,8 +429,9 @@ def _bench_payload(
     block_misses = timing.counter("sim.block_cache.miss")
     block_lookups = block_hits + block_misses
     store = get_cache()
+    grid_info = dict(grid_info or {})
     payload = {
-        "schema": 6,
+        "schema": 7,
         "scale": scale,
         "jobs": jobs,
         "wall_seconds": {
@@ -457,6 +502,14 @@ def _bench_payload(
             "compiled": timing.counter("compile.compiled"),
             "cgg_builds": timing.counter("cgg.builds"),
         },
+        "grid": {
+            "backend": grid_info.get("backend", "inprocess"),
+            "workers": grid_info.get("workers", jobs),
+            "shard": grid_info.get("shard"),
+            "shard_skipped": timing.counter("grid.shard_skipped"),
+            "stolen_units": timing.counter("grid.stolen_units"),
+            "adopted_units": timing.counter("grid.adopted_units"),
+        },
         "fault_tolerance": {
             "failed_units": len(failures),
             "timeouts": timing.counter("grid.timeouts"),
@@ -499,6 +552,23 @@ def add_report_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: REPRO_UNIT_TIMEOUT or unlimited)",
     )
     parser.add_argument(
+        "--executor",
+        default=None,
+        metavar="SPEC",
+        help="evaluation-grid backend: 'local' (process pool), "
+        "'inprocess' (serial), 'socket' (spawn local TCP workers), or "
+        "'socket:HOST:PORT' (listen for external `repro worker` "
+        "processes); default: local pool for --jobs > 1",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="run only shard K of N (keys are hashed to shards; pair "
+        "with a shared --resume journal and merge with a final "
+        "unsharded resume run)",
+    )
+    parser.add_argument(
         "--resume",
         default=None,
         metavar="JOURNAL",
@@ -534,6 +604,7 @@ def run_report_command(arguments, bench_default: str | None) -> int:
             jobs=arguments.jobs,
             bench_path=bench_out or None,
             timeout=arguments.timeout,
+            executor=getattr(arguments, "executor", None),
         )
     else:
         result = generate_report(
@@ -542,6 +613,8 @@ def run_report_command(arguments, bench_default: str | None) -> int:
             bench_path=bench_out or None,
             timeout=arguments.timeout,
             resume=resume,
+            executor=getattr(arguments, "executor", None),
+            shard=getattr(arguments, "shard", None),
         )
     if getattr(arguments, "format", "text") == "json":
         print(

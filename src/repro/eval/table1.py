@@ -93,16 +93,15 @@ def table1(
     options=None,
 ) -> str:
     """Render the reproduced Table 1."""
-    from repro.eval.grid import GridFailure, GridTask, run_grid
+    from repro.eval.grid import GridFailure, GridTask, run_grid, with_jobs
 
     results = run_grid(
         [
             GridTask(f"table1/{name}", description_stats, (name,))
             for name in targets
         ],
-        jobs=jobs,
+        with_jobs(options, jobs),
         label="table1",
-        options=options,
     )
     stats = [s for s in results if not isinstance(s, GridFailure)]
     failed = [s for s in results if isinstance(s, GridFailure)]

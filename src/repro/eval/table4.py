@@ -20,7 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.eval.common import STRATEGIES, KernelRun, grid_run_kernel, kernel_key
-from repro.eval.grid import GridFailure, GridOptions, GridTask, run_grid
+from repro.eval.grid import (
+    GridFailure,
+    GridOptions,
+    GridTask,
+    run_grid,
+    with_jobs,
+)
 from repro.utils.stats import arithmetic_mean, harmonic_mean
 from repro.utils.tables import TextTable
 from repro.workloads import LIVERMORE_KERNELS
@@ -84,7 +90,7 @@ def measure(
         for spec in specs
         for strategy in STRATEGIES
     ]
-    results = run_grid(units, jobs=jobs, label="table4", options=options)
+    results = run_grid(units, with_jobs(options, jobs), label="table4")
     data = Table4Data()
     for (kernel_id, strategy), outcome in zip(labels, results):
         if isinstance(outcome, GridFailure):

@@ -1,0 +1,396 @@
+"""Conformance suite for the pluggable executor layer.
+
+Every backend — in-process, local pool, socket — is held to the same
+:class:`~repro.eval.executors.base.Executor` contract: submission-order
+results through ``run_grid``, per-unit timeouts, crash containment,
+failure collection, journal resume, and queued-copy cancellation.  The
+socket backend additionally proves the multi-host story: a SIGKILLed
+worker costs only the units it had in flight, because surviving workers
+adopt the orphans and the journal already holds everything finished.
+
+Unit functions live at module level so the socket backend can ship them
+*by name* (``tests.test_executors:_square``) to worker subprocesses; the
+socket fixture prepends the repo root to ``PYTHONPATH`` so spawned
+workers can import this module.
+"""
+
+import contextlib
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.eval.executors import (
+    Executor,
+    InprocessAsyncExecutor,
+    LocalPoolExecutor,
+    SocketExecutor,
+    resolve_executor,
+)
+from repro.eval.executors.socketexec import callable_ref, parse_address
+from repro.eval.grid import (
+    FailureCollector,
+    GridFailure,
+    GridOptions,
+    GridTask,
+    run_grid,
+)
+from repro.eval.journal import Journal
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BACKENDS = ("inprocess", "local", "socket")
+#: backends whose units run in a separate process (safe to SIGKILL)
+PROCESS_BACKENDS = ("local", "socket")
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(message):
+    raise ValueError(message)
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return "overslept"
+
+
+def _kill_self(delay=0.0):
+    # a small delay lets instant sibling units drain first, so repeated
+    # pool breaks cannot burn their retry budget by association
+    time.sleep(delay)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _mark(x, marker_dir):
+    with open(os.path.join(marker_dir, f"ran_{x}"), "a") as handle:
+        handle.write("x\n")
+    return x * x
+
+
+def _sleep_mark(x, seconds, marker_dir):
+    with open(os.path.join(marker_dir, f"ran_{x}"), "a") as handle:
+        handle.write("x\n")
+    time.sleep(seconds)
+    return x * x
+
+
+@contextlib.contextmanager
+def make_backend(name, *, workers=2, retries=1):
+    """Build one backend with fast-failure settings for the suite."""
+    if name == "inprocess":
+        with InprocessAsyncExecutor() as backend:
+            yield backend
+        return
+    if name == "local":
+        with LocalPoolExecutor(workers=workers, retries=retries, backoff=0.05) as backend:
+            yield backend
+        return
+    # socket: spawned workers must be able to import this module by name
+    saved = os.environ.get("PYTHONPATH")
+    os.environ["PYTHONPATH"] = _REPO_ROOT + (
+        os.pathsep + saved if saved else ""
+    )
+    try:
+        with SocketExecutor(spawn=workers, retries=retries) as backend:
+            yield backend
+    finally:
+        if saved is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = saved
+
+
+def _collect(backend, **changes):
+    return GridOptions(failures="collect", executor=backend, **changes)
+
+
+# -- the Executor contract, straight at the interface ----------------------
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_event_stream_covers_every_submission(name):
+    with make_backend(name) as backend:
+        assert isinstance(backend, Executor)
+        keys = []
+        for x in range(5):
+            keys.append(backend.submit(GridTask(f"sq/{x}", _square, (x,))))
+        backend.submit(GridTask("boom", _boom, ("kaput",)))
+        seen = {}
+        while len(seen) < 6:
+            event = backend.next_event(timeout=30.0)
+            assert event is not None, f"stream dried up after {sorted(seen)}"
+            seen[event.key] = event
+        for x in range(5):
+            event = seen[f"sq/{x}"]
+            assert event.ok and event.value == x * x
+            assert event.attempts >= 1
+        failure = seen["boom"]
+        assert not failure.ok
+        assert failure.value["type"] == "ValueError"
+        assert "kaput" in failure.value["message"]
+        # drained: nothing outstanding, the stream reports None
+        assert backend.next_event(timeout=0.2) is None
+
+        probe = backend.probe()
+        assert probe.backend == name
+        assert probe.healthy
+        assert probe.queued == 0 and probe.in_flight == 0
+        assert isinstance(backend.running(), dict)
+    # close() is idempotent
+    backend.close()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_resubmitting_a_key_runs_another_copy(name):
+    """The work-stealing primitive: same key, two dispatches, two events."""
+    with make_backend(name) as backend:
+        task = GridTask("dup", _square, (7,))
+        backend.submit(task)
+        backend.submit(task)
+        events = []
+        while len(events) < 2:
+            event = backend.next_event(timeout=30.0)
+            assert event is not None
+            events.append(event)
+        assert all(e.key == "dup" and e.value == 49 for e in events)
+        assert max(e.attempts for e in events) == 2
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_cancel_drops_queued_copies_only(name):
+    with make_backend(name, workers=1) as backend:
+        # saturate the single worker so "tail" stays queued: the local
+        # pool holds workers+1 call items *plus* the one the worker has
+        # popped to run, so it needs three sleepers ahead
+        heads = ["head/0"]
+        backend.submit(GridTask("head/0", _sleep, (0.6,)))
+        if name == "local":
+            for extra in ("head/1", "head/2"):
+                heads.append(extra)
+                backend.submit(GridTask(extra, _sleep, (0.6,)))
+        backend.submit(GridTask("tail", _square, (3,)))
+        assert backend.cancel("tail") is True
+        seen = set()
+        while len(seen) < len(heads):
+            event = backend.next_event(timeout=30.0)
+            assert event is not None and event.key in heads
+            seen.add(event.key)
+        # the cancelled unit never produces an event
+        assert backend.next_event(timeout=0.3) is None
+
+
+# -- the same grid semantics on every backend ------------------------------
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_grid_orders_results_and_collects_failures(name):
+    units = [
+        GridTask("sq/1", _square, (1,)),
+        GridTask("boom", _boom, ("injected",)),
+        GridTask("sq/3", _square, (3,)),
+        GridTask("sleeper", _sleep, (30.0,)),
+        GridTask("sq/5", _square, (5,)),
+    ]
+    with make_backend(name) as backend:
+        collector = FailureCollector()
+        results = run_grid(
+            units, _collect(backend, timeout=1.0, collector=collector)
+        )
+    assert [results[0], results[2], results[4]] == [1, 9, 25]
+    assert isinstance(results[1], GridFailure)
+    assert results[1].error_type == "ValueError"
+    assert isinstance(results[3], GridFailure)
+    assert results[3].error_type == "GridTimeout"
+    assert sorted(f.key for f in collector.failures()) == ["boom", "sleeper"]
+
+
+@pytest.mark.parametrize("name", PROCESS_BACKENDS)
+def test_crash_containment_and_sibling_survival(name):
+    units = [
+        GridTask("sq/1", _square, (1,)),
+        GridTask("killer", _kill_self, (0.5,)),
+        GridTask("sq/2", _square, (2,)),
+        GridTask("sq/3", _square, (3,)),
+    ]
+    with make_backend(name, retries=1) as backend:
+        results = run_grid(units, _collect(backend))
+    assert [results[0], results[2], results[3]] == [1, 4, 9]
+    failure = results[1]
+    assert isinstance(failure, GridFailure)
+    assert failure.error_type == "WorkerCrash"
+    assert failure.attempts == 2  # first run + one retry
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_journal_resume_skips_done_units(name, tmp_path):
+    marker_dir = str(tmp_path)
+    units = [GridTask(f"mark/{x}", _mark, (x, marker_dir)) for x in range(4)]
+    journal_path = str(tmp_path / "journal.jsonl")
+    with make_backend(name) as backend:
+        with Journal(journal_path) as journal:
+            first = run_grid(
+                units[:2], GridOptions(executor=backend, journal=journal)
+            )
+        with Journal(journal_path) as journal:
+            second = run_grid(
+                units, GridOptions(executor=backend, journal=journal)
+            )
+    assert first == [0, 1]
+    assert second == [0, 1, 4, 9]
+    for x in range(4):
+        runs = open(os.path.join(marker_dir, f"ran_{x}")).read().count("x")
+        assert runs == 1  # resume reused the journalled results
+
+
+# -- multi-host specifics ---------------------------------------------------
+
+
+def test_socket_worker_sigkill_costs_only_inflight_units(tmp_path):
+    """Kill one of two socket workers mid-run: the survivors adopt its
+    orphaned units, the respawned worker rejoins, and nothing that had
+    already finished is re-executed (the journal-as-coordination
+    acceptance property)."""
+    marker_dir = str(tmp_path)
+    count = 6
+    units = [
+        GridTask(f"sm/{x}", _sleep_mark, (x, 0.4, marker_dir))
+        for x in range(count)
+    ]
+    journal_path = str(tmp_path / "journal.jsonl")
+    with make_backend("socket", workers=2, retries=2) as backend:
+        victim = backend._spawned[0]
+
+        def _assassin():
+            time.sleep(0.6)  # mid-run: both workers are busy by now
+            with contextlib.suppress(OSError):
+                os.kill(victim.pid, signal.SIGKILL)
+
+        killer = threading.Thread(target=_assassin, daemon=True)
+        killer.start()
+        with Journal(journal_path) as journal:
+            results = run_grid(
+                units, GridOptions(executor=backend, journal=journal)
+            )
+        killer.join()
+    assert results == [x * x for x in range(count)]  # nothing lost
+    reruns = 0
+    for x in range(count):
+        runs = open(os.path.join(marker_dir, f"ran_{x}")).read().count("x")
+        assert runs >= 1
+        reruns += runs - 1
+    # only what the victim had in flight re-ran (one unit at a time per
+    # worker, plus at most one more racing the kill)
+    assert reruns <= 2
+    # the journal records every completion exactly once, with the worker
+    # that produced it
+    with Journal(journal_path) as journal:
+        assert journal.done_keys() == {f"sm/{x}" for x in range(count)}
+    assert '"by":' in open(journal_path).read()
+
+
+def test_socket_ships_functions_by_name():
+    assert callable_ref(_square) == f"{__name__}:_square"
+    assert parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+    assert parse_address("9000") == ("127.0.0.1", 9000)
+    with pytest.raises(ValueError, match="HOST:PORT"):
+        parse_address("not-an-address")
+
+
+# -- spec strings and the redesigned options --------------------------------
+
+
+def test_resolve_executor_specs():
+    with resolve_executor("inprocess", jobs=None) as backend:
+        assert isinstance(backend, InprocessAsyncExecutor)
+    with resolve_executor("local", jobs=3) as backend:
+        assert isinstance(backend, LocalPoolExecutor)
+        assert backend.workers == 3
+    with resolve_executor("socket:127.0.0.1:0", jobs=None) as backend:
+        assert isinstance(backend, SocketExecutor)
+        assert backend.spawn == 0  # join-only: workers connect by hand
+    with pytest.raises(ValueError, match="executor spec"):
+        resolve_executor("carrier-pigeon", jobs=None)
+
+
+def test_shard_partitions_the_key_space(tmp_path):
+    units = [GridTask(f"sq/{x}", _square, (x,)) for x in range(8)]
+    collector = FailureCollector()
+    mine = run_grid(
+        units,
+        GridOptions(shard="1/2", failures="collect", collector=collector),
+    )
+    theirs = run_grid(
+        units,
+        GridOptions(shard="2/2", failures="collect", collector=collector),
+    )
+    owned = 0
+    for x, (a, b) in enumerate(zip(mine, theirs)):
+        skipped_a = isinstance(a, GridFailure)
+        skipped_b = isinstance(b, GridFailure)
+        assert skipped_a != skipped_b  # every key has exactly one owner
+        assert (b if skipped_a else a) == x * x
+        if skipped_a:
+            assert a.error_type == "ShardSkipped"
+        owned += not skipped_a
+    assert 0 < owned < len(units)  # sha256 split really does divide
+    # placeholders are bookkeeping, not failures: nothing was collected
+    assert collector.failures() == []
+    with pytest.raises(ValueError, match="shard"):
+        GridOptions(shard="0/2")
+
+
+def test_legacy_jobs_keyword_warns_and_still_works():
+    units = [GridTask("sq/2", _square, (2,))]
+    with pytest.warns(DeprecationWarning, match="pass options=GridOptions"):
+        assert run_grid(units, jobs=1) == [4]
+    # the shim warns before it notices the conflict, so catch both
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="not both"):
+            run_grid(units, GridOptions(jobs=1), jobs=1)
+
+
+def test_module_level_failure_helpers_are_deprecated_aliases():
+    from repro.eval import grid
+
+    with pytest.warns(DeprecationWarning, match="FailureCollector"):
+        grid.reset_failures()
+    units = [GridTask("boom", _boom, ("scoped",))]
+    run_grid(units, GridOptions(jobs=1, failures="collect"))
+    with pytest.warns(DeprecationWarning, match="FailureCollector"):
+        collected = grid.collected_failures()
+    assert [f.key for f in collected] == ["boom"]
+    # a run with its own collector does not leak into the default one
+    mine = FailureCollector()
+    run_grid(
+        [GridTask("boom2", _boom, ("mine",))],
+        GridOptions(jobs=1, failures="collect", collector=mine),
+    )
+    with pytest.warns(DeprecationWarning, match="FailureCollector"):
+        assert [f.key for f in grid.collected_failures()] == ["boom"]
+    assert [f.key for f in mine.failures()] == ["boom2"]
+
+
+def test_grid_names_are_exported_from_the_package_root():
+    import repro
+    from repro import api
+
+    assert repro.run_grid is run_grid
+    assert repro.GridOptions is GridOptions
+    assert repro.FailureCollector is FailureCollector
+    assert issubclass(repro.Executor, Executor) and repro.Executor is Executor
+    for name in (
+        "run_grid",
+        "GridTask",
+        "GridOptions",
+        "GridFailure",
+        "FailureCollector",
+        "Executor",
+        "SocketExecutor",
+        "Journal",
+    ):
+        assert name in api.__all__ and hasattr(api, name)

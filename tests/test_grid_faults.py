@@ -7,6 +7,7 @@ surviving rows are bit-identical to a clean serial run while the failed
 unit degrades to a structured :class:`GridFailure`.
 """
 
+import dataclasses
 import os
 import signal
 import time
@@ -41,7 +42,10 @@ def _sleep(seconds):
     return "overslept"
 
 
-def _kill_self():
+def _kill_self(delay=0.5):
+    # the delay lets sibling units drain before the pool breaks, so
+    # repeated breaks cannot burn their retry budget by association
+    time.sleep(delay)
     os.kill(os.getpid(), signal.SIGKILL)
 
 
@@ -54,6 +58,10 @@ def _marking_square(x, marker_dir):
 COLLECT = GridOptions(failures="collect")
 
 
+def _collect(**changes):
+    return dataclasses.replace(COLLECT, **changes)
+
+
 # -- a unit that raises ----------------------------------------------------
 
 
@@ -64,7 +72,7 @@ def test_raising_unit_degrades_to_failure_and_siblings_survive(jobs):
         GridTask("boom", _boom, ("injected failure",)),
         GridTask("sq/3", _square, (3,)),
     ]
-    results = run_grid(units, jobs=jobs, options=COLLECT)
+    results = run_grid(units, _collect(jobs=jobs))
     assert results[0] == 1 and results[2] == 9  # bit-identical survivors
     failure = results[1]
     assert isinstance(failure, GridFailure)
@@ -81,9 +89,7 @@ def test_marion_error_details_cross_the_process_boundary():
         )
 
     # closures don't pickle, so exercise the serial containment path
-    results = run_grid(
-        [GridTask("simdie", sim_die)], jobs=1, options=COLLECT
-    )
+    results = run_grid([GridTask("simdie", sim_die)], _collect(jobs=1))
     failure = results[0]
     assert failure.error_type == "SimulationError"
     assert failure.details["function"] == "bench"
@@ -100,9 +106,9 @@ def test_unit_timeout_becomes_failure(jobs):
         GridTask("sq/2", _square, (2,)),
         GridTask("sleeper", _sleep, (30.0,)),
     ]
-    options = GridOptions(failures="collect", timeout=0.5)
+    options = _collect(timeout=0.5, jobs=jobs)
     start = time.perf_counter()
-    results = run_grid(units, jobs=jobs, options=options)
+    results = run_grid(units, options)
     assert time.perf_counter() - start < 15.0  # did not wait the 30 s
     assert results[0] == 4
     failure = results[1]
@@ -116,8 +122,7 @@ def test_timeout_raises_in_raise_mode():
     with pytest.raises(GridTimeout, match="wall-clock budget"):
         run_grid(
             [GridTask("sleeper", _sleep, (30.0,))],
-            jobs=1,
-            options=GridOptions(timeout=0.3),
+            GridOptions(jobs=1, timeout=0.3),
         )
 
 
@@ -131,8 +136,8 @@ def test_killed_worker_is_contained_and_siblings_survive():
         GridTask("sq/2", _square, (2,)),
         GridTask("sq/3", _square, (3,)),
     ]
-    options = GridOptions(failures="collect", retries=1, backoff=0.05)
-    results = run_grid(units, jobs=2, options=options)
+    options = _collect(retries=1, backoff=0.05, jobs=2)
+    results = run_grid(units, options)
     assert results[0] == 1 and results[2] == 4 and results[3] == 9
     failure = results[1]
     assert isinstance(failure, GridFailure)
@@ -144,8 +149,7 @@ def test_killed_worker_raises_after_retries_in_raise_mode():
     with pytest.raises(repro.MarionError, match="WorkerCrash"):
         run_grid(
             [GridTask("killer", _kill_self), GridTask("sq/5", _square, (5,))],
-            jobs=2,
-            options=GridOptions(retries=0, backoff=0.05),
+            GridOptions(jobs=2, retries=0, backoff=0.05),
         )
 
 
@@ -172,14 +176,10 @@ def test_journal_resume_skips_done_units(tmp_path):
     ]
     journal_path = str(tmp_path / "journal.jsonl")
     with Journal(journal_path) as journal:
-        first = run_grid(
-            units[:2], jobs=1, options=GridOptions(journal=journal)
-        )
+        first = run_grid(units[:2], GridOptions(jobs=1, journal=journal))
     # a fresh Journal object, as a resumed process would build
     with Journal(journal_path) as journal:
-        second = run_grid(
-            units, jobs=1, options=GridOptions(journal=journal)
-        )
+        second = run_grid(units, GridOptions(jobs=1, journal=journal))
     assert first == [0, 1]
     assert second == [0, 1, 4, 9]
     for x in range(4):
@@ -192,16 +192,14 @@ def test_journal_reruns_failed_units(tmp_path):
     with Journal(journal_path) as journal:
         results = run_grid(
             [GridTask("flaky", _boom, ("first try",))],
-            jobs=1,
-            options=GridOptions(failures="collect", journal=journal),
+            _collect(jobs=1, journal=journal),
         )
     assert isinstance(results[0], GridFailure)
     with Journal(journal_path) as journal:
         assert journal.failed("flaky") is not None
         results = run_grid(
             [GridTask("flaky", _square, (6,))],  # "fixed" second run
-            jobs=1,
-            options=GridOptions(failures="collect", journal=journal),
+            _collect(jobs=1, journal=journal),
         )
     assert results[0] == 36
     with Journal(journal_path) as journal:
@@ -249,7 +247,7 @@ def test_interrupted_table4_resume_is_byte_identical(tmp_path):
         for strategy in ("postpass", "ips")
     ]
     with Journal(journal_path) as journal:
-        run_grid(partial_units, jobs=1, options=GridOptions(journal=journal))
+        run_grid(partial_units, GridOptions(jobs=1, journal=journal))
 
     with Journal(journal_path) as journal:
         resumed = table4_measure(

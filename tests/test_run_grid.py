@@ -28,18 +28,18 @@ def _tasks(values):
 
 
 def test_run_grid_serial_preserves_order():
-    results = run_grid(_tasks(range(6)), jobs=1)
+    results = run_grid(_tasks(range(6)), GridOptions(jobs=1))
     assert results == [0, 1, 4, 9, 16, 25]
 
 
 def test_run_grid_parallel_preserves_submission_order():
-    results = run_grid(_tasks(range(8)), jobs=4)
+    results = run_grid(_tasks(range(8)), GridOptions(jobs=4))
     assert results == [i * i for i in range(8)]
 
 
 def test_run_grid_accepts_tuples_and_callables():
     results = run_grid(
-        [(_square, (3,)), lambda: "bare"], jobs=1
+        [(_square, (3,)), lambda: "bare"], GridOptions(jobs=1)
     )
     assert results == [9, "bare"]
 
@@ -48,7 +48,7 @@ def test_run_grid_rejects_duplicate_keys():
     with pytest.raises(ValueError, match="duplicate grid key"):
         run_grid(
             [GridTask("same", _square, (1,)), GridTask("same", _square, (2,))],
-            jobs=1,
+            GridOptions(jobs=1),
         )
 
 
@@ -59,11 +59,11 @@ def test_grid_task_key_comes_first():
 
 def test_run_grid_propagates_worker_exception():
     with pytest.raises(RuntimeError, match="unit 2 failed"):
-        run_grid([GridTask("fail/2", _fail, (2,))], jobs=1)
+        run_grid([GridTask("fail/2", _fail, (2,))], GridOptions(jobs=1))
     with pytest.raises(RuntimeError, match="unit 5 failed"):
         run_grid(
             [GridTask("sq/1", _square, (1,)), GridTask("fail/5", _fail, (5,))],
-            jobs=2,
+            GridOptions(jobs=2),
         )
 
 
