@@ -24,8 +24,6 @@ The public surface:
 * :mod:`repro.eval` — the harness that regenerates the paper's tables.
 """
 
-import warnings as _warnings
-
 import repro.cache as _artifact_cache
 from repro.backend.codegen import CodeGenerator, MachineProgram
 from repro.cgg import build_target
@@ -33,6 +31,7 @@ from repro.errors import (
     GridTimeout,
     JournalError,
     MarionError,
+    RequestError,
     SimulationError,
     SimulationTimeout,
 )
@@ -63,6 +62,7 @@ __all__ = [
     "JournalError",
     "MachineProgram",
     "MarionError",
+    "RequestError",
     "SimOptions",
     "SimResult",
     "SimulationError",
@@ -83,30 +83,38 @@ __all__ = [
     "simulate",
     "tracing",
     "__version__",
-    # evaluation grid (lazy: see __getattr__)
+    # evaluation grid + serve (lazy: see __getattr__)
     "Executor",
     "FailureCollector",
     "GridFailure",
     "GridOptions",
     "GridTask",
     "run_grid",
+    "ServeOptions",
+    "Service",
+    "serve_app",
 ]
 
-#: grid names resolve lazily (PEP 562): importing ``repro.eval`` pulls
-#: in the table modules, which import this package back — a module-level
-#: import here would deadlock the package init on itself
-_GRID_EXPORTS = {
+#: grid and serve names resolve lazily (PEP 562): importing
+#: ``repro.eval`` pulls in the table modules, which import this package
+#: back — a module-level import here would deadlock the package init on
+#: itself; ``repro.serve`` sits on top of the grid's executor layer and
+#: inherits the same cycle
+_LAZY_EXPORTS = {
     "run_grid": "repro.eval.grid",
     "GridTask": "repro.eval.grid",
     "GridOptions": "repro.eval.grid",
     "GridFailure": "repro.eval.grid",
     "FailureCollector": "repro.eval.grid",
     "Executor": "repro.eval.executors",
+    "ServeOptions": "repro.serve",
+    "Service": "repro.serve",
+    "serve_app": "repro.serve",
 }
 
 
 def __getattr__(name: str):
-    module_name = _GRID_EXPORTS.get(name)
+    module_name = _LAZY_EXPORTS.get(name)
     if module_name is None:
         raise AttributeError(
             f"module {__name__!r} has no attribute {name!r}"
@@ -136,9 +144,9 @@ def compile_c(
         repro.compile_c(src, "r2000", repro.CompileOptions(strategy="rase"))
 
     The pre-1.1 keyword spellings (``strategy=``, ``heuristic=``,
-    ``schedule=``, ``fill_delay_slots=``, ``memory_size=``) still work
-    but emit a :class:`DeprecationWarning` and cannot be combined with
-    ``options=``.
+    ``schedule=``, ``fill_delay_slots=``, ``memory_size=``) have been
+    removed; passing one raises :class:`TypeError` naming the
+    replacement.
     """
     options = merge_legacy_kwargs(
         options,
@@ -150,9 +158,6 @@ def compile_c(
             "memory_size": memory_size,
         },
         where="compile_c",
-        warn=lambda message: _warnings.warn(
-            message, DeprecationWarning, stacklevel=4
-        ),
     )
     if isinstance(target, str):
         target = load_target(target)
@@ -211,8 +216,8 @@ def simulate(
     budget); ``SimOptions(trace=True)`` attributes every stall cycle to
     a hazard kind in ``SimResult.cycle_breakdown``.  The pre-1.1 keyword
     spellings (``cache=``, ``model_timing=``, ``max_instructions=``,
-    ``max_cycles=``) still work but emit a :class:`DeprecationWarning`
-    and cannot be combined with ``options=``.
+    ``max_cycles=``) have been removed; passing one raises
+    :class:`TypeError` naming the replacement.
     """
     options = merge_legacy_kwargs(
         options,
@@ -223,9 +228,6 @@ def simulate(
             "max_cycles": max_cycles,
         },
         where="simulate",
-        warn=lambda message: _warnings.warn(
-            message, DeprecationWarning, stacklevel=4
-        ),
         factory=SimOptions,
     )
     simulator = Simulator(executable, options)

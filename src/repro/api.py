@@ -33,6 +33,7 @@ from repro.errors import (
     GridTimeout,
     JournalError,
     MarionError,
+    RequestError,
     SimulationError,
     SimulationTimeout,
 )
@@ -42,17 +43,35 @@ from repro.maril import parse_maril
 from repro.obs import Span, Trace, current_trace, span, tracing
 from repro.options import CompileOptions, SimOptions
 from repro.program import Executable, link
+from repro.serve import (
+    CompileRequest,
+    CompileResponse,
+    ExplainRequest,
+    ExplainResponse,
+    RunRequest,
+    RunResponse,
+    Service,
+    ServeOptions,
+    compile_options_from_json,
+    serve_app,
+    sim_options_from_json,
+)
 from repro.sim import DirectMappedCache, SimResult, Simulator, run_program
 from repro.targets import TARGET_NAMES, clear_target_cache, load_target
 
+#: kept sorted — ``tests/test_api_surface.py`` enforces it
 __all__ = [
     "ArtifactCache",
     "CodeGenerator",
     "CompileOptions",
+    "CompileRequest",
+    "CompileResponse",
     "DirectMappedCache",
     "Executable",
     "Executor",
     "ExecutorProbe",
+    "ExplainRequest",
+    "ExplainResponse",
     "FailureCollector",
     "GridFailure",
     "GridOptions",
@@ -62,22 +81,28 @@ __all__ = [
     "Journal",
     "JournalError",
     "LocalPoolExecutor",
-    "SocketExecutor",
-    "UnitEvent",
     "MachineProgram",
     "MarionError",
+    "RequestError",
+    "RunRequest",
+    "RunResponse",
+    "ServeOptions",
+    "Service",
     "SimOptions",
     "SimResult",
     "SimulationError",
     "SimulationTimeout",
     "Simulator",
+    "SocketExecutor",
     "Span",
     "TARGET_NAMES",
     "TargetMachine",
     "Trace",
+    "UnitEvent",
     "build_target",
     "clear_target_cache",
     "compile_c",
+    "compile_options_from_json",
     "compile_to_il",
     "configure_cache",
     "current_trace",
@@ -87,6 +112,8 @@ __all__ = [
     "parse_maril",
     "run_grid",
     "run_program",
+    "serve_app",
+    "sim_options_from_json",
     "simulate",
     "span",
     "tracing",

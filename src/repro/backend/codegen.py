@@ -7,7 +7,6 @@ orders register allocation and scheduling as it sees fit).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from repro.backend.delayfill import fill_delay_slots
@@ -47,9 +46,9 @@ class CodeGenerator:
     :class:`~repro.options.CompileOptions` record.
 
     ``CodeGenerator(target, CompileOptions(strategy="rase"))`` is the
-    current spelling; a bare strategy string or the pre-1.1 keywords
+    only spelling; a bare strategy string or the pre-1.1 keywords
     (``strategy=``/``heuristic=``/``schedule=``/``fill_delay_slots=``)
-    still work via the deprecation shim.
+    raise :class:`TypeError` naming the replacement.
     """
 
     def __init__(
@@ -71,9 +70,6 @@ class CodeGenerator:
                 "fill_delay_slots": fill_delay_slots,
             },
             where="CodeGenerator",
-            warn=lambda message: warnings.warn(
-                message, DeprecationWarning, stacklevel=4
-            ),
         )
         self.target = target
         self.options = options

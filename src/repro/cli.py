@@ -4,10 +4,17 @@ Commands:
 
 * ``compile FILE.c`` — compile to assembly text (choose target/strategy);
 * ``run FILE.c --entry FN [--args ...]`` — compile, link, simulate;
+* ``serve`` — the compile-and-simulate HTTP service (``repro.serve``);
 * ``targets`` — list the bundled targets with description statistics;
 * ``report`` — regenerate the paper's tables and figures;
 * ``worker --connect HOST:PORT`` — join a multi-host evaluation grid;
 * ``cache`` — inspect or clear the persistent artifact cache.
+
+``compile`` and ``run`` accept their options either as individual flags
+or as ``--options-json`` / ``--sim-json`` documents — the *same*
+documents ``POST /v1/compile`` and ``POST /v1/run`` take, parsed by the
+same :mod:`repro.serve.schema` validators, so the CLI and the service
+cannot drift apart.  Explicit flags overlay the document.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ import sys
 
 import repro
 from repro.backend.asmprinter import format_program
-from repro.sim import DirectMappedCache
+from repro.errors import RequestError
 from repro.targets import TARGET_NAMES
 
 
@@ -26,16 +33,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--target", default="r2000", choices=TARGET_NAMES, help="machine to compile for"
     )
     parser.add_argument(
+        "--options-json",
+        default="",
+        metavar="DOC",
+        help="compile options as a JSON document (or @FILE), the same "
+        "document the service's POST /v1/compile accepts, e.g. "
+        '\'{"strategy": "ips", "fill_delay_slots": true}\'; explicit '
+        "flags overlay it",
+    )
+    parser.add_argument(
         "--strategy",
-        default="postpass",
+        default=None,
         choices=("postpass", "ips", "rase"),
-        help="code generation strategy",
+        help="code generation strategy (default: postpass)",
     )
     parser.add_argument(
         "--heuristic",
-        default="maxdist",
+        default=None,
         choices=("maxdist", "fifo"),
-        help="list scheduling priority heuristic",
+        help="list scheduling priority heuristic (default: maxdist)",
     )
     parser.add_argument(
         "--no-schedule",
@@ -56,16 +72,52 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _load_json_document(text: str, flag: str):
+    """An ``--options-json``/``--sim-json`` value -> parsed JSON.
+
+    ``@FILE`` reads the document from a file; anything else is inline
+    JSON.  Validation beyond well-formedness belongs to the schema
+    parsers this feeds.
+    """
+    if not text:
+        return {}
+    import json
+
+    if text.startswith("@"):
+        with open(text[1:]) as handle:
+            text = handle.read()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RequestError(
+            f"{flag} is not valid JSON: {exc}", details={"field": flag}
+        ) from None
+
+
+def _compile_options(arguments) -> repro.CompileOptions:
+    """The service's options path, CLI-shaped: start from the
+    ``--options-json`` document, overlay explicit flags, validate through
+    :func:`repro.serve.schema.compile_options_from_json`."""
+    from repro.serve.schema import compile_options_from_json
+
+    doc = _load_json_document(arguments.options_json, "--options-json")
+    if isinstance(doc, dict):
+        doc = dict(doc)
+        if arguments.strategy is not None:
+            doc["strategy"] = arguments.strategy
+        if arguments.heuristic is not None:
+            doc["heuristic"] = arguments.heuristic
+        if arguments.no_schedule:
+            doc["schedule"] = False
+        if arguments.fill_delay_slots:
+            doc["fill_delay_slots"] = True
+    return compile_options_from_json(doc)
+
+
 def _compile(arguments) -> repro.Executable:
     with open(arguments.file) as handle:
         source = handle.read()
-    options = repro.CompileOptions(
-        strategy=arguments.strategy,
-        heuristic=arguments.heuristic,
-        schedule=not arguments.no_schedule,
-        fill_delay_slots=arguments.fill_delay_slots,
-    )
-    return repro.compile_c(source, arguments.target, options)
+    return repro.compile_c(source, arguments.target, _compile_options(arguments))
 
 
 def cmd_compile(arguments) -> int:
@@ -81,13 +133,28 @@ def cmd_compile(arguments) -> int:
     return 0
 
 
+def _sim_options(arguments, trace_enabled: bool) -> repro.SimOptions:
+    """Same deal as :func:`_compile_options`, for the simulation side:
+    the ``--sim-json`` document is exactly the ``"sim"`` member of a
+    ``POST /v1/run`` body."""
+    from repro.serve.schema import sim_options_from_json
+
+    doc = _load_json_document(arguments.sim_json, "--sim-json")
+    if isinstance(doc, dict):
+        doc = dict(doc)
+        if arguments.cache:
+            doc["cache"] = True
+        if trace_enabled:
+            doc["trace"] = True
+        if arguments.jit is not None:
+            doc["jit"] = arguments.jit
+    return sim_options_from_json(doc)
+
+
 def cmd_run(arguments) -> int:
     trace_path = arguments.trace
     trace = repro.Trace(f"repro run {arguments.file}") if trace_path else None
-    cache = DirectMappedCache() if arguments.cache else None
-    options = repro.SimOptions(cache=cache, trace=bool(trace_path))
-    if arguments.jit is not None:
-        options = options.replace(jit=arguments.jit)
+    options = _sim_options(arguments, trace_enabled=bool(trace_path))
 
     def _go():
         executable = _compile(arguments)
@@ -107,7 +174,7 @@ def cmd_run(arguments) -> int:
     print(f"cycles:       {result.cycles}")
     print(f"instructions: {result.instructions}")
     print(f"loads/stores: {result.loads}/{result.stores}")
-    if cache is not None:
+    if options.cache:
         print(f"cache:        {result.cache_hits} hits, {result.cache_misses} misses")
     if result.jit_segments or result.jit_hits or result.jit_deopts:
         print(
@@ -125,6 +192,22 @@ def cmd_run(arguments) -> int:
         trace.write(trace_path, format=arguments.trace_format)
         print(f"trace:        {trace_path} ({arguments.trace_format})")
     return 0
+
+
+def cmd_serve(arguments) -> int:
+    from repro.serve import ServeOptions, serve_app
+
+    options = ServeOptions(
+        host=arguments.host,
+        port=arguments.port,
+        workers=arguments.workers,
+        executor=arguments.executor,
+        request_timeout=arguments.request_timeout,
+        warm=tuple(arguments.warm or ()),
+        memo_size=arguments.memo_size,
+        drain_grace=arguments.drain_grace,
+    )
+    return serve_app(options).run()
 
 
 def cmd_targets(arguments) -> int:
@@ -235,6 +318,15 @@ def main(argv=None) -> int:
         "--cache", action="store_true", help="enable the data cache model"
     )
     run_parser.add_argument(
+        "--sim-json",
+        default="",
+        metavar="DOC",
+        help="simulation options as a JSON document (or @FILE), the same "
+        '"sim" member the service\'s POST /v1/run accepts, e.g. '
+        '\'{"cache": true, "max_cycles": 1000000}\'; explicit flags '
+        "overlay it",
+    )
+    run_parser.add_argument(
         "--trace",
         default="",
         metavar="FILE",
@@ -250,6 +342,66 @@ def main(argv=None) -> int:
     )
     _add_common(run_parser)
     run_parser.set_defaults(handler=cmd_run)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the compile-and-simulate HTTP service",
+        description="Serve POST /v1/compile, /v1/run, /v1/explain and "
+        "GET /v1/targets, /v1/healthz, /v1/stats over HTTP/JSON, backed "
+        "by a warm worker pool, the persistent artifact cache, in-flight "
+        "request deduplication and per-request deadlines.  SIGTERM "
+        "drains gracefully.",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="address to bind"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="port to bind (0 picks a free port, printed on startup)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool size (default: REPRO_JOBS or the cpu count)",
+    )
+    serve_parser.add_argument(
+        "--executor",
+        default="local",
+        help="execution backend: local (process pool, the default), "
+        "inprocess (serial), socket, or socket:HOST:PORT",
+    )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request deadline ceiling; a request's own timeout_s "
+        "may only tighten it (default: 60)",
+    )
+    serve_parser.add_argument(
+        "--warm",
+        nargs="*",
+        choices=TARGET_NAMES,
+        help="targets to build before serving, so forked workers "
+        "inherit warm caches",
+    )
+    serve_parser.add_argument(
+        "--memo-size",
+        type=int,
+        default=256,
+        help="completed-response memo entries (0 disables; default: 256)",
+    )
+    serve_parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight requests (default: 10)",
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
 
     targets_parser = commands.add_parser("targets", help="list bundled targets")
     targets_parser.add_argument(
@@ -310,7 +462,11 @@ def main(argv=None) -> int:
     cache_parser.set_defaults(handler=cmd_cache)
 
     arguments = parser.parse_args(argv)
-    return arguments.handler(arguments)
+    try:
+        return arguments.handler(arguments)
+    except RequestError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

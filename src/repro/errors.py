@@ -141,6 +141,31 @@ class JournalError(MarionError):
     """A run journal could not be read, written, or safely resumed."""
 
 
+class RequestError(MarionError):
+    """A malformed request to the compile-and-simulate service.
+
+    Raised by the versioned request codecs (:mod:`repro.serve.schema`)
+    — and by the CLI's ``--options-json`` path, which shares them — for
+    anything wrong with the request document itself: invalid JSON, an
+    unsupported API version, unknown or ill-typed fields.  ``code`` is
+    the stable machine-readable discriminator (``bad_request``,
+    ``unsupported_version``, ``unknown_endpoint``, ...) that the HTTP
+    layer returns in the structured error payload; ``details`` carries
+    field-level specifics.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "bad_request",
+        details: dict | None = None,
+    ):
+        self.code = code
+        self.details = dict(details or {})
+        super().__init__(message)
+
+
 #: exception attributes worth carrying across a process boundary
 _DETAIL_FIELDS = (
     "function",
@@ -149,6 +174,7 @@ _DETAIL_FIELDS = (
     "max_cycles",
     "seconds",
     "location",
+    "code",
 )
 
 
@@ -161,6 +187,14 @@ def error_payload(exc: BaseException, traceback_limit: int = 2000) -> dict:
     ``location``), and the tail of the formatted traceback.
     """
     details = {}
+    extra = getattr(exc, "details", None)
+    if isinstance(extra, dict):
+        for name, value in extra.items():
+            details[str(name)] = (
+                value
+                if isinstance(value, (bool, int, float, str, list))
+                else str(value)
+            )
     for name in _DETAIL_FIELDS:
         value = getattr(exc, name, None)
         if value is None:

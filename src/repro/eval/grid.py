@@ -63,7 +63,6 @@ The job count resolves, in order: the explicit ``jobs`` option, the
 from __future__ import annotations
 
 import hashlib
-import warnings
 from dataclasses import dataclass, field
 from dataclasses import replace as dataclasses_replace
 from typing import Any, Callable, Sequence
@@ -168,8 +167,7 @@ class FailureCollector:
 
     Pass one via ``GridOptions(collector=...)`` (the report threads a
     single collector through all of its sections); grids given no
-    collector fall back to a module default kept only for the
-    deprecated :func:`reset_failures`/:func:`collected_failures` pair.
+    collector fall back to a module-default sink that nothing reads.
     """
 
     def __init__(self) -> None:
@@ -188,38 +186,10 @@ class FailureCollector:
         return len(self._failures)
 
 
-#: fallback collector behind the deprecated module-level functions
+#: fallback collector for grids run without an explicit ``collector=``
+#: (the deprecated ``reset_failures``/``collected_failures`` aliases
+#: that used to read it are gone — build a :class:`FailureCollector`)
 _default_collector = FailureCollector()
-
-
-def reset_failures() -> None:
-    """Deprecated: failure collection is per-run now.
-
-    Build a :class:`FailureCollector`, pass it via
-    ``GridOptions(collector=...)`` and call ``.reset()`` on it instead;
-    the module-global collector this touches is shared by every grid in
-    the process, which is exactly the concurrent-corruption bug the
-    per-run collector fixes.
-    """
-    warnings.warn(
-        "reset_failures() is deprecated; use GridOptions(collector="
-        "FailureCollector()) and collector.reset()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    _default_collector.reset()
-
-
-def collected_failures() -> list[GridFailure]:
-    """Deprecated: read ``collector.failures()`` on your run's
-    :class:`FailureCollector` instead (see :func:`reset_failures`)."""
-    warnings.warn(
-        "collected_failures() is deprecated; use GridOptions(collector="
-        "FailureCollector()) and collector.failures()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _default_collector.failures()
 
 
 def parse_shard(shard: str | None) -> tuple[int, int] | None:
@@ -386,9 +356,9 @@ def run_grid(
     units serially in-process (the deterministic fallback); ``jobs>1``
     fans out over the configured backend and gathers results by key.
 
-    The pre-executor ``jobs=`` keyword still works but emits a
-    :class:`DeprecationWarning` and cannot be combined with
-    ``options=``.
+    The pre-executor ``jobs=`` keyword has been removed; passing it
+    raises :class:`TypeError` naming the ``GridOptions(jobs=...)``
+    replacement.
 
     With the default ``failures="raise"`` a worker exception propagates
     to the caller, reconstructed from its serialized payload.
@@ -397,9 +367,6 @@ def run_grid(
         options,
         {"jobs": jobs},
         where="run_grid",
-        warn=lambda message: warnings.warn(
-            message, DeprecationWarning, stacklevel=3
-        ),
         factory=GridOptions,
     )
     tasks = [_as_task(unit) for unit in units]

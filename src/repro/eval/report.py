@@ -416,7 +416,7 @@ def _bench_payload(
     stall_data=None,
     grid_info: dict | None = None,
 ) -> dict:
-    """The machine-readable BENCH_eval.json payload (schema v7)."""
+    """The machine-readable BENCH_eval.json payload (schema v8)."""
     runs = [
         run
         for by_strategy in table4_data.runs.values()
@@ -431,7 +431,7 @@ def _bench_payload(
     store = get_cache()
     grid_info = dict(grid_info or {})
     payload = {
-        "schema": 7,
+        "schema": 8,
         "scale": scale,
         "jobs": jobs,
         "wall_seconds": {
@@ -518,6 +518,10 @@ def _bench_payload(
             "resumed_units": timing.counter("grid.resumed_units"),
             "failed_keys": sorted(failure.key for failure in failures),
         },
+        # schema v8: the service benchmark (loadgen latency distribution,
+        # cold-vs-warm per-request compile walls, dedup credit).  None
+        # until `repro report --serve-bench FILE` merges a loadgen run.
+        "serve": None,
         "stalls": _stalls_payload(stall_data),
         "counters": snapshot["counters"],
         "phases": snapshot["phases"],
@@ -583,6 +587,14 @@ def add_report_arguments(parser: argparse.ArgumentParser) -> None:
         "(the BENCH payload plus the rendered text and failure list)",
     )
     parser.add_argument(
+        "--serve-bench",
+        default="",
+        metavar="FILE",
+        help="merge a scripts/loadgen.py --bench-out document into the "
+        "bench payload's 'serve' section (latency percentiles, "
+        "throughput, cold-vs-warm compile walls, dedup credit)",
+    )
+    parser.add_argument(
         "--cache-compare",
         action="store_true",
         help="run the report twice against a fresh artifact-cache "
@@ -616,6 +628,14 @@ def run_report_command(arguments, bench_default: str | None) -> int:
             executor=getattr(arguments, "executor", None),
             shard=getattr(arguments, "shard", None),
         )
+    serve_bench = getattr(arguments, "serve_bench", "")
+    if serve_bench:
+        with open(serve_bench) as handle:
+            result.bench["serve"] = json.load(handle)
+        if bench_out:  # rewrite with the serve section merged in
+            with open(bench_out, "w") as handle:
+                json.dump(result.bench, handle, indent=2, sort_keys=True)
+                handle.write("\n")
     if getattr(arguments, "format", "text") == "json":
         print(
             json.dumps(

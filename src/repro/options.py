@@ -8,9 +8,9 @@ between threads, used as a dict key, and journalled — and every layer of
 the back end threads the *same* object through instead of re-plumbing
 individual keywords.
 
-The legacy keywords still work on ``compile_c``/``CodeGenerator`` through
-a deprecation shim that converts them to a ``CompileOptions`` and emits a
-:class:`DeprecationWarning`.
+The legacy keywords were deprecated through 1.1 and have graduated:
+passing one now raises :class:`TypeError` naming the replacement (see
+:func:`merge_legacy_kwargs`).
 """
 
 from __future__ import annotations
@@ -132,32 +132,31 @@ def merge_legacy_kwargs(
     legacy: dict,
     *,
     where: str,
-    warn,
     factory=CompileOptions,
 ):
-    """Resolve the (options, legacy-keywords) call styles to one record.
+    """Reject the pre-1.1 (legacy-keyword) call styles, helpfully.
 
     ``legacy`` maps keyword name to value for every keyword the caller
-    actually passed (values equal to :data:`UNSET` are dropped here).  A
-    bare string in ``options`` position is treated as the old positional
-    ``strategy`` argument (CompileOptions only).  ``warn`` is called with
-    the deprecation message when any legacy spelling is used.  ``factory``
-    selects the record type — :class:`CompileOptions` (default) or
-    :class:`SimOptions`.
+    actually passed (values equal to :data:`UNSET` are dropped here).
+    The legacy spellings were deprecated through 1.1 and have now
+    graduated: any use raises :class:`TypeError` naming the
+    replacement.  The keywords stay in the public signatures only so
+    old call sites get this message instead of a generic
+    "unexpected keyword argument".  ``factory`` selects the record type
+    — :class:`CompileOptions` (default) or :class:`SimOptions`.
     """
-    passed = {k: v for k, v in legacy.items() if v is not UNSET}
+    passed = sorted(k for k, v in legacy.items() if v is not UNSET)
     if factory is CompileOptions and isinstance(options, str):
         # old positional strategy argument
-        passed.setdefault("strategy", options)
-        options = None
-    if passed:
-        warn(
-            f"{where}: the {', '.join(sorted(passed))} keyword(s) are "
-            f"deprecated; pass options={factory.__name__}(...) instead"
+        raise TypeError(
+            f"{where}: a positional strategy string is no longer "
+            f"accepted; pass options=CompileOptions(strategy="
+            f"{options!r}) instead"
         )
-        if options is not None:
-            raise TypeError(
-                f"{where}: pass either options= or legacy keywords, not both"
-            )
-        return factory(**passed)
+    if passed:
+        raise TypeError(
+            f"{where}: the {', '.join(passed)} keyword(s) were removed; "
+            f"pass options={factory.__name__}"
+            f"({', '.join(f'{name}=...' for name in passed)}) instead"
+        )
     return options if options is not None else factory()

@@ -1,0 +1,233 @@
+"""The asyncio HTTP/1.1 front end for ``repro serve``.
+
+A deliberately small server — stdlib only, HTTP/1.1 with keep-alive,
+JSON bodies in and out — because the interesting machinery (coalescing,
+deadlines, the worker pool) lives in :mod:`repro.serve.service` and the
+contract lives in :mod:`repro.serve.schema`.  Routes:
+
+========  ==================  ==========================================
+method    path                handler
+========  ==================  ==========================================
+POST      ``/v1/compile``     :meth:`Service.handle` (kind ``compile``)
+POST      ``/v1/run``         :meth:`Service.handle` (kind ``run``)
+POST      ``/v1/explain``     :meth:`Service.handle` (kind ``explain``)
+GET       ``/v1/targets``     :meth:`Service.targets`
+GET       ``/v1/healthz``     :meth:`Service.healthz`
+GET       ``/v1/stats``       :meth:`Service.stats`
+========  ==================  ==========================================
+
+Every response body is a JSON document carrying ``"api"``; every error
+body follows :func:`repro.serve.schema.error_body`.  Unknown paths get
+404 with the ``unknown_endpoint`` taxonomy code, wrong methods 405,
+oversized bodies 413, invalid JSON 400 — all in the same envelope, so a
+client needs exactly one error parser.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import RequestError
+from repro.serve import schema
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_POST_ROUTES = {
+    "/v1/compile": "compile",
+    "/v1/run": "run",
+    "/v1/explain": "explain",
+}
+_GET_ROUTES = ("/v1/targets", "/v1/healthz", "/v1/stats")
+
+_MAX_HEADER_BYTES = 32 << 10
+
+
+class _HttpError(Exception):
+    """An error detected before (or instead of) dispatch; carries the
+    taxonomy body so the client sees the standard error envelope."""
+
+    def __init__(self, status: int, code: str, message: str, **details):
+        self.status = status
+        self.body = schema.error_body(
+            {
+                "type": "RequestError",
+                "message": message,
+                "marion": True,
+                "details": {"code": code, **details},
+            }
+        )
+        super().__init__(message)
+
+
+def _encode(status: int, body: dict, *, keep_alive: bool) -> bytes:
+    payload = json.dumps(body).encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode() + payload
+
+
+async def _read_request(reader, max_body: int):
+    """One request off the stream -> ``(method, path, headers, body)``.
+
+    Returns ``None`` on clean EOF between requests (client closed a
+    keep-alive connection); raises :class:`_HttpError` on anything
+    malformed.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise _HttpError(
+            400, "bad_request", "truncated HTTP request head"
+        ) from None
+    except asyncio.LimitOverrunError:
+        raise _HttpError(
+            413, "payload_too_large", "request head too large"
+        ) from None
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _HttpError(413, "payload_too_large", "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise _HttpError(
+            400, "bad_request", f"malformed request line {lines[0]!r}"
+        )
+    method, path, _version = parts
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _HttpError(
+                400, "bad_request", f"malformed header line {line!r}"
+            )
+        headers[name.strip().lower()] = value.strip()
+
+    length = headers.get("content-length", "0")
+    try:
+        length = int(length)
+    except ValueError:
+        raise _HttpError(
+            400, "bad_request", f"bad Content-Length {length!r}"
+        ) from None
+    if length < 0:
+        raise _HttpError(400, "bad_request", "negative Content-Length")
+    if length > max_body:
+        raise _HttpError(
+            413,
+            "payload_too_large",
+            f"request body of {length} bytes exceeds the "
+            f"{max_body}-byte limit",
+            limit=max_body,
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+def _parse_json(body: bytes) -> dict:
+    if not body:
+        raise RequestError("request body must be a JSON object")
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise RequestError(
+            f"request body is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(doc, dict):
+        raise RequestError(
+            f"request body must be a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+    return doc
+
+
+async def _dispatch(service, method: str, path: str, body: bytes):
+    path = path.split("?", 1)[0]
+    kind = _POST_ROUTES.get(path)
+    if kind is not None:
+        if method != "POST":
+            raise _HttpError(
+                405, "method_not_allowed", f"{path} only accepts POST"
+            )
+        try:
+            doc = _parse_json(body)
+        except RequestError as exc:
+            return schema.error_body_from_exception(exc)
+        return await service.handle(kind, doc)
+    if path in _GET_ROUTES:
+        if method != "GET":
+            raise _HttpError(
+                405, "method_not_allowed", f"{path} only accepts GET"
+            )
+        return getattr(service, path.rsplit("/", 1)[1])()
+    raise _HttpError(
+        404,
+        "unknown_endpoint",
+        f"no such endpoint {path!r}",
+        endpoints=sorted([*_POST_ROUTES, *_GET_ROUTES]),
+    )
+
+
+async def handle_connection(service, reader, writer) -> None:
+    """One client connection: serve requests until the client stops
+    keeping the connection alive (or the service starts draining)."""
+    try:
+        while True:
+            try:
+                request = await _read_request(
+                    reader, service.options.max_body_bytes
+                )
+            except _HttpError as exc:
+                writer.write(
+                    _encode(exc.status, exc.body, keep_alive=False)
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            method, path, headers, body = request
+            keep_alive = (
+                headers.get("connection", "keep-alive").lower() != "close"
+                and not service._draining
+            )
+            try:
+                status, doc = await _dispatch(service, method, path, body)
+            except _HttpError as exc:
+                status, doc = exc.status, exc.body
+            writer.write(_encode(status, doc, keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+        pass
+    except asyncio.CancelledError:
+        # drain/teardown cancelled an idle keep-alive connection; end the
+        # task cleanly so the stream protocol has nothing to log
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except Exception:
+            pass

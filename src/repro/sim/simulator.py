@@ -9,7 +9,6 @@ halts the run, and the result is read from the CWVM result register.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 
 from repro.backend.insts import MachineInstr
@@ -110,9 +109,6 @@ class Simulator:
             options,
             {"cache": cache, "model_timing": model_timing},
             where="Simulator",
-            warn=lambda message: warnings.warn(
-                message, DeprecationWarning, stacklevel=3
-            ),
             factory=SimOptions,
         )
         self.executable = executable
@@ -171,32 +167,30 @@ class Simulator:
         after every executed instruction (cycle is 0 when timing is off)
         — a debugging hook for watching generated code execute.  The
         pre-1.1 spellings (``max_instructions=``/``max_cycles=``
-        keywords, ``trace=`` for the watch callback) still work behind a
-        :class:`DeprecationWarning`.
+        keywords, ``trace=`` for the watch callback) have been removed
+        and raise :class:`TypeError` naming the replacement.
         """
         run_options = options if options is not None else self.options
-        legacy = {}
-        if max_instructions is not UNSET:
-            legacy["max_instructions"] = max_instructions
-        if max_cycles is not UNSET:
-            legacy["max_cycles"] = max_cycles
+        legacy = sorted(
+            name
+            for name, value in (
+                ("max_instructions", max_instructions),
+                ("max_cycles", max_cycles),
+            )
+            if value is not UNSET
+        )
         if legacy:
-            warnings.warn(
-                f"Simulator.run: the {', '.join(sorted(legacy))} keyword(s)"
-                " are deprecated; pass options=SimOptions(...) instead",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                f"Simulator.run: the {', '.join(legacy)} keyword(s) were"
+                " removed; pass options=SimOptions("
+                f"{', '.join(f'{name}=...' for name in legacy)}) instead"
             )
-            run_options = run_options.replace(**legacy)
         if trace is not UNSET:
-            warnings.warn(
-                "Simulator.run: the trace= callback keyword is renamed"
-                " watch=; pass options=SimOptions(trace=True) for stall"
-                " accounting",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                "Simulator.run: the trace= callback keyword was removed;"
+                " pass watch=callback (or options=SimOptions(trace=True)"
+                " for stall accounting) instead"
             )
-            watch = trace
         cache = self.cache if options is None else _resolve_cache(
             run_options.cache
         )
@@ -962,9 +956,6 @@ def run_program(
             "max_cycles": max_cycles,
         },
         where="run_program",
-        warn=lambda message: warnings.warn(
-            message, DeprecationWarning, stacklevel=3
-        ),
         factory=SimOptions,
     )
     simulator = Simulator(executable, options)

@@ -61,31 +61,31 @@ def test_exported_at_top_level():
     assert repro.CompileOptions is CompileOptions
 
 
-# -- the deprecation shim --------------------------------------------------
+# -- the graduated legacy spellings ----------------------------------------
 
 
-def test_compile_c_legacy_kwargs_warn_but_work():
-    with pytest.warns(DeprecationWarning, match="strategy"):
-        legacy = repro.compile_c(SOURCE, "r2000", strategy="rase")
-    modern = repro.compile_c(
-        SOURCE, "r2000", CompileOptions(strategy="rase")
-    )
-    assert legacy.instruction_count() == modern.instruction_count()
+def test_compile_c_legacy_kwargs_raise_naming_replacement():
+    with pytest.raises(TypeError, match=r"CompileOptions\(strategy=\.\.\.\)"):
+        repro.compile_c(SOURCE, "r2000", strategy="rase")
 
 
-def test_compile_c_positional_strategy_string_still_accepted():
-    with pytest.warns(DeprecationWarning):
-        legacy = repro.compile_c(SOURCE, "r2000", "ips")
-    modern = repro.compile_c(SOURCE, "r2000", CompileOptions(strategy="ips"))
-    assert legacy.instruction_count() == modern.instruction_count()
+def test_compile_c_positional_strategy_string_raises():
+    with pytest.raises(
+        TypeError, match="no longer accepted.*CompileOptions"
+    ):
+        repro.compile_c(SOURCE, "r2000", "ips")
 
 
 def test_compile_c_rejects_options_plus_legacy_kwargs():
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(TypeError, match="not both"):
-            repro.compile_c(
-                SOURCE, "r2000", CompileOptions(), strategy="rase"
-            )
+    with pytest.raises(TypeError, match="strategy"):
+        repro.compile_c(SOURCE, "r2000", CompileOptions(), strategy="rase")
+
+
+def test_compile_c_legacy_error_names_every_kwarg():
+    with pytest.raises(TypeError, match="heuristic, schedule"):
+        repro.compile_c(
+            SOURCE, "r2000", heuristic="fifo", schedule=False
+        )
 
 
 def test_compile_c_modern_call_does_not_warn(recwarn):
@@ -108,12 +108,10 @@ def test_codegen_threads_options_through():
     assert generator.strategy.heuristic == "fifo"
 
 
-def test_codegen_legacy_kwargs_warn():
+def test_codegen_legacy_kwargs_raise():
     target = repro.load_target("r2000")
-    with pytest.warns(DeprecationWarning, match="CodeGenerator"):
-        generator = CodeGenerator(target, strategy="rase")
-    assert generator.strategy_name == "rase"
-    assert generator.options == CompileOptions(strategy="rase")
+    with pytest.raises(TypeError, match="CodeGenerator.*strategy"):
+        CodeGenerator(target, strategy="rase")
 
 
 def test_get_strategy_builds_options_when_missing():
@@ -126,11 +124,9 @@ def test_get_strategy_builds_options_when_missing():
 
 
 def test_merge_legacy_kwargs_no_legacy_passes_options_through():
-    calls = []
     options = CompileOptions(strategy="rase")
-    merged = merge_legacy_kwargs(options, {}, where="f", warn=calls.append)
-    assert merged is options
-    assert not calls
+    assert merge_legacy_kwargs(options, {}, where="f") is options
+    assert merge_legacy_kwargs(None, {}, where="f") == CompileOptions()
 
 
 def test_memory_size_reaches_the_linker():

@@ -344,34 +344,25 @@ def test_shard_partitions_the_key_space(tmp_path):
         GridOptions(shard="0/2")
 
 
-def test_legacy_jobs_keyword_warns_and_still_works():
+def test_legacy_jobs_keyword_raises_naming_replacement():
     units = [GridTask("sq/2", _square, (2,))]
-    with pytest.warns(DeprecationWarning, match="pass options=GridOptions"):
-        assert run_grid(units, jobs=1) == [4]
-    # the shim warns before it notices the conflict, so catch both
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(TypeError, match="not both"):
-            run_grid(units, GridOptions(jobs=1), jobs=1)
+    with pytest.raises(TypeError, match=r"GridOptions\(jobs=\.\.\.\)"):
+        run_grid(units, jobs=1)
+    with pytest.raises(TypeError, match="jobs"):
+        run_grid(units, GridOptions(jobs=1), jobs=1)
 
 
-def test_module_level_failure_helpers_are_deprecated_aliases():
+def test_module_level_failure_helpers_are_gone():
     from repro.eval import grid
 
-    with pytest.warns(DeprecationWarning, match="FailureCollector"):
-        grid.reset_failures()
-    units = [GridTask("boom", _boom, ("scoped",))]
-    run_grid(units, GridOptions(jobs=1, failures="collect"))
-    with pytest.warns(DeprecationWarning, match="FailureCollector"):
-        collected = grid.collected_failures()
-    assert [f.key for f in collected] == ["boom"]
-    # a run with its own collector does not leak into the default one
+    assert not hasattr(grid, "reset_failures")
+    assert not hasattr(grid, "collected_failures")
+    # the replacement: per-run collectors, fully scoped
     mine = FailureCollector()
     run_grid(
         [GridTask("boom2", _boom, ("mine",))],
         GridOptions(jobs=1, failures="collect", collector=mine),
     )
-    with pytest.warns(DeprecationWarning, match="FailureCollector"):
-        assert [f.key for f in grid.collected_failures()] == ["boom"]
     assert [f.key for f in mine.failures()] == ["boom2"]
 
 

@@ -1,4 +1,4 @@
-"""The SimOptions record and the legacy-keyword deprecation shims."""
+"""The SimOptions record and the graduated legacy keyword spellings."""
 
 import dataclasses
 
@@ -39,16 +39,14 @@ def test_sim_options_defaults_and_replace():
 # -- constructor shim --------------------------------------------------------
 
 
-def test_simulator_legacy_kwargs_warn(exe):
-    with pytest.warns(DeprecationWarning, match="pass options=SimOptions"):
-        sim = Simulator(exe, model_timing=False)
-    assert sim.options.model_timing is False
+def test_simulator_legacy_kwargs_raise(exe):
+    with pytest.raises(TypeError, match=r"SimOptions\(model_timing=\.\.\.\)"):
+        Simulator(exe, model_timing=False)
 
 
 def test_simulator_options_plus_legacy_is_an_error(exe):
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(TypeError, match="not both"):
-            Simulator(exe, repro.SimOptions(), model_timing=False)
+    with pytest.raises(TypeError, match="model_timing"):
+        Simulator(exe, repro.SimOptions(), model_timing=False)
 
 
 def test_simulator_cache_resolution(exe):
@@ -77,19 +75,16 @@ def test_run_options_override_constructor(exe):
     assert sim.run("f", (3, 4)).cycles == timed.cycles
 
 
-def test_run_legacy_limit_kwargs_warn(exe):
+def test_run_legacy_limit_kwargs_raise(exe):
     sim = Simulator(exe)
-    with pytest.warns(DeprecationWarning, match="max_instructions"):
-        result = sim.run("f", (2, 2), max_instructions=10_000)
-    assert result.return_value["int"] == 11
+    with pytest.raises(TypeError, match="max_instructions"):
+        sim.run("f", (2, 2), max_instructions=10_000)
 
 
-def test_run_legacy_trace_keyword_is_watch(exe):
+def test_run_legacy_trace_keyword_names_watch(exe):
     sim = Simulator(exe)
-    seen = []
-    with pytest.warns(DeprecationWarning, match="renamed watch="):
-        sim.run("f", (2, 2), trace=lambda pc, instr, cycle: seen.append(pc))
-    assert seen  # callback fired per executed instruction
+    with pytest.raises(TypeError, match="watch="):
+        sim.run("f", (2, 2), trace=lambda pc, instr, cycle: None)
 
 
 def test_run_watch_callback(exe):
@@ -129,16 +124,14 @@ def test_run_program_options(exe):
     assert result.cycles == result.instructions
 
 
-def test_run_program_legacy_kwargs_warn(exe):
-    with pytest.warns(DeprecationWarning, match="pass options=SimOptions"):
-        result = run_program(exe, "f", (5, 6), model_timing=False)
-    assert result.return_value["int"] == 37
+def test_run_program_legacy_kwargs_raise(exe):
+    with pytest.raises(TypeError, match="pass options=SimOptions"):
+        run_program(exe, "f", (5, 6), model_timing=False)
 
 
-def test_simulate_legacy_kwargs_warn(exe):
-    with pytest.warns(DeprecationWarning, match="pass options=SimOptions"):
-        result = repro.simulate(exe, "f", (1, 1), model_timing=False)
-    assert result.return_value["int"] == 8
+def test_simulate_legacy_kwargs_raise(exe):
+    with pytest.raises(TypeError, match="pass options=SimOptions"):
+        repro.simulate(exe, "f", (1, 1), model_timing=False)
 
 
 def test_simulate_options_form_is_warning_free(exe):
