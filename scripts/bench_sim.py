@@ -97,7 +97,60 @@ def bench_unit(
         "jit_segments": result.jit_segments,
         "jit_hits": result.jit_hits,
         "jit_deopts": result.jit_deopts,
+        "jit_superblocks": result.jit_superblocks,
+        "jit_side_exits": result.jit_side_exits,
     }
+
+
+def profile_segments(target, kernel_id, strategy, scale, top):
+    """The ``top`` hottest segment entries of one unit.
+
+    Pass 1 runs under an infinite-warmup JIT whose per-entry warmup
+    counter then records every dispatch (nothing ever compiles, so
+    chained loops cannot swallow iterations).  Pass 2 runs twice under a
+    fresh default JIT to learn each entry's fate: plain segment, chained
+    self-loop, trace-superblock head, or refusal."""
+    from repro.sim.jit import SegmentJIT
+
+    spec = kernel_by_id(kernel_id)
+    executable = repro.compile_c(
+        spec.source, target, repro.CompileOptions(strategy=strategy)
+    )
+    loop, n = spec.args
+    n = max(4, int(n * scale))
+    options = repro.SimOptions(cache=DirectMappedCache())
+    executable._segment_jit = SegmentJIT(executable, warmup=1 << 62)
+    repro.simulate(executable, "bench", args=(loop, n), options=options)
+    dispatches = dict(executable._segment_jit._dispatches)
+    executable._segment_jit = SegmentJIT(executable)
+    repro.simulate(executable, "bench", args=(loop, n), options=options)
+    repro.simulate(executable, "bench", args=(loop, n), options=options)
+    table = executable._segment_jit.functions(True)
+    rows = []
+    ranked = sorted(dispatches.items(), key=lambda item: (-item[1], item[0]))
+    for entry, hits in ranked[:top]:
+        record = table.get(entry, "cold")
+        if record == "cold":
+            status = "interpreted"
+        elif record is None:
+            status = "refused"
+        elif record[2]:
+            status = "trace-superblock"
+        elif "while 1:" in record[0]._jit_source:
+            status = "chained-loop"
+        else:
+            status = "segment"
+        rows.append(
+            {
+                "target": target,
+                "kernel": kernel_id,
+                "strategy": strategy,
+                "entry": entry,
+                "dispatch_hits": hits,
+                "status": status,
+            }
+        )
+    return rows
 
 
 def cache_compare_unit(target, kernel_id, strategy, scale):
@@ -182,6 +235,15 @@ def main(argv=None):
         "below RATIO, the warm run translated JIT segments, or results "
         "differ",
     )
+    parser.add_argument(
+        "--profile-segments",
+        type=int,
+        default=None,
+        metavar="N",
+        help="dump the N hottest segment entries per unit (entry pc, "
+        "dispatch hits, segment/chained-loop/trace status) instead of "
+        "benchmarking",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON")
     args = parser.parse_args(argv)
 
@@ -190,6 +252,28 @@ def main(argv=None):
         configure_cache(enabled=False)
 
     targets = [t.strip() for t in args.targets.split(",") if t.strip()]
+
+    if args.profile_segments is not None:
+        profile_rows = []
+        for target in targets:
+            profile_rows.extend(
+                profile_segments(
+                    target, args.kernel, args.strategy, args.scale,
+                    args.profile_segments,
+                )
+            )
+        if args.json:
+            print(json.dumps(profile_rows, indent=2))
+        else:
+            for row in profile_rows:
+                print(
+                    f"{row['target']:8s} K{row['kernel']}/{row['strategy']} "
+                    f"pc={row['entry']:<6d} "
+                    f"{row['dispatch_hits']:>8d} dispatches  "
+                    f"{row['status']}"
+                )
+        return 0
+
     rows = []
     failed = False
     for target in targets:
@@ -283,6 +367,11 @@ def main(argv=None):
                 line += (
                     f", jit: {row['jit_segments']} segments, "
                     f"{row['jit_hits']} hits, {row['jit_deopts']} deopts"
+                )
+            if row.get("jit_superblocks") or row.get("jit_side_exits"):
+                line += (
+                    f", {row['jit_superblocks']} superblocks "
+                    f"({row['jit_side_exits']} side exits)"
                 )
             if "mismatch" in row:
                 line += f"  !! MISMATCH in {row['mismatch']}"

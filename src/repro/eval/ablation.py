@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import repro
-from repro.backend.codegen import CodeGenerator
+from repro.eval.common import compile_kernel
 from repro.eval.grid import (
     GridFailure,
     GridOptions,
@@ -37,9 +37,7 @@ from repro.eval.grid import (
     run_grid,
     with_jobs,
 )
-from repro.frontend import compile_to_il
 from repro.options import CompileOptions
-from repro.program import link
 from repro.targets import load_cached_variant
 from repro.targets.i860 import I860_MARIL, build_i860
 from repro.utils.tables import TextTable
@@ -102,11 +100,12 @@ def _i860(eap: bool):
 
 
 def _compile_for(target, source: str, strategy: str):
-    generator = CodeGenerator(target, CompileOptions(strategy=strategy))
-    machine_program = generator.compile_il(compile_to_il(source))
-    executable = link(machine_program)
-    executable.machine_program = machine_program
-    return executable
+    # through the batch memo (and the exe layer of the artifact cache,
+    # since the cached variants carry content keys) so shared scopes
+    # reuse warmed executables instead of re-warming per section
+    return compile_kernel(
+        source, target, CompileOptions(strategy=strategy)
+    )
 
 
 def _marginal_kernel_cycles(executable, loop: int, n: int) -> tuple[int, float]:
@@ -172,12 +171,12 @@ def _heuristic_unit(
     spec = kernel_by_id(kernel_id)
     loop, n = spec.args
     n = max(4, int(n * scale))
-    maxdist_exe = repro.compile_c(
+    maxdist_exe = compile_kernel(
         spec.source,
         target,
         CompileOptions(strategy=strategy, heuristic="maxdist"),
     )
-    fifo_exe = repro.compile_c(
+    fifo_exe = compile_kernel(
         spec.source,
         target,
         CompileOptions(strategy=strategy, heuristic="fifo"),
@@ -217,12 +216,12 @@ def _delay_fill_unit(
     spec = kernel_by_id(kernel_id)
     loop, n = spec.args
     n = max(4, int(n * scale))
-    filled_exe = repro.compile_c(
+    filled_exe = compile_kernel(
         spec.source,
         target,
         CompileOptions(strategy=strategy, fill_delay_slots=True),
     )
-    nops_exe = repro.compile_c(
+    nops_exe = compile_kernel(
         spec.source, target, CompileOptions(strategy=strategy)
     )
     filled_cycles, filled_value = _marginal_kernel_cycles(filled_exe, loop, n)

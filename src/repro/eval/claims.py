@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 
 import repro
+from repro.eval.common import compile_kernel
 from repro.eval.grid import (
     GridFailure,
     GridOptions,
@@ -101,7 +102,7 @@ def _strategy_unit(
         n = max(4, int(n * scale))
     cycles = {}
     for strategy in ("postpass", "ips", "rase"):
-        exe = repro.compile_c(
+        exe = compile_kernel(
             source, target, repro.CompileOptions(strategy=strategy)
         )
         cycles[strategy] = _marginal_cycles(exe, loop, n)
@@ -166,10 +167,10 @@ def _baseline_unit(kernel_id: int, target: str, scale: float) -> tuple[int, floa
     spec = kernel_by_id(kernel_id)
     loop, n = spec.args
     n = max(4, int(n * scale))
-    rase = repro.compile_c(
+    rase = compile_kernel(
         spec.source, target, repro.CompileOptions(strategy="rase")
     )
-    baseline = repro.compile_c(
+    baseline = compile_kernel(
         spec.source,
         target,
         repro.CompileOptions(strategy="postpass", schedule=False),
@@ -227,7 +228,11 @@ class CompileTimeClaim:
 
 
 def claim_compile_time_ordering(repeat: int = 2) -> CompileTimeClaim:
-    data = measure_table3(targets=("r2000", "i860"), repeat=repeat)
+    # compile-time rows only: the claim never reads dilation, so skip
+    # the simulation pass the full Table 3 section pays for
+    data = measure_table3(
+        targets=("r2000", "i860"), repeat=repeat, simulate=False
+    )
     return CompileTimeClaim(
         postpass_seconds=data.row("Marion, r2000, postpass").seconds,
         ips_seconds=data.row("Marion, r2000, ips").seconds,

@@ -106,12 +106,20 @@ class GridTask:
     records, failure cells display and resume matches on.  Keys follow
     the ``section/target/strategy/kernel`` convention (for example
     ``table4/r2000/ips/K7``) and must be unique within one grid.
+
+    ``batch_key`` opts the unit into batched dispatch: under
+    ``GridOptions(batch=N)``, up to N pending units sharing the same
+    non-empty ``batch_key`` run inside one worker task (see
+    :func:`repro.eval.common.run_batch`), sharing that process's warmed
+    executable memo.  Journalling, failure containment and result slots
+    stay per-unit.  The empty default leaves the unit unbatched.
     """
 
     key: str
     fn: Callable
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
+    batch_key: str = ""
 
     def __post_init__(self) -> None:
         if not callable(self.fn):
@@ -192,6 +200,23 @@ class FailureCollector:
 _default_collector = FailureCollector()
 
 
+def resolve_batch(batch: int | None) -> int:
+    """Resolve the batch width: argument, else ``REPRO_BATCH``, else 1."""
+    if batch is None:
+        import os
+
+        env = os.environ.get("REPRO_BATCH", "").strip()
+        if not env:
+            return 1
+        try:
+            batch = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BATCH must be an integer, got {env!r}"
+            ) from None
+    return max(1, int(batch))
+
+
 def parse_shard(shard: str | None) -> tuple[int, int] | None:
     """``"K/N"`` → ``(K, N)`` with ``1 <= K <= N``; ``None`` passes."""
     if shard is None:
@@ -236,7 +261,12 @@ class GridOptions:
     * ``collector`` — the :class:`FailureCollector` receiving collected
       failures (``None``: a process-wide default);
     * ``steal`` — speculatively resubmit straggler units to idle
-      workers (deterministic: first event per key wins).
+      workers (deterministic: first event per key wins);
+    * ``batch`` — run up to this many pending units sharing a
+      ``GridTask.batch_key`` inside one worker task, so they share a
+      warmed per-process executable memo (``None``: ``REPRO_BATCH`` or
+      1; 1 disables batching).  Results, journal entries and failures
+      stay per-unit.
     """
 
     jobs: int | None = None
@@ -249,12 +279,17 @@ class GridOptions:
     shard: str | None = None
     collector: FailureCollector | None = None
     steal: bool = True
+    batch: int | None = None
 
     def __post_init__(self) -> None:
         if self.failures not in ("raise", "collect"):
             raise ValueError(
                 f"GridOptions.failures must be 'raise' or 'collect', "
                 f"got {self.failures!r}"
+            )
+        if self.batch is not None and int(self.batch) < 1:
+            raise ValueError(
+                f"GridOptions.batch must be >= 1, got {self.batch!r}"
             )
         parse_shard(self.shard)  # validate eagerly
 
@@ -415,6 +450,50 @@ def run_grid(
             timing.add(f"grid.{label}.shard_skipped", skipped)
             timing.add("grid.shard_skipped", skipped)
 
+    # batched dispatch: fold pending units sharing a batch_key into
+    # composite run_batch tasks; slots, journal entries and failures
+    # stay per-member, so tables and resume cannot tell
+    composite_members: dict[str, list[int]] = {}
+    batch = resolve_batch(opts.batch)
+    if batch > 1:
+        from repro.eval.common import run_batch
+
+        groups: dict[str, list[int]] = {}
+        for index in sorted(pending):
+            group_key = tasks[index].batch_key
+            if group_key:
+                groups.setdefault(group_key, []).append(index)
+        serial = 0
+        batched_units = 0
+        for group_key, members in sorted(groups.items()):
+            for start in range(0, len(members), batch):
+                chunk = members[start:start + batch]
+                if len(chunk) < 2:
+                    continue
+                composite = GridTask(
+                    f"{label}/batch:{group_key}#{serial}",
+                    run_batch,
+                    (
+                        [
+                            (
+                                tasks[i].fn,
+                                tasks[i].args,
+                                dict(tasks[i].kwargs),
+                            )
+                            for i in chunk
+                        ],
+                    ),
+                )
+                serial += 1
+                batched_units += len(chunk)
+                composite_members[composite.key] = chunk
+                for i in chunk:
+                    del pending[i]
+                pending[chunk[0]] = composite
+        if batched_units:
+            timing.add(f"grid.{label}.batched_units", batched_units)
+            timing.add("grid.batched_units", batched_units)
+
     def record_ok(index: int, value, wall_s: float, by: str = "") -> None:
         results[index] = value
         if journal is not None:
@@ -480,10 +559,42 @@ def run_grid(
             walls.append(event.wall_s)
             if event.key in stolen:
                 backend.cancel(event.key)  # drop the losing queued copy
-            if event.ok:
-                record_ok(index, event.value, event.wall_s, by=event.worker)
-            else:
-                record_failure(index, event.value, event.wall_s, event.attempts)
+            members = composite_members.get(event.key)
+            if members is None:
+                if event.ok:
+                    record_ok(
+                        index, event.value, event.wall_s, by=event.worker
+                    )
+                else:
+                    record_failure(
+                        index, event.value, event.wall_s, event.attempts
+                    )
+                continue
+            # explode a composite back into its members' slots
+            share = event.wall_s / len(members)
+            payloads = event.value if event.ok else None
+            if payloads is None or len(payloads) != len(members):
+                # the whole batch died (timeout, crash, malformed
+                # return): every member failed
+                payload = (
+                    event.value
+                    if not event.ok
+                    else {
+                        "type": "GridBatchError",
+                        "module": "repro.errors",
+                        "message": "batched worker returned "
+                        f"{0 if payloads is None else len(payloads)} "
+                        f"results for {len(members)} units",
+                    }
+                )
+                for member_index in members:
+                    record_failure(member_index, payload, share, event.attempts)
+                continue
+            for member_index, (status, value) in zip(members, payloads):
+                if status == "ok":
+                    record_ok(member_index, value, share, by=event.worker)
+                else:
+                    record_failure(member_index, value, share, event.attempts)
     except BaseException:
         # failures="raise", KeyboardInterrupt, ... — don't wait for
         # stragglers, the journal already holds everything completed

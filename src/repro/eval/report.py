@@ -49,6 +49,7 @@ from repro.eval.claims import (
     claim_rase_vs_unscheduled,
     claim_strategy_speedup,
 )
+from repro.eval.common import shared_executables
 from repro.eval.figure7 import figure7
 from repro.eval.executors import Executor, LocalPoolExecutor, resolve_executor
 from repro.eval.grid import (
@@ -121,6 +122,7 @@ def generate_report(
     resume: str | None = None,
     executor: str | Executor | None = None,
     shard: str | None = None,
+    batch: int | None = None,
 ) -> ReportResult:
     """Run every experiment; never raises for a failed work unit.
 
@@ -131,8 +133,9 @@ def generate_report(
     backend serves every section, so its workers stay warm from table to
     table.  ``shard="K/N"`` runs only this run's slice of every grid;
     point the shards at one shared journal and finish with an unsharded
-    resume run to merge.  Inspect ``.failures`` (and exit nonzero) on a
-    degraded run.
+    resume run to merge.  ``batch`` routes up to that many same-(target,
+    strategy) units through one worker task (``None``: ``REPRO_BATCH``).
+    Inspect ``.failures`` (and exit nonzero) on a degraded run.
     """
     jobs = resolve_jobs(jobs)
     timeout = resolve_timeout(timeout)
@@ -157,169 +160,180 @@ def generate_report(
         executor=backend,
         shard=shard,
         collector=collector,
+        batch=batch,
     )
     timing.reset()
     timing.enable()
-    sections: list[str] = []
-    section_seconds: dict[str, float] = {}
+    # the whole report is one shared-executable scope: every unit — run
+    # in-process or in a worker forked after this point — compiles
+    # through the batch memo, so sections that revisit the same
+    # (kernel, target, strategy) share one warmed executable instead of
+    # unpickling and re-warming it per section
+    memo_scope = shared_executables()
+    memo_scope.__enter__()
+    try:
+        sections: list[str] = []
+        section_seconds: dict[str, float] = {}
 
-    def section(title: str, body_fn) -> None:
+        def section(title: str, body_fn) -> None:
+            start = time.time()
+            body = body_fn()
+            section_seconds[title.split(" — ")[0]] = time.time() - start
+            sections.append(f"{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
+
         start = time.time()
-        body = body_fn()
-        section_seconds[title.split(" — ")[0]] = time.time() - start
-        sections.append(f"{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
-
-    start = time.time()
-    section(
-        "Table 1 — machine description statistics",
-        lambda: table1(options=options),
-    )
-    section("Table 2 — system source code size", table2)
-    section("Table 3 — compile time and dilation", lambda: table3(repeat=2))
-
-    measure_start = time.time()
-    table4_data = table4_measure(
-        scale=scale, cache=True, options=options
-    )
-    measure_seconds = time.time() - measure_start
-    section(
-        f"Table 4 — Livermore Loops (scale={scale})",
-        lambda: table4_render(table4_data),
-    )
-    section_seconds["Table 4"] += measure_seconds
-    section("Figure 7 — i860 dual-operation schedule", figure7)
-
-    stall_start = time.time()
-    stall_data = measure_stalls(options=options)
-    stall_seconds = time.time() - stall_start
-    section(
-        "Stall attribution — where the cycles go, per target",
-        lambda: render_stalls(stall_data),
-    )
-    section_seconds["Stall attribution"] += stall_seconds
-
-    def c1() -> str:
-        claim = claim_strategy_speedup(scale=scale, options=options)
-        lines = [
-            f"  workload {kid or 'unrolled-hydro'}: postpass/ips={ips:.3f}  "
-            f"postpass/rase={rase:.3f}"
-            for kid, (ips, rase) in sorted(claim.per_kernel.items())
-        ]
-        lines += [
-            f"  FAILED: {failure.summary()}" for failure in claim.failures
-        ]
-        return (
-            "\n".join(lines)
-            + f"\n  geomean: IPS {claim.ips_speedup:.3f}, "
-            f"RASE {claim.rase_speedup:.3f}"
+        section(
+            "Table 1 — machine description statistics",
+            lambda: table1(options=options),
         )
+        section("Table 2 — system source code size", table2)
+        section("Table 3 — compile time and dilation", lambda: table3(repeat=2))
 
-    section("Claim C1 — IPS/RASE vs Postpass on computation-intensive code", c1)
-
-    def c3() -> str:
-        baseline_claim = claim_rase_vs_unscheduled(scale=scale, options=options)
-        lines = [
-            f"  K{kid}: {ratio:.3f}"
-            for kid, ratio in sorted(baseline_claim.per_kernel.items())
-        ]
-        lines += [
-            f"  FAILED: {failure.summary()}"
-            for failure in baseline_claim.failures
-        ]
-        return (
-            "\n".join(lines)
-            + f"\n  geomean speedup: {baseline_claim.geomean_speedup:.3f}"
+        measure_start = time.time()
+        table4_data = table4_measure(
+            scale=scale, cache=True, options=options
         )
-
-    section("Claim C3 — RASE vs unscheduled (local-only) baseline", c3)
-
-    def c2() -> str:
-        compile_claim = claim_compile_time_ordering(repeat=2)
-        return (
-            f"  postpass {compile_claim.postpass_seconds:.3f}s < "
-            f"ips {compile_claim.ips_seconds:.3f}s < "
-            f"rase {compile_claim.rase_seconds:.3f}s : "
-            f"{'holds' if compile_claim.ordering_holds else 'VIOLATED'}\n"
-            f"  i860/r2000 total back-end time: {compile_claim.i860_slowdown:.2f}x"
+        measure_seconds = time.time() - measure_start
+        section(
+            f"Table 4 — Livermore Loops (scale={scale})",
+            lambda: table4_render(table4_data),
         )
+        section_seconds["Table 4"] += measure_seconds
+        section("Figure 7 — i860 dual-operation schedule", figure7)
 
-    section("Claim C2 — compile-time orderings", c2)
-
-    def a1() -> str:
-        dual = ablation_temporal_dual()
-        rows = ablation_temporal(
-            kernel_ids=(1, 3, 7), scale=scale, options=options
+        stall_start = time.time()
+        stall_data = measure_stalls(options=options)
+        stall_seconds = time.time() - stall_start
+        section(
+            "Stall attribution — where the cycles go, per target",
+            lambda: render_stalls(stall_data),
         )
-        return (
-            f"dual-operation-rich fragment: eap={dual.baseline_cycles} "
-            f"monolithic={dual.variant_cycles} "
-            f"(monolithic/eap={dual.ratio:.3f})\n"
-            + render(rows, "per-kernel (kernel-loop cycles)", "monolithic")
-        )
+        section_seconds["Stall attribution"] += stall_seconds
 
-    section("Ablation A1 — temporal scheduling of EAP sub-operations", a1)
+        def c1() -> str:
+            claim = claim_strategy_speedup(scale=scale, options=options)
+            lines = [
+                f"  workload {kid or 'unrolled-hydro'}: postpass/ips={ips:.3f}  "
+                f"postpass/rase={rase:.3f}"
+                for kid, (ips, rase) in sorted(claim.per_kernel.items())
+            ]
+            lines += [
+                f"  FAILED: {failure.summary()}" for failure in claim.failures
+            ]
+            return (
+                "\n".join(lines)
+                + f"\n  geomean: IPS {claim.ips_speedup:.3f}, "
+                f"RASE {claim.rase_speedup:.3f}"
+            )
 
-    section(
-        "Ablation A2 — maximum-distance heuristic vs FIFO",
-        lambda: render(
-            ablation_heuristic(
-                kernel_ids=(1, 6, 7), scale=scale, options=options
+        section("Claim C1 — IPS/RASE vs Postpass on computation-intensive code", c1)
+
+        def c3() -> str:
+            baseline_claim = claim_rase_vs_unscheduled(scale=scale, options=options)
+            lines = [
+                f"  K{kid}: {ratio:.3f}"
+                for kid, ratio in sorted(baseline_claim.per_kernel.items())
+            ]
+            lines += [
+                f"  FAILED: {failure.summary()}"
+                for failure in baseline_claim.failures
+            ]
+            return (
+                "\n".join(lines)
+                + f"\n  geomean speedup: {baseline_claim.geomean_speedup:.3f}"
+            )
+
+        section("Claim C3 — RASE vs unscheduled (local-only) baseline", c3)
+
+        def c2() -> str:
+            compile_claim = claim_compile_time_ordering(repeat=2)
+            return (
+                f"  postpass {compile_claim.postpass_seconds:.3f}s < "
+                f"ips {compile_claim.ips_seconds:.3f}s < "
+                f"rase {compile_claim.rase_seconds:.3f}s : "
+                f"{'holds' if compile_claim.ordering_holds else 'VIOLATED'}\n"
+                f"  i860/r2000 total back-end time: {compile_claim.i860_slowdown:.2f}x"
+            )
+
+        section("Claim C2 — compile-time orderings", c2)
+
+        def a1() -> str:
+            dual = ablation_temporal_dual()
+            rows = ablation_temporal(
+                kernel_ids=(1, 3, 7), scale=scale, options=options
+            )
+            return (
+                f"dual-operation-rich fragment: eap={dual.baseline_cycles} "
+                f"monolithic={dual.variant_cycles} "
+                f"(monolithic/eap={dual.ratio:.3f})\n"
+                + render(rows, "per-kernel (kernel-loop cycles)", "monolithic")
+            )
+
+        section("Ablation A1 — temporal scheduling of EAP sub-operations", a1)
+
+        section(
+            "Ablation A2 — maximum-distance heuristic vs FIFO",
+            lambda: render(
+                ablation_heuristic(
+                    kernel_ids=(1, 6, 7), scale=scale, options=options
+                ),
+                "kernel-loop cycles",
+                "fifo",
             ),
-            "kernel-loop cycles",
-            "fifo",
-        ),
-    )
+        )
 
-    section(
-        "Ablation A3 — GH82 delay-slot filling vs nops",
-        lambda: render(
-            ablation_delay_fill(
-                kernel_ids=(1, 5, 12), scale=scale, options=options
+        section(
+            "Ablation A3 — GH82 delay-slot filling vs nops",
+            lambda: render(
+                ablation_delay_fill(
+                    kernel_ids=(1, 5, 12), scale=scale, options=options
+                ),
+                "kernel-loop cycles",
+                "nops",
             ),
-            "kernel-loop cycles",
-            "nops",
-        ),
-    )
+        )
 
-    failures = collector.failures()
-    if failures:
-        lines = "\n".join(f"  {failure.summary()}" for failure in failures)
+        failures = collector.failures()
+        if failures:
+            lines = "\n".join(f"  {failure.summary()}" for failure in failures)
+            sections.append(
+                f"{'=' * 72}\nFailures — {len(failures)} work unit(s) did not "
+                f"complete\n{'=' * 72}\n{lines}\n"
+            )
+
+        total_seconds = time.time() - start
         sections.append(
-            f"{'=' * 72}\nFailures — {len(failures)} work unit(s) did not "
-            f"complete\n{'=' * 72}\n{lines}\n"
+            f"total evaluation time: {total_seconds:.1f}s (jobs={jobs})\n"
         )
 
-    total_seconds = time.time() - start
-    sections.append(
-        f"total evaluation time: {total_seconds:.1f}s (jobs={jobs})\n"
-    )
-
-    grid_info = {
-        "backend": backend.backend if backend is not None else "inprocess",
-        "workers": jobs,
-        "shard": shard,
-    }
-    bench = _bench_payload(
-        scale,
-        jobs,
-        total_seconds,
-        section_seconds,
-        table4_data,
-        failures,
-        stall_data,
-        grid_info,
-    )
-    if bench_path:
-        with open(bench_path, "w") as handle:
-            json.dump(bench, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-    if owned_executor is not None:
-        owned_executor.close()
-    if journal is not None:
-        journal.close()
-    return ReportResult(
-        text="\n".join(sections), failures=failures, bench=bench
-    )
+        grid_info = {
+            "backend": backend.backend if backend is not None else "inprocess",
+            "workers": jobs,
+            "shard": shard,
+        }
+        bench = _bench_payload(
+            scale,
+            jobs,
+            total_seconds,
+            section_seconds,
+            table4_data,
+            failures,
+            stall_data,
+            grid_info,
+        )
+        if bench_path:
+            with open(bench_path, "w") as handle:
+                json.dump(bench, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if owned_executor is not None:
+            owned_executor.close()
+        if journal is not None:
+            journal.close()
+        return ReportResult(
+            text="\n".join(sections), failures=failures, bench=bench
+        )
+    finally:
+        memo_scope.__exit__(None, None, None)
 
 
 def generate_cache_compare(
@@ -416,7 +430,7 @@ def _bench_payload(
     stall_data=None,
     grid_info: dict | None = None,
 ) -> dict:
-    """The machine-readable BENCH_eval.json payload (schema v8)."""
+    """The machine-readable BENCH_eval.json payload (schema v9)."""
     runs = [
         run
         for by_strategy in table4_data.runs.values()
@@ -431,7 +445,7 @@ def _bench_payload(
     store = get_cache()
     grid_info = dict(grid_info or {})
     payload = {
-        "schema": 8,
+        "schema": 9,
         "scale": scale,
         "jobs": jobs,
         "wall_seconds": {
@@ -474,7 +488,20 @@ def _bench_payload(
                 "hits": timing.counter("sim.jit.hit"),
                 "deopts": timing.counter("sim.jit.deopt"),
             },
+            # schema v9: trace-superblock activity (traces compiled,
+            # side exits taken back into the dispatch loop, preloaded
+            # segment/trace payloads from the artifact cache)
+            "superblock": {
+                "traces": timing.counter("sim.jit.superblocks"),
+                "side_exits": timing.counter("sim.jit.side_exits"),
+                "demoted": timing.counter("sim.jit.sb_demoted"),
+                "preloaded_segments": timing.counter("sim.jit.preloaded"),
+                "preloaded_traces": timing.counter("sim.jit.sb_preloaded"),
+            },
         },
+        # schema v9: batched-dispatch volume (units run inside composite
+        # batch tasks; 0 with batching off)
+        "batched_units": timing.counter("grid.batched_units"),
         "target_cache": {
             "hits": timing.counter("target_cache.hit"),
             "misses": timing.counter("target_cache.miss"),
@@ -580,6 +607,15 @@ def add_report_arguments(parser: argparse.ArgumentParser) -> None:
         "reuse any units it already holds (default: REPRO_JOURNAL)",
     )
     parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="route up to N same-(target, strategy) units through one "
+        "worker task sharing a warmed executable memo "
+        "(default: REPRO_BATCH or 1 = unbatched)",
+    )
+    parser.add_argument(
         "--format",
         default="text",
         choices=("text", "json"),
@@ -627,6 +663,7 @@ def run_report_command(arguments, bench_default: str | None) -> int:
             resume=resume,
             executor=getattr(arguments, "executor", None),
             shard=getattr(arguments, "shard", None),
+            batch=getattr(arguments, "batch", None),
         )
     serve_bench = getattr(arguments, "serve_bench", "")
     if serve_bench:

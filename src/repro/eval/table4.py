@@ -86,6 +86,7 @@ def measure(
             grid_run_kernel,
             (spec.id, target, strategy),
             {"scale": scale, "cache": cache},
+            batch_key=f"{target}/{strategy}",
         )
         for spec in specs
         for strategy in STRATEGIES

@@ -39,6 +39,13 @@ _JIT_DEFAULT = os.environ.get(
     "REPRO_JIT", "1"
 ).lower() not in ("0", "false", "off", "no")
 
+#: process-wide default for :attr:`SimOptions.superblock`, read once at
+#: import.  ``REPRO_SUPERBLOCK=0`` keeps the JIT at straight-line
+#: segments (no trace superblocks) — CI cross-validates both values.
+_SUPERBLOCK_DEFAULT = os.environ.get(
+    "REPRO_SUPERBLOCK", "1"
+).lower() not in ("0", "false", "off", "no")
+
 
 @dataclass(frozen=True)
 class CompileOptions:
@@ -112,6 +119,14 @@ class SimOptions:
       that need per-instruction observation (``trace=True``, ``watch=``,
       ``max_cycles``) are automatically interpreted.  ``REPRO_JIT=0``
       turns it off process-wide.
+    * ``superblock`` — let the segment JIT stitch hot multi-segment
+      traces (loop nests, if-diamonds) into single compiled superblocks
+      with the block-timing probe inlined, so steady-state loop
+      iterations never return to the dispatch loop.  Bit-identical to
+      plain segments (a superblock closes exactly the same per-segment
+      timing units in the same order); only meaningful with ``jit=True``
+      on the fast-timing path.  ``REPRO_SUPERBLOCK=0`` turns it off
+      process-wide.
     """
 
     cache: object = None
@@ -121,6 +136,7 @@ class SimOptions:
     trace: bool = False
     fast_timing: bool = _FAST_TIMING_DEFAULT
     jit: bool = _JIT_DEFAULT
+    superblock: bool = _SUPERBLOCK_DEFAULT
 
     def replace(self, **changes) -> "SimOptions":
         """A copy with the given fields changed (frozen-friendly)."""

@@ -409,6 +409,24 @@ class Service:
                 "compiled": timing.counter("compile.compiled"),
                 "cgg_builds": timing.counter("cgg.builds"),
             },
+            "sim": {
+                "jit": {
+                    "segments": timing.counter("sim.jit.segments"),
+                    "hits": timing.counter("sim.jit.hit"),
+                    "deopts": timing.counter("sim.jit.deopt"),
+                },
+                "superblock": {
+                    "traces": timing.counter("sim.jit.superblocks"),
+                    "side_exits": timing.counter("sim.jit.side_exits"),
+                    "demoted": timing.counter("sim.jit.sb_demoted"),
+                    "preloaded_segments": timing.counter(
+                        "sim.jit.preloaded"
+                    ),
+                    "preloaded_traces": timing.counter(
+                        "sim.jit.sb_preloaded"
+                    ),
+                },
+            },
             "artifact_cache": {
                 "enabled": store.enabled,
                 "root": str(store.root),

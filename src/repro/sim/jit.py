@@ -39,6 +39,22 @@ Inside the generated function:
   lives in locals), and every exit flushes the union of all views the
   body can write (a previous iteration may have taken any path).
 
+On top of single segments, hot multi-segment *traces* are stitched into
+**superblocks** (:class:`_TraceCodegen`): the driver profiles taken
+segment edges, and once an edge crosses :data:`SUPERBLOCK_WARMUP` the
+greedy selector follows terminal-goto successors while the profile
+stays hot, bounded by :data:`SUPERBLOCK_MAX_NODES`.  The whole trace
+becomes one generated function with the block-timing memo *probe*
+inlined at every internal segment transition — a hit costs one dict
+lookup inside generated code, and only a miss calls back into
+:meth:`BlockTimingCache.close`.  Any taken exit targeting the trace
+head becomes a back-edge of one outer ``while 1`` (probe + fuse check +
+``continue``), so steady-state iterations of multi-segment loops never
+return to the dispatch loop; every other exit is a *side exit* that
+returns with the final segment left open for the driver to close —
+timing keys, close order and event streams are exactly the ones plain
+segments produce, which is what keeps superblocks bit-identical on/off.
+
 Anything the translator does not cover — temporal registers, invalid
 double pairings, control in a delay slot, unallocated operands — is
 refused statically (:class:`Uncompilable`) and that entry permanently
@@ -84,6 +100,39 @@ except ValueError:  # pragma: no cover - defensive
 
 #: guard failures before a compiled entry is blacklisted
 MAX_DEOPTS = 8
+
+#: taken-edge traversals of one (from, to) segment edge before a trace
+#: superblock is attempted at the edge's source entry
+try:
+    SUPERBLOCK_WARMUP = int(os.environ.get("REPRO_SB_WARMUP", "64"))
+except ValueError:  # pragma: no cover - defensive
+    SUPERBLOCK_WARMUP = 64
+
+#: an internal trace edge must have been taken at least this often for
+#: the greedy selector to keep extending the trace through it
+SUPERBLOCK_MIN_EDGE = max(1, SUPERBLOCK_WARMUP // 4)
+
+#: maximum number of segments stitched into one superblock
+SUPERBLOCK_MAX_NODES = 8
+
+#: trace-call quality window: every WINDOW side exits the trace's
+#: early-exit rate is judged, and a trace whose cold-side exits (side
+#: exits before the first back-edge) exceed RATIO of the window is
+#: demoted back to its plain segment.  Selection is profile-guided; a
+#: data-dependent branch that is not as biased as warmup suggested
+#: leaves a trace that keeps dropping its open tail into the
+#: interpreter, costing more than the dispatches it saves
+SUPERBLOCK_DEMOTE_WINDOW = 16
+SUPERBLOCK_DEMOTE_RATIO = 0.25
+
+#: a mid-segment conditional is only worth truncating a trace node at
+#: when its taken side dominates: the profiled taken count must be at
+#: least this many times the fall-through block's execution count.
+#: Below that, selection keeps the whole segment — both diamond sides
+#: stay inline, exactly as the plain segment ran them — because every
+#: fall-through at a cut drops the trace's open tail into the
+#: interpreter
+SUPERBLOCK_CUT_BIAS = 8
 
 _INT_MAX = 2**31 - 1
 
@@ -187,6 +236,139 @@ class SegmentTranslator:
         codegen = _SegmentCodegen(self, entry, trace, tail, cached)
         return codegen.build()
 
+    def translate_trace(
+        self, entries: list[int], cached: bool, cuts: dict | None = None
+    ):
+        """Compile the multi-segment trace headed at ``entries[0]``;
+        ``(function, max_executed)`` with the superblock call contract
+        (see :class:`_TraceCodegen`).  ``cuts`` maps an entry to the pc
+        of a mid-segment conditional whose *taken* side continues the
+        trace: the node is truncated there, the not-taken side becomes
+        an open side exit.  Raises :class:`Uncompilable`."""
+        nodes = []
+        for entry in entries:
+            trace, tail = self._trace(entry)
+            cut = cuts.get(entry) if cuts else None
+            if cut is not None:
+                index = trace.index(cut)
+                trace = trace[: index + 1]
+                tail = _control_of(_stmts_of(self.instrs[cut]))
+                if not isinstance(tail, ast.CondGotoStmt):
+                    raise Uncompilable("trace cut is not a conditional")
+            nodes.append((entry, trace, tail))
+        codegen = _TraceCodegen(self, entries, nodes, cached)
+        # reject non-loop shapes before paying for scan/emit/compile
+        codegen._find_trace_shape()
+        return codegen.build()
+
+    def _resolve_target(self, pc: int, control) -> int | None:
+        """The pc a goto/call/conditional at ``pc`` statically targets."""
+        instr = self.instrs[pc]
+        target = control.target
+        if not isinstance(target, ast.OperandRef):
+            return None
+        operand = instr.operands[target.index - 1]
+        if not isinstance(operand, Lab):
+            return None
+        return self.executable.labels.get(operand.name)
+
+    def terminal_successor(self, entry: int) -> int | None:
+        """The static successor through the segment's terminal
+        unconditional goto, or ``None`` for any other tail shape."""
+        try:
+            trace, tail = self._trace(entry)
+        except Uncompilable:
+            return None
+        if not isinstance(tail, ast.GotoStmt):
+            return None
+        return self._resolve_target(trace[-1], tail)
+
+    def trace_successor(self, entry: int, returns: list):
+        """The static successor through the segment's unconditional
+        tail, following in-trace calls and returns: a call pushes its
+        static return pc on ``returns`` (and enters the callee), a
+        return pops it (the popped pc is what a run-time guard later
+        enforces).  ``(successor, via)`` with ``via`` one of ``"goto"``
+        / ``"call"`` / ``"ret"``, or ``(None, None)``."""
+        try:
+            trace, tail = self._trace(entry)
+        except Uncompilable:
+            return None, None
+        if isinstance(tail, ast.GotoStmt):
+            return self._resolve_target(trace[-1], tail), "goto"
+        if isinstance(tail, ast.CallStmt):
+            if self.target.cwvm.retaddr is None:
+                return None, None
+            succ = self._resolve_target(trace[-1], tail)
+            if succ is None:
+                return None, None
+            returns.append(trace[-1] + 1)
+            return succ, "call"
+        if isinstance(tail, ast.RetStmt) and returns:
+            return returns.pop(), "ret"
+        return None, None
+
+    def hot_cut(self, entry: int, target: int, site: int | None = None):
+        """How the profiled taken edge ``entry -> target`` leaves the
+        segment: ``("tail", None)`` through the terminal goto, or
+        ``("cond", pc)`` at the branching conditional (a truncation
+        point for trace selection), or ``None``.  ``site`` is the
+        branch pc the dispatch profiler observed taking the edge; when
+        several conditionals in the segment share the target label it
+        disambiguates which one is hot (a label-only scan would cut at
+        the first match and leave the actually-hot branch outside the
+        trace)."""
+        try:
+            trace, tail = self._trace(entry)
+        except Uncompilable:
+            return None
+        if site is not None and site in trace:
+            try:
+                control = _control_of(_stmts_of(self.instrs[site]))
+            except Uncompilable:
+                return None
+            if isinstance(control, ast.CondGotoStmt):
+                if self._resolve_target(site, control) == target:
+                    return ("cond", site)
+            if site == trace[-1] and isinstance(tail, ast.GotoStmt):
+                if self._resolve_target(site, tail) == target:
+                    return ("tail", None)
+            # a recorded site that does not check out falls back to the
+            # label scan below
+        for pc in trace[:-1]:
+            try:
+                control = _control_of(_stmts_of(self.instrs[pc]))
+            except Uncompilable:
+                return None
+            if isinstance(control, ast.CondGotoStmt):
+                if self._resolve_target(pc, control) == target:
+                    return ("cond", pc)
+        last = trace[-1]
+        try:
+            control = _control_of(_stmts_of(self.instrs[last]))
+        except Uncompilable:
+            return None
+        if isinstance(control, ast.CondGotoStmt):
+            if self._resolve_target(last, control) == target:
+                return ("cond", last)
+        if isinstance(tail, ast.GotoStmt):
+            if self._resolve_target(last, tail) == target:
+                return ("tail", None)
+        return None
+
+    def fallthrough_count(self, pc: int, block_counts) -> int | None:
+        """How often the fall-through side of the conditional at ``pc``
+        ran, read from the profiled block counts — the not-taken
+        counterpart of the taken-edge profile.  ``None`` when the
+        fall-through point is not a block start (no counter exists)."""
+        if block_counts is None:
+            return None
+        instr = self.instrs[pc]
+        fall = pc + 1 + abs(instr.desc.slots)
+        if fall not in self.block_starts:
+            return None
+        return block_counts.get(self.block_of[fall], 0)
+
     def _trace(self, entry: int):
         """Static straight-line walk: pcs up to (and including) the first
         unconditional transfer, the segment cap, or the program end."""
@@ -244,11 +426,14 @@ class _SegmentCodegen:
 
     # -- driver ---------------------------------------------------------------
 
+    def _name(self) -> str:
+        return f"_jit_{self.entry}_{'c' if self.cached else 'n'}"
+
     def build(self):
         self._scan()
         self._decide()
         source = self._emit()
-        name = f"_jit_{self.entry}_{'c' if self.cached else 'n'}"
+        name = self._name()
         env = dict(_BASE_ENV)
         env.update(self.consts)
         code = compile(source, f"<jit:{name}>", "exec")
@@ -921,7 +1106,7 @@ class _SegmentCodegen:
         self._line("return (0, 0, 4, None, 0, 0, 0, 0, 1)")
 
     def _emit(self) -> str:
-        name = f"_jit_{self.entry}_{'c' if self.cached else 'n'}"
+        name = self._name()
         self.lines = [f"def {name}(state, access, ea, bc, mm, lb, lc):"]
         self._line("u = state.units")
         self._line("mem = state.memory")
@@ -1046,6 +1231,393 @@ class _SegmentCodegen:
         return loads
 
 
+class _TraceCodegen(_SegmentCodegen):
+    """One hot trace (a chain of segments) -> one generated superblock.
+
+    Structure: single entry at the trace head.  Internal transitions (a
+    node's terminal goto targeting the next node) run the block-timing
+    probe inline and fall through into the next node's code; any taken
+    exit targeting the *head* becomes a back-edge of one outer
+    ``while 1`` (probe + fuse check + ``continue``); every other exit is
+    a side exit returning to the dispatch loop with the final segment
+    left open for the driver to close.
+
+    Call contract::
+
+        fn(state, access, events, bc, tg, close, eid, b0, fz, mm, lb)
+
+    ``events`` is the shared event list (the probe consumes it), ``tg``
+    the timing table's bound ``get``, ``close`` the miss path, ``eid``
+    the entry digest id, ``b0`` the absolute base cycle at trace entry,
+    and ``fz`` the executed-instruction budget for back-edges.  Returns
+    a 15-tuple ``(kind, end, transfer, label, node_entry, open_len, ex,
+    ld, st, mm, lb, ci, eid, bch, sbh)``: ``kind`` 0/1/2/3 are the
+    segment exit kinds with the final segment *not yet closed*
+    (``node_entry`` is its entry pc; kind 0 additionally leaves
+    events/mm/lb live and ``open_len`` instructions already executed in
+    the open segment), and ``kind`` 4 is a fuse stop at the head with
+    everything already closed.  ``ex``/``ld``/``st`` are whole-call
+    instruction/load/store totals, ``ci`` the accumulated cycle delta,
+    ``eid`` the current digest id, ``bch`` inline probe hits and
+    ``sbh`` segments closed in-function.
+
+    Inlined probes count as non-undoable side effects (a miss mutates
+    the shared memo), so a division guard can deopt only in the head
+    node before the first probe — exactly the window where no event has
+    been consumed and no register flush happened, making the undo
+    argument identical to plain segments.  Looping traces force
+    ``effects`` (and all-load-all-flush) upfront for the same reason
+    chained self-loops do: iteration state lives only in locals.
+    """
+
+    def __init__(self, translator, entries, nodes, cached):
+        head_entry, head_trace, head_tail = nodes[0]
+        super().__init__(translator, head_entry, head_trace, head_tail, cached)
+        self.entries = entries
+        self.nodes = nodes
+        #: node position -> statically pinned return pc for in-trace
+        #: returns (filled by :meth:`_find_trace_shape`); the pc a
+        #: run-time guard on the %retaddr register enforces
+        self.ret_targets: dict[int, int] = {}
+        #: the %retaddr register's first unit, tracked as a view when
+        #: the trace contains any call or guarded return
+        self.ret_unit = None
+        # cumulative executed/loads/stores already committed at the most
+        # recent probe on the current emission path (static bookkeeping)
+        self.sb_ex_base = 0
+        self.sb_ld_base = 0
+        self.sb_st_base = 0
+        #: instructions executed from the head up to the current node
+        self.node_exec_base = 0
+
+    def _name(self) -> str:
+        return f"_sbjit_{self.entry}_{'c' if self.cached else 'n'}"
+
+    # -- scan across every node ------------------------------------------------
+
+    def _scan(self) -> None:
+        saved = self.trace, self.tail
+        for _entry, trace, tail in self.nodes:
+            self.trace, self.tail = trace, tail
+            super()._scan()
+        self.trace, self.tail = saved
+        # in-trace calls write the %retaddr register and guarded
+        # returns read it, so it must live as a tracked view
+        if self.ret_targets or any(
+            isinstance(tail, ast.CallStmt) for _e, _t, tail in self.nodes
+        ):
+            retaddr = self.tr.target.cwvm.retaddr
+            if retaddr is None:
+                raise Uncompilable("call without a %retaddr register")
+            self.ret_unit = self.tr.target.registers.units_of(retaddr)[0]
+            self.touched.add(self.ret_unit)
+
+    # -- trace shape -----------------------------------------------------------
+
+    def _find_trace_shape(self) -> None:
+        """Validate internal edges and detect back-edges to the head
+        (any of which makes the whole trace a loop).  Node successors
+        follow unconditional gotos, truncated-node taken conditionals,
+        calls (pushing the static return pc) and returns (popping it —
+        the pc a run-time guard then enforces, via
+        :attr:`ret_targets`)."""
+        labels = self.tr.executable.labels
+        instrs = self.tr.instrs
+        head = self.entry
+        self.looping = False
+        self.ret_targets = {}
+        returns: list[int] = []
+        last = len(self.nodes) - 1
+        for position, (entry, trace, tail) in enumerate(self.nodes):
+            for pc in trace:
+                instr = instrs[pc]
+                control = _control_of(_stmts_of(instr))
+                if isinstance(control, (ast.CondGotoStmt, ast.GotoStmt)):
+                    label = self._label_of(control.target, instr)
+                    if labels.get(label) == head:
+                        self.looping = True
+            succ = None
+            if isinstance(
+                tail, (ast.GotoStmt, ast.CondGotoStmt, ast.CallStmt)
+            ):
+                instr = instrs[trace[-1]]
+                succ = labels.get(self._label_of(tail.target, instr))
+                if isinstance(tail, ast.CallStmt):
+                    returns.append(trace[-1] + 1)
+            elif isinstance(tail, ast.RetStmt) and returns:
+                succ = returns.pop()
+                self.ret_targets[position] = succ
+                if succ == head:
+                    self.looping = True
+            if position < last:
+                if succ is None:
+                    raise Uncompilable(
+                        "internal trace node lacks a static successor"
+                    )
+                if succ != self.nodes[position + 1][0]:
+                    raise Uncompilable(
+                        "trace edge does not match the node tail"
+                    )
+        if not self.looping:
+            # a straight merge only saves one dispatch per invocation but
+            # pays a wider register reload/flush at every entry and side
+            # exit — measured net-negative, so only loops get traced
+            raise Uncompilable("trace has no back-edge to its head")
+
+    # -- emission helpers ------------------------------------------------------
+
+    def _snapshot(self):
+        return (
+            dict(self.written), self.effects, list(self.bc_trail),
+            self.sb_ex_base, self.sb_ld_base, self.sb_st_base,
+            self.loads, self.stores,
+        )
+
+    def _restore(self, snapshot) -> None:
+        (written, effects, bc_trail,
+         ex_base, ld_base, st_base, loads, stores) = snapshot
+        self.written = dict(written)
+        self.effects = effects
+        self.bc_trail = list(bc_trail)
+        self.sb_ex_base = ex_base
+        self.sb_ld_base = ld_base
+        self.sb_st_base = st_base
+        self.loads = loads
+        self.stores = stores
+
+    def _emit_probe(self, nentry, end, transfer, node_exec) -> None:
+        """Close the segment ``[nentry..end]`` inline: probe the timing
+        table directly (a hit is one dict lookup), fall back to the real
+        ``close`` on a miss, and commit the statically-known
+        instruction/load/store deltas to the running totals."""
+        total = self.node_exec_base + node_exec
+        if total > self.max_exec:
+            self.max_exec = total
+        ex_delta = total - self.sb_ex_base
+        ld_delta = self.loads - self.sb_ld_base
+        st_delta = self.stores - self.sb_st_base
+        probe = self._tmp()
+        self._line(f"{probe} = tg(({nentry}, {end}, {transfer}, mm, eid))")
+        self._line(f"if {probe} is None:")
+        self._line(
+            f"    {probe} = close({nentry}, {end}, {transfer},"
+            " mm, events, eid, b0 + ci)"
+        )
+        self._line("else:")
+        self._line("    bch += 1")
+        self._line(f"ci += {probe}[0]")
+        self._line(f"eid = {probe}[1]")
+        self._line("sbh += 1")
+        self._line(f"ex += {ex_delta}")
+        if ld_delta:
+            self._line(f"ld += {ld_delta}")
+        if st_delta:
+            self._line(f"st += {st_delta}")
+        self._line("del events[:]")
+        self._line("mm = 0")
+        self._line("lb = 1")
+        self.sb_ex_base = total
+        self.sb_ld_base = self.loads
+        self.sb_st_base = self.stores
+        self.effects = True
+
+    def _emit_side_exit(
+        self, nentry, end, transfer, kind, label, node_exec,
+        open_len=0, flush=True,
+    ) -> None:
+        if flush:
+            self._flush()
+        total = self.node_exec_base + node_exec
+        if total > self.max_exec:
+            self.max_exec = total
+        ex_delta = total - self.sb_ex_base
+        ld_delta = self.loads - self.sb_ld_base
+        st_delta = self.stores - self.sb_st_base
+        self._line(
+            f"return ({kind}, {end}, {transfer}, {label!r}, {nentry},"
+            f" {open_len}, ex + {ex_delta}, ld + {ld_delta},"
+            f" st + {st_delta}, mm, lb, ci, eid, bch, sbh)"
+        )
+
+    def _emit_back_edge(self, nentry, pc, instr, index) -> None:
+        """A taken exit targeting the trace head: close the segment
+        inline, then loop in-function while the fuse budget allows,
+        otherwise flush and stop at the head (kind 4: everything
+        already closed and accounted in the returned totals)."""
+        end = self._emit_slots(pc, instr)
+        executed = index + 1 + abs(instr.desc.slots)
+        self._emit_probe(nentry, end, pc, executed)
+        self._line("if ex <= fz:")
+        self._line("    continue")
+        self._flush()
+        self._line(
+            f"return (4, 0, -1, None, {self.entry}, 0, ex, ld, st,"
+            " 0, 1, ci, eid, bch, sbh)"
+        )
+
+    # -- emit: the function ----------------------------------------------------
+
+    def _emit(self) -> str:
+        name = self._name()
+        self.lines = [
+            f"def {name}(state, access, events, bc, tg, close,"
+            " eid, b0, fz, mm, lb):"
+        ]
+        self._line("u = state.units")
+        self._line("mem = state.memory")
+        self._line("ml = len(mem)")
+        self._line("bcg = bc.get")
+        self._line("ea = events.append")
+        self._line("ex = 0; ld = 0; st = 0; ci = 0; bch = 0; sbh = 0")
+        prologue_at = len(self.lines)
+        self._find_trace_shape()
+        if self.looping:
+            # same argument as chained segments: iterations past the
+            # first run on register state that only lives in locals, so
+            # guards raise inline and every exit flushes every view
+            self.effects = True
+            for key, type_name in self.typed.items():
+                self._mark_written(type_name, key)
+                self.entry_reads.add((type_name, key))
+            for unit in self.raw:
+                self._mark_written("raw", unit)
+                self.entry_reads.add(("raw", unit))
+            self._line("while 1:")
+            self.indent += 1
+        last = len(self.nodes) - 1
+        for position, (entry, trace, tail) in enumerate(self.nodes):
+            self._emit_node(position, entry, trace, tail, position == last)
+        self.lines[prologue_at:prologue_at] = self._entry_loads()
+        return "\n".join(self.lines) + "\n"
+
+    def _emit_node(self, position, entry, trace, tail, is_last) -> None:
+        labels = self.tr.executable.labels
+        head = self.entry
+        instrs = self.tr.instrs
+        for index, pc in enumerate(trace):
+            instr = instrs[pc]
+            stmts = _stmts_of(instr)
+            control = _control_of(stmts)
+            for stmt in stmts[:-1] if control is not None else stmts:
+                self._emit_stmt(stmt, instr, pc, False)
+            if isinstance(control, ast.CondGotoStmt):
+                cond_code, _, _ = self._expr(
+                    control.condition, instr, "int", pc, False
+                )
+                cond = self._tmp()
+                self._line(f"{cond} = {cond_code}")
+                self._emit_bc(pc)
+                label = self._label_of(control.target, instr)
+                if control is tail and pc == trace[-1]:
+                    # truncated node: the taken side continues the
+                    # trace; not-taken leaves with the segment open
+                    self._line(f"if {cond} == 0:")
+                    self.indent += 1
+                    snapshot = self._snapshot()
+                    self._emit_side_exit(
+                        entry, pc, -1, 0, None, index + 1,
+                        open_len=index + 1,
+                    )
+                    self._restore(snapshot)
+                    self.indent -= 1
+                    executed = index + 1 + abs(instr.desc.slots)
+                    if labels.get(label) == head:
+                        self._emit_back_edge(entry, pc, instr, index)
+                    elif not is_last:
+                        end = self._emit_slots(pc, instr)
+                        self._emit_probe(entry, end, pc, executed)
+                        self.node_exec_base += executed
+                    else:
+                        end = self._emit_slots(pc, instr)
+                        self._emit_side_exit(
+                            entry, end, pc, 1, label, executed
+                        )
+                    continue
+                self._line(f"if {cond} != 0:")
+                self.indent += 1
+                snapshot = self._snapshot()
+                if labels.get(label) == head:
+                    self._emit_back_edge(entry, pc, instr, index)
+                else:
+                    end = self._emit_slots(pc, instr)
+                    self._emit_side_exit(
+                        entry, end, pc, 1, label,
+                        index + 1 + abs(instr.desc.slots),
+                    )
+                self._restore(snapshot)
+                self.indent -= 1
+            elif isinstance(control, ast.GotoStmt):
+                self._emit_bc(pc)
+                label = self._label_of(control.target, instr)
+                executed = index + 1 + abs(instr.desc.slots)
+                if labels.get(label) == head:
+                    self._emit_back_edge(entry, pc, instr, index)
+                elif not is_last:
+                    # the hot internal edge: probe, then fall through
+                    # into the next node's code
+                    end = self._emit_slots(pc, instr)
+                    self._emit_probe(entry, end, pc, executed)
+                    self.node_exec_base += executed
+                else:
+                    end = self._emit_slots(pc, instr)
+                    self._emit_side_exit(entry, end, pc, 1, label, executed)
+            elif isinstance(control, ast.RetStmt):
+                self._emit_bc(pc)
+                end = self._emit_slots(pc, instr)
+                executed = index + 1 + abs(instr.desc.slots)
+                expected = self.ret_targets.get(position)
+                if expected is not None and (
+                    expected == head or not is_last
+                ):
+                    # in-trace return: the matching call pinned the
+                    # return address statically — guard on the live
+                    # %retaddr view and stay in generated code
+                    ra = self._read_unit_bits(self.ret_unit)
+                    self._line(f"if {ra} != {expected}:")
+                    self.indent += 1
+                    snapshot = self._snapshot()
+                    self._emit_side_exit(entry, end, pc, 2, None, executed)
+                    self._restore(snapshot)
+                    self.indent -= 1
+                    self._emit_probe(entry, end, pc, executed)
+                    if expected == head:
+                        self._line("if ex <= fz:")
+                        self._line("    continue")
+                        self._flush()
+                        self._line(
+                            f"return (4, 0, -1, None, {self.entry}, 0,"
+                            " ex, ld, st, 0, 1, ci, eid, bch, sbh)"
+                        )
+                    else:
+                        self.node_exec_base += executed
+                else:
+                    self._emit_side_exit(entry, end, pc, 2, None, executed)
+            elif isinstance(control, ast.CallStmt):
+                self._emit_bc(pc)
+                label = self._label_of(control.target, instr)
+                # the return-address write stays in the tracked view:
+                # internal calls fall through into the callee's code,
+                # a tail call side-exits through the dispatch
+                self._write_unit_bits(
+                    self.ret_unit, str((pc + 1) & 0xFFFFFFFF)
+                )
+                if not is_last:
+                    self._emit_probe(entry, pc, pc, index + 1)
+                    self.node_exec_base += index + 1
+                else:
+                    self._emit_side_exit(
+                        entry, pc, pc, 3, label, index + 1
+                    )
+            else:
+                self._emit_bc(pc)
+        if tail is None:
+            # open fallthrough: only reachable as the trace's last exit
+            self._emit_side_exit(
+                entry, trace[-1], -1, 0, None, len(trace),
+                open_len=len(trace),
+            )
+
+
 class SegmentJIT:
     """Per-executable JIT manager: warmup counting, the compiled-function
     tables (one per data-cache presence, since the bookkeeping differs),
@@ -1063,18 +1635,42 @@ class SegmentJIT:
         self._pending: tuple[dict, dict] = ({}, {})
         self._dispatches: dict[int, int] = {}
         self._deopt_counts: dict[int, int] = {}
+        #: taken-edge profile feeding trace selection:
+        #: ``(from_entry, to_entry) -> count``, shared across runs
+        self.edges: dict[tuple[int, int], int] = {}
+        #: the branch pc last observed taking each profiled edge —
+        #: disambiguates which of several same-label conditionals in a
+        #: segment is the hot one when placing a trace cut
+        self.edge_sites: dict[tuple[int, int], int] = {}
+        #: trace heads already decided (built or refused), per table
+        self._sb_decided: tuple[set, set] = (set(), set())
+        #: ``(flag, head) ->`` the plain segment record a superblock
+        #: replaced — live ``(fn, max_exec, False)`` tuple or exported
+        #: ``("seg", ...)`` payload — restored when the trace blacklists
+        self._sb_fallback: dict = {}
+        #: ``(flag, head) ->`` node count of the installed trace, the
+        #: yardstick for the quality gate: a call whose probe-close
+        #: count stays at or below it never reached the back-edge
+        self.sb_nodes: dict = {}
+        #: ``(flag, head) -> (side exits, early exits)`` in the current
+        #: quality window
+        self._sb_bad: dict = {}
         self.compiled = 0
         self.uncompilable = 0
         self.preloaded = 0
         self.deopts = 0
         self.hits = 0
+        self.superblocks = 0
+        self.sb_preloaded = 0
+        self.sb_demoted = 0
+        self.side_exits = 0
         #: something export() would return changed since the last
         #: persist — a fresh translation, refusal or blacklisting
         self.dirty = False
 
     def functions(self, cached: bool) -> dict:
-        """entry pc -> ``(function, max_executed)`` | ``None`` (refused
-        or blacklisted — permanently interpreted)."""
+        """entry pc -> ``(function, max_executed, is_superblock)`` |
+        ``None`` (refused or blacklisted — permanently interpreted)."""
         return self._tables[1 if cached else 0]
 
     def warm(self, entry: int, cached: bool):
@@ -1083,10 +1679,14 @@ class SegmentJIT:
         the artifact cache skip warmup: the generated source is
         re-``compile()``d on the spot (counted in ``preloaded``, not
         ``compiled`` — no translation work happened)."""
-        pending = self._pending[1 if cached else 0]
+        flag = 1 if cached else 0
+        pending = self._pending[flag]
         if entry in pending:
-            record = self._materialize(pending.pop(entry))
+            record = self._materialize((flag, entry), pending.pop(entry))
             self.preloaded += 1
+            if record is not None and record[2]:
+                self.sb_preloaded += 1
+                self._sb_decided[flag].add(entry)
             self.functions(cached)[entry] = record
             return record
         count = self._dispatches.get(entry, 0) + 1
@@ -1095,7 +1695,8 @@ class SegmentJIT:
             return None
         self._dispatches.pop(entry, None)
         try:
-            record = self.translator.translate(entry, cached)
+            fn, max_exec = self.translator.translate(entry, cached)
+            record = (fn, max_exec, False)
             self.compiled += 1
         except Uncompilable:
             record = None
@@ -1104,11 +1705,169 @@ class SegmentJIT:
         self.dirty = True
         return record
 
+    def build_superblock(
+        self, head: int, cached: bool, block_counts=None
+    ) -> bool:
+        """Attempt to promote ``head``'s compiled segment into a trace
+        superblock (greedy hot-path selection over :attr:`edges`).  One
+        attempt per head; returns whether a superblock was installed.
+        The plain record is stashed so blacklisting a trace falls back
+        to the segment, and so promotion of a *preloaded* segment never
+        perturbs the ``preloaded``/``compiled`` split."""
+        flag = 1 if cached else 0
+        decided = self._sb_decided[flag]
+        if head in decided:
+            return False
+        decided.add(head)
+        current = self._tables[flag].get(head)
+        if current is None or current[2]:
+            # refused/blacklisted head, or already a superblock
+            return False
+        selected = self._select_trace(head, block_counts)
+        if selected is None:
+            return False
+        entries, cuts = selected
+        try:
+            fn, max_exec = self.translator.translate_trace(
+                entries, cached, cuts
+            )
+        except Uncompilable:
+            return False
+        self._sb_fallback[(flag, head)] = current
+        self._tables[flag][head] = (fn, max_exec, True)
+        self.sb_nodes[(flag, head)] = len(entries)
+        self.superblocks += 1
+        self.dirty = True
+        return True
+
+    def note_trace_exit(
+        self, head: int, cached: bool, closes: int, kind: int
+    ) -> None:
+        """Trace-quality gate, fed by the dispatch loop on every trace
+        side exit.  The harmful pattern is an *open* exit (kind 0)
+        before the first back-edge: the call did no better than the
+        plain segments it replaced, and its open tail resumes
+        mid-segment in the interpreter.  Taken/call/return side exits
+        land on block starts and re-enter compiled code, so they stay
+        cheap however often they fire — a trace that alternates arms
+        of a diamond is doing its job.  ``closes`` is the number of
+        probe closes the call performed: at most the trace's node
+        count means it never reached the back-edge.  Every
+        :data:`SUPERBLOCK_DEMOTE_WINDOW` side exits the early-open
+        rate is judged; at or above :data:`SUPERBLOCK_DEMOTE_RATIO`
+        the head is demoted back to its stashed segment record.  Fuse
+        stops (kind 4) never reach here, so a trace that mostly runs
+        to the fuse is never demoted."""
+        item = (1 if cached else 0, head)
+        nodes = self.sb_nodes.get(item)
+        if nodes is None:
+            return
+        exits, early = self._sb_bad.get(item, (0, 0))
+        exits += 1
+        if kind == 0 and closes <= nodes:
+            early += 1
+        if exits < SUPERBLOCK_DEMOTE_WINDOW:
+            self._sb_bad[item] = (exits, early)
+            return
+        if early >= exits * SUPERBLOCK_DEMOTE_RATIO:
+            self._sb_bad.pop(item, None)
+            self._demote(item)
+        else:
+            # window passed: start a fresh one so a later phase change
+            # can still demote
+            self._sb_bad[item] = (0, 0)
+
+    def _demote(self, item) -> None:
+        """Replace the trace at ``item`` with the plain segment record
+        it was promoted from.  The head stays in ``_sb_decided``, so it
+        is never re-promoted in this process."""
+        flag, head = item
+        fallback = self._sb_fallback.pop(item, None)
+        if fallback is None:
+            return
+        if not callable(fallback[0]):
+            fallback = self._materialize(item, fallback)
+        self._tables[flag][head] = fallback
+        self.sb_nodes.pop(item, None)
+        self.sb_demoted += 1
+        self.dirty = True
+
+    def _select_trace(self, head: int, block_counts=None):
+        """Greedy hot-path selection from ``head``: at each node follow
+        the hottest profiled taken edge (truncating the node at a
+        mid-segment conditional when that is the hot exit), or the
+        static flow through an unconditional tail — calls enter their
+        callee and returns follow the pc an earlier in-trace call
+        pinned.  Stops at the head itself (the codegen turns
+        head-targeting exits into back-edges), a repeated node, a cold
+        edge, or the node cap.  ``(entries, cuts)`` or ``None``."""
+        entries = [head]
+        seen = {head}
+        current = head
+        returns: list[int] = []
+        cuts: dict[int, int] = {}
+        while len(entries) < SUPERBLOCK_MAX_NODES:
+            succ, cut = self._next_node(current, returns, block_counts)
+            if succ is None or succ in seen:
+                break
+            if cut is not None:
+                cuts[current] = cut
+            entries.append(succ)
+            seen.add(succ)
+            current = succ
+        return (entries, cuts) if len(entries) >= 2 else None
+
+    def _next_node(self, current: int, returns: list, block_counts=None):
+        """The trace successor of ``current`` and an optional
+        truncation pc: the hottest profiled taken edge when it is hot
+        enough (resolved to the terminal goto or a mid-segment
+        conditional), else the deterministic call/return flow.  A
+        conditional cut is only used when its taken side dominates the
+        fall-through by :data:`SUPERBLOCK_CUT_BIAS`; a weakly biased
+        branch keeps the whole segment in the trace and follows the
+        static flow instead."""
+        best, best_count = None, 0
+        for (frm, to), count in self.edges.items():
+            if frm == current and count > best_count:
+                best, best_count = to, count
+        if best is not None and best_count >= SUPERBLOCK_MIN_EDGE:
+            cut = self.translator.hot_cut(
+                current, best, self.edge_sites.get((current, best))
+            )
+            if cut is not None:
+                kind, pc = cut
+                if kind != "cond":
+                    return best, None
+                fall = self.translator.fallthrough_count(pc, block_counts)
+                if fall is not None and (
+                    best_count >= fall * SUPERBLOCK_CUT_BIAS
+                ):
+                    return best, pc
+        succ, via = self.translator.trace_successor(current, returns)
+        if via in ("call", "ret"):
+            return succ, None
+        return None, None
+
+    def segment_fallback(self, entry: int, cached: bool):
+        """The plain segment record behind a superblock at ``entry``
+        (materialized on demand), for runs with superblocks disabled."""
+        item = (1 if cached else 0, entry)
+        fallback = self._sb_fallback.get(item)
+        if fallback is None:
+            return None
+        if not callable(fallback[0]):
+            fallback = self._materialize(item, fallback)
+            self._sb_fallback[item] = fallback
+        return fallback
+
     def note_deopt(
         self, entry: int, cached: bool, fault: JitDeopt, block_counts: dict
     ) -> None:
         """Undo the compiled prefix's block-count increments; blacklist
-        the entry after :data:`MAX_DEOPTS` guard failures."""
+        the entry after :data:`MAX_DEOPTS` guard failures.  A
+        blacklisted *superblock* falls back to the plain segment record
+        it replaced (with a fresh deopt budget) rather than all the way
+        to the interpreter."""
         self.deopts += 1
         for label in fault.bc_undo:
             remaining = block_counts.get(label, 0) - 1
@@ -1119,18 +1878,24 @@ class SegmentJIT:
         count = self._deopt_counts.get(entry, 0) + 1
         self._deopt_counts[entry] = count
         if count >= MAX_DEOPTS:
-            self.functions(cached)[entry] = None
+            restored = None
+            current = self.functions(cached).get(entry)
+            if current is not None and current[2]:
+                restored = self.segment_fallback(entry, cached)
+                item = (1 if cached else 0, entry)
+                self._sb_fallback.pop(item, None)
+                self.sb_nodes.pop(item, None)
+                self._sb_bad.pop(item, None)
+                self._deopt_counts[entry] = 0
+            self.functions(cached)[entry] = restored
             self.dirty = True
 
     # -- artifact-cache serialization ------------------------------------
 
     @staticmethod
-    def _materialize(record):
-        """Rebuild a ``(function, max_executed)`` record from its
-        exported form — the inverse of what :meth:`export` captures."""
-        if record is None:
-            return None
-        name, source, consts, max_exec = record
+    def _compile_payload(payload):
+        """``(name, source, consts, max_exec)`` -> ``(fn, max_exec)``."""
+        name, source, consts, max_exec = payload
         env = dict(_BASE_ENV)
         for cname, bc_undo in consts.items():
             env[cname] = JitDeopt(tuple(bc_undo))
@@ -1142,38 +1907,75 @@ class SegmentJIT:
         fn._jit_consts = dict(consts)
         return fn, max_exec
 
+    def _materialize(self, item, record):
+        """Rebuild a table record from its exported form — the inverse
+        of what :meth:`export` captures.  ``item`` is ``(flag, entry)``;
+        a superblock payload also stashes its segment fallback."""
+        if record is None:
+            return None
+        if record[0] == "sb":
+            fn, max_exec = self._compile_payload(record[1])
+            if record[2] is not None:
+                self._sb_fallback.setdefault(item, record[2])
+            if len(record) > 3 and record[3]:
+                self.sb_nodes[item] = record[3]
+            return (fn, max_exec, True)
+        fn, max_exec = self._compile_payload(record[1:])
+        return (fn, max_exec, False)
+
+    @staticmethod
+    def _export_payload(fn, max_exec):
+        return (fn._jit_name, fn._jit_source, dict(fn._jit_consts), max_exec)
+
     def export(self) -> dict:
         """A picklable snapshot of every decided entry: ``(cached,
-        entry) -> None`` (refused/blacklisted) or ``(name, source,
-        consts, max_executed)``.  Pending preloads the process never
-        dispatched are passed through so a partial warm run does not
-        shrink the stored artifact."""
+        entry) -> None`` (refused/blacklisted), ``("seg", name, source,
+        consts, max_executed)``, or ``("sb", payload, fallback,
+        nodes)`` for a superblock (``fallback`` is the segment record
+        it replaced, in ``("seg", ...)`` form, so a warm process can
+        blacklist or demote back to it; ``nodes`` feeds the quality
+        gate).  Pending preloads the process never dispatched are passed
+        through so a partial warm run does not shrink the artifact."""
         out: dict = {}
         for flag in (0, 1):
             for entry, record in self._tables[flag].items():
                 if record is None:
                     out[(flag, entry)] = None
-                else:
-                    fn, max_exec = record
+                    continue
+                fn, max_exec, is_sb = record
+                body = self._export_payload(fn, max_exec)
+                if is_sb:
+                    fallback = self._sb_fallback.get((flag, entry))
+                    if fallback is not None and callable(fallback[0]):
+                        fallback = ("seg",) + self._export_payload(
+                            fallback[0], fallback[1]
+                        )
                     out[(flag, entry)] = (
-                        fn._jit_name,
-                        fn._jit_source,
-                        dict(fn._jit_consts),
-                        max_exec,
+                        "sb", body, fallback,
+                        self.sb_nodes.get((flag, entry), 0),
                     )
+                else:
+                    out[(flag, entry)] = ("seg",) + body
             for entry, record in self._pending[flag].items():
                 out.setdefault((flag, entry), record)
         return out
 
     def preload(self, payload: dict) -> int:
         """Stage an :meth:`export` payload; returns entries staged.
-        Entries this process already decided are left alone."""
+        Entries this process already decided are left alone; records in
+        an unrecognized format are skipped."""
         staged = 0
         for item, record in payload.items():
             try:
                 flag, entry = item
                 table_index = 1 if flag else 0
             except (TypeError, ValueError):
+                continue
+            if record is not None and (
+                not isinstance(record, tuple)
+                or not record
+                or record[0] not in ("seg", "sb")
+            ):
                 continue
             if entry in self._tables[table_index]:
                 continue
@@ -1189,4 +1991,8 @@ class SegmentJIT:
             "preloaded": self.preloaded,
             "deopts": self.deopts,
             "hits": self.hits,
+            "superblocks": self.superblocks,
+            "sb_preloaded": self.sb_preloaded,
+            "sb_demoted": self.sb_demoted,
+            "side_exits": self.side_exits,
         }

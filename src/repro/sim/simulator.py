@@ -20,7 +20,7 @@ from repro.program import Executable
 from repro.sim.blockcache import SEGMENT_CAP, BlockTimingCache, decode_blocks
 from repro.sim.cache import DirectMappedCache
 from repro.sim.executor import SemanticsCompiler
-from repro.sim.jit import JitDeopt, SegmentJIT
+from repro.sim.jit import SUPERBLOCK_WARMUP, JitDeopt, SegmentJIT
 from repro.sim.pipeline import AccountingPipelineModel, PipelineModel
 from repro.sim.state import MachineState
 from repro.utils import timing
@@ -31,6 +31,13 @@ _HALT = -1
 #: ``None`` (refused/blacklisted) in the JIT dispatch table
 _MISS = object()
 
+#: version tag mixed into the ``jit`` artifact-cache key; bumped when
+#: the :meth:`SegmentJIT.export` payload format changes (v2: tagged
+#: records with trace superblocks and their segment fallbacks; v3:
+#: traces may inline calls/returns and truncate nodes at their hot
+#: conditional, so v2 trace functions are stale)
+_JIT_PAYLOAD_VERSION = "v3"
+
 
 def _no_timing_close(
     entry, end, transfer, miss_mask, events, entry_id, base,
@@ -39,6 +46,13 @@ def _no_timing_close(
     """Segment close for ``model_timing=False`` fast runs: no pipeline
     model is consulted, so every close is free and contributes nothing."""
     return 0, _empty
+
+
+def _free_probe(key, _record=(0, BlockTimingCache.EMPTY_ID)):
+    """Superblock timing probe for ``model_timing=False`` fast runs:
+    every inline lookup "hits" a free record, so generated traces never
+    fall back to the close path."""
+    return _record
 
 
 @dataclass
@@ -69,6 +83,11 @@ class SimResult:
     jit_segments: int = 0
     jit_hits: int = 0
     jit_deopts: int = 0
+    #: trace-superblock activity this run (zero when the run took the
+    #: reference path or ``SimOptions(superblock=False)``): traces newly
+    #: compiled and side exits taken out of compiled traces
+    jit_superblocks: int = 0
+    jit_side_exits: int = 0
 
     @property
     def stall_cycles(self) -> int:
@@ -230,6 +249,10 @@ class Simulator:
                 obs.count("sim.jit.hit", result.jit_hits)
             if result.jit_deopts:
                 obs.count("sim.jit.deopt", result.jit_deopts)
+            if result.jit_superblocks:
+                obs.count("sim.jit.superblocks", result.jit_superblocks)
+            if result.jit_side_exits:
+                obs.count("sim.jit.side_exits", result.jit_side_exits)
             if result.cycle_breakdown:
                 for kind, count in result.cycle_breakdown.items():
                     if count:
@@ -258,7 +281,7 @@ class Simulator:
         exe = self.executable
         jit = getattr(exe, "_segment_jit", None)
         if jit is not None and jit.dirty:
-            key = self._artifact_key("jit")
+            key = self._artifact_key("jit", _JIT_PAYLOAD_VERSION)
             if key is not None and artifact_cache.get_cache().put(
                 "jit", key, jit.export()
             ):
@@ -315,7 +338,7 @@ class Simulator:
         jit = getattr(self.executable, "_segment_jit", None)
         if jit is None:
             jit = SegmentJIT(self.executable)
-            key = self._artifact_key("jit")
+            key = self._artifact_key("jit", _JIT_PAYLOAD_VERSION)
             if key is not None:
                 payload = artifact_cache.get_cache().get("jit", key)
                 if isinstance(payload, dict):
@@ -596,6 +619,19 @@ class Simulator:
         jit_hits_run = 0
         jit_compiled_before = jit.compiled if jit is not None else 0
         jit_deopts_before = jit.deopts if jit is not None else 0
+        # trace-superblock dispatch state: the edge profile feeds trace
+        # selection, and the inline probe reads the timing table directly
+        sb_on = options.superblock and jit is not None
+        sb_edges = jit.edges if jit is not None else None
+        sb_sites = jit.edge_sites if jit is not None else None
+        sb_exits_run = 0
+        jit_superblocks_before = jit.superblocks if jit is not None else 0
+        jit_preloaded_before = jit.preloaded if jit is not None else 0
+        jit_sb_preloaded_before = jit.sb_preloaded if jit is not None else 0
+        jit_sb_demoted_before = jit.sb_demoted if jit is not None else 0
+        probe_get = (
+            block_cache.table.get if block_cache is not None else _free_probe
+        )
         # no single segment pass can execute more than this many
         # instructions, so stopping the in-function loop this far below
         # the fuse is always safe (the precise per-record bound is then
@@ -640,88 +676,239 @@ class Simulator:
                 record = jit_table.get(pc, _MISS)
                 if record is _MISS:
                     record = jit.warm(pc, jit_cached)
+                if record is not None and record[2] and not sb_on:
+                    # the entry was promoted into a trace, but this run
+                    # has superblocks off: use the plain segment record
+                    # the promotion stashed (or stay interpreted)
+                    record = jit.segment_fallback(pc, jit_cached)
                 if record is not None and (
                     executed + record[1] <= max_instructions
                 ):
-                    try:
-                        (
-                            seg_end, transfer, jit_kind, jit_label, exec_delta,
-                            load_delta, store_delta, miss_mask, load_bit,
-                        ) = record[0](
-                            state, cache_access, events_append,
-                            block_counts, miss_mask, load_bit, loop_close,
-                        )
-                    except JitDeopt as guard:
-                        # the guard fired before any cache access or
-                        # memory write: undo the block counts, drop the
-                        # (unconsumed) events, and fall through to the
-                        # interpreter, which re-executes the segment and
-                        # raises the real error
-                        jit.note_deopt(pc, jit_cached, guard, block_counts)
-                        del events[:]
-                        miss_mask = 0
-                        load_bit = 1
-                    else:
-                        if jit_kind == 4:
-                            # a chained loop ran to the fuse guard: every
-                            # iteration was closed and accounted by
-                            # loop_close, and the unpack above already
-                            # reset miss_mask/load_bit
-                            pc = seg_entry
-                            continue
-                        jit_hits_run += 1
-                        executed += exec_delta
-                        loads += load_delta
-                        stores += store_delta
-                        if jit_kind == 0:
-                            # fallthrough end: the segment stays open
-                            pc = seg_end + 1
-                            seg_len = exec_delta
-                            if seg_len >= SEGMENT_CAP:
-                                delta, entry_id = close(
-                                    seg_entry, seg_end, -1, miss_mask,
-                                    events, entry_id,
-                                    base_offset + virtual_issue,
-                                )
-                                virtual_issue += delta
-                                seg_entry = pc
-                                seg_len = 0
-                                del events[:]
-                                miss_mask = 0
-                                load_bit = 1
-                            continue
-                        delta, entry_id = close(
-                            seg_entry, seg_end, transfer, miss_mask,
-                            events, entry_id, base_offset + virtual_issue,
-                        )
-                        virtual_issue += delta
-                        seg_len = 0
-                        del events[:]
-                        miss_mask = 0
-                        load_bit = 1
-                        if jit_kind == 2:
-                            if ret_unit is not None:
-                                word = units_get(ret_unit, 0)
-                                pc = (
-                                    word - 4294967296
-                                    if word > 2147483647
-                                    else word
-                                )
-                            else:
-                                pc = state.read_reg(cwvm.retaddr, "int")
+                    if record[2]:
+                        # trace superblock: probes close every internal
+                        # segment inside generated code; the function
+                        # returns with the final segment still open for
+                        # this loop to close (kinds 0-3) or after a fuse
+                        # stop at the head (kind 4, all closed)
+                        try:
+                            (
+                                sb_kind, seg_end, transfer, jit_label,
+                                node_entry, open_len, exec_delta,
+                                load_delta, store_delta, miss_mask,
+                                load_bit, cycle_delta, eid, probe_hits,
+                                sb_closes,
+                            ) = record[0](
+                                state, cache_access, events, block_counts,
+                                probe_get, close, entry_id,
+                                base_offset + virtual_issue,
+                                max_instructions - executed - record[1],
+                                miss_mask, load_bit,
+                            )
+                        except JitDeopt as guard:
+                            jit.note_deopt(pc, jit_cached, guard, block_counts)
+                            del events[:]
+                            miss_mask = 0
+                            load_bit = 1
                         else:
-                            pc = exe.labels.get(jit_label)
-                            if pc is None:
-                                noun = (
-                                    "label" if jit_kind == 1 else "function"
-                                )
-                                raise SimulationError(
-                                    f"undefined {noun} {jit_label!r}",
-                                    function=function,
-                                    cycle=virtual_issue + 1,
-                                )
-                        seg_entry = pc
-                        continue
+                            executed += exec_delta
+                            loads += load_delta
+                            stores += store_delta
+                            virtual_issue += cycle_delta
+                            entry_id = eid
+                            jit_hits_run += sb_closes
+                            if block_cache is not None:
+                                block_cache.hits += probe_hits
+                            if sb_kind == 4:
+                                pc = seg_entry = node_entry
+                                continue
+                            jit_hits_run += 1
+                            sb_exits_run += 1
+                            # quality gate: demote a trace whose calls
+                            # keep dropping an open tail into the
+                            # interpreter before the first back-edge
+                            jit.note_trace_exit(
+                                seg_entry, jit_cached, sb_closes, sb_kind
+                            )
+                            if sb_kind == 0:
+                                # fallthrough end: the final segment
+                                # stays open at node_entry
+                                pc = seg_end + 1
+                                seg_entry = node_entry
+                                seg_len = open_len
+                                if seg_len >= SEGMENT_CAP:
+                                    delta, entry_id = close(
+                                        node_entry, seg_end, -1, miss_mask,
+                                        events, entry_id,
+                                        base_offset + virtual_issue,
+                                    )
+                                    virtual_issue += delta
+                                    seg_entry = pc
+                                    seg_len = 0
+                                    del events[:]
+                                    miss_mask = 0
+                                    load_bit = 1
+                                continue
+                            delta, entry_id = close(
+                                node_entry, seg_end, transfer, miss_mask,
+                                events, entry_id,
+                                base_offset + virtual_issue,
+                            )
+                            virtual_issue += delta
+                            seg_len = 0
+                            del events[:]
+                            miss_mask = 0
+                            load_bit = 1
+                            if sb_kind == 2:
+                                if ret_unit is not None:
+                                    word = units_get(ret_unit, 0)
+                                    pc = (
+                                        word - 4294967296
+                                        if word > 2147483647
+                                        else word
+                                    )
+                                else:
+                                    pc = state.read_reg(cwvm.retaddr, "int")
+                            else:
+                                pc = exe.labels.get(jit_label)
+                                if pc is None:
+                                    noun = (
+                                        "label"
+                                        if sb_kind == 1
+                                        else "function"
+                                    )
+                                    raise SimulationError(
+                                        f"undefined {noun} {jit_label!r}",
+                                        function=function,
+                                        cycle=virtual_issue + 1,
+                                    )
+                                if sb_kind == 1:
+                                    edge = (node_entry, pc)
+                                    hot = sb_edges.get(edge, 0)
+                                    # profile only until the promotion
+                                    # decision; past warmup the counts
+                                    # are dead weight on every dispatch
+                                    if hot < SUPERBLOCK_WARMUP:
+                                        hot += 1
+                                        sb_edges[edge] = hot
+                                        sb_sites[edge] = transfer
+                                        if hot == SUPERBLOCK_WARMUP and not (
+                                            jit.build_superblock(
+                                                node_entry, jit_cached,
+                                                block_counts,
+                                            )
+                                        ):
+                                            jit.build_superblock(
+                                                pc, jit_cached, block_counts
+                                            )
+                            seg_entry = pc
+                            continue
+                    else:
+                        try:
+                            (
+                                seg_end, transfer, jit_kind, jit_label,
+                                exec_delta, load_delta, store_delta,
+                                miss_mask, load_bit,
+                            ) = record[0](
+                                state, cache_access, events_append,
+                                block_counts, miss_mask, load_bit,
+                                loop_close,
+                            )
+                        except JitDeopt as guard:
+                            # the guard fired before any cache access or
+                            # memory write: undo the block counts, drop
+                            # the (unconsumed) events, and fall through
+                            # to the interpreter, which re-executes the
+                            # segment and raises the real error
+                            jit.note_deopt(pc, jit_cached, guard, block_counts)
+                            del events[:]
+                            miss_mask = 0
+                            load_bit = 1
+                        else:
+                            if jit_kind == 4:
+                                # a chained loop ran to the fuse guard:
+                                # every iteration was closed and
+                                # accounted by loop_close, and the unpack
+                                # above already reset miss_mask/load_bit
+                                pc = seg_entry
+                                continue
+                            jit_hits_run += 1
+                            executed += exec_delta
+                            loads += load_delta
+                            stores += store_delta
+                            if jit_kind == 0:
+                                # fallthrough end: the segment stays open
+                                pc = seg_end + 1
+                                seg_len = exec_delta
+                                if seg_len >= SEGMENT_CAP:
+                                    delta, entry_id = close(
+                                        seg_entry, seg_end, -1, miss_mask,
+                                        events, entry_id,
+                                        base_offset + virtual_issue,
+                                    )
+                                    virtual_issue += delta
+                                    seg_entry = pc
+                                    seg_len = 0
+                                    del events[:]
+                                    miss_mask = 0
+                                    load_bit = 1
+                                continue
+                            delta, entry_id = close(
+                                seg_entry, seg_end, transfer, miss_mask,
+                                events, entry_id,
+                                base_offset + virtual_issue,
+                            )
+                            virtual_issue += delta
+                            seg_len = 0
+                            del events[:]
+                            miss_mask = 0
+                            load_bit = 1
+                            if jit_kind == 2:
+                                if ret_unit is not None:
+                                    word = units_get(ret_unit, 0)
+                                    pc = (
+                                        word - 4294967296
+                                        if word > 2147483647
+                                        else word
+                                    )
+                                else:
+                                    pc = state.read_reg(cwvm.retaddr, "int")
+                            else:
+                                new_pc = exe.labels.get(jit_label)
+                                if new_pc is None:
+                                    noun = (
+                                        "label"
+                                        if jit_kind == 1
+                                        else "function"
+                                    )
+                                    raise SimulationError(
+                                        f"undefined {noun} {jit_label!r}",
+                                        function=function,
+                                        cycle=virtual_issue + 1,
+                                    )
+                                if jit_kind == 1 and sb_on:
+                                    # profile the taken edge until its
+                                    # promotion decision; a hot edge
+                                    # triggers one trace-selection
+                                    # attempt at its source (or target)
+                                    edge = (seg_entry, new_pc)
+                                    hot = sb_edges.get(edge, 0)
+                                    if hot < SUPERBLOCK_WARMUP:
+                                        hot += 1
+                                        sb_edges[edge] = hot
+                                        sb_sites[edge] = transfer
+                                        if hot == SUPERBLOCK_WARMUP and not (
+                                            jit.build_superblock(
+                                                seg_entry, jit_cached,
+                                                block_counts,
+                                            )
+                                        ):
+                                            jit.build_superblock(
+                                                new_pc, jit_cached,
+                                                block_counts,
+                                            )
+                                pc = new_pc
+                            seg_entry = pc
+                            continue
             effect = closures[pc](state, mem_log)
             executed += 1
             seg_len += 1
@@ -869,11 +1056,18 @@ class Simulator:
             # exactly as on the reference path
             cycles = executed
             hits = misses = 0
-        jit_segments = jit_deopts = 0
+        jit_segments = jit_deopts = jit_superblocks = 0
+        jit_preloaded_delta = jit_sb_preloaded_delta = 0
+        jit_sb_demoted_delta = 0
         if jit is not None:
             jit.hits += jit_hits_run
+            jit.side_exits += sb_exits_run
             jit_segments = jit.compiled - jit_compiled_before
             jit_deopts = jit.deopts - jit_deopts_before
+            jit_superblocks = jit.superblocks - jit_superblocks_before
+            jit_preloaded_delta = jit.preloaded - jit_preloaded_before
+            jit_sb_preloaded_delta = jit.sb_preloaded - jit_sb_preloaded_before
+            jit_sb_demoted_delta = jit.sb_demoted - jit_sb_demoted_before
         if timing.ENABLED:
             timing.add_seconds("sim.run", time.perf_counter() - wall_start)
             timing.add("sim.instructions", executed)
@@ -883,6 +1077,11 @@ class Simulator:
             timing.add("sim.jit.segments", jit_segments)
             timing.add("sim.jit.hit", jit_hits_run)
             timing.add("sim.jit.deopt", jit_deopts)
+            timing.add("sim.jit.superblocks", jit_superblocks)
+            timing.add("sim.jit.side_exits", sb_exits_run)
+            timing.add("sim.jit.preloaded", jit_preloaded_delta)
+            timing.add("sim.jit.sb_preloaded", jit_sb_preloaded_delta)
+            timing.add("sim.jit.sb_demoted", jit_sb_demoted_delta)
         result = SimResult(
             return_value=None,
             cycles=cycles,
@@ -897,6 +1096,8 @@ class Simulator:
             jit_segments=jit_segments,
             jit_hits=jit_hits_run,
             jit_deopts=jit_deopts,
+            jit_superblocks=jit_superblocks,
+            jit_side_exits=sb_exits_run,
         )
         result.return_value = self._read_result(state)
         return result

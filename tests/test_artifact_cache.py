@@ -210,6 +210,69 @@ def test_jit_and_timing_preload_round_trip(store):
     assert second._segment_jit.compiled == 0
 
 
+#: a branchy loop body (several segments) so a trace superblock can
+#: form once the hot edge crosses its own warmup threshold
+DIAMOND_KERNEL = """
+double bench(int loop, int n) {
+    int l; int i; double q;
+    q = 0.0;
+    for (l = 0; l < loop; l++) {
+        for (i = 0; i < n; i++) {
+            if (i & 1) q = q + 1.5;
+            else q = q - 0.5;
+        }
+    }
+    return q;
+}
+"""
+
+
+def _simulate_sb(executable, args):
+    return repro.simulate(
+        executable,
+        "bench",
+        args=args,
+        options=repro.SimOptions(
+            cache=DirectMappedCache(), superblock=True
+        ),
+    )
+
+
+def test_promoting_preloaded_segment_keeps_counters_disjoint(store):
+    # cold process: enough iterations to compile segments, too few for
+    # the edge profile to trigger trace promotion
+    target = load_target("r2000")
+    first = repro.compile_c(DIAMOND_KERNEL, target, OPTIONS)
+    _simulate_sb(first, (2, 20))
+    assert first._segment_jit.compiled > 0
+    assert first._segment_jit.superblocks == 0
+
+    # warm process: segments preload from disk, then a long run promotes
+    # one of those *preloaded* segments into a superblock — the
+    # preloaded/compiled split must not move (promotion is neither a
+    # preload nor a fresh segment translation)
+    second = repro.compile_c(DIAMOND_KERNEL, target, OPTIONS)
+    reference = _simulate_sb(second, (3, 400))
+    jit = second._segment_jit
+    preloaded = jit.preloaded
+    assert preloaded > 0
+    assert jit.compiled == 0
+    assert jit.superblocks > 0
+    assert jit.sb_preloaded == 0  # promoted here, not preloaded as a trace
+    assert jit.preloaded == preloaded
+
+    # and the promoted-trace state round-trips: a third "process"
+    # preloads the trace itself (sb_preloaded), again without touching
+    # compiled
+    third = repro.compile_c(DIAMOND_KERNEL, target, OPTIONS)
+    warm = _simulate_sb(third, (3, 400))
+    assert warm.cycles == reference.cycles
+    assert warm.return_value == reference.return_value
+    assert third._segment_jit.sb_preloaded > 0
+    assert third._segment_jit.superblocks == 0
+    assert third._segment_jit.compiled == 0
+
+
 # -- configuration ---------------------------------------------------------
 
 

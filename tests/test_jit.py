@@ -243,6 +243,9 @@ def test_deopt_undoes_partial_block_counts():
 
 
 def test_repeated_deopts_blacklist_the_entry():
+    # superblock=False keeps the loop un-traced: a promoted trace would
+    # raise inline instead of deopting, and this test is specifically
+    # about the plain-segment deopt/blacklist path
     executable = _compile_source(DIV_TRAP_CALL)
     executable._segment_jit = SegmentJIT(executable, warmup=1)
     jit = executable._segment_jit
@@ -250,7 +253,7 @@ def test_repeated_deopts_blacklist_the_entry():
     def run():
         return repro.simulate(
             executable, "divcall", args=(30, 10),
-            options=repro.SimOptions(jit=True),
+            options=repro.SimOptions(jit=True, superblock=False),
         )
 
     for _ in range(MAX_DEOPTS):
