@@ -14,6 +14,10 @@ Usage::
     PYTHONPATH=src python scripts/bench_sim.py --compare   # fast vs reference
     PYTHONPATH=src python scripts/bench_sim.py --compare-jit \\
         --assert-jit-speedup 1.2      # CI JIT perf smoke
+    PYTHONPATH=src python scripts/bench_sim.py --warm \\
+        --assert-digest-rate 0.01     # steady state is digest-free
+    PYTHONPATH=src python scripts/bench_sim.py --profile-sim --json \\
+        > selftime.json               # warm self-time breakdown
 
 ``--compare`` runs every unit under both timing paths, verifies the
 cycle counts and cache stats are bit-identical, and prints the speedup.
@@ -52,7 +56,8 @@ ALL_TARGETS = ("toyp", "r2000", "m88000", "i860")
 
 
 def bench_unit(
-    target, kernel_id, strategy, scale, fast, jit=True, time_compile=False
+    target, kernel_id, strategy, scale, fast, jit=True, time_compile=False,
+    warm=False,
 ):
     # a fresh compile per run: the block-timing memo and JIT code cache
     # live on the executable, so reuse would let one run's warmup bleed
@@ -64,6 +69,17 @@ def bench_unit(
     )
     loop, n = spec.args
     n = max(4, int(n * scale))
+    if warm:
+        # one un-measured pass: the JIT compiles and the timing memo
+        # fills, so the measured run below is steady state
+        repro.simulate(
+            executable,
+            "bench",
+            args=(loop, n),
+            options=repro.SimOptions(
+                cache=DirectMappedCache(), fast_timing=fast, jit=jit
+            ),
+        )
     start = time.perf_counter()
     result = repro.simulate(
         executable,
@@ -94,11 +110,17 @@ def bench_unit(
         "cache_misses": result.cache_misses,
         "checksum": result.return_value["double"],
         "jit": jit,
+        "warm": warm,
         "jit_segments": result.jit_segments,
+        "jit_active_segments": result.jit_active_segments,
         "jit_hits": result.jit_hits,
         "jit_deopts": result.jit_deopts,
         "jit_superblocks": result.jit_superblocks,
         "jit_side_exits": result.jit_side_exits,
+        "timing_digests": result.timing_digests,
+        "digest_rate": (
+            round(result.timing_digests / lookups, 6) if lookups else 0.0
+        ),
     }
 
 
@@ -151,6 +173,84 @@ def profile_segments(target, kernel_id, strategy, scale, top):
             }
         )
     return rows
+
+
+#: cProfile self-time buckets, matched against code-object filenames in
+#: order — the first hit wins
+_PROFILE_BUCKETS = (
+    ("generated_code", "<jit:"),
+    ("digest_replay", "blockcache.py"),
+    ("pipeline_model", "pipeline.py"),
+    ("cache_model", "sim/cache.py"),
+    ("dispatch", "simulator.py"),
+)
+
+
+def profile_sim(target, kernel_id, strategy, scale):
+    """Self-time breakdown of one *warm* simulation under cProfile.
+
+    Buckets every profiled frame's inline (self) time by where the code
+    lives: generated JIT functions, digest construction + segment replay
+    (:mod:`repro.sim.blockcache`), the pipeline model, the data-cache
+    model, the simulator dispatch loop, and everything else (functional
+    closures, machine state, builtins).  One un-measured pass warms the
+    JIT and the timing memo first, so the profile shows steady state —
+    the regime the timing chain is supposed to make digest-free."""
+    import cProfile
+
+    spec = kernel_by_id(kernel_id)
+    executable = repro.compile_c(
+        spec.source, target, repro.CompileOptions(strategy=strategy)
+    )
+    loop, n = spec.args
+    n = max(4, int(n * scale))
+
+    def simulate():
+        return repro.simulate(
+            executable,
+            "bench",
+            args=(loop, n),
+            options=repro.SimOptions(cache=DirectMappedCache()),
+        )
+
+    simulate()  # warmup: JIT compiles, timing memo fills
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = simulate()
+    profiler.disable()
+    seconds = {name: 0.0 for name, _match in _PROFILE_BUCKETS}
+    seconds["other"] = 0.0
+    total = 0.0
+    for entry in profiler.getstats():
+        code = entry.code
+        filename = getattr(code, "co_filename", "")
+        self_time = entry.inlinetime
+        total += self_time
+        for name, match in _PROFILE_BUCKETS:
+            if match in filename:
+                seconds[name] += self_time
+                break
+        else:
+            seconds["other"] += self_time
+    lookups = result.block_cache_hits + result.block_cache_misses
+    return {
+        "target": target,
+        "kernel": kernel_id,
+        "strategy": strategy,
+        "scale": scale,
+        "total_seconds": round(total, 4),
+        "seconds": {name: round(value, 4) for name, value in seconds.items()},
+        "fraction": {
+            name: round(value / total, 4) if total else 0.0
+            for name, value in seconds.items()
+        },
+        "instructions": result.instructions,
+        "timing_digests": result.timing_digests,
+        "block_cache_lookups": lookups,
+        "digest_rate": (
+            round(result.timing_digests / lookups, 6) if lookups else 0.0
+        ),
+    }
 
 
 def cache_compare_unit(target, kernel_id, strategy, scale):
@@ -236,6 +336,38 @@ def main(argv=None):
         "differ",
     )
     parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="simulate each unit once un-measured first, so the measured "
+        "run is steady state (JIT compiled, timing memo full)",
+    )
+    parser.add_argument(
+        "--assert-digest-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="exit 1 if any unit's measured run computed more than "
+        "RATE x (block-cache lookups) pipeline-state digests — combine "
+        "with --warm to assert steady state is digest-free",
+    )
+    parser.add_argument(
+        "--assert-max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit 1 if any unit's measured simulation wall exceeds "
+        "SECONDS",
+    )
+    parser.add_argument(
+        "--profile-sim",
+        action="store_true",
+        help="cProfile one warm simulation per unit and report the "
+        "self-time breakdown (generated code, digest/replay, pipeline "
+        "model, cache model, dispatch, other) instead of benchmarking; "
+        "with --json the document merges into BENCH via "
+        "'repro report --sim-bench FILE'",
+    )
+    parser.add_argument(
         "--profile-segments",
         type=int,
         default=None,
@@ -252,6 +384,30 @@ def main(argv=None):
         configure_cache(enabled=False)
 
     targets = [t.strip() for t in args.targets.split(",") if t.strip()]
+
+    if args.profile_sim:
+        profile_rows = [
+            profile_sim(target, args.kernel, args.strategy, args.scale)
+            for target in targets
+        ]
+        if args.json:
+            print(json.dumps(profile_rows, indent=2))
+        else:
+            for row in profile_rows:
+                print(
+                    f"{row['target']:8s} K{row['kernel']}/{row['strategy']} "
+                    f"warm self-time {row['total_seconds']:.3f}s "
+                    f"(digest rate {row['digest_rate']:.4f}):"
+                )
+                ranked = sorted(
+                    row["seconds"].items(), key=lambda item: -item[1]
+                )
+                for name, value in ranked:
+                    print(
+                        f"    {name:16s} {value:8.3f}s "
+                        f"{row['fraction'][name] * 100:5.1f}%"
+                    )
+        return 0
 
     if args.profile_segments is not None:
         profile_rows = []
@@ -292,7 +448,10 @@ def main(argv=None):
                 failed = True
             rows.append(row)
             continue
-        row = bench_unit(target, args.kernel, args.strategy, args.scale, True)
+        row = bench_unit(
+            target, args.kernel, args.strategy, args.scale, True,
+            warm=args.warm,
+        )
         if args.compare:
             reference = bench_unit(
                 target, args.kernel, args.strategy, args.scale, False
@@ -335,6 +494,18 @@ def main(argv=None):
         ):
             row["below_threshold"] = True
             failed = True
+        if (
+            args.assert_digest_rate is not None
+            and row["digest_rate"] > args.assert_digest_rate
+        ):
+            row["above_digest_rate"] = True
+            failed = True
+        if (
+            args.assert_max_seconds is not None
+            and row["seconds"] > args.assert_max_seconds
+        ):
+            row["above_max_seconds"] = True
+            failed = True
         rows.append(row)
 
     if args.json:
@@ -373,10 +544,19 @@ def main(argv=None):
                     f", {row['jit_superblocks']} superblocks "
                     f"({row['jit_side_exits']} side exits)"
                 )
+            if row.get("timing_digests", 0) or row.get("warm"):
+                line += (
+                    f", {row['timing_digests']} digests "
+                    f"(rate {row['digest_rate']:.4f})"
+                )
             if "mismatch" in row:
                 line += f"  !! MISMATCH in {row['mismatch']}"
             if row.get("below_threshold"):
                 line += "  !! hit rate below threshold"
+            if row.get("above_digest_rate"):
+                line += "  !! digest rate above threshold"
+            if row.get("above_max_seconds"):
+                line += "  !! wall above threshold"
             if row.get("below_jit_threshold"):
                 line += "  !! jit speedup below threshold (or deopt)"
             if row.get("below_warm_threshold"):
@@ -397,6 +577,14 @@ def main(argv=None):
             reasons.append(
                 f"warm speedup below {args.assert_warm_speedup} or "
                 "warm-run rework"
+            )
+        if args.assert_digest_rate is not None:
+            reasons.append(
+                f"digest rate above {args.assert_digest_rate}"
+            )
+        if args.assert_max_seconds is not None:
+            reasons.append(
+                f"simulation wall above {args.assert_max_seconds}s"
             )
         reasons.append("jit/fast/reference/cache mismatch")
         print("FAIL: " + " / ".join(reasons), file=sys.stderr)

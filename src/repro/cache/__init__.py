@@ -100,6 +100,10 @@ class ArtifactCache:
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
+        #: per-layer session counters: ``layer -> {"hits": n, "misses":
+        #: n, "writes": n}`` — same events as the aggregate ints above,
+        #: attributed to the layer they touched
+        self.layer_counters: dict[str, dict[str, int]] = {}
 
     # -- keys -------------------------------------------------------------
 
@@ -116,6 +120,14 @@ class ArtifactCache:
 
     # -- access -----------------------------------------------------------
 
+    def _layer_count(self, layer: str, event: str) -> None:
+        counts = self.layer_counters.get(layer)
+        if counts is None:
+            counts = self.layer_counters[layer] = {
+                "hits": 0, "misses": 0, "writes": 0
+            }
+        counts[event] += 1
+
     def get(self, layer: str, key: str):
         """The cached value, or ``None`` on a miss (corrupt entries are
         deleted by the store and surface here as misses)."""
@@ -124,6 +136,7 @@ class ArtifactCache:
         status, value = self.store.read(layer, key)
         if status == HIT:
             self.hits += 1
+            self._layer_count(layer, "hits")
             if timing.ENABLED:
                 timing.add("cache.hit")
                 timing.add(f"cache.{layer}.hit")
@@ -133,6 +146,7 @@ class ArtifactCache:
             if timing.ENABLED:
                 timing.add("cache.corrupt")
         self.misses += 1
+        self._layer_count(layer, "misses")
         if timing.ENABLED:
             timing.add("cache.miss")
             timing.add(f"cache.{layer}.miss")
@@ -151,6 +165,7 @@ class ArtifactCache:
                 timing.add("cache.put_failed")
             return False
         self.writes += 1
+        self._layer_count(layer, "writes")
         if timing.ENABLED:
             timing.add("cache.write")
             timing.add(f"cache.{layer}.write")
@@ -173,13 +188,18 @@ class ArtifactCache:
         }
 
     def stats(self) -> dict:
-        """JSON-ready snapshot: configuration, session counters and a
-        per-layer walk of what is on disk."""
+        """JSON-ready snapshot: configuration, session counters (total
+        and per layer) and a per-layer walk of what is on disk
+        (``entries`` / ``bytes``)."""
         return {
             "root": str(self.root),
             "enabled": self.enabled,
             "salt": self.salt,
             "session": self.counters(),
+            "session_layers": {
+                layer: dict(counts)
+                for layer, counts in sorted(self.layer_counters.items())
+            },
             "layers": self.store.layer_stats(),
         }
 

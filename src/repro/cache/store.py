@@ -133,7 +133,9 @@ class FileStore:
         return removed
 
     def layer_stats(self) -> dict[str, dict[str, int]]:
-        """Per-layer ``{"files": n, "bytes": n}`` from a directory walk."""
+        """Per-layer ``{"files": n, "entries": n, "bytes": n}`` from a
+        directory walk (``entries`` mirrors ``files`` — one artifact per
+        file — and is the stable name in the ``cache stats`` JSON)."""
         stats: dict[str, dict[str, int]] = {}
         if not self.root.is_dir():
             return stats
@@ -151,5 +153,7 @@ class FileStore:
                         size += os.path.getsize(os.path.join(directory, name))
                     except OSError:
                         pass
-            stats[layer_dir.name] = {"files": files, "bytes": size}
+            stats[layer_dir.name] = {
+                "files": files, "entries": files, "bytes": size
+            }
         return stats

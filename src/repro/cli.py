@@ -176,10 +176,19 @@ def cmd_run(arguments) -> int:
     print(f"loads/stores: {result.loads}/{result.stores}")
     if options.cache:
         print(f"cache:        {result.cache_hits} hits, {result.cache_misses} misses")
-    if result.jit_segments or result.jit_hits or result.jit_deopts:
+    if result.jit_active_segments or result.jit_hits or result.jit_deopts:
+        # active = compiled this run + preloaded from the artifact cache,
+        # so a fully warm run does not read as "JIT off"
         print(
-            f"jit:          {result.jit_segments} segments compiled, "
+            f"jit:          {result.jit_active_segments} segments active "
+            f"({result.jit_segments} compiled this run), "
             f"{result.jit_hits} dispatch hits, {result.jit_deopts} deopts"
+        )
+    if result.block_cache_hits or result.block_cache_misses:
+        print(
+            f"timing memo:  {result.block_cache_hits} hits, "
+            f"{result.block_cache_misses} misses, "
+            f"{result.timing_digests} digests computed"
         )
     if result.cycle_breakdown is not None:
         shown = ", ".join(
@@ -282,11 +291,20 @@ def cmd_cache(arguments) -> int:
     layers = stats["layers"]
     if not layers:
         print("empty")
+    session_layers = stats.get("session_layers", {})
     for layer, entry in sorted(layers.items()):
-        print(
-            f"{layer:8s} {entry['files']:5d} artifact(s), "
+        line = (
+            f"{layer:8s} {entry['entries']:5d} entr{'y' if entry['entries'] == 1 else 'ies'}, "
             f"{entry['bytes'] / 1024:.1f} KiB"
         )
+        session = session_layers.get(layer)
+        if session:
+            line += (
+                f"  (session: {session['hits']} hit(s), "
+                f"{session['misses']} miss(es), "
+                f"{session['writes']} write(s))"
+            )
+        print(line)
     return 0
 
 

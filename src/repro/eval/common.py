@@ -143,10 +143,17 @@ class KernelRun:
     block_cache_hits: int = 0
     block_cache_misses: int = 0
     #: segment-JIT activity (all zero when the JIT is off or the run
-    #: took the reference interleaved path)
+    #: took the reference interleaved path).  ``jit_active_segments``
+    #: counts compiled *plus* preloaded code at run end, so a warm run
+    #: with ``jit_segments == 0`` does not read as "JIT off"
     jit_segments: int = 0
+    jit_active_segments: int = 0
     jit_hits: int = 0
     jit_deopts: int = 0
+    #: pipeline-state digests computed (first-visit transition replays);
+    #: steady state keeps this near zero — see the timing chain in
+    #: ``docs/internals.md``
+    timing_digests: int = 0
     #: artifact-cache activity during this unit: hit/miss/write deltas
     #: of the process-wide :class:`~repro.cache.ArtifactCache` (``None``
     #: in journals written before the cache existed)
@@ -272,8 +279,10 @@ def run_kernel(
         block_cache_hits=result.block_cache_hits,
         block_cache_misses=result.block_cache_misses,
         jit_segments=result.jit_segments,
+        jit_active_segments=result.jit_active_segments,
         jit_hits=result.jit_hits,
         jit_deopts=result.jit_deopts,
+        timing_digests=result.timing_digests,
         artifact_cache=cache_delta,
     )
 

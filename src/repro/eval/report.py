@@ -430,7 +430,7 @@ def _bench_payload(
     stall_data=None,
     grid_info: dict | None = None,
 ) -> dict:
-    """The machine-readable BENCH_eval.json payload (schema v9)."""
+    """The machine-readable BENCH_eval.json payload (schema v10)."""
     runs = [
         run
         for by_strategy in table4_data.runs.values()
@@ -445,7 +445,7 @@ def _bench_payload(
     store = get_cache()
     grid_info = dict(grid_info or {})
     payload = {
-        "schema": 9,
+        "schema": 10,
         "scale": scale,
         "jobs": jobs,
         "wall_seconds": {
@@ -485,9 +485,33 @@ def _bench_payload(
             },
             "jit": {
                 "segments": timing.counter("sim.jit.segments"),
+                # schema v10: compiled + preloaded code live at run end,
+                # so a fully warm run does not read as "JIT off"
+                "active_segments": timing.counter("sim.jit.active_segments"),
                 "hits": timing.counter("sim.jit.hit"),
                 "deopts": timing.counter("sim.jit.deopt"),
             },
+            # schema v10: the digest-free timing chain.  ``digests
+            # _computed`` counts first-visit transition replays; a warm
+            # run keeps ``digest_rate`` (digests / memo lookups) ≈ 0
+            "timing": {
+                "digests_computed": timing.counter(
+                    "sim.timing.digests_computed"
+                ),
+                "digest_rate": (
+                    round(
+                        timing.counter("sim.timing.digests_computed")
+                        / block_lookups,
+                        6,
+                    )
+                    if block_lookups
+                    else None
+                ),
+            },
+            # schema v10: warm-simulation self-time breakdown from
+            # ``scripts/bench_sim.py --profile-sim`` (None until a
+            # profiled bench run is merged)
+            "self_time": None,
             # schema v9: trace-superblock activity (traces compiled,
             # side exits taken back into the dispatch loop, preloaded
             # segment/trace payloads from the artifact cache)
@@ -631,6 +655,15 @@ def add_report_arguments(parser: argparse.ArgumentParser) -> None:
         "throughput, cold-vs-warm compile walls, dedup credit)",
     )
     parser.add_argument(
+        "--sim-bench",
+        default="",
+        metavar="FILE",
+        help="merge a scripts/bench_sim.py --profile-sim --json document "
+        "into the bench payload's 'sim.self_time' section (warm-"
+        "simulation self-time breakdown: generated code, digest/replay, "
+        "cache model, dispatch)",
+    )
+    parser.add_argument(
         "--cache-compare",
         action="store_true",
         help="run the report twice against a fresh artifact-cache "
@@ -669,10 +702,17 @@ def run_report_command(arguments, bench_default: str | None) -> int:
     if serve_bench:
         with open(serve_bench) as handle:
             result.bench["serve"] = json.load(handle)
-        if bench_out:  # rewrite with the serve section merged in
-            with open(bench_out, "w") as handle:
-                json.dump(result.bench, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+    sim_bench = getattr(arguments, "sim_bench", "")
+    if sim_bench:
+        with open(sim_bench) as handle:
+            result.bench.setdefault("sim", {})["self_time"] = json.load(
+                handle
+            )
+    if (serve_bench or sim_bench) and bench_out:
+        # rewrite with the merged section(s) included
+        with open(bench_out, "w") as handle:
+            json.dump(result.bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     if getattr(arguments, "format", "text") == "json":
         print(
             json.dumps(

@@ -46,6 +46,14 @@ _SUPERBLOCK_DEFAULT = os.environ.get(
     "REPRO_SUPERBLOCK", "1"
 ).lower() not in ("0", "false", "off", "no")
 
+#: process-wide default for :attr:`SimOptions.timing_chain`, read once
+#: at import.  ``REPRO_TIMING_CHAIN=0`` makes every segment boundary go
+#: through :meth:`BlockTimingCache.close` instead of the inline
+#: transition tables — CI cross-validates both values.
+_TIMING_CHAIN_DEFAULT = os.environ.get(
+    "REPRO_TIMING_CHAIN", "1"
+).lower() not in ("0", "false", "off", "no")
+
 
 @dataclass(frozen=True)
 class CompileOptions:
@@ -127,6 +135,14 @@ class SimOptions:
       timing units in the same order); only meaningful with ``jit=True``
       on the fast-timing path.  ``REPRO_SUPERBLOCK=0`` turns it off
       process-wide.
+    * ``timing_chain`` — hand generated code (and chained loops inside
+      it) the block-timing memo's per-segment *transition tables*, so a
+      warm segment boundary commits timing with one integer-tuple dict
+      lookup and no call back into
+      :class:`~repro.sim.blockcache.BlockTimingCache`.  With it off,
+      every boundary takes the ``close()`` call path instead — same
+      memo, same records, bit-identical results, just slower.
+      ``REPRO_TIMING_CHAIN=0`` turns it off process-wide.
     """
 
     cache: object = None
@@ -137,6 +153,7 @@ class SimOptions:
     fast_timing: bool = _FAST_TIMING_DEFAULT
     jit: bool = _JIT_DEFAULT
     superblock: bool = _SUPERBLOCK_DEFAULT
+    timing_chain: bool = _TIMING_CHAIN_DEFAULT
 
     def replace(self, **changes) -> "SimOptions":
         """A copy with the given fields changed (frozen-friendly)."""

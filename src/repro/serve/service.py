@@ -412,8 +412,18 @@ class Service:
             "sim": {
                 "jit": {
                     "segments": timing.counter("sim.jit.segments"),
+                    "active_segments": timing.counter(
+                        "sim.jit.active_segments"
+                    ),
                     "hits": timing.counter("sim.jit.hit"),
                     "deopts": timing.counter("sim.jit.deopt"),
+                },
+                "timing": {
+                    "digests_computed": timing.counter(
+                        "sim.timing.digests_computed"
+                    ),
+                    "memo_hits": timing.counter("sim.block_cache.hit"),
+                    "memo_misses": timing.counter("sim.block_cache.miss"),
                 },
                 "superblock": {
                     "traces": timing.counter("sim.jit.superblocks"),

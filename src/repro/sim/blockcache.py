@@ -22,6 +22,18 @@ conditional branches return no control effect, so they stay inside a
 segment), which is what makes the replay reconstructible without
 recording instruction streams.
 
+The memo is *chained by exit id*: digests are interned to small integer
+ids, and because a digest fully determines all future
+:meth:`PipelineModel.issue` behavior, the exit id of segment N simply
+*is* the entry id of segment N+1.  Transitions are therefore stored as
+one small dict per static segment — ``(entry_pc, end_pc, transfer_pc)
+-> {(entry_id, miss_mask): (cycle_delta, exit_id, stall_deltas)}`` — so
+a warm boundary crossing is a single two-int-tuple lookup in a dict the
+caller already holds, with zero digest hashing.  :func:`state_digest` runs only
+on first visit to a transition (counted in
+:attr:`BlockTimingCache.digests_computed`); steady state never
+re-derives a key it already knows.
+
 The *digest* canonicalizes everything :meth:`PipelineModel.issue` and
 :meth:`PipelineModel.transfer` can observe, relative to the entry issue
 cycle: producer ready times (aged out once they can no longer
@@ -33,10 +45,14 @@ digests are indistinguishable to every future issue, so a cached
 steady-state loop iterations reduce to one dictionary probe per block.
 
 On a cache miss the segment is *replayed* through a real
-:class:`PipelineModel` materialized from the entry digest; the data
-cache is replaced by a scripted stand-in feeding back the hit/miss
+:class:`AccountingPipelineModel` materialized from the entry digest; the
+data cache is replaced by a scripted stand-in feeding back the hit/miss
 outcomes the functional side already observed, so the real cache model
-is consulted exactly once per access.  ``tests/test_block_timing.py``
+is consulted exactly once per access.  Replaying under the accounting
+model means every record also memoizes the segment's per-hazard-kind
+stall attribution, which is what lets ``SimOptions(trace=True)`` runs
+ride this fast path: a warm trace run sums memoized stall-delta tuples
+instead of attributing every issue.  ``tests/test_block_timing.py``
 holds the fast path bit-identical to the reference interleaved model
 across the whole target × strategy grid.
 
@@ -52,7 +68,11 @@ from __future__ import annotations
 
 from operator import itemgetter
 
-from repro.sim.pipeline import _RING_MASK, PipelineModel
+from repro.sim.pipeline import (
+    _RING_MASK,
+    AccountingPipelineModel,
+    PipelineModel,
+)
 
 #: digest of a pristine pipeline — the state every run starts in
 EMPTY_DIGEST = (0, (), (), (), (), -1, 0)
@@ -123,9 +143,20 @@ def state_digest(model: PipelineModel, max_latency: int) -> tuple:
     if redirect < 0:
         redirect = 0
     horizon = base - max_latency
+    # the accounting model's producer entries carry a third component
+    # (the cache-miss stretch folded into ready, so the stall raise can
+    # be split between miss and latency); it shapes attribution but
+    # never cycles, and once a producer can no longer raise
+    # (``rel <= 0``) it is unobservable — normalized to 0 so plain and
+    # accounting models digest identical steady states identically
     producers = sorted(
         (
-            (unit, entry[0] - base, entry[1])
+            (
+                unit,
+                entry[0] - base,
+                entry[1],
+                entry[2] if len(entry) > 2 and entry[0] > base else 0,
+            )
             for unit, entry in model.producers.items()
             if entry[0] > horizon
         ),
@@ -171,9 +202,18 @@ def load_state(model: PipelineModel, digest: tuple, base: int) -> None:
     redirect, producers, temporals, ring, classes, store, load = digest
     model.last_issue = base
     model.redirect_floor = base + redirect
-    model.producers = {
-        unit: (base + rel, token) for unit, rel, token in producers
-    }
+    # materialize producer entries in the shape the target model's
+    # ``issue`` unpacks: 3-tuples (with the miss stretch) for the
+    # accounting model, plain 2-tuples otherwise
+    if isinstance(model, AccountingPipelineModel):
+        model.producers = {
+            unit: (base + rel, token, extra)
+            for unit, rel, token, extra in producers
+        }
+    else:
+        model.producers = {
+            unit: (base + rel, token) for unit, rel, token, _extra in producers
+        }
     model.temporal_producers = {
         name: (base + rel, mnemonic) for name, rel, mnemonic in temporals
     }
@@ -223,14 +263,19 @@ class _ScriptedCache:
 
 
 class BlockTimingCache:
-    """The ``(segment, entry digest, miss mask) -> (cycle delta, exit
-    digest)`` memo, plus the replay machinery behind its misses.
+    """The exit-id-chained ``segment -> {(entry id, miss mask): (cycle
+    delta, exit id)}`` memo, plus the replay machinery behind its misses.
 
     One instance is shared by every fast-path run over one (executable,
     miss-penalty) pair, so warmup paid by one simulation benefits the
-    next.  Digests are interned to small integer ids: table keys and the
-    virtual pipeline state carry only ints, so a steady-state lookup
-    never re-hashes the (large) digest tuples."""
+    next.  Digests are interned to small integer ids and transitions are
+    chained: the exit id a lookup returns is the entry id of the next
+    lookup, so the (large) digest tuples are hashed only when a
+    transition is replayed for the first time.  Callers that close the
+    same static segment repeatedly (the segment JIT's chained loops and
+    trace probes) hold that segment's transition dict directly — see
+    :meth:`transitions` — making a warm boundary one two-int-tuple
+    ``dict.get`` with no call into this class at all."""
 
     EMPTY_ID = 0
 
@@ -244,14 +289,32 @@ class BlockTimingCache:
         self.scripted = (
             _ScriptedCache(miss_penalty) if miss_penalty is not None else None
         )
-        self.pipeline = PipelineModel(target, self.scripted, static=static)
+        # replays run under the *accounting* model so every record also
+        # carries its per-hazard-kind stall deltas — the one-time cost
+        # makes ``SimOptions(trace=True)`` runs eligible for the fast
+        # path (the breakdown is as transition-deterministic as the
+        # cycle delta: both are functions of the replayed issue
+        # sequence).  Accounting state is not part of the digest, so
+        # records are interchangeable with plain-model replays.
+        self.pipeline = AccountingPipelineModel(
+            target, self.scripted, static=static
+        )
+        self._kind_names = tuple(self.pipeline.kind_cycles)
         self.max_latency = target_max_latency(target)
         self.instrs = instrs
         self.digests: list[tuple] = [EMPTY_DIGEST]
         self._digest_ids: dict[tuple, int] = {EMPTY_DIGEST: 0}
-        self.table: dict[tuple, tuple[int, int]] = {}
+        #: ``(entry, end, transfer) -> {(entry_id, miss_mask): (delta,
+        #: exit_id)}`` — the chained transition memo
+        self.segments: dict[tuple, dict] = {}
+        #: total records admitted across every segment dict (the
+        #: :data:`MAX_ENTRIES` backstop counts the whole memo)
+        self.entries = 0
         self.hits = 0
         self.misses = 0
+        #: :func:`state_digest` invocations — one per first-visit replay,
+        #: and the proof obligation that steady state is digest-free
+        self.digests_computed = 0
         #: a new entry was admitted since the last artifact-cache persist
         self.dirty = False
         #: first absolute cycle no replay has ever touched — each run
@@ -264,6 +327,18 @@ class BlockTimingCache:
         cycle counter before materializing states on this cache."""
         return self._next_base
 
+    def transitions(self, entry: int, end: int, transfer: int) -> dict:
+        """The transition dict of one static segment (created empty on
+        first request).  The dict is long-lived and updated in place by
+        :meth:`close`, so generated code binds ``transitions(...).get``
+        once per call and probes ``(entry_id, miss_mask)`` keys with no
+        further attribute or method lookups."""
+        key = (entry, end, transfer)
+        table = self.segments.get(key)
+        if table is None:
+            table = self.segments[key] = {}
+        return table
+
     def close(
         self,
         entry: int,
@@ -273,63 +348,99 @@ class BlockTimingCache:
         events: list,
         entry_id: int,
         base: int,
-    ) -> tuple[int, int]:
-        """Finish one segment; returns ``(cycle delta, exit digest id)``.
+    ) -> tuple[int, int, tuple]:
+        """Finish one segment; returns the full transition record
+        ``(cycle delta, exit digest id, stall-kind deltas)`` — callers
+        that only advance the chain index ``[0]`` and ``[1]``; trace
+        runs accumulate ``[2]`` (ordered as :meth:`stall_kinds`).
 
         ``events`` is the segment's memory-access record, one
         ``(pc, is_write, hit)`` triple per access in execution order; it
         is only consulted when the lookup misses and the segment must be
         replayed.  ``base`` is the absolute issue cycle at segment entry.
         """
-        key = (entry, end, transfer, miss_mask, entry_id)
-        record = self.table.get(key)
+        key = (entry, end, transfer)
+        table = self.segments.get(key)
+        if table is None:
+            table = self.segments[key] = {}
+        record = table.get((entry_id, miss_mask))
         if record is not None:
             self.hits += 1
             return record
         self.misses += 1
         record = self._replay(entry, end, transfer, events, entry_id, base)
-        if len(self.table) < MAX_ENTRIES:
-            self.table[key] = record
+        if self.entries < MAX_ENTRIES:
+            table[(entry_id, miss_mask)] = record
+            self.entries += 1
             self.dirty = True
         return record
+
+    def stall_kinds(self) -> tuple:
+        """Hazard-kind names, in the order every record's stall-delta
+        tuple uses (the accounting model's declaration order)."""
+        return self._kind_names
 
     # -- artifact-cache serialization ------------------------------------
 
     def export(self) -> dict:
         """A picklable snapshot of the memo: the interned digest list
-        and the keyed table (entry digests are ids — indices into the
-        digest list — so the snapshot is self-contained)."""
-        return {"digests": list(self.digests), "table": dict(self.table)}
+        and the per-segment transition dicts (digests appear as ids —
+        indices into the digest list — so the snapshot is
+        self-contained)."""
+        return {
+            "digests": list(self.digests),
+            "segments": {
+                key: dict(table) for key, table in self.segments.items()
+            },
+        }
 
     def preload(self, payload: dict) -> bool:
         """Adopt an :meth:`export` snapshot wholesale; only valid on a
         virgin cache (no lookups yet).  Returns False (and changes
         nothing) when the payload fails its sanity checks — the cache
         then just warms up normally."""
-        if self.table or len(self.digests) != 1:
+        if self.segments or len(self.digests) != 1:
             return False
         try:
             digests = [tuple(digest) for digest in payload["digests"]]
-            table = dict(payload["table"])
-        except (KeyError, TypeError):
+            segments = {
+                key: dict(table)
+                for key, table in payload["segments"].items()
+            }
+        except (KeyError, TypeError, AttributeError):
             return False
         if not digests or digests[0] != EMPTY_DIGEST:
             return False
-        for key, record in table.items():
-            if len(key) != 5 or len(record) != 2:
+        kinds = len(self._kind_names)
+        total = 0
+        for seg_key, table in segments.items():
+            if len(seg_key) != 3:
                 return False
-            if not (0 <= key[4] < len(digests) and 0 <= record[1] < len(digests)):
-                return False
+            for key, record in table.items():
+                if len(key) != 2 or len(record) != 3:
+                    return False
+                if not (
+                    0 <= key[0] < len(digests)
+                    and 0 <= record[1] < len(digests)
+                ):
+                    return False
+                if (
+                    not isinstance(record[2], tuple)
+                    or len(record[2]) != kinds
+                ):
+                    return False
+                total += 1
         self.digests = digests
         self._digest_ids = {
             digest: index for index, digest in enumerate(digests)
         }
-        self.table = table
+        self.segments = segments
+        self.entries = total
         return True
 
     def _replay(
         self, entry: int, end: int, transfer: int, events, entry_id, base
-    ) -> tuple[int, int]:
+    ) -> tuple[int, int, tuple]:
         model = self.pipeline
         load_state(model, self.digests[entry_id], base)
         scripted = self.scripted
@@ -337,6 +448,9 @@ class BlockTimingCache:
             scripted.load([hit for _pc, _w, hit in events])
         instrs = self.instrs
         issue = model.issue
+        kind_cycles = model.kind_cycles
+        kinds = self._kind_names
+        before = tuple(kind_cycles[kind] for kind in kinds)
         position = 0
         count = len(events)
         transfer_cycle = 0
@@ -356,10 +470,14 @@ class BlockTimingCache:
             top = model.last_issue
         if top + 1 > self._next_base:
             self._next_base = top + 1
+        self.digests_computed += 1
         digest = state_digest(model, self.max_latency)
         exit_id = self._digest_ids.get(digest)
         if exit_id is None:
             exit_id = len(self.digests)
             self.digests.append(digest)
             self._digest_ids[digest] = exit_id
-        return (model.last_issue - base, exit_id)
+        breakdown = tuple(
+            kind_cycles[kind] - start for kind, start in zip(kinds, before)
+        )
+        return (model.last_issue - base, exit_id, breakdown)

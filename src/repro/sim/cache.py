@@ -7,11 +7,23 @@ result latency grows by the miss penalty.  Defaults follow an R2000-era
 board-level direct-mapped data cache (8 KB, 16-byte lines, ~12-cycle
 refill); the Livermore working sets overflow it the way the paper's did
 the DECstation's.
+
+Geometry is restricted to power-of-two sizes and line sizes so an access
+is pure shift/mask arithmetic over a preallocated tag array — no
+division, no dict.  The segment JIT inlines exactly this arithmetic into
+generated code (reading :attr:`line_shift` / :attr:`set_mask` /
+:attr:`tag_shift` / :attr:`tags` once per call), so the compiled fast
+path and :meth:`access` are the same computation by construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
+
+#: tag stored for a never-filled line; no real tag is negative because
+#: every simulated address is bounds-checked non-negative before access
+_EMPTY_TAG = -1
 
 
 @dataclass
@@ -20,27 +32,42 @@ class DirectMappedCache:
     line: int = 16
     miss_penalty: int = 12
 
-    tags: dict[int, int] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
 
     def __post_init__(self) -> None:
         if self.size % self.line:
             raise ValueError("cache size must be a multiple of the line size")
+        if (
+            self.size <= 0
+            or self.line <= 0
+            or self.size & (self.size - 1)
+            or self.line & (self.line - 1)
+        ):
+            raise ValueError(
+                "cache size and line size must be powers of two"
+            )
         self._sets = self.size // self.line
+        #: shift/mask decomposition of ``(address // line) % sets`` and
+        #: ``address // size`` — read by generated JIT code
+        self.line_shift = self.line.bit_length() - 1
+        self.tag_shift = self.size.bit_length() - 1
+        self.set_mask = self._sets - 1
+        self.tags = array("q", [_EMPTY_TAG]) * self._sets
 
     def access(self, address: int) -> bool:
         """Touch ``address``; True on hit, False on miss (line is filled)."""
-        line_index = (address // self.line) % self._sets
-        tag = address // self.size
-        if self.tags.get(line_index) == tag:
+        tags = self.tags
+        index = (address >> self.line_shift) & self.set_mask
+        tag = address >> self.tag_shift
+        if tags[index] == tag:
             self.hits += 1
             return True
-        self.tags[line_index] = tag
+        tags[index] = tag
         self.misses += 1
         return False
 
     def reset(self) -> None:
-        self.tags.clear()
+        self.tags = array("q", [_EMPTY_TAG]) * self._sets
         self.hits = 0
         self.misses = 0

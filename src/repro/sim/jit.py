@@ -20,40 +20,46 @@ Inside the generated function:
   value is bit-identical — including NaN payloads (floats are never
   held as typed locals because the f32<->f64 conversion can quiet a
   signaling NaN);
-* memory accesses perform the data-cache access, miss-mask and
-  event-list bookkeeping inline, in exactly the positional order the
-  closure contract requires (``executor.py`` module docstring), so the
+* memory accesses perform the data-cache tag check (pure shift/mask
+  over the cache's preallocated tag array — the same arithmetic
+  :meth:`DirectMappedCache.access` runs, inlined), the miss-mask and
+  event-list bookkeeping, in exactly the positional order the closure
+  contract requires (``executor.py`` module docstring), so the
   block-timing replay sees an indistinguishable event stream;
 * conditional branches become early returns; the tail control transfer
-  (and its delay slots) is compiled into the exit itself.  The caller
-  receives ``(end_pc, transfer_pc, kind, label, executed, loads,
-  stores, miss_mask, load_bit)`` and performs the segment close;
+  (and its delay slots) is compiled into the exit itself.  Every
+  generated function — plain segment or superblock — shares the
+  15-tuple exit contract documented on :class:`_TraceCodegen`, which
+  threads the timing digest id through the call so the driver never
+  re-derives it;
 * a segment whose taken transfer targets its *own entry* (an innermost
   loop) is *chained*: the body is wrapped in ``while 1`` and the
-  back-edge, instead of returning, invokes the caller's per-iteration
-  close callback and jumps back to the top — registers stay in Python
-  locals across every iteration, and the flush/return/dispatch/reload
-  round trip happens once per loop, not once per iteration.  Such
-  functions raise division errors inline rather than deopting (a
+  back-edge, instead of returning, commits the iteration's timing
+  through an inlined transition-table probe and jumps back to the top —
+  registers stay in Python locals and a warm iteration boundary costs
+  one integer-tuple dict lookup, with no call out of generated code.
+  Such functions raise division errors inline rather than deopting (a
   mid-loop deopt would discard committed register state that only
   lives in locals), and every exit flushes the union of all views the
   body can write (a previous iteration may have taken any path).
 
 On top of single segments, hot multi-segment *traces* are stitched into
-**superblocks** (:class:`_TraceCodegen`): the driver profiles taken
-segment edges, and once an edge crosses :data:`SUPERBLOCK_WARMUP` the
-greedy selector follows terminal-goto successors while the profile
-stays hot, bounded by :data:`SUPERBLOCK_MAX_NODES`.  The whole trace
-becomes one generated function with the block-timing memo *probe*
-inlined at every internal segment transition — a hit costs one dict
-lookup inside generated code, and only a miss calls back into
-:meth:`BlockTimingCache.close`.  Any taken exit targeting the trace
-head becomes a back-edge of one outer ``while 1`` (probe + fuse check +
-``continue``), so steady-state iterations of multi-segment loops never
-return to the dispatch loop; every other exit is a *side exit* that
-returns with the final segment left open for the driver to close —
-timing keys, close order and event streams are exactly the ones plain
-segments produce, which is what keeps superblocks bit-identical on/off.
+**superblocks**: the driver profiles taken segment edges, and once an
+edge crosses :data:`SUPERBLOCK_WARMUP` the greedy selector follows
+terminal-goto successors while the profile stays hot, bounded by
+:data:`SUPERBLOCK_MAX_NODES`.  The whole trace becomes one generated
+function with the transition probe inlined at every internal segment
+boundary — a warm hit costs one dict lookup inside generated code, and
+only a first visit calls back into :meth:`BlockTimingCache.close`.
+Any taken exit targeting the trace head becomes a back-edge of one
+outer ``while 1`` (probe + fuse check + ``continue``), so steady-state
+iterations of multi-segment loops never return to the dispatch loop;
+every other exit is a *side exit* that returns with the final segment
+left open for the driver to close — timing keys, close order and event
+streams are exactly the ones interpreted segments produce, which is
+what keeps compiled code bit-identical on/off.  Both shapes share one
+codegen (:class:`_TraceCodegen`; a plain segment is a one-node trace)
+and therefore one dispatch branch in the driver.
 
 Anything the translator does not cover — temporal registers, invalid
 double pairings, control in a delay slot, unallocated operands — is
@@ -71,8 +77,10 @@ blacklisted back to the interpreter.
 
 from __future__ import annotations
 
+import marshal
 import os
 import struct
+from importlib.util import MAGIC_NUMBER
 
 from repro.backend.insts import Imm, Lab, MachineInstr, Reg
 from repro.backend.values import fold_halves
@@ -230,10 +238,16 @@ class SegmentTranslator:
     def translate(self, entry: int, cached: bool):
         """Compile the segment at ``entry``; ``(function, max_executed)``.
 
-        Raises :class:`Uncompilable` when any instruction on the trace
-        uses a construct the translator does not cover."""
+        A plain segment is emitted as a one-node trace, so segment and
+        superblock functions share one call contract and one codegen
+        (self-loop back-edges chain in-function with the timing probe
+        inlined, exactly like trace back-edges).  Raises
+        :class:`Uncompilable` when any instruction on the trace uses a
+        construct the translator does not cover."""
         trace, tail = self._trace(entry)
-        codegen = _SegmentCodegen(self, entry, trace, tail, cached)
+        codegen = _TraceCodegen(
+            self, [entry], [(entry, trace, tail)], cached, plain=True
+        )
         return codegen.build()
 
     def translate_trace(
@@ -393,7 +407,12 @@ class SegmentTranslator:
 
 
 class _SegmentCodegen:
-    """One segment -> one generated function (scan, decide, emit)."""
+    """Shared scan/decide/emit machinery (one trace node at a time).
+
+    All emission goes through :class:`_TraceCodegen` — a plain segment
+    is a one-node trace — so this base only holds the per-node walkers:
+    view scanning, local-representation decisions, expression/statement
+    emission, and the flush/entry-load bookkeeping."""
 
     def __init__(self, translator, entry, trace, tail, cached):
         self.tr = translator
@@ -405,6 +424,10 @@ class _SegmentCodegen:
         self.touched: set[tuple[int, int]] = set()
         self.view_types: dict[tuple, set[str]] = {}
         self.unit_views: dict[tuple[int, int], set[tuple]] = {}
+        #: any memory access anywhere in the function (a whole-function
+        #: property, so prologue/exit data-cache bookkeeping is emitted
+        #: consistently regardless of source order)
+        self.has_mem = False
         # decided representations
         self.typed: dict[tuple, str] = {}
         # emit state
@@ -415,19 +438,17 @@ class _SegmentCodegen:
         self.entry_reads: set[tuple] = set()
         self.effects = False
         self.bc_trail: list[str] = []
+        self.uses_bc = False
+        #: block label -> prologue local batching its execution count in
+        #: looping functions (committed to ``bc`` at every return site)
+        self.bc_locals: dict[str, str] = {}
         self.loads = 0
         self.stores = 0
         self.max_exec = 0
         self.consts: dict[str, object] = {}
-        # transfer pcs whose target label resolves back to the entry:
-        # these back-edges are chained into an in-function loop
-        self.loop_exits: set[int] = set()
         self.looping = False
 
     # -- driver ---------------------------------------------------------------
-
-    def _name(self) -> str:
-        return f"_jit_{self.entry}_{'c' if self.cached else 'n'}"
 
     def build(self):
         self._scan()
@@ -442,11 +463,13 @@ class _SegmentCodegen:
         fn._jit_source = source
         # everything a fresh process needs to re-materialize this
         # function without re-translating: the consts are all JitDeopt
-        # instances, recorded by their undo lists (see _materialize)
+        # instances, recorded by their undo lists (see _materialize);
+        # the code object rides along so export can marshal it
         fn._jit_name = name
         fn._jit_consts = {
             cname: value.bc_undo for cname, value in self.consts.items()
         }
+        fn._jit_code = code
         return fn, self.max_exec
 
     # -- scan: collect register views and refuse what we don't cover ----------
@@ -551,6 +574,7 @@ class _SegmentCodegen:
                 self._scan_expr(stmt.value, instr, type_name)
                 return
             if isinstance(target, ast.MemRef):
+                self.has_mem = True
                 self._scan_expr(target.address, instr, "int")
                 self._scan_expr(stmt.value, instr, None)
                 return
@@ -578,6 +602,7 @@ class _SegmentCodegen:
         if isinstance(expr, ast.MemRef):
             if expected is None:
                 raise Uncompilable("memory read with unknown width")
+            self.has_mem = True
             self._scan_expr(expr.address, instr, "int")
             return expected
         if isinstance(expr, ast.Unary):
@@ -684,8 +709,21 @@ class _SegmentCodegen:
             self._line(f"if {var} == 0: raise {self._deopt_name()}")
 
     def _emit_bc(self, pc: int) -> None:
-        if pc in self.tr.block_starts:
-            label = self.tr.block_of[pc]
+        if pc not in self.tr.block_starts:
+            return
+        label = self.tr.block_of[pc]
+        self.uses_bc = True
+        if self.looping:
+            # a looping function executes each block once per iteration:
+            # batch the count in an int local (committed by every return
+            # site) instead of a dict get + set per block per iteration.
+            # Deopt undo is unaffected — looping functions raise inline,
+            # never JitDeopt, so the bc trail stays a plain-segment tool
+            local = self.bc_locals.get(label)
+            if local is None:
+                local = self.bc_locals[label] = f"bn{len(self.bc_locals)}"
+            self._line(f"{local} += 1")
+        else:
             self._line(f"bc[{label!r}] = bcg({label!r}, 0) + 1")
             self.bc_trail.append(label)
 
@@ -768,11 +806,21 @@ class _SegmentCodegen:
         self._line(f"{addr} = {addr_code}")
         self._bounds_check(addr, 8 if expected == "double" else 4)
         if self.cached:
-            hit = self._tmp()
-            self._line(f"{hit} = access({addr})")
-            self._line(f"if not {hit}: mm |= lb")
+            # the data-cache access is pure shift/mask over the
+            # preallocated tag array (see sim/cache.py), inlined here so
+            # the hot path never leaves generated code
+            idx, tag = self._tmp(), self._tmp()
+            self._line(f"{idx} = ({addr} >> dls) & dsm")
+            self._line(f"{tag} = {addr} >> dts")
+            self._line(f"if dtg[{idx}] == {tag}:")
+            self._line("    dh += 1")
+            self._line(f"    ea(({pc}, False, True))")
+            self._line("else:")
+            self._line(f"    dtg[{idx}] = {tag}")
+            self._line("    dm += 1")
+            self._line("    mm |= lb")
+            self._line(f"    ea(({pc}, False, False))")
             self._line("lb <<= 1")
-            self._line(f"ea(({pc}, False, {hit}))")
             self.effects = True
         else:
             self._line("lb <<= 1")
@@ -1015,7 +1063,16 @@ class _SegmentCodegen:
         # the store's log record (and so its cache access) precedes the
         # value expression's loads, matching the closure's append order
         if self.cached:
-            self._line(f"ea(({pc}, True, access({addr})))")
+            idx, tag = self._tmp(), self._tmp()
+            self._line(f"{idx} = ({addr} >> dls) & dsm")
+            self._line(f"{tag} = {addr} >> dts")
+            self._line(f"if dtg[{idx}] == {tag}:")
+            self._line("    dh += 1")
+            self._line(f"    ea(({pc}, True, True))")
+            self._line("else:")
+            self._line(f"    dtg[{idx}] = {tag}")
+            self._line("    dm += 1")
+            self._line(f"    ea(({pc}, True, False))")
             self.effects = True
         else:
             self._line(f"ea(({pc}, True, True))")
@@ -1051,15 +1108,6 @@ class _SegmentCodegen:
                     f" _upk_p(_pk_d({self._dname(key)}))"
                 )
 
-    def _emit_exit(self, end, transfer, kind, label, executed) -> None:
-        self._flush()
-        if executed > self.max_exec:
-            self.max_exec = executed
-        self._line(
-            f"return ({end}, {transfer}, {kind}, {label!r},"
-            f" {executed}, {self.loads}, {self.stores}, mm, lb)"
-        )
-
     def _emit_slots(self, pc: int, instr: MachineInstr) -> int:
         """Delay-slot bodies for a taken exit; returns the segment end pc.
         Slot accesses hit the cache and shape the miss mask and events,
@@ -1070,140 +1118,6 @@ class _SegmentCodegen:
                 self._emit_stmt(stmt, self.tr.instrs[slot_pc], slot_pc, True)
             end = slot_pc
         return end
-
-    # -- emit: the function ----------------------------------------------------
-
-    def _find_loop_exits(self) -> None:
-        """Back-edges to the segment's own entry — chained in-function."""
-        labels = self.tr.executable.labels
-        for pc in self.trace:
-            instr = self.tr.instrs[pc]
-            control = _control_of(_stmts_of(instr))
-            if isinstance(control, (ast.CondGotoStmt, ast.GotoStmt)):
-                label = self._label_of(control.target, instr)
-                if labels.get(label) == self.entry:
-                    self.loop_exits.add(pc)
-        self.looping = bool(self.loop_exits)
-
-    def _emit_loop_exit(self, pc: int, instr, index: int) -> None:
-        """A chained back-edge: close the iteration through the caller's
-        callback and loop in-function while it allows, otherwise flush
-        and hand control back (kind 4: everything already accounted)."""
-        end = self._emit_slots(pc, instr)
-        executed = index + 1 + abs(instr.desc.slots)
-        if executed > self.max_exec:
-            self.max_exec = executed
-        self._line(
-            f"if lc({end}, {pc}, {executed},"
-            f" {self.loads}, {self.stores}, mm):"
-        )
-        self.indent += 1
-        self._line("mm = 0")
-        self._line("lb = 1")
-        self._line("continue")
-        self.indent -= 1
-        self._flush()
-        self._line("return (0, 0, 4, None, 0, 0, 0, 0, 1)")
-
-    def _emit(self) -> str:
-        name = self._name()
-        self.lines = [f"def {name}(state, access, ea, bc, mm, lb, lc):"]
-        self._line("u = state.units")
-        self._line("mem = state.memory")
-        self._line("ml = len(mem)")
-        self._line("bcg = bc.get")
-        # entry loads are inserted here once the body has been emitted and
-        # self.entry_reads says which views are read before being written
-        prologue_at = len(self.lines)
-        self._find_loop_exits()
-        if self.looping:
-            # iterations past the first run on register state that only
-            # lives in locals: a deopt could not restore it, so guards
-            # raise the interpreter's error inline instead (bit-identical
-            # message, same observable effect)...
-            self.effects = True
-            # ...and any exit may be reached after an iteration that took
-            # a different path, so every exit flushes — and therefore
-            # every entry loads — every view the body can touch
-            for key, type_name in self.typed.items():
-                self._mark_written(type_name, key)
-                self.entry_reads.add((type_name, key))
-            for unit in self.raw:
-                self._mark_written("raw", unit)
-                self.entry_reads.add(("raw", unit))
-            self._line("while 1:")
-            self.indent += 1
-
-        instrs = self.tr.instrs
-        for index, pc in enumerate(self.trace):
-            instr = instrs[pc]
-            stmts = _stmts_of(instr)
-            control = _control_of(stmts)
-            for stmt in stmts[:-1] if control is not None else stmts:
-                self._emit_stmt(stmt, instr, pc, False)
-            if isinstance(control, ast.CondGotoStmt):
-                cond_code, _, _ = self._expr(
-                    control.condition, instr, "int", pc, False
-                )
-                cond = self._tmp()
-                self._line(f"{cond} = {cond_code}")
-                self._emit_bc(pc)
-                label = self._label_of(control.target, instr)
-                self._line(f"if {cond} != 0:")
-                self.indent += 1
-                snapshot = (
-                    dict(self.written),
-                    self.effects,
-                    list(self.bc_trail),
-                )
-                if pc in self.loop_exits:
-                    self._emit_loop_exit(pc, instr, index)
-                else:
-                    end = self._emit_slots(pc, instr)
-                    self._emit_exit(
-                        end, pc, 1, label,
-                        index + 1 + abs(instr.desc.slots),
-                    )
-                self.written, self.effects, self.bc_trail = (
-                    dict(snapshot[0]), snapshot[1], list(snapshot[2])
-                )
-                self.indent -= 1
-            elif isinstance(control, ast.GotoStmt):
-                self._emit_bc(pc)
-                if pc in self.loop_exits:
-                    self._emit_loop_exit(pc, instr, index)
-                else:
-                    end = self._emit_slots(pc, instr)
-                    label = self._label_of(control.target, instr)
-                    self._emit_exit(
-                        end, pc, 1, label, index + 1 + abs(instr.desc.slots)
-                    )
-            elif isinstance(control, ast.RetStmt):
-                self._emit_bc(pc)
-                end = self._emit_slots(pc, instr)
-                self._emit_exit(
-                    end, pc, 2, None, index + 1 + abs(instr.desc.slots)
-                )
-            elif isinstance(control, ast.CallStmt):
-                self._emit_bc(pc)
-                self._flush()
-                retaddr = self.tr.target.cwvm.retaddr
-                unit = self.tr.target.registers.units_of(retaddr)[0]
-                self._line(f"u[{unit!r}] = {(pc + 1) & 0xFFFFFFFF}")
-                label = self._label_of(control.target, instr)
-                if index + 1 > self.max_exec:
-                    self.max_exec = index + 1
-                self._line(
-                    f"return ({pc}, {pc}, 3, {label!r}, {index + 1},"
-                    f" {self.loads}, {self.stores}, mm, lb)"
-                )
-            else:
-                self._emit_bc(pc)
-        if self.tail is None:
-            last = self.trace[-1]
-            self._emit_exit(last, -1, 0, None, len(self.trace))
-        self.lines[prologue_at:prologue_at] = self._entry_loads()
-        return "\n".join(self.lines) + "\n"
 
     def _entry_loads(self) -> list[str]:
         """Loads for exactly the views the body reads before writing."""
@@ -1232,49 +1146,73 @@ class _SegmentCodegen:
 
 
 class _TraceCodegen(_SegmentCodegen):
-    """One hot trace (a chain of segments) -> one generated superblock.
+    """One trace (a chain of segments) -> one generated function.
 
-    Structure: single entry at the trace head.  Internal transitions (a
-    node's terminal goto targeting the next node) run the block-timing
-    probe inline and fall through into the next node's code; any taken
-    exit targeting the *head* becomes a back-edge of one outer
-    ``while 1`` (probe + fuse check + ``continue``); every other exit is
-    a side exit returning to the dispatch loop with the final segment
-    left open for the driver to close.
+    Every generated function — plain segment (``plain=True``, a
+    one-node trace) or superblock — comes from here and shares one call
+    contract.  Structure: single entry at the trace head.  Internal
+    transitions (a node's terminal goto targeting the next node) run
+    the block-timing transition probe inline and fall through into the
+    next node's code; any taken exit targeting the *head* becomes a
+    back-edge of one outer ``while 1`` (probe + fuse check +
+    ``continue``); every other exit is a side exit returning to the
+    dispatch loop — exits at a segment boundary (kinds 1-3) close their
+    final segment inline through the same probe machinery, so the
+    dispatch loop only routes the pc; only a not-taken/fallthrough exit
+    (kind 0) leaves a segment open for the interpreter to continue.
 
     Call contract::
 
-        fn(state, access, events, bc, tg, close, eid, b0, fz, mm, lb)
+        fn(state, dcache, events, bc, tt, close, eid, b0, fz, mm, lb)
 
-    ``events`` is the shared event list (the probe consumes it), ``tg``
-    the timing table's bound ``get``, ``close`` the miss path, ``eid``
-    the entry digest id, ``b0`` the absolute base cycle at trace entry,
-    and ``fz`` the executed-instruction budget for back-edges.  Returns
-    a 15-tuple ``(kind, end, transfer, label, node_entry, open_len, ex,
-    ld, st, mm, lb, ci, eid, bch, sbh)``: ``kind`` 0/1/2/3 are the
-    segment exit kinds with the final segment *not yet closed*
-    (``node_entry`` is its entry pc; kind 0 additionally leaves
-    events/mm/lb live and ``open_len`` instructions already executed in
-    the open segment), and ``kind`` 4 is a fuse stop at the head with
-    everything already closed.  ``ex``/``ld``/``st`` are whole-call
+    ``dcache`` is the data-cache model (its tag array and shift/mask
+    geometry are read into locals once; accesses are inlined
+    arithmetic), ``events`` the shared event list (the probe consumes
+    it), ``tt`` the transition-table accessor — ``tt(entry, end,
+    transfer)`` returns the per-segment ``{(eid, mm): (cycle_delta,
+    exit_id)}`` dict, whose bound ``get`` the prologue captures per
+    probe site so a warm boundary is one two-int-tuple lookup — and
+    ``close`` the miss path.  ``eid`` is the entry digest id, ``b0``
+    the absolute base cycle at entry, and ``fz`` the
+    executed-instruction budget for back-edges.  Returns a 15-tuple
+    ``(kind, end, transfer, label, node_entry, open_len, ex, ld, st,
+    mm, lb, ci, eid, bch, sbh)``: ``kind`` 1/2/3 are
+    taken-branch/return/call exits with every segment (including the
+    final one) already closed and mm/lb reset, ``kind`` 0 is a
+    not-taken or fallthrough exit whose final segment at ``node_entry``
+    stays *open* (events/mm/lb live, ``open_len`` instructions already
+    executed) for the interpreter to continue, and ``kind`` 4 is a fuse
+    stop at the head with everything closed.  ``ex``/``ld``/``st`` are whole-call
     instruction/load/store totals, ``ci`` the accumulated cycle delta,
     ``eid`` the current digest id, ``bch`` inline probe hits and
-    ``sbh`` segments closed in-function.
+    ``sbh`` segments closed in-function.  A function with no probe on
+    any path (a non-looping plain segment) elides the running totals
+    entirely and returns static literals.
 
     Inlined probes count as non-undoable side effects (a miss mutates
     the shared memo), so a division guard can deopt only in the head
     node before the first probe — exactly the window where no event has
     been consumed and no register flush happened, making the undo
-    argument identical to plain segments.  Looping traces force
-    ``effects`` (and all-load-all-flush) upfront for the same reason
-    chained self-loops do: iteration state lives only in locals.
+    argument identical across function shapes.  Looping functions force
+    ``effects`` (and all-load-all-flush) upfront: iteration state lives
+    only in locals.
     """
 
-    def __init__(self, translator, entries, nodes, cached):
+    def __init__(self, translator, entries, nodes, cached, plain=False):
         head_entry, head_trace, head_tail = nodes[0]
         super().__init__(translator, head_entry, head_trace, head_tail, cached)
         self.entries = entries
         self.nodes = nodes
+        #: single-node "trace" standing in for a plain segment: named
+        #: ``_jit_*`` and allowed to have no back-edge
+        self.plain = plain
+        #: ``(entry, end, transfer) -> prologue local`` holding that
+        #: probe site's transition table ``.get``
+        self.probe_sites: dict[tuple, str] = {}
+        #: a probe has been emitted (monotonic: emission follows
+        #: execution order in non-looping functions, so exits emitted
+        #: before the first probe can return static literal totals)
+        self._totals_live = False
         #: node position -> statically pinned return pc for in-trace
         #: returns (filled by :meth:`_find_trace_shape`); the pc a
         #: run-time guard on the %retaddr register enforces
@@ -1291,7 +1229,8 @@ class _TraceCodegen(_SegmentCodegen):
         self.node_exec_base = 0
 
     def _name(self) -> str:
-        return f"_sbjit_{self.entry}_{'c' if self.cached else 'n'}"
+        prefix = "_jit" if self.plain else "_sbjit"
+        return f"{prefix}_{self.entry}_{'c' if self.cached else 'n'}"
 
     # -- scan across every node ------------------------------------------------
 
@@ -1358,10 +1297,11 @@ class _TraceCodegen(_SegmentCodegen):
                     raise Uncompilable(
                         "trace edge does not match the node tail"
                     )
-        if not self.looping:
+        if not self.looping and not self.plain:
             # a straight merge only saves one dispatch per invocation but
             # pays a wider register reload/flush at every entry and side
             # exit — measured net-negative, so only loops get traced
+            # (plain one-node functions are exempt: they ARE the segment)
             raise Uncompilable("trace has no back-edge to its head")
 
     # -- emission helpers ------------------------------------------------------
@@ -1385,19 +1325,32 @@ class _TraceCodegen(_SegmentCodegen):
         self.loads = loads
         self.stores = stores
 
+    def _probe_getter(self, nentry, end, transfer) -> str:
+        """The prologue local holding this probe site's transition
+        table ``.get`` (registered on first use)."""
+        site = (nentry, end, transfer)
+        getter = self.probe_sites.get(site)
+        if getter is None:
+            getter = self.probe_sites[site] = f"tg{len(self.probe_sites)}"
+        return getter
+
     def _emit_probe(self, nentry, end, transfer, node_exec) -> None:
-        """Close the segment ``[nentry..end]`` inline: probe the timing
-        table directly (a hit is one dict lookup), fall back to the real
-        ``close`` on a miss, and commit the statically-known
-        instruction/load/store deltas to the running totals."""
+        """Close the segment ``[nentry..end]`` inline: probe the
+        segment's transition table through a per-site prologue local (a
+        warm boundary is one two-int-tuple dict lookup, zero hashing of
+        pipeline state), fall back to the real ``close`` on a miss, and
+        commit the statically-known instruction/load/store deltas to
+        the running totals."""
         total = self.node_exec_base + node_exec
         if total > self.max_exec:
             self.max_exec = total
         ex_delta = total - self.sb_ex_base
         ld_delta = self.loads - self.sb_ld_base
         st_delta = self.stores - self.sb_st_base
+        getter = self._probe_getter(nentry, end, transfer)
+        self._totals_live = True
         probe = self._tmp()
-        self._line(f"{probe} = tg(({nentry}, {end}, {transfer}, mm, eid))")
+        self._line(f"{probe} = {getter}((eid, mm))")
         self._line(f"if {probe} is None:")
         self._line(
             f"    {probe} = close({nentry}, {end}, {transfer},"
@@ -1421,23 +1374,101 @@ class _TraceCodegen(_SegmentCodegen):
         self.sb_st_base = self.stores
         self.effects = True
 
+    def _emit_dflush(self) -> None:
+        """Commit the batched block counts and inline data-cache tallies
+        before a return (inline ``_SE`` raises skip this: the run
+        aborts, matching the totals already lost with
+        ``ex``/``ld``/``st``).  A zero block count is not written — the
+        reference path never creates the key, and ``block_counts`` is
+        compared bit-for-bit."""
+        for label, local in self.bc_locals.items():
+            self._line(f"if {local}:")
+            self._line(f"    bc[{label!r}] = bcg({label!r}, 0) + {local}")
+        if self.cached and self.has_mem:
+            self._line("dcache.hits += dh; dcache.misses += dm")
+
     def _emit_side_exit(
         self, nentry, end, transfer, kind, label, node_exec,
         open_len=0, flush=True,
     ) -> None:
         if flush:
             self._flush()
+        if kind != 0:
+            # exit kinds 1-3 leave at a closed segment boundary: commit
+            # it here (chain probe, ``close()`` on a miss) so the
+            # dispatch loop only routes the pc — it never closes these
+            if self.looping or self._totals_live:
+                self._emit_probe(nentry, end, transfer, node_exec)
+                self._emit_dflush()
+                self._line(
+                    f"return ({kind}, {end}, {transfer}, {label!r},"
+                    f" {nentry}, 0, ex, ld, st, 0, 1, ci, eid, bch, sbh)"
+                )
+            else:
+                self._emit_static_close(
+                    nentry, end, transfer, kind, label, node_exec
+                )
+            return
+        self._emit_dflush()
         total = self.node_exec_base + node_exec
         if total > self.max_exec:
             self.max_exec = total
         ex_delta = total - self.sb_ex_base
         ld_delta = self.loads - self.sb_ld_base
         st_delta = self.stores - self.sb_st_base
+        if self.looping or self._totals_live:
+            tail = (
+                f"ex + {ex_delta}, ld + {ld_delta}, st + {st_delta},"
+                " mm, lb, ci, eid, bch, sbh"
+            )
+        else:
+            # no probe has run on this path (and no earlier iteration
+            # can exist): the totals are static and the timing id is
+            # untouched, so the running-total locals are elided
+            tail = (
+                f"{ex_delta}, {ld_delta}, {st_delta},"
+                " mm, lb, 0, eid, 0, 0"
+            )
         self._line(
             f"return ({kind}, {end}, {transfer}, {label!r}, {nentry},"
-            f" {open_len}, ex + {ex_delta}, ld + {ld_delta},"
-            f" st + {st_delta}, mm, lb, ci, eid, bch, sbh)"
+            f" {open_len}, {tail})"
         )
+
+    def _emit_static_close(
+        self, nentry, end, transfer, kind, label, node_exec
+    ) -> None:
+        """Closing exit of a function that has not probed on this path
+        (the common shape: a plain non-looping segment).  Every running
+        total is a static literal and the cycle base is exactly ``b0``,
+        so only the transition record flows through a local — a warm
+        call is one table probe and a constant tuple build."""
+        total = self.node_exec_base + node_exec
+        if total > self.max_exec:
+            self.max_exec = total
+        ex_delta = total - self.sb_ex_base
+        ld_delta = self.loads - self.sb_ld_base
+        st_delta = self.stores - self.sb_st_base
+        getter = self._probe_getter(nentry, end, transfer)
+        probe = self._tmp()
+        head = (
+            f"({kind}, {end}, {transfer}, {label!r}, {nentry}, 0,"
+            f" {ex_delta}, {ld_delta}, {st_delta}, 0, 1,"
+            f" {probe}[0], {probe}[1]"
+        )
+        self._line(f"{probe} = {getter}((eid, mm))")
+        self._line(f"if {probe} is None:")
+        self._line(
+            f"    {probe} = close({nentry}, {end}, {transfer},"
+            " mm, events, eid, b0)"
+        )
+        self._line("    del events[:]")
+        self.indent += 1
+        self._emit_dflush()
+        self.indent -= 1
+        self._line(f"    return {head}, 0, 1)")
+        self._line("del events[:]")
+        self._emit_dflush()
+        self._line(f"return {head}, 1, 1)")
 
     def _emit_back_edge(self, nentry, pc, instr, index) -> None:
         """A taken exit targeting the trace head: close the segment
@@ -1450,6 +1481,7 @@ class _TraceCodegen(_SegmentCodegen):
         self._line("if ex <= fz:")
         self._line("    continue")
         self._flush()
+        self._emit_dflush()
         self._line(
             f"return (4, 0, -1, None, {self.entry}, 0, ex, ld, st,"
             " 0, 1, ci, eid, bch, sbh)"
@@ -1460,19 +1492,17 @@ class _TraceCodegen(_SegmentCodegen):
     def _emit(self) -> str:
         name = self._name()
         self.lines = [
-            f"def {name}(state, access, events, bc, tg, close,"
+            f"def {name}(state, dcache, events, bc, tt, close,"
             " eid, b0, fz, mm, lb):"
         ]
-        self._line("u = state.units")
-        self._line("mem = state.memory")
-        self._line("ml = len(mem)")
-        self._line("bcg = bc.get")
-        self._line("ea = events.append")
-        self._line("ex = 0; ld = 0; st = 0; ci = 0; bch = 0; sbh = 0")
+        # the whole prologue is assembled after the body, once the body
+        # says which bindings it actually needs (memory, block counts,
+        # data-cache geometry, running totals, probe-site getters,
+        # entry loads)
         prologue_at = len(self.lines)
         self._find_trace_shape()
         if self.looping:
-            # same argument as chained segments: iterations past the
+            # same argument as chained self-loops: iterations past the
             # first run on register state that only lives in locals, so
             # guards raise inline and every exit flushes every view
             self.effects = True
@@ -1482,12 +1512,48 @@ class _TraceCodegen(_SegmentCodegen):
             for unit in self.raw:
                 self._mark_written("raw", unit)
                 self.entry_reads.add(("raw", unit))
+            # pre-register every block label the trace can count: an
+            # early side exit flushes whatever locals exist at emission
+            # time, and a later iteration may reach it carrying counts
+            # in locals that are only *emitted* further down the body
+            for _entry, trace, _tail in self.nodes:
+                for pc in trace:
+                    if pc in self.tr.block_starts:
+                        label = self.tr.block_of[pc]
+                        if label not in self.bc_locals:
+                            self.bc_locals[label] = f"bn{len(self.bc_locals)}"
+                            self.uses_bc = True
             self._line("while 1:")
             self.indent += 1
         last = len(self.nodes) - 1
         for position, (entry, trace, tail) in enumerate(self.nodes):
             self._emit_node(position, entry, trace, tail, position == last)
-        self.lines[prologue_at:prologue_at] = self._entry_loads()
+        prologue = ["    u = state.units"]
+        if self.has_mem:
+            prologue.append("    mem = state.memory")
+            prologue.append("    ml = len(mem)")
+            prologue.append("    ea = events.append")
+        if self.uses_bc:
+            prologue.append("    bcg = bc.get")
+        for local in self.bc_locals.values():
+            prologue.append(f"    {local} = 0")
+        if self.cached and self.has_mem:
+            prologue.append("    dtg = dcache.tags")
+            prologue.append(
+                "    dls = dcache.line_shift; dsm = dcache.set_mask;"
+                " dts = dcache.tag_shift"
+            )
+            prologue.append("    dh = 0; dm = 0")
+        if self.looping or self._totals_live:
+            prologue.append(
+                "    ex = 0; ld = 0; st = 0; ci = 0; bch = 0; sbh = 0"
+            )
+        for (entry, end, transfer), getter in self.probe_sites.items():
+            prologue.append(
+                f"    {getter} = tt({entry}, {end}, {transfer}).get"
+            )
+        prologue.extend(self._entry_loads())
+        self.lines[prologue_at:prologue_at] = prologue
         return "\n".join(self.lines) + "\n"
 
     def _emit_node(self, position, entry, trace, tail, is_last) -> None:
@@ -1584,6 +1650,7 @@ class _TraceCodegen(_SegmentCodegen):
                         self._line("if ex <= fz:")
                         self._line("    continue")
                         self._flush()
+                        self._emit_dflush()
                         self._line(
                             f"return (4, 0, -1, None, {self.entry}, 0,"
                             " ex, ld, st, 0, 1, ci, eid, bch, sbh)"
@@ -1673,12 +1740,27 @@ class SegmentJIT:
         ``None`` (refused or blacklisted — permanently interpreted)."""
         return self._tables[1 if cached else 0]
 
+    def active_segments(self) -> int:
+        """Entries with a live compiled function (plain segment or
+        superblock) in either table — whether freshly compiled or
+        preloaded from the artifact cache.  This is the number that
+        distinguishes a warm run (``compiled == 0`` but hundreds
+        active) from a run with the JIT off."""
+        return sum(
+            1
+            for table in self._tables
+            for record in table.values()
+            if record is not None
+        )
+
     def warm(self, entry: int, cached: bool):
         """Count one dispatch of a not-yet-compiled entry; compile it
         once it crosses the warmup threshold.  Entries preloaded from
-        the artifact cache skip warmup: the generated source is
-        re-``compile()``d on the spot (counted in ``preloaded``, not
-        ``compiled`` — no translation work happened)."""
+        the artifact cache skip warmup: the marshalled code object (or
+        the generated source, when the payload came from a different
+        interpreter) is materialized on the spot (counted in
+        ``preloaded``, not ``compiled`` — no translation work
+        happened)."""
         flag = 1 if cached else 0
         pending = self._pending[flag]
         if entry in pending:
@@ -1894,17 +1976,25 @@ class SegmentJIT:
 
     @staticmethod
     def _compile_payload(payload):
-        """``(name, source, consts, max_exec)`` -> ``(fn, max_exec)``."""
-        name, source, consts, max_exec = payload
+        """``(name, source, consts, max_exec, magic, code_blob)`` ->
+        ``(fn, max_exec)``.  ``code_blob`` is the marshalled code
+        object; it is only trusted when ``magic`` matches this
+        interpreter's bytecode magic (the payload may have been written
+        by a different Python), otherwise the source is recompiled."""
+        name, source, consts, max_exec, magic, blob = payload
         env = dict(_BASE_ENV)
         for cname, bc_undo in consts.items():
             env[cname] = JitDeopt(tuple(bc_undo))
-        code = compile(source, f"<jit:{name}>", "exec")
+        if magic == MAGIC_NUMBER and blob is not None:
+            code = marshal.loads(blob)
+        else:
+            code = compile(source, f"<jit:{name}>", "exec")
         exec(code, env)
         fn = env[name]
         fn._jit_source = source
         fn._jit_name = name
         fn._jit_consts = dict(consts)
+        fn._jit_code = code
         return fn, max_exec
 
     def _materialize(self, item, record):
@@ -1925,13 +2015,20 @@ class SegmentJIT:
 
     @staticmethod
     def _export_payload(fn, max_exec):
-        return (fn._jit_name, fn._jit_source, dict(fn._jit_consts), max_exec)
+        try:
+            blob = marshal.dumps(fn._jit_code)
+        except ValueError:
+            blob = None
+        return (
+            fn._jit_name, fn._jit_source, dict(fn._jit_consts), max_exec,
+            MAGIC_NUMBER, blob,
+        )
 
     def export(self) -> dict:
         """A picklable snapshot of every decided entry: ``(cached,
         entry) -> None`` (refused/blacklisted), ``("seg", name, source,
-        consts, max_executed)``, or ``("sb", payload, fallback,
-        nodes)`` for a superblock (``fallback`` is the segment record
+        consts, max_executed, magic, code_blob)``, or ``("sb", payload,
+        fallback, nodes)`` for a superblock (``fallback`` is the segment record
         it replaced, in ``("seg", ...)`` form, so a warm process can
         blacklist or demote back to it; ``nodes`` feeds the quality
         gate).  Pending preloads the process never dispatched are passed
@@ -1989,6 +2086,7 @@ class SegmentJIT:
             "compiled": self.compiled,
             "uncompilable": self.uncompilable,
             "preloaded": self.preloaded,
+            "active_segments": self.active_segments(),
             "deopts": self.deopts,
             "hits": self.hits,
             "superblocks": self.superblocks,

@@ -35,8 +35,22 @@ _MISS = object()
 #: the :meth:`SegmentJIT.export` payload format changes (v2: tagged
 #: records with trace superblocks and their segment fallbacks; v3:
 #: traces may inline calls/returns and truncate nodes at their hot
-#: conditional, so v2 trace functions are stale)
-_JIT_PAYLOAD_VERSION = "v3"
+#: conditional; v4: one unified 15-tuple call contract for segments and
+#: traces, with transition-table probes and inline data-cache tag
+#: checks, so earlier generated functions are stale; v5: exit kinds
+#: 1-3 close their final segment inside generated code — the dispatch
+#: loop no longer closes them, so v4 functions would leave segments
+#: untimed — and payloads carry marshalled code objects so a warm
+#: process skips re-``compile()``-ing every generated source)
+_JIT_PAYLOAD_VERSION = "v5"
+
+#: version tag mixed into the ``timing`` artifact-cache key; bumped
+#: when the :meth:`BlockTimingCache.export` payload format changes
+#: (v2: exit-id-chained per-segment transition tables replace the flat
+#: 5-tuple-keyed memo; v3: records carry per-hazard-kind stall deltas
+#: so trace runs ride the fast path — v1 payloads have no key and are
+#: never fetched)
+_TIMING_PAYLOAD_VERSION = "v3"
 
 
 def _no_timing_close(
@@ -45,14 +59,60 @@ def _no_timing_close(
 ):
     """Segment close for ``model_timing=False`` fast runs: no pipeline
     model is consulted, so every close is free and contributes nothing."""
-    return 0, _empty
+    return 0, _empty, ()
 
 
-def _free_probe(key, _record=(0, BlockTimingCache.EMPTY_ID)):
-    """Superblock timing probe for ``model_timing=False`` fast runs:
-    every inline lookup "hits" a free record, so generated traces never
-    fall back to the close path."""
-    return _record
+def _accounted_close(real_close, totals):
+    """Wrap :meth:`BlockTimingCache.close` for ``trace=True`` fast runs:
+    every close (dispatch-level *and* the inline probe-miss closes inside
+    generated code) adds its record's memoized stall-delta tuple into the
+    run's accumulator.  Trace runs disable the inline probe tables (see
+    ``_cold_tables``), so every boundary funnels through here and no
+    stall cycle escapes attribution."""
+
+    def close(entry, end, transfer, miss_mask, events, entry_id, base):
+        record = real_close(
+            entry, end, transfer, miss_mask, events, entry_id, base
+        )
+        index = 0
+        for cycles in record[2]:
+            if cycles:
+                totals[index] += cycles
+            index += 1
+        return record
+
+    return close
+
+
+#: shared empty transition table for ``timing_chain=False`` runs
+_EMPTY_TRANSITIONS: dict = {}
+
+
+def _cold_tables(entry, end, transfer, _empty=_EMPTY_TRANSITIONS):
+    """Transition-table accessor handed to generated code when the
+    timing chain is disabled: every inline probe misses into a shared
+    empty table, so each boundary takes the ``close()`` path instead —
+    same memo, same records, bit-identical results, just slower."""
+    return _empty
+
+
+class _FreeRecords:
+    """Stand-in transition table for ``model_timing=False`` fast runs:
+    every inline probe "hits" a free record, so generated code never
+    falls back to the close path."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def get(key, default=None, _record=(0, BlockTimingCache.EMPTY_ID, ())):
+        return _record
+
+
+_FREE_RECORDS = _FreeRecords()
+
+
+def _free_tables(entry, end, transfer, _records=_FREE_RECORDS):
+    return _records
 
 
 @dataclass
@@ -73,7 +133,7 @@ class SimResult:
     #: attributed, so the values sum to ``cycles - 1``
     cycle_breakdown: dict[str, int] | None = None
     #: block-timing cache lookups this run (both zero when the run used
-    #: the reference interleaved path — trace/watch/max_cycles fallback,
+    #: the reference interleaved path — watch/max_cycles fallback,
     #: ``fast_timing=False``, or timing off)
     block_cache_hits: int = 0
     block_cache_misses: int = 0
@@ -88,6 +148,14 @@ class SimResult:
     #: compiled and side exits taken out of compiled traces
     jit_superblocks: int = 0
     jit_side_exits: int = 0
+    #: entries with a live compiled function at run end — compiled plus
+    #: preloaded; the number that distinguishes a warm run
+    #: (``jit_segments == 0`` but hundreds active) from JIT-off
+    jit_active_segments: int = 0
+    #: pipeline-state digests computed this run (first visits to a
+    #: timing transition); on a warm run this stays near zero while
+    #: ``block_cache_hits`` counts every boundary
+    timing_digests: int = 0
 
     @property
     def stall_cycles(self) -> int:
@@ -214,14 +282,17 @@ class Simulator:
             run_options.cache
         )
         # the memoized block-timing path needs nothing observed per
-        # instruction; anything that does — per-cycle stall attribution,
-        # a cycle-exact watchdog raise, a watch callback fed issue
-        # cycles — takes the reference interleaved path.  Timing-off runs
-        # (model_timing=False) share the fast loop too, with the block
-        # close stubbed out, so they still dispatch the segment JIT.
+        # instruction; anything that does — a cycle-exact watchdog
+        # raise, a watch callback fed issue cycles — takes the reference
+        # interleaved path.  Stall attribution (``trace=True``) *is*
+        # fast-path eligible: transition records memoize per-hazard
+        # stall deltas, so a trace run sums tuples at segment
+        # boundaries instead of attributing every issue.  Timing-off
+        # runs (model_timing=False) share the fast loop too, with the
+        # block close stubbed out, so they still dispatch the segment
+        # JIT.
         fast = (
             run_options.fast_timing
-            and not run_options.trace
             and run_options.max_cycles is None
             and watch is None
         )
@@ -243,8 +314,16 @@ class Simulator:
                 obs.count("sim.block_cache.hit", result.block_cache_hits)
             if result.block_cache_misses:
                 obs.count("sim.block_cache.miss", result.block_cache_misses)
+            if result.timing_digests:
+                obs.count(
+                    "sim.timing.digests_computed", result.timing_digests
+                )
             if result.jit_segments:
                 obs.count("sim.jit.segments", result.jit_segments)
+            if result.jit_active_segments:
+                obs.count(
+                    "sim.jit.active_segments", result.jit_active_segments
+                )
             if result.jit_hits:
                 obs.count("sim.jit.hit", result.jit_hits)
             if result.jit_deopts:
@@ -291,7 +370,9 @@ class Simulator:
             for miss_penalty, block_cache in caches.items():
                 if not block_cache.dirty:
                     continue
-                key = self._artifact_key("timing", repr(miss_penalty))
+                key = self._artifact_key(
+                    "timing", _TIMING_PAYLOAD_VERSION, repr(miss_penalty)
+                )
                 if key is not None and artifact_cache.get_cache().put(
                     "timing", key, block_cache.export()
                 ):
@@ -363,9 +444,11 @@ class Simulator:
                 self.target,
                 self.executable.instrs,
                 key,
-                static=self._pipe_static[0],
+                static=self._pipe_static[1],
             )
-            artifact_key = self._artifact_key("timing", repr(key))
+            artifact_key = self._artifact_key(
+                "timing", _TIMING_PAYLOAD_VERSION, repr(key)
+            )
             if artifact_key is not None:
                 payload = artifact_cache.get_cache().get(
                     "timing", artifact_key
@@ -563,6 +646,8 @@ class Simulator:
         cwvm = self.target.cwvm
         if cache is not None:
             cache.reset()
+        tracing = options.trace and options.model_timing
+        stall_totals: list[int] = []
         if options.model_timing:
             block_cache = self._block_cache(cache)
             # materialization bases must never decrease across runs
@@ -572,13 +657,32 @@ class Simulator:
             close = block_cache.close
             start_hits = block_cache.hits
             start_misses = block_cache.misses
+            start_digests = block_cache.digests_computed
+            # transition tables handed to generated code: the real
+            # per-segment tables when the chain is on, a shared empty
+            # table (every probe misses into close()) when it is off
+            trans_tables = (
+                block_cache.transitions
+                if options.timing_chain
+                else _cold_tables
+            )
+            if tracing:
+                # stall attribution: every boundary must funnel through
+                # the accounting close (inline probe commits would skip
+                # the stall-delta accumulation), so the chain's probe
+                # tables are withheld for this run
+                stall_totals = [0] * len(block_cache.stall_kinds())
+                close = _accounted_close(block_cache.close, stall_totals)
+                trans_tables = _cold_tables
         else:
             # functional-only run: same loop (and segment JIT), but the
-            # segment close never consults a pipeline model
+            # segment close never consults a pipeline model and every
+            # probe hits a free record
             block_cache = None
             base_offset = 0
             close = _no_timing_close
-            start_hits = start_misses = 0
+            start_hits = start_misses = start_digests = 0
+            trans_tables = _free_tables
 
         pc = exe.entry(function)
         executed = 0
@@ -614,13 +718,12 @@ class Simulator:
         jit = self._segment_jit() if options.jit else None
         jit_cached = cache is not None
         jit_table = jit.functions(jit_cached) if jit is not None else None
-        cache_access = cache.access if cache is not None else None
-        events_append = events.append
         jit_hits_run = 0
         jit_compiled_before = jit.compiled if jit is not None else 0
         jit_deopts_before = jit.deopts if jit is not None else 0
+        jit_active_before = jit.active_segments() if jit is not None else 0
         # trace-superblock dispatch state: the edge profile feeds trace
-        # selection, and the inline probe reads the timing table directly
+        # selection
         sb_on = options.superblock and jit is not None
         sb_edges = jit.edges if jit is not None else None
         sb_sites = jit.edge_sites if jit is not None else None
@@ -629,33 +732,6 @@ class Simulator:
         jit_preloaded_before = jit.preloaded if jit is not None else 0
         jit_sb_preloaded_before = jit.sb_preloaded if jit is not None else 0
         jit_sb_demoted_before = jit.sb_demoted if jit is not None else 0
-        probe_get = (
-            block_cache.table.get if block_cache is not None else _free_probe
-        )
-        # no single segment pass can execute more than this many
-        # instructions, so stopping the in-function loop this far below
-        # the fuse is always safe (the precise per-record bound is then
-        # re-checked at the next dispatch)
-        loop_fuse = max_instructions - (SEGMENT_CAP + 64)
-
-        def loop_close(end, transfer, exec_delta, load_delta, store_delta, mm):
-            """Per-iteration close for chained self-loop segments: the
-            compiled function calls this at each taken back-edge instead
-            of returning, keeping its register locals live.  Returns
-            whether the function may run another full iteration."""
-            nonlocal executed, loads, stores
-            nonlocal virtual_issue, entry_id, jit_hits_run
-            executed += exec_delta
-            loads += load_delta
-            stores += store_delta
-            jit_hits_run += 1
-            delta, entry_id = close(
-                seg_entry, end, transfer, mm, events, entry_id,
-                base_offset + virtual_issue,
-            )
-            virtual_issue += delta
-            del events[:]
-            return executed <= loop_fuse
 
         while pc != _HALT:
             if pc < 0 or pc >= program_size:
@@ -684,231 +760,132 @@ class Simulator:
                 if record is not None and (
                     executed + record[1] <= max_instructions
                 ):
-                    if record[2]:
-                        # trace superblock: probes close every internal
-                        # segment inside generated code; the function
-                        # returns with the final segment still open for
-                        # this loop to close (kinds 0-3) or after a fuse
-                        # stop at the head (kind 4, all closed)
-                        try:
-                            (
-                                sb_kind, seg_end, transfer, jit_label,
-                                node_entry, open_len, exec_delta,
-                                load_delta, store_delta, miss_mask,
-                                load_bit, cycle_delta, eid, probe_hits,
-                                sb_closes,
-                            ) = record[0](
-                                state, cache_access, events, block_counts,
-                                probe_get, close, entry_id,
-                                base_offset + virtual_issue,
-                                max_instructions - executed - record[1],
-                                miss_mask, load_bit,
-                            )
-                        except JitDeopt as guard:
-                            jit.note_deopt(pc, jit_cached, guard, block_counts)
-                            del events[:]
-                            miss_mask = 0
-                            load_bit = 1
-                        else:
-                            executed += exec_delta
-                            loads += load_delta
-                            stores += store_delta
-                            virtual_issue += cycle_delta
-                            entry_id = eid
-                            jit_hits_run += sb_closes
-                            if block_cache is not None:
-                                block_cache.hits += probe_hits
-                            if sb_kind == 4:
-                                pc = seg_entry = node_entry
-                                continue
-                            jit_hits_run += 1
+                    # one contract for segments and traces: probes close
+                    # every chained boundary inside generated code,
+                    # including the final segment of a taken/call/return
+                    # exit (kinds 1-3) and a fuse stop (kind 4); only a
+                    # fallthrough exit (kind 0) returns an open segment
+                    # for the interpreter to continue
+                    is_sb = record[2]
+                    try:
+                        (
+                            jit_kind, seg_end, transfer, jit_label,
+                            node_entry, open_len, exec_delta,
+                            load_delta, store_delta, miss_mask,
+                            load_bit, cycle_delta, eid, probe_hits,
+                            probe_closes,
+                        ) = record[0](
+                            state, cache, events, block_counts,
+                            trans_tables, close, entry_id,
+                            base_offset + virtual_issue,
+                            max_instructions - executed - record[1],
+                            miss_mask, load_bit,
+                        )
+                    except JitDeopt as guard:
+                        # the guard fired before any cache access,
+                        # memory write or probe: undo the block counts,
+                        # drop the (unconsumed) events, and fall through
+                        # to the interpreter, which re-executes the
+                        # segment and raises the real error
+                        jit.note_deopt(pc, jit_cached, guard, block_counts)
+                        del events[:]
+                        miss_mask = 0
+                        load_bit = 1
+                    else:
+                        executed += exec_delta
+                        loads += load_delta
+                        stores += store_delta
+                        virtual_issue += cycle_delta
+                        entry_id = eid
+                        jit_hits_run += probe_closes
+                        if probe_hits and block_cache is not None:
+                            # inline probe hits bypass close(), so the
+                            # memo's hit counter is credited here
+                            block_cache.hits += probe_hits
+                        if jit_kind == 4:
+                            pc = seg_entry = node_entry
+                            continue
+                        if is_sb:
                             sb_exits_run += 1
                             # quality gate: demote a trace whose calls
                             # keep dropping an open tail into the
                             # interpreter before the first back-edge
                             jit.note_trace_exit(
-                                seg_entry, jit_cached, sb_closes, sb_kind
+                                seg_entry, jit_cached, probe_closes,
+                                jit_kind,
                             )
-                            if sb_kind == 0:
-                                # fallthrough end: the final segment
-                                # stays open at node_entry
-                                pc = seg_end + 1
-                                seg_entry = node_entry
-                                seg_len = open_len
-                                if seg_len >= SEGMENT_CAP:
-                                    delta, entry_id = close(
-                                        node_entry, seg_end, -1, miss_mask,
-                                        events, entry_id,
-                                        base_offset + virtual_issue,
-                                    )
-                                    virtual_issue += delta
-                                    seg_entry = pc
-                                    seg_len = 0
-                                    del events[:]
-                                    miss_mask = 0
-                                    load_bit = 1
-                                continue
-                            delta, entry_id = close(
-                                node_entry, seg_end, transfer, miss_mask,
-                                events, entry_id,
-                                base_offset + virtual_issue,
-                            )
-                            virtual_issue += delta
-                            seg_len = 0
-                            del events[:]
-                            miss_mask = 0
-                            load_bit = 1
-                            if sb_kind == 2:
-                                if ret_unit is not None:
-                                    word = units_get(ret_unit, 0)
-                                    pc = (
-                                        word - 4294967296
-                                        if word > 2147483647
-                                        else word
-                                    )
-                                else:
-                                    pc = state.read_reg(cwvm.retaddr, "int")
-                            else:
-                                pc = exe.labels.get(jit_label)
-                                if pc is None:
-                                    noun = (
-                                        "label"
-                                        if sb_kind == 1
-                                        else "function"
-                                    )
-                                    raise SimulationError(
-                                        f"undefined {noun} {jit_label!r}",
-                                        function=function,
-                                        cycle=virtual_issue + 1,
-                                    )
-                                if sb_kind == 1:
-                                    edge = (node_entry, pc)
-                                    hot = sb_edges.get(edge, 0)
-                                    # profile only until the promotion
-                                    # decision; past warmup the counts
-                                    # are dead weight on every dispatch
-                                    if hot < SUPERBLOCK_WARMUP:
-                                        hot += 1
-                                        sb_edges[edge] = hot
-                                        sb_sites[edge] = transfer
-                                        if hot == SUPERBLOCK_WARMUP and not (
-                                            jit.build_superblock(
-                                                node_entry, jit_cached,
-                                                block_counts,
-                                            )
-                                        ):
-                                            jit.build_superblock(
-                                                pc, jit_cached, block_counts
-                                            )
-                            seg_entry = pc
-                            continue
-                    else:
-                        try:
-                            (
-                                seg_end, transfer, jit_kind, jit_label,
-                                exec_delta, load_delta, store_delta,
-                                miss_mask, load_bit,
-                            ) = record[0](
-                                state, cache_access, events_append,
-                                block_counts, miss_mask, load_bit,
-                                loop_close,
-                            )
-                        except JitDeopt as guard:
-                            # the guard fired before any cache access or
-                            # memory write: undo the block counts, drop
-                            # the (unconsumed) events, and fall through
-                            # to the interpreter, which re-executes the
-                            # segment and raises the real error
-                            jit.note_deopt(pc, jit_cached, guard, block_counts)
-                            del events[:]
-                            miss_mask = 0
-                            load_bit = 1
-                        else:
-                            if jit_kind == 4:
-                                # a chained loop ran to the fuse guard:
-                                # every iteration was closed and
-                                # accounted by loop_close, and the unpack
-                                # above already reset miss_mask/load_bit
-                                pc = seg_entry
-                                continue
+                        if jit_kind == 0:
+                            # fallthrough end: the final segment stays
+                            # open at node_entry
                             jit_hits_run += 1
-                            executed += exec_delta
-                            loads += load_delta
-                            stores += store_delta
-                            if jit_kind == 0:
-                                # fallthrough end: the segment stays open
-                                pc = seg_end + 1
-                                seg_len = exec_delta
-                                if seg_len >= SEGMENT_CAP:
-                                    delta, entry_id = close(
-                                        seg_entry, seg_end, -1, miss_mask,
-                                        events, entry_id,
-                                        base_offset + virtual_issue,
-                                    )
-                                    virtual_issue += delta
-                                    seg_entry = pc
-                                    seg_len = 0
-                                    del events[:]
-                                    miss_mask = 0
-                                    load_bit = 1
-                                continue
-                            delta, entry_id = close(
-                                seg_entry, seg_end, transfer, miss_mask,
-                                events, entry_id,
-                                base_offset + virtual_issue,
-                            )
-                            virtual_issue += delta
-                            seg_len = 0
-                            del events[:]
-                            miss_mask = 0
-                            load_bit = 1
-                            if jit_kind == 2:
-                                if ret_unit is not None:
-                                    word = units_get(ret_unit, 0)
-                                    pc = (
-                                        word - 4294967296
-                                        if word > 2147483647
-                                        else word
-                                    )
-                                else:
-                                    pc = state.read_reg(cwvm.retaddr, "int")
-                            else:
-                                new_pc = exe.labels.get(jit_label)
-                                if new_pc is None:
-                                    noun = (
-                                        "label"
-                                        if jit_kind == 1
-                                        else "function"
-                                    )
-                                    raise SimulationError(
-                                        f"undefined {noun} {jit_label!r}",
-                                        function=function,
-                                        cycle=virtual_issue + 1,
-                                    )
-                                if jit_kind == 1 and sb_on:
-                                    # profile the taken edge until its
-                                    # promotion decision; a hot edge
-                                    # triggers one trace-selection
-                                    # attempt at its source (or target)
-                                    edge = (seg_entry, new_pc)
-                                    hot = sb_edges.get(edge, 0)
-                                    if hot < SUPERBLOCK_WARMUP:
-                                        hot += 1
-                                        sb_edges[edge] = hot
-                                        sb_sites[edge] = transfer
-                                        if hot == SUPERBLOCK_WARMUP and not (
-                                            jit.build_superblock(
-                                                seg_entry, jit_cached,
-                                                block_counts,
-                                            )
-                                        ):
-                                            jit.build_superblock(
-                                                new_pc, jit_cached,
-                                                block_counts,
-                                            )
-                                pc = new_pc
-                            seg_entry = pc
+                            pc = seg_end + 1
+                            seg_entry = node_entry
+                            seg_len = open_len
+                            if seg_len >= SEGMENT_CAP:
+                                delta, entry_id, _ = close(
+                                    node_entry, seg_end, -1, miss_mask,
+                                    events, entry_id,
+                                    base_offset + virtual_issue,
+                                )
+                                virtual_issue += delta
+                                seg_entry = pc
+                                seg_len = 0
+                                del events[:]
+                                miss_mask = 0
+                                load_bit = 1
                             continue
+                        # kinds 1-3 return with the final segment
+                        # already closed inside generated code (its
+                        # close is in probe_closes and cycle_delta, and
+                        # mm/lb came back reset): only routing remains
+                        seg_len = 0
+                        if jit_kind == 2:
+                            if ret_unit is not None:
+                                word = units_get(ret_unit, 0)
+                                pc = (
+                                    word - 4294967296
+                                    if word > 2147483647
+                                    else word
+                                )
+                            else:
+                                pc = state.read_reg(cwvm.retaddr, "int")
+                        else:
+                            new_pc = exe.labels.get(jit_label)
+                            if new_pc is None:
+                                noun = (
+                                    "label"
+                                    if jit_kind == 1
+                                    else "function"
+                                )
+                                raise SimulationError(
+                                    f"undefined {noun} {jit_label!r}",
+                                    function=function,
+                                    cycle=virtual_issue + 1,
+                                )
+                            if jit_kind == 1 and sb_on:
+                                # profile the taken edge until its
+                                # promotion decision; a hot edge
+                                # triggers one trace-selection attempt
+                                # at its source (or target)
+                                edge = (node_entry, new_pc)
+                                hot = sb_edges.get(edge, 0)
+                                if hot < SUPERBLOCK_WARMUP:
+                                    hot += 1
+                                    sb_edges[edge] = hot
+                                    sb_sites[edge] = transfer
+                                    if hot == SUPERBLOCK_WARMUP and not (
+                                        jit.build_superblock(
+                                            node_entry, jit_cached,
+                                            block_counts,
+                                        )
+                                    ):
+                                        jit.build_superblock(
+                                            new_pc, jit_cached,
+                                            block_counts,
+                                        )
+                            pc = new_pc
+                        seg_entry = pc
+                        continue
             effect = closures[pc](state, mem_log)
             executed += 1
             seg_len += 1
@@ -935,7 +912,7 @@ class Simulator:
             if effect is None:
                 pc += 1
                 if seg_len >= SEGMENT_CAP:
-                    delta, entry_id = close(
+                    delta, entry_id, _ = close(
                         seg_entry, pc - 1, -1, miss_mask, events,
                         entry_id, base_offset + virtual_issue,
                     )
@@ -981,7 +958,7 @@ class Simulator:
                         del mem_log[:]
                     end = slot_pc
                 executed += slots
-                delta, entry_id = close(
+                delta, entry_id, _ = close(
                     seg_entry, end, pc, miss_mask, events,
                     entry_id, base_offset + virtual_issue,
                 )
@@ -1013,7 +990,7 @@ class Simulator:
                         cycle=virtual_issue + 1,
                     )
                 state.write_reg(cwvm.retaddr, "int", pc + 1)
-                delta, entry_id = close(
+                delta, entry_id, _ = close(
                     seg_entry, pc, pc, miss_mask, events,
                     entry_id, base_offset + virtual_issue,
                 )
@@ -1041,7 +1018,7 @@ class Simulator:
         if seg_len:
             # defensive: a run normally ends via ret (which closes its
             # segment), but flush anything outstanding
-            delta, entry_id = close(
+            delta, entry_id, _ = close(
                 seg_entry, seg_entry + seg_len - 1, -1, miss_mask, events,
                 entry_id, base_offset + virtual_issue,
             )
@@ -1056,9 +1033,15 @@ class Simulator:
             # exactly as on the reference path
             cycles = executed
             hits = misses = 0
+        digests = (
+            block_cache.digests_computed - start_digests
+            if block_cache is not None
+            else 0
+        )
         jit_segments = jit_deopts = jit_superblocks = 0
         jit_preloaded_delta = jit_sb_preloaded_delta = 0
         jit_sb_demoted_delta = 0
+        jit_active = 0
         if jit is not None:
             jit.hits += jit_hits_run
             jit.side_exits += sb_exits_run
@@ -1068,13 +1051,16 @@ class Simulator:
             jit_preloaded_delta = jit.preloaded - jit_preloaded_before
             jit_sb_preloaded_delta = jit.sb_preloaded - jit_sb_preloaded_before
             jit_sb_demoted_delta = jit.sb_demoted - jit_sb_demoted_before
+            jit_active = jit.active_segments()
         if timing.ENABLED:
             timing.add_seconds("sim.run", time.perf_counter() - wall_start)
             timing.add("sim.instructions", executed)
             timing.add("sim.cycles", cycles)
             timing.add("sim.block_cache.hit", hits)
             timing.add("sim.block_cache.miss", misses)
+            timing.add("sim.timing.digests_computed", digests)
             timing.add("sim.jit.segments", jit_segments)
+            timing.add("sim.jit.active_segments", jit_active - jit_active_before)
             timing.add("sim.jit.hit", jit_hits_run)
             timing.add("sim.jit.deopt", jit_deopts)
             timing.add("sim.jit.superblocks", jit_superblocks)
@@ -1091,6 +1077,11 @@ class Simulator:
             cache_hits=cache.hits if cache else 0,
             cache_misses=cache.misses if cache else 0,
             block_counts=block_counts,
+            cycle_breakdown=(
+                dict(zip(block_cache.stall_kinds(), stall_totals))
+                if tracing
+                else None
+            ),
             block_cache_hits=hits,
             block_cache_misses=misses,
             jit_segments=jit_segments,
@@ -1098,6 +1089,8 @@ class Simulator:
             jit_deopts=jit_deopts,
             jit_superblocks=jit_superblocks,
             jit_side_exits=sb_exits_run,
+            jit_active_segments=jit_active,
+            timing_digests=digests,
         )
         result.return_value = self._read_result(state)
         return result

@@ -334,14 +334,18 @@ def test_jit_inactive_on_the_reference_timing_path():
     assert result.jit_hits == 0
 
 
-def test_jit_inactive_under_trace():
-    # trace=True selects the accounting pipeline model (per-instruction
-    # attribution), which implies the reference path
+def test_jit_active_under_trace():
+    # trace=True no longer forces the reference path: memo records carry
+    # per-hazard stall deltas, so traced runs keep the JIT and agree
+    # with an untraced run on the cycle count
     executable = _compile_source(HOT_LOOP)
     executable._segment_jit = SegmentJIT(executable, warmup=1)
-    result = _run_hot(executable, 100, trace=True)
-    assert result.jit_hits == 0
-    assert result.cycle_breakdown is not None
+    traced = _run_hot(executable, 100, trace=True)
+    assert traced.jit_hits > 0
+    assert traced.cycle_breakdown is not None
+    assert sum(traced.cycle_breakdown.values()) == traced.cycles - 1
+    plain = _run_hot(executable, 100)
+    assert plain.cycles == traced.cycles
 
 
 def test_jit_off_reports_zero_counters():
